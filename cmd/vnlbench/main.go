@@ -1,0 +1,73 @@
+// Command vnlbench regenerates the paper's tables and figures (T1–T4,
+// F1–F7) and runs the quantitative experiments (E1–E8) from DESIGN.md's
+// per-experiment index.
+//
+// Usage:
+//
+//	vnlbench                # run everything
+//	vnlbench -run E3        # one experiment
+//	vnlbench -run F4,F6,E1  # several
+//	vnlbench -list          # list experiment IDs
+//	vnlbench -quick         # shrunken workloads (CI-sized)
+//	vnlbench -rows 50000 -readers 16 -batches 20 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quick   = flag.Bool("quick", false, "shrink workloads for a fast pass")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		rows    = flag.Int("rows", 0, "base relation size (0 = default)")
+		readers = flag.Int("readers", 0, "concurrent readers for E2 (0 = default)")
+		batches = flag.Int("batches", 0, "maintenance batches for E1 (0 = default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := bench.Config{
+		Seed: *seed, Rows: *rows, Readers: *readers, Batches: *batches, Quick: *quick,
+	}
+	var selected []bench.Experiment
+	if strings.EqualFold(*run, "all") {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := bench.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "vnlbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	failed := 0
+	for _, e := range selected {
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vnlbench: %s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,610 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// dailySalesSchema is the running example's schema with Figure 3's column
+// lengths.
+func dailySalesSchema() *catalog.Schema {
+	return catalog.MustSchema("DailySales", []catalog.Column{
+		{Name: "city", Type: catalog.TypeString, Length: 20},
+		{Name: "state", Type: catalog.TypeString, Length: 2},
+		{Name: "product_line", Type: catalog.TypeString, Length: 12},
+		{Name: "date", Type: catalog.TypeDate, Length: 4},
+		{Name: "total_sales", Type: catalog.TypeInt, Length: 4, Updatable: true},
+	}, "city", "state", "product_line", "date")
+}
+
+func mustDate(s string) catalog.Value {
+	v, err := catalog.ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func sales(city, state, line, date string, total int64) catalog.Tuple {
+	return catalog.Tuple{
+		catalog.NewString(city), catalog.NewString(state), catalog.NewString(line),
+		mustDate(date), catalog.NewInt(total),
+	}
+}
+
+func salesKey(city, state, line, date string) catalog.Tuple {
+	return catalog.Tuple{
+		catalog.NewString(city), catalog.NewString(state), catalog.NewString(line), mustDate(date),
+	}
+}
+
+// figure4Store drives maintenance transactions 2–4 so DailySales reaches
+// the exact state of Figure 4 (currentVN = 4).
+func figure4Store(n int) (*core.Store, error) {
+	d := db.Open(db.Options{})
+	s, err := core.Open(d, core.Options{N: n})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.CreateTable(dailySalesSchema()); err != nil {
+		return nil, err
+	}
+	run := func(fn func(m *core.Maintenance) error) error {
+		m, err := s.BeginMaintenance()
+		if err != nil {
+			return err
+		}
+		if fn != nil {
+			if err := fn(m); err != nil {
+				m.Rollback()
+				return err
+			}
+		}
+		return m.Commit()
+	}
+	if err := run(func(m *core.Maintenance) error { // VN 2
+		if err := m.Insert("DailySales", sales("Berkeley", "CA", "racquetball", "10/14/96", 10000)); err != nil {
+			return err
+		}
+		return m.Insert("DailySales", sales("Novato", "CA", "rollerblades", "10/13/96", 8000))
+	}); err != nil {
+		return nil, err
+	}
+	if err := run(func(m *core.Maintenance) error { // VN 3
+		return m.Insert("DailySales", sales("San Jose", "CA", "golf equip", "10/14/96", 10000))
+	}); err != nil {
+		return nil, err
+	}
+	if err := run(func(m *core.Maintenance) error { // VN 4
+		if err := m.Insert("DailySales", sales("San Jose", "CA", "golf equip", "10/15/96", 1500)); err != nil {
+			return err
+		}
+		if _, err := m.UpdateKey("DailySales", salesKey("Berkeley", "CA", "racquetball", "10/14/96"),
+			func(c catalog.Tuple) catalog.Tuple { c[4] = catalog.NewInt(12000); return c }); err != nil {
+			return err
+		}
+		_, err := m.DeleteKey("DailySales", salesKey("Novato", "CA", "rollerblades", "10/13/96"))
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// extRelationTable renders the physical extended relation as the paper's
+// Figures 4 and 6 do.
+func extRelationTable(id, title string, s *core.Store) (*Table, error) {
+	vt, err := s.Table("DailySales")
+	if err != nil {
+		return nil, err
+	}
+	e := vt.Ext()
+	t := &Table{ID: id, Title: title,
+		Columns: []string{"tupleVN", "operation", "city", "state", "product_line", "date", "total_sales", "pre_total_sales"}}
+	vt.Storage().Scan(func(_ storage.RID, tu catalog.Tuple) bool {
+		base := e.BaseValues(tu)
+		t.AddRow(int64(e.TupleVN(tu, 1)), string(e.OpAt(tu, 1)),
+			base[0].Str(), base[1].Str(), base[2].Str(), base[3].String(),
+			base[4].String(), e.PreValues(tu, 1)[0].String())
+		return true
+	})
+	return t, nil
+}
+
+// RunT1 regenerates Table 1 by exercising the reader extraction logic for
+// every (version relation × operation) cell.
+func RunT1(cfg Config) ([]*Table, error) {
+	ext, err := core.ExtendSchema(dailySalesSchema(), 2)
+	if err != nil {
+		return nil, err
+	}
+	const tvn = core.VN(5)
+	mk := func(op core.Op) catalog.Tuple {
+		tu := make(catalog.Tuple, len(ext.Ext.Columns))
+		for i := range tu {
+			tu[i] = catalog.Null
+		}
+		ext.SetSlot(tu, 1, tvn, op)
+		ext.SetBaseValues(tu, sales("San Jose", "CA", "golf equip", "10/14/96", 100))
+		if op == core.OpInsert {
+			ext.SetPreValues(tu, 1, ext.NullPre())
+		} else {
+			ext.SetPreValues(tu, 1, catalog.Tuple{catalog.NewInt(50)})
+		}
+		return tu
+	}
+	describe := func(op core.Op, s core.VN) string {
+		base, visible, err := ext.ReadAsOf(mk(op), s)
+		switch {
+		case err != nil:
+			return "session expired"
+		case !visible:
+			return "ignore tuple"
+		case base[4].Int() == 100:
+			return "read current attribute values"
+		default:
+			return "read pre-update attribute values"
+		}
+	}
+	t := &Table{ID: "T1", Title: "Reader version extraction (regenerated Table 1)",
+		Columns: []string{"version read", "op=insert", "op=update", "op=delete"}}
+	t.AddRow("current (sessionVN >= tupleVN)",
+		describe(core.OpInsert, tvn), describe(core.OpUpdate, tvn), describe(core.OpDelete, tvn))
+	t.AddRow("pre-update (sessionVN = tupleVN-1)",
+		describe(core.OpInsert, tvn-1), describe(core.OpUpdate, tvn-1), describe(core.OpDelete, tvn-1))
+	t.AddRow("older (sessionVN < tupleVN-1)",
+		describe(core.OpInsert, tvn-2), describe(core.OpUpdate, tvn-2), describe(core.OpDelete, tvn-2))
+	t.Notes = append(t.Notes,
+		"paper Table 1: current ignores deletes, pre-update ignores inserts; older versions expire the session")
+	return []*Table{t}, nil
+}
+
+// cellResult describes the observed physical action for one decision-table
+// cell.
+type cellResult string
+
+// probeCell builds a kv tuple in the given previous state (prevOp; sameTxn
+// selects tupleVN == maintenanceVN) and applies the maintenance operation,
+// reporting the physical effect.
+func probeCell(prevOp core.Op, sameTxn bool, maintOp core.Op) (cellResult, error) {
+	d := db.Open(db.Options{})
+	s, err := core.Open(d, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	schema := catalog.MustSchema("kv", []catalog.Column{
+		{Name: "k", Type: catalog.TypeInt, Length: 8},
+		{Name: "v", Type: catalog.TypeInt, Length: 8, Updatable: true},
+	}, "k")
+	if _, err := s.CreateTable(schema); err != nil {
+		return "", err
+	}
+	key := catalog.Tuple{catalog.NewInt(1)}
+	tuple := catalog.Tuple{catalog.NewInt(1), catalog.NewInt(10)}
+	newTuple := catalog.Tuple{catalog.NewInt(1), catalog.NewInt(20)}
+
+	// Establish the "previous operation" state.
+	setup := func(m *core.Maintenance) error {
+		switch prevOp {
+		case core.OpInsert:
+			return m.Insert("kv", tuple)
+		case core.OpUpdate:
+			if err := m.Insert("kv", tuple); err != nil {
+				return err
+			}
+			if !sameTxn {
+				return nil // updated later, by the probe txn's predecessor
+			}
+			_, err := m.UpdateKey("kv", key, func(c catalog.Tuple) catalog.Tuple {
+				c[1] = catalog.NewInt(11)
+				return c
+			})
+			return err
+		case core.OpDelete:
+			if err := m.Insert("kv", tuple); err != nil {
+				return err
+			}
+			_, err := m.DeleteKey("kv", key)
+			return err
+		}
+		return nil
+	}
+	var m *core.Maintenance
+	if sameTxn {
+		m, err = s.BeginMaintenance()
+		if err != nil {
+			return "", err
+		}
+		if prevOp != core.OpNone {
+			if err := setup(m); err != nil {
+				return "", err
+			}
+		}
+	} else {
+		if prevOp != core.OpNone {
+			pre, err := s.BeginMaintenance()
+			if err != nil {
+				return "", err
+			}
+			// For prevOp = insert we want the tuple inserted by an older
+			// txn; for update, insert in one txn and update in the next;
+			// for delete, insert+delete across txns works the same as
+			// within one for the probe's purposes.
+			if prevOp == core.OpUpdate {
+				if err := pre.Insert("kv", tuple); err != nil {
+					return "", err
+				}
+				if err := pre.Commit(); err != nil {
+					return "", err
+				}
+				pre, err = s.BeginMaintenance()
+				if err != nil {
+					return "", err
+				}
+				if _, err := pre.UpdateKey("kv", key, func(c catalog.Tuple) catalog.Tuple {
+					c[1] = catalog.NewInt(11)
+					return c
+				}); err != nil {
+					return "", err
+				}
+			} else if err := setup(pre); err != nil {
+				return "", err
+			}
+			if err := pre.Commit(); err != nil {
+				return "", err
+			}
+		}
+		m, err = s.BeginMaintenance()
+		if err != nil {
+			return "", err
+		}
+	}
+
+	vt, _ := s.Table("kv")
+	before := m.Stats()
+	var opErr error
+	switch maintOp {
+	case core.OpInsert:
+		opErr = m.Insert("kv", newTuple)
+	case core.OpUpdate:
+		found, err := m.UpdateKey("kv", key, func(c catalog.Tuple) catalog.Tuple {
+			c[1] = catalog.NewInt(20)
+			return c
+		})
+		if err != nil {
+			opErr = err
+		} else if !found {
+			opErr = fmt.Errorf("%w: target invisible", core.ErrInvalidMaintenanceOp)
+		}
+	case core.OpDelete:
+		found, err := m.DeleteKey("kv", key)
+		if err != nil {
+			opErr = err
+		} else if !found {
+			opErr = fmt.Errorf("%w: target invisible", core.ErrInvalidMaintenanceOp)
+		}
+	}
+	if opErr != nil {
+		m.Rollback()
+		return "impossible", nil
+	}
+	after := m.Stats()
+	// Inspect the resulting tuple state.
+	e := vt.Ext()
+	var desc cellResult
+	rid, ok := vt.Storage().SearchKey(key)
+	if !ok {
+		desc = "physical delete"
+	} else {
+		tu, _ := vt.Storage().Get(rid)
+		phys := "update tuple"
+		if after.PhysicalInserts > before.PhysicalInserts {
+			phys = "insert tuple"
+		}
+		desc = cellResult(fmt.Sprintf("%s: tupleVN=%d op=%s pre=%s cv=%s",
+			phys, e.TupleVN(tu, 1), e.OpAt(tu, 1),
+			e.PreValues(tu, 1)[0].String(), e.BaseValues(tu)[1].String()))
+	}
+	m.Rollback()
+	return desc, nil
+}
+
+func decisionTable(id, title string, maintOp core.Op) (*Table, error) {
+	t := &Table{ID: id, Title: title,
+		Columns: []string{"tuple state", "prev=insert", "prev=update", "prev=delete", "no tuple"}}
+	for _, sameTxn := range []bool{false, true} {
+		rowName := "tupleVN < maintenanceVN"
+		if sameTxn {
+			rowName = "tupleVN = maintenanceVN"
+		}
+		cells := []string{rowName}
+		for _, prev := range []core.Op{core.OpInsert, core.OpUpdate, core.OpDelete} {
+			c, err := probeCell(prev, sameTxn, maintOp)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, string(c))
+		}
+		if !sameTxn {
+			c, err := probeCell(core.OpNone, false, maintOp)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, string(c))
+		} else {
+			cells = append(cells, "-")
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t, nil
+}
+
+// RunT2 regenerates Table 2 (insert decision table) from the running
+// implementation.
+func RunT2(cfg Config) ([]*Table, error) {
+	t, err := decisionTable("T2", "Insert maintenance operation (regenerated Table 2)", core.OpInsert)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"paper Table 2: insert over an earlier delete becomes a physical update recorded as insert;",
+		"insert over a same-transaction delete nets to update; insert over a live key is impossible")
+	return []*Table{t}, nil
+}
+
+// RunT3 regenerates Table 3 (update decision table).
+func RunT3(cfg Config) ([]*Table, error) {
+	t, err := decisionTable("T3", "Update maintenance operation (regenerated Table 3)", core.OpUpdate)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"paper Table 3: first touch copies current values to pre-update; repeated touches overwrite",
+		"current values only, preserving the net-effect operation; updating a deleted tuple is impossible")
+	return []*Table{t}, nil
+}
+
+// RunT4 regenerates Table 4 (delete decision table).
+func RunT4(cfg Config) ([]*Table, error) {
+	t, err := decisionTable("T4", "Delete maintenance operation (regenerated Table 4)", core.OpDelete)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"paper Table 4: a logical delete is physically an update (the tuple stays for readers);",
+		"deleting a same-transaction insert deletes physically; deleting a deleted tuple is impossible")
+	return []*Table{t}, nil
+}
+
+// RunF1 quantifies Figure 1: the nightly-batch timeline and availability.
+func RunF1(cfg Config) ([]*Table, error) {
+	sched := sim.Schedule{Offset: 0, Period: 1440, Duration: 480} // midnight-8am
+	sessions := []sim.Session{
+		{Arrive: 600, Length: 180}, {Arrive: 900, Length: 240},
+		{Arrive: 120, Length: 60}, {Arrive: 1380, Length: 180},
+		{Arrive: 2040, Length: 300},
+	}
+	horizon := sim.Minute(3 * 1440)
+	res, err := sim.Simulate(sim.PolicyOffline, 0, sched, horizon, sessions)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "F1", Title: "Nightly batch maintenance (regenerated Figure 1)",
+		Pre:     sim.RenderTimeline(sim.PolicyOffline, 0, sched, horizon, sessions, 60),
+		Columns: []string{"metric", "value"}}
+	t.AddRow("availability", fmt.Sprintf("%.1f%%", 100*res.Availability))
+	t.AddRow("sessions completed", res.Outcomes[sim.Completed])
+	t.AddRow("sessions blocked", res.Outcomes[sim.Blocked])
+	t.AddRow("sessions interrupted", res.Outcomes[sim.Interrupted])
+	t.AddRow("nightly maintenance window", "480 min (8h) hard limit")
+	t.Notes = append(t.Notes, "paper §1.1: maintenance isolated to nights limits availability and window size")
+	return []*Table{t}, nil
+}
+
+// RunF2 quantifies Figure 2: the 2VNL timeline (9am starts, 8am commits).
+func RunF2(cfg Config) ([]*Table, error) {
+	sched := sim.Schedule{Offset: 540, Period: 1440, Duration: 1380}
+	sessions := []sim.Session{
+		{Arrive: 600, Length: 180}, {Arrive: 900, Length: 240},
+		{Arrive: 120, Length: 60}, {Arrive: 1910, Length: 180},
+		{Arrive: 1930, Length: 600},
+	}
+	horizon := sim.Minute(3 * 1440)
+	res, err := sim.Simulate(sim.PolicyVNL, 2, sched, horizon, sessions)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "F2", Title: "2VNL on-line maintenance (regenerated Figure 2)",
+		Pre:     sim.RenderTimeline(sim.PolicyVNL, 2, sched, horizon, sessions, 60),
+		Columns: []string{"metric", "value"}}
+	t.AddRow("availability", fmt.Sprintf("%.1f%%", 100*res.Availability))
+	t.AddRow("sessions completed", res.Outcomes[sim.Completed])
+	t.AddRow("sessions expired", res.Outcomes[sim.Expired])
+	t.AddRow("maintenance window", "1380 min (23h) concurrent with readers")
+	t.Notes = append(t.Notes,
+		"paper §2.1: a session sees the version committed at 8am and survives until 9am the following day")
+	return []*Table{t}, nil
+}
+
+// RunF3 regenerates Figure 3: the extended schema with per-column lengths
+// and the storage overhead.
+func RunF3(cfg Config) ([]*Table, error) {
+	ext, err := core.ExtendSchema(dailySalesSchema(), 2)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "F3", Title: "Extended DailySales schema (regenerated Figure 3)",
+		Columns: []string{"column", "type", "bytes"}}
+	for _, c := range ext.Ext.Columns {
+		t.AddRow(c.Name, c.Type.String(), c.Length)
+	}
+	base, extended, ratio := ext.Overhead()
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("base tuple %d bytes -> extended %d bytes: +%.1f%% (paper: 42 -> 51, ~20%%)",
+			base, extended, 100*ratio))
+	return []*Table{t}, nil
+}
+
+// RunF4 regenerates Figure 4 and Example 3.2: the extended relation state
+// and a sessionVN=3 reader's view of it.
+func RunF4(cfg Config) ([]*Table, error) {
+	s, err := figure4Store(2)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := extRelationTable("F4", "Extended DailySales relation (regenerated Figure 4)", s)
+	if err != nil {
+		return nil, err
+	}
+	// Example 3.2: reader with sessionVN=3. Reconstruct directly.
+	vt, _ := s.Table("DailySales")
+	view := &Table{ID: "F4b", Title: "Reader view at sessionVN = 3 (Example 3.2)",
+		Columns: []string{"city", "state", "product_line", "date", "total_sales"}}
+	e := vt.Ext()
+	vt.Storage().Scan(func(_ storage.RID, tu catalog.Tuple) bool {
+		base, visible, err := e.ReadAsOf(tu, 3)
+		if err == nil && visible {
+			view.AddRow(base[0].Str(), base[1].Str(), base[2].Str(), base[3].String(), base[4].String())
+		}
+		return true
+	})
+	view.Notes = append(view.Notes,
+		"paper Example 3.2: San Jose 10000, Berkeley 10000 (pre-update), Novato 8000 (pre-delete)")
+	return []*Table{rel, view}, nil
+}
+
+// RunF5 lists the Figure 5 maintenance transaction's operations.
+func RunF5(cfg Config) ([]*Table, error) {
+	t := &Table{ID: "F5", Title: "Example maintenance transaction, maintenanceVN = 5 (Figure 5)",
+		Columns: []string{"op", "city", "state", "product_line", "date", "total_sales"}}
+	t.AddRow("insert", "San Jose", "CA", "golf equip", "10/16/96", 11000)
+	t.AddRow("insert", "Novato", "CA", "rollerblades", "10/13/96", 6000)
+	t.AddRow("update", "San Jose", "CA", "golf equip", "10/14/96", "10000 -> 10200")
+	t.AddRow("delete", "Berkeley", "CA", "racquetball", "10/14/96", 12000)
+	t.Notes = append(t.Notes, "applied to the Figure 4 state; the result is Figure 6 (run F6)")
+	return []*Table{t}, nil
+}
+
+// applyFigure5 runs the Figure 5 transaction against a Figure 4 store.
+func applyFigure5(s *core.Store) error {
+	m, err := s.BeginMaintenance()
+	if err != nil {
+		return err
+	}
+	if err := m.Insert("DailySales", sales("San Jose", "CA", "golf equip", "10/16/96", 11000)); err != nil {
+		return err
+	}
+	if err := m.Insert("DailySales", sales("Novato", "CA", "rollerblades", "10/13/96", 6000)); err != nil {
+		return err
+	}
+	if _, err := m.UpdateKey("DailySales", salesKey("San Jose", "CA", "golf equip", "10/14/96"),
+		func(c catalog.Tuple) catalog.Tuple { c[4] = catalog.NewInt(10200); return c }); err != nil {
+		return err
+	}
+	if _, err := m.DeleteKey("DailySales", salesKey("Berkeley", "CA", "racquetball", "10/14/96")); err != nil {
+		return err
+	}
+	return m.Commit()
+}
+
+// RunF6 regenerates Figure 6: the relation after the Figure 5 transaction.
+func RunF6(cfg Config) ([]*Table, error) {
+	s, err := figure4Store(2)
+	if err != nil {
+		return nil, err
+	}
+	if err := applyFigure5(s); err != nil {
+		return nil, err
+	}
+	rel, err := extRelationTable("F6", "DailySales after the Figure 5 transaction (regenerated Figure 6)", s)
+	if err != nil {
+		return nil, err
+	}
+	rel.Notes = append(rel.Notes,
+		"paper Figure 6: SJ 10/14 (5, update, 10200/10000); SJ 10/15 unchanged; Berkeley (5, delete);",
+		"Novato resurrected as (5, insert, 6000/null); SJ 10/16 fresh (5, insert, 11000/null)")
+	return []*Table{rel}, nil
+}
+
+// RunF7 regenerates Figure 7 / Example 5.1: the 4VNL tuple after
+// insert(3)/update(5)/delete(6) and its per-session visibility.
+func RunF7(cfg Config) ([]*Table, error) {
+	d := db.Open(db.Options{})
+	s, err := core.Open(d, core.Options{N: 4})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.CreateTable(dailySalesSchema()); err != nil {
+		return nil, err
+	}
+	key := salesKey("San Jose", "CA", "golf equip", "10/14/96")
+	run := func(fn func(m *core.Maintenance) error) error {
+		m, err := s.BeginMaintenance()
+		if err != nil {
+			return err
+		}
+		if fn != nil {
+			if err := fn(m); err != nil {
+				return err
+			}
+		}
+		return m.Commit()
+	}
+	steps := []func(m *core.Maintenance) error{
+		nil, // VN 2
+		func(m *core.Maintenance) error { // VN 3
+			return m.Insert("DailySales", sales("San Jose", "CA", "golf equip", "10/14/96", 10000))
+		},
+		nil, // VN 4
+		func(m *core.Maintenance) error { // VN 5
+			_, err := m.UpdateKey("DailySales", key, func(c catalog.Tuple) catalog.Tuple {
+				c[4] = catalog.NewInt(10200)
+				return c
+			})
+			return err
+		},
+		func(m *core.Maintenance) error { // VN 6
+			_, err := m.DeleteKey("DailySales", key)
+			return err
+		},
+	}
+	for _, st := range steps {
+		if err := run(st); err != nil {
+			return nil, err
+		}
+	}
+	vt, _ := s.Table("DailySales")
+	e := vt.Ext()
+	var ext catalog.Tuple
+	vt.Storage().Scan(func(_ storage.RID, tu catalog.Tuple) bool { ext = tu; return false })
+	slots := &Table{ID: "F7", Title: "4VNL tuple after insert(3), update(5), delete(6) (regenerated Figure 7)",
+		Columns: []string{"slot", "tupleVN", "operation", "pre_total_sales"}}
+	for j := 1; j <= 3; j++ {
+		slots.AddRow(j, int64(e.TupleVN(ext, j)), string(e.OpAt(ext, j)), e.PreValues(ext, j)[0].String())
+	}
+	slots.Notes = append(slots.Notes,
+		fmt.Sprintf("current total_sales = %s", e.BaseValues(ext)[4].String()),
+		"paper Figure 7: (6, delete, 10200), (5, update, 10000), (3, insert, null); current 10200")
+
+	vis := &Table{ID: "F7b", Title: "Per-session visibility (Example 5.1)",
+		Columns: []string{"sessionVN", "result"}}
+	for vn := core.VN(7); vn >= 1; vn-- {
+		base, visible, err := e.ReadAsOf(ext, vn)
+		switch {
+		case err != nil:
+			vis.AddRow(int64(vn), "session expired")
+		case !visible:
+			vis.AddRow(int64(vn), "tuple ignored")
+		default:
+			vis.AddRow(int64(vn), "total_sales = "+base[4].String())
+		}
+	}
+	vis.Notes = append(vis.Notes,
+		"paper: sessions >= 6 ignore (deleted); 3-4 see 10000; 2 ignores (pre-insert); < 2 expired")
+	return []*Table{slots, vis}, nil
+}

@@ -1,0 +1,85 @@
+package catalog
+
+import "strings"
+
+// Tuple is one row of a relation: a slice of values positionally aligned
+// with a Schema's columns.
+type Tuple []Value
+
+// Clone returns an independent copy of the tuple. Values are immutable, so a
+// shallow copy of the slice suffices.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// String renders the tuple as "(v1, v2, ...)" for diagnostics.
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// TuplesEqual reports whether two tuples have the same arity and pairwise
+// Equal values.
+func TuplesEqual(a, b Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// HashTuple combines the hashes of a tuple's values. Used for hash
+// aggregation keys and key-conflict detection.
+func HashTuple(t Tuple) uint64 {
+	// FNV-1a style combination over per-value hashes.
+	h := uint64(14695981039346656037)
+	for _, v := range t {
+		vh := v.Hash()
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(vh >> (8 * i)))
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// CompareTuples orders tuples lexicographically. Shorter tuples that are a
+// prefix of longer tuples sort first. Errors from incomparable values
+// propagate.
+func CompareTuples(a, b Tuple) (int, error) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		c, err := Compare(a[i], b[i])
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return c, nil
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1, nil
+	case len(a) > len(b):
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+// GCStats reports one garbage-collection pass.
+type GCStats struct {
+	// Scanned is the number of physical tuples examined.
+	Scanned int
+	// Removed is the number of logically-deleted tuples physically
+	// reclaimed.
+	Removed int
+	// BytesReclaimed is Removed × the extended tuple size, summed per
+	// table.
+	BytesReclaimed int
+}
+
+// GC physically removes logically-deleted tuples that no current or future
+// reader can need (§7 future work, implemented here). A deleted tuple with
+// tupleVN = t is needed only by sessions with sessionVN < t, which read its
+// pre-update version; sessions with sessionVN >= t ignore it (Table 1). It
+// is therefore reclaimable once every active session has sessionVN >= t and
+// the delete is committed (t <= currentVN) — new sessions always start at
+// currentVN, so none can ever need it again.
+//
+// (The paper's §7 sketch states the stricter condition
+// "tupleVN < sessionVN−1 for all active readers"; the condition used here
+// additionally reclaims tuples whose deletion is exactly at the session
+// floor, which Table 1 shows are already invisible to those sessions.)
+//
+// GC is safe to run concurrently with readers and with an active
+// maintenance transaction: it only touches committed deletes (tupleVN <=
+// currentVN < maintenanceVN), which the maintenance transaction would treat
+// as conflict targets — so to keep Table 2's key-conflict bookkeeping
+// coherent, GC skips tables while a maintenance transaction is active
+// unless force is requested via GCWithFloor.
+func (s *Store) GC() GCStats {
+	s.mu.Lock()
+	cur, active := s.globalsLocked()
+	s.mu.Unlock()
+	if active {
+		return GCStats{}
+	}
+	floor := cur
+	if minVN, any := s.activeSessionFloor(); any && minVN < floor {
+		floor = minVN
+	}
+	return s.GCWithFloor(floor)
+}
+
+// GCWithFloor reclaims logically-deleted tuples with tupleVN <= floor.
+// Callers are responsible for choosing a floor no greater than the minimum
+// active sessionVN and currentVN.
+//
+// When a journal is installed, the physical deletions are journaled as a
+// committed pseudo-transaction (VN 0): without that, a later fresh insert
+// of a reclaimed key would collide with the still-logically-deleted tuple
+// during recovery replay.
+func (s *Store) GCWithFloor(floor VN) GCStats {
+	var stats GCStats
+	j := s.journalOrNil()
+	journalOpen := false
+	for _, vt := range s.Tables() {
+		e := vt.ext
+		var victims []storage.RID
+		vt.tbl.Scan(func(rid storage.RID, t catalog.Tuple) bool {
+			stats.Scanned++
+			if e.OpAt(t, 1) == OpDelete && e.TupleVN(t, 1) <= floor {
+				victims = append(victims, rid)
+			}
+			return true
+		})
+		for _, rid := range victims {
+			before, err := vt.tbl.Get(rid)
+			if err != nil {
+				continue
+			}
+			if err := vt.tbl.Delete(rid); err == nil {
+				stats.Removed++
+				stats.BytesReclaimed += e.Ext.RowBytes()
+				if j != nil {
+					if !journalOpen {
+						j.LogBegin(0)
+						journalOpen = true
+					}
+					j.LogDelete(e.Base.Name, rid, before)
+				}
+			}
+		}
+	}
+	if journalOpen {
+		_ = j.LogCommit(0)
+	}
+	return stats
+}
+
+// DeadTuples counts logically-deleted tuples awaiting collection, per
+// registered table.
+func (s *Store) DeadTuples() map[string]int {
+	out := make(map[string]int)
+	for _, vt := range s.Tables() {
+		e := vt.ext
+		n := 0
+		vt.tbl.Scan(func(_ storage.RID, t catalog.Tuple) bool {
+			if e.OpAt(t, 1) == OpDelete {
+				n++
+			}
+			return true
+		})
+		out[e.Base.Name] = n
+	}
+	return out
+}

@@ -1,0 +1,799 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/db"
+	"repro/internal/exec"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// RollbackMode selects how a maintenance transaction aborts.
+type RollbackMode int
+
+const (
+	// RollbackLogless reverts tuples using only the version information
+	// stored inside them — the paper's §7 future-work proposal. No undo
+	// log is kept; the price is that sessions older than currentVN are
+	// expired by the rollback, because a reverted tuple can no longer
+	// serve its pre-update version (the pre-update slot was consumed by
+	// the aborted transaction).
+	RollbackLogless RollbackMode = iota
+	// RollbackUndoLog keeps a small in-memory undo record per touched
+	// tuple — only the version bookkeeping and updatable-attribute
+	// section, not a full before-image — and restores it exactly on
+	// abort. No session expires.
+	RollbackUndoLog
+)
+
+// MaintStats counts a maintenance transaction's logical operations and the
+// physical operations they translated to (§3.3 stresses they differ: a
+// logical delete is usually a physical update). The I/O experiments report
+// these.
+type MaintStats struct {
+	LogicalInserts  int
+	LogicalUpdates  int
+	LogicalDeletes  int
+	PhysicalInserts int
+	PhysicalUpdates int
+	PhysicalDeletes int
+	// NetEffectFolds counts second-touches: operations on tuples this
+	// transaction had already modified, whose recorded operation was
+	// folded into a net effect (Tables 2–4, second rows).
+	NetEffectFolds int
+}
+
+// undoRec restores one tuple's mutable section (or removes a tuple this
+// transaction physically inserted).
+type undoRec struct {
+	vt       *VTable
+	rid      storage.RID
+	inserted bool          // physical insert: undo by deleting
+	image    catalog.Tuple // full extended tuple before first touch
+}
+
+// Maintenance is the warehouse's single writer: a batch maintenance
+// transaction running at maintenanceVN = currentVN + 1. It reads current
+// versions, folds logical operations into tuples per the decision tables,
+// and never blocks or is blocked by reader sessions.
+type Maintenance struct {
+	store *Store
+	vn    VN
+	mode  RollbackMode
+	done  bool
+	undo  []undoRec
+	// netEffect disables the second-row net-effect folding when false —
+	// an ablation switch used to demonstrate why the folding matters.
+	netEffect bool
+	stats     MaintStats
+}
+
+// BeginMaintenance starts the maintenance transaction: it reads currentVN,
+// sets maintenanceVN = currentVN + 1, and raises the global
+// maintenanceActive flag (§3). Only one maintenance transaction may run at
+// a time; a second call returns ErrMaintenanceActive.
+func (s *Store) BeginMaintenance() (*Maintenance, error) {
+	return s.beginMaintenance(RollbackUndoLog, true)
+}
+
+// BeginMaintenanceMode is BeginMaintenance with an explicit rollback mode
+// and net-effect switch (the latter only for ablation experiments; disable
+// it and readers observe incorrect states, which is the point of the
+// experiment).
+func (s *Store) BeginMaintenanceMode(mode RollbackMode, netEffect bool) (*Maintenance, error) {
+	return s.beginMaintenance(mode, netEffect)
+}
+
+func (s *Store) beginMaintenance(mode RollbackMode, netEffect bool) (*Maintenance, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, active := s.globalsLocked()
+	if active {
+		return nil, ErrMaintenanceActive
+	}
+	m := &Maintenance{store: s, vn: cur + 1, mode: mode, netEffect: netEffect}
+	if s.journal != nil {
+		s.journal.LogBegin(m.vn)
+	}
+	s.setGlobalsLocked(cur, true)
+	s.maint = m
+	return m, nil
+}
+
+// VN returns maintenanceVN.
+func (m *Maintenance) VN() VN { return m.vn }
+
+// Stats returns the operation counters so far.
+func (m *Maintenance) Stats() MaintStats { return m.stats }
+
+func (m *Maintenance) checkActive() error {
+	if m.done {
+		return ErrMaintenanceDone
+	}
+	return nil
+}
+
+// table resolves a registered versioned relation.
+func (m *Maintenance) table(name string) (*VTable, error) {
+	return m.store.Table(name)
+}
+
+// snapshot records a tuple's pre-touch state for rollback, once per tuple.
+func (m *Maintenance) snapshot(vt *VTable, rid storage.RID, ext catalog.Tuple, inserted bool) {
+	if m.mode != RollbackUndoLog && !inserted {
+		return
+	}
+	// Physical inserts must be undone in both modes (logless rollback can
+	// also see op=insert in the tuple and delete it, but recording keeps
+	// the undo path uniform and handles keyless tables).
+	for _, u := range m.undo {
+		if u.vt == vt && u.rid == rid {
+			return
+		}
+	}
+	rec := undoRec{vt: vt, rid: rid, inserted: inserted}
+	if !inserted {
+		rec.image = ext.Clone()
+	}
+	m.undo = append(m.undo, rec)
+}
+
+// physInsert performs and journals a physical tuple insert.
+func (m *Maintenance) physInsert(vt *VTable, ext catalog.Tuple) (storage.RID, error) {
+	rid, err := vt.tbl.Insert(ext)
+	if err != nil {
+		return rid, err
+	}
+	if j := m.store.journalOrNil(); j != nil {
+		j.LogInsert(vt.ext.Base.Name, rid, ext)
+	}
+	m.stats.PhysicalInserts++
+	return rid, nil
+}
+
+// physUpdate performs and journals an in-place physical update.
+func (m *Maintenance) physUpdate(vt *VTable, rid storage.RID, before, after catalog.Tuple) error {
+	if err := vt.tbl.Update(rid, after); err != nil {
+		return err
+	}
+	if j := m.store.journalOrNil(); j != nil {
+		j.LogUpdate(vt.ext.Base.Name, rid, before, after)
+	}
+	m.stats.PhysicalUpdates++
+	return nil
+}
+
+// physDelete performs and journals a physical delete.
+func (m *Maintenance) physDelete(vt *VTable, rid storage.RID, before catalog.Tuple) error {
+	if err := vt.tbl.Delete(rid); err != nil {
+		return err
+	}
+	if j := m.store.journalOrNil(); j != nil {
+		j.LogDelete(vt.ext.Base.Name, rid, before)
+	}
+	m.stats.PhysicalDeletes++
+	return nil
+}
+
+// Insert performs a logical insert of a base-schema tuple, implementing
+// Table 2. For relations with a unique key, a key conflict with a
+// logically-deleted tuple converts the insert into a physical update (rows
+// one and two); a conflict with a live tuple is impossible in a valid
+// transaction and returns ErrInvalidMaintenanceOp.
+func (m *Maintenance) Insert(tableName string, base catalog.Tuple) error {
+	if err := m.checkActive(); err != nil {
+		return err
+	}
+	vt, err := m.table(tableName)
+	if err != nil {
+		return err
+	}
+	base, err = vt.ext.Base.Validate(base)
+	if err != nil {
+		return err
+	}
+	m.stats.LogicalInserts++
+	e := vt.ext
+	if e.Base.HasKey() {
+		key := e.KeyOfBase(base)
+		if rid, ok := vt.tbl.SearchKey(key); ok {
+			ext, err := vt.tbl.Get(rid)
+			if err == nil {
+				return m.insertOnConflict(vt, rid, ext, base)
+			}
+		}
+	}
+	// Table 2, row 3: no conflicting tuple.
+	ext := e.NewExtTuple(base, m.vn)
+	rid, err := m.physInsert(vt, ext)
+	if err != nil {
+		if errors.Is(err, db.ErrDuplicateKey) {
+			return fmt.Errorf("%w: insert of live key %v into %s", ErrInvalidMaintenanceOp, e.KeyOfBase(base), tableName)
+		}
+		return err
+	}
+	m.snapshot(vt, rid, nil, true)
+	return nil
+}
+
+// insertOnConflict handles Table 2 rows one and two: the key exists
+// physically. Valid only when the existing tuple is logically deleted.
+func (m *Maintenance) insertOnConflict(vt *VTable, rid storage.RID, ext catalog.Tuple, base catalog.Tuple) error {
+	e := vt.ext
+	prevOp := e.OpAt(ext, 1)
+	tvn := e.TupleVN(ext, 1)
+	if prevOp != OpDelete {
+		return fmt.Errorf("%w: insert of live key %v into %s (previous operation %s)",
+			ErrInvalidMaintenanceOp, e.KeyOfBase(base), e.Base.Name, prevOp)
+	}
+	m.snapshot(vt, rid, ext, false)
+	t := ext.Clone()
+	if tvn < m.vn {
+		// Row 1: tuple deleted by an earlier transaction. Push the delete
+		// back a slot (nVNL), record this slot as an insert with NULL
+		// pre-update attributes, and install the new values.
+		e.PushBack(t)
+		e.SetSlot(t, 1, m.vn, OpInsert)
+		e.SetPreValues(t, 1, e.NullPre())
+		e.SetBaseValues(t, base)
+	} else {
+		// Row 2: deleted by this same transaction. Net effect of delete
+		// then insert is an update (§3.3); the pre-update attributes
+		// already hold the pre-transaction values.
+		e.SetBaseValues(t, base)
+		op := OpUpdate
+		if !m.netEffect {
+			op = OpInsert // ablation: record the raw operation
+		}
+		e.SetSlot(t, 1, m.vn, op)
+		m.stats.NetEffectFolds++
+	}
+	if err := m.physUpdate(vt, rid, ext, t); err != nil {
+		return err
+	}
+	return nil
+}
+
+// applyUpdate folds a logical update of one tuple (Table 3). newBase must
+// differ from the current values only in updatable attributes.
+func (m *Maintenance) applyUpdate(vt *VTable, rid storage.RID, ext catalog.Tuple, newBase catalog.Tuple) error {
+	e := vt.ext
+	if e.OpAt(ext, 1) == OpDelete {
+		return fmt.Errorf("%w: update of logically-deleted tuple in %s", ErrInvalidMaintenanceOp, e.Base.Name)
+	}
+	newBase, err := e.Base.Validate(newBase)
+	if err != nil {
+		return err
+	}
+	cur := e.BaseValues(ext)
+	for i := range cur {
+		if _, upd := e.IsUpdatable(i); !upd && !catalog.Equal(cur[i], newBase[i]) {
+			return fmt.Errorf("core: update changes non-updatable column %q of %s",
+				e.Base.Columns[i].Name, e.Base.Name)
+		}
+	}
+	m.stats.LogicalUpdates++
+	m.snapshot(vt, rid, ext, false)
+	t := ext.Clone()
+	if e.TupleVN(ext, 1) < m.vn {
+		// Row 1: first touch by this transaction — preserve the current
+		// values as the new slot-1 pre-update version.
+		e.PushBack(t)
+		e.SetPreValues(t, 1, e.CurrentUpd(t))
+		e.SetSlot(t, 1, m.vn, OpUpdate)
+		e.SetBaseValues(t, newBase)
+	} else {
+		// Row 2: already modified by this transaction — overwrite the
+		// current values only; the recorded operation keeps its net
+		// effect (insert stays insert).
+		e.SetBaseValues(t, newBase)
+		if !m.netEffect {
+			e.SetSlot(t, 1, m.vn, OpUpdate) // ablation: clobber the net effect
+		}
+		m.stats.NetEffectFolds++
+	}
+	if err := m.physUpdate(vt, rid, ext, t); err != nil {
+		return err
+	}
+	return nil
+}
+
+// applyDelete folds a logical delete of one tuple (Table 4).
+func (m *Maintenance) applyDelete(vt *VTable, rid storage.RID, ext catalog.Tuple) error {
+	e := vt.ext
+	if e.OpAt(ext, 1) == OpDelete {
+		return fmt.Errorf("%w: delete of logically-deleted tuple in %s", ErrInvalidMaintenanceOp, e.Base.Name)
+	}
+	m.stats.LogicalDeletes++
+	if e.TupleVN(ext, 1) < m.vn {
+		// Row 1: preserve the current values as the pre-update version and
+		// mark the tuple logically deleted. The physical operation is an
+		// update — the tuple stays for readers (§3.3).
+		m.snapshot(vt, rid, ext, false)
+		t := ext.Clone()
+		e.PushBack(t)
+		e.SetPreValues(t, 1, e.CurrentUpd(t))
+		e.SetSlot(t, 1, m.vn, OpDelete)
+		if err := m.physUpdate(vt, rid, ext, t); err != nil {
+			return err
+		}
+		return nil
+	}
+	// Row 2: modified earlier by this same transaction.
+	if e.OpAt(ext, 1) == OpInsert {
+		if e.L.N > 2 && e.TupleVN(ext, 2) > 0 {
+			// The "insert" was a re-insert over an earlier delete (Table 2
+			// row 1) that pushed older history back. Insert+delete nets to
+			// nothing, so pop the slots to restore that history instead of
+			// physically deleting — nVNL readers may still need it. (The
+			// restored slot-1 operation is necessarily the earlier delete,
+			// so the stale current values are never read.)
+			m.snapshot(vt, rid, ext, false)
+			t := ext.Clone()
+			e.PopFront(t)
+			if err := m.physUpdate(vt, rid, ext, t); err != nil {
+				return err
+			}
+			m.stats.NetEffectFolds++
+			return nil
+		}
+		// A fresh physical insert (or 2VNL, where no concurrent session
+		// can see a version older than the pre-insert delete): insert then
+		// delete nets to nothing — physically delete.
+		if err := m.physDelete(vt, rid, ext); err != nil {
+			return err
+		}
+		m.stats.NetEffectFolds++
+		m.dropUndo(vt, rid)
+		return nil
+	}
+	// Previously updated by this transaction: net effect is delete.
+	m.snapshot(vt, rid, ext, false)
+	t := ext.Clone()
+	e.SetSlot(t, 1, m.vn, OpDelete)
+	if err := m.physUpdate(vt, rid, ext, t); err != nil {
+		return err
+	}
+	m.stats.NetEffectFolds++
+	return nil
+}
+
+// dropUndo removes the undo record for a tuple this transaction inserted
+// and then physically deleted (insert + delete nets to nothing).
+func (m *Maintenance) dropUndo(vt *VTable, rid storage.RID) {
+	for i, u := range m.undo {
+		if u.vt == vt && u.rid == rid && u.inserted {
+			m.undo = append(m.undo[:i], m.undo[i+1:]...)
+			return
+		}
+	}
+}
+
+// UpdateWhere applies a logical update to every current-version tuple
+// satisfying pred, cursor-style (§4.2.2): matching RIDs are collected
+// first, then each tuple is re-read and folded individually. set receives
+// the current base tuple and returns the new one.
+func (m *Maintenance) UpdateWhere(tableName string, pred func(catalog.Tuple) bool, set func(catalog.Tuple) catalog.Tuple) (int, error) {
+	if err := m.checkActive(); err != nil {
+		return 0, err
+	}
+	vt, err := m.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	rids := m.cursorSelect(vt, pred)
+	n := 0
+	for _, rid := range rids {
+		ext, err := vt.tbl.Get(rid)
+		if err != nil {
+			continue
+		}
+		cur, visible := vt.ext.CurrentVersion(ext)
+		if !visible || (pred != nil && !pred(cur)) {
+			continue
+		}
+		if err := m.applyUpdate(vt, rid, ext, set(cur.Clone())); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// DeleteWhere applies a logical delete to every current-version tuple
+// satisfying pred, cursor-style (§4.2.3).
+func (m *Maintenance) DeleteWhere(tableName string, pred func(catalog.Tuple) bool) (int, error) {
+	if err := m.checkActive(); err != nil {
+		return 0, err
+	}
+	vt, err := m.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	rids := m.cursorSelect(vt, pred)
+	n := 0
+	for _, rid := range rids {
+		ext, err := vt.tbl.Get(rid)
+		if err != nil {
+			continue
+		}
+		cur, visible := vt.ext.CurrentVersion(ext)
+		if !visible || (pred != nil && !pred(cur)) {
+			continue
+		}
+		if err := m.applyDelete(vt, rid, ext); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// UpdateKey updates the single tuple with the given unique key. It reports
+// whether a live tuple with that key existed.
+func (m *Maintenance) UpdateKey(tableName string, key catalog.Tuple, set func(catalog.Tuple) catalog.Tuple) (bool, error) {
+	if err := m.checkActive(); err != nil {
+		return false, err
+	}
+	vt, err := m.table(tableName)
+	if err != nil {
+		return false, err
+	}
+	rid, ok := vt.tbl.SearchKey(key)
+	if !ok {
+		return false, nil
+	}
+	ext, err := vt.tbl.Get(rid)
+	if err != nil {
+		return false, nil
+	}
+	cur, visible := vt.ext.CurrentVersion(ext)
+	if !visible {
+		return false, nil
+	}
+	return true, m.applyUpdate(vt, rid, ext, set(cur.Clone()))
+}
+
+// DeleteKey logically deletes the tuple with the given unique key. It
+// reports whether a live tuple with that key existed.
+func (m *Maintenance) DeleteKey(tableName string, key catalog.Tuple) (bool, error) {
+	if err := m.checkActive(); err != nil {
+		return false, err
+	}
+	vt, err := m.table(tableName)
+	if err != nil {
+		return false, err
+	}
+	rid, ok := vt.tbl.SearchKey(key)
+	if !ok {
+		return false, nil
+	}
+	ext, err := vt.tbl.Get(rid)
+	if err != nil {
+		return false, nil
+	}
+	if _, visible := vt.ext.CurrentVersion(ext); !visible {
+		return false, nil
+	}
+	return true, m.applyDelete(vt, rid, ext)
+}
+
+// GetCurrent returns the current version of the tuple with the given key,
+// as the maintenance transaction sees it (first row of Table 1).
+func (m *Maintenance) GetCurrent(tableName string, key catalog.Tuple) (catalog.Tuple, bool, error) {
+	vt, err := m.table(tableName)
+	if err != nil {
+		return nil, false, err
+	}
+	rid, ok := vt.tbl.SearchKey(key)
+	if !ok {
+		return nil, false, nil
+	}
+	ext, err := vt.tbl.Get(rid)
+	if err != nil {
+		return nil, false, nil
+	}
+	cur, visible := vt.ext.CurrentVersion(ext)
+	return cur, visible, nil
+}
+
+// cursorSelect collects the RIDs of current-version-visible tuples
+// matching pred, without holding any latch across the whole scan.
+func (m *Maintenance) cursorSelect(vt *VTable, pred func(catalog.Tuple) bool) []storage.RID {
+	var rids []storage.RID
+	vt.tbl.Scan(func(rid storage.RID, t catalog.Tuple) bool {
+		cur, visible := vt.ext.CurrentVersion(t)
+		if !visible {
+			return true
+		}
+		if pred == nil || pred(cur) {
+			rids = append(rids, rid)
+		}
+		return true
+	})
+	return rids
+}
+
+// Query runs a SELECT as the maintenance transaction: the reader rewrite
+// with sessionVN bound to maintenanceVN, so the transaction reads the
+// latest version of every tuple including its own uncommitted changes
+// (§3.3).
+func (m *Maintenance) Query(text string, params exec.Params) (*exec.Rows, error) {
+	if err := m.checkActive(); err != nil {
+		return nil, err
+	}
+	sel, err := sql.ParseSelect(text)
+	if err != nil {
+		return nil, err
+	}
+	rw, err := RewriteSelect(m.store, sel)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Select(queryCatalog{m.store}, rw, withSessionVN(params, m.vn))
+}
+
+// Exec parses and applies a maintenance DML statement — INSERT, UPDATE, or
+// DELETE over a base schema — by rewriting it into the cursor loops of
+// §4.2. Returns the number of logical rows affected.
+func (m *Maintenance) Exec(text string, params exec.Params) (int, error) {
+	if err := m.checkActive(); err != nil {
+		return 0, err
+	}
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return 0, err
+	}
+	switch st := stmt.(type) {
+	case *sql.InsertStmt:
+		return m.execInsert(st, params)
+	case *sql.UpdateStmt:
+		return m.execUpdate(st, params)
+	case *sql.DeleteStmt:
+		return m.execDelete(st, params)
+	default:
+		return 0, fmt.Errorf("core: maintenance cannot execute %T", stmt)
+	}
+}
+
+func (m *Maintenance) execInsert(st *sql.InsertStmt, params exec.Params) (int, error) {
+	vt, err := m.table(st.Table)
+	if err != nil {
+		return 0, err
+	}
+	base := vt.ext.Base
+	colIdx := make([]int, 0, len(st.Columns))
+	if st.Columns == nil {
+		for i := range base.Columns {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, name := range st.Columns {
+			idx := base.ColIndex(name)
+			if idx < 0 {
+				return 0, fmt.Errorf("core: table %q has no column %q", st.Table, name)
+			}
+			colIdx = append(colIdx, idx)
+		}
+	}
+	n := 0
+	for _, row := range st.Rows {
+		if len(row) != len(colIdx) {
+			return n, fmt.Errorf("core: INSERT row has %d values for %d columns", len(row), len(colIdx))
+		}
+		t := make(catalog.Tuple, len(base.Columns))
+		for i := range t {
+			t[i] = catalog.Null
+		}
+		for i, e := range row {
+			v, err := exec.EvalConst(e, params)
+			if err != nil {
+				return n, err
+			}
+			t[colIdx[i]] = v
+		}
+		if err := m.Insert(st.Table, t); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func (m *Maintenance) execUpdate(st *sql.UpdateStmt, params exec.Params) (int, error) {
+	vt, err := m.table(st.Table)
+	if err != nil {
+		return 0, err
+	}
+	base := vt.ext.Base
+	setIdx := make([]int, len(st.Sets))
+	for i, set := range st.Sets {
+		idx := base.ColIndex(set.Column)
+		if idx < 0 {
+			return 0, fmt.Errorf("core: table %q has no column %q", st.Table, set.Column)
+		}
+		setIdx[i] = idx
+	}
+	ev := exec.NewRowEval(st.Table, base, params)
+	pred := func(cur catalog.Tuple) bool {
+		if st.Where == nil {
+			return true
+		}
+		ok, err := ev.Truthy(st.Where, cur)
+		return err == nil && ok
+	}
+	var evalErr error
+	n, err := m.UpdateWhere(st.Table, pred, func(cur catalog.Tuple) catalog.Tuple {
+		out := cur.Clone()
+		for i, set := range st.Sets {
+			v, err := ev.Value(set.Expr, cur)
+			if err != nil {
+				evalErr = err
+				return out
+			}
+			out[setIdx[i]] = v
+		}
+		return out
+	})
+	if evalErr != nil {
+		return n, evalErr
+	}
+	return n, err
+}
+
+func (m *Maintenance) execDelete(st *sql.DeleteStmt, params exec.Params) (int, error) {
+	vt, err := m.table(st.Table)
+	if err != nil {
+		return 0, err
+	}
+	ev := exec.NewRowEval(st.Table, vt.ext.Base, params)
+	return m.DeleteWhere(st.Table, func(cur catalog.Tuple) bool {
+		if st.Where == nil {
+			return true
+		}
+		ok, err := ev.Truthy(st.Where, cur)
+		return err == nil && ok
+	})
+}
+
+// Commit installs the transaction's version: currentVN ← maintenanceVN and
+// maintenanceActive ← false, under the global latch (§3). (The paper notes
+// that in a pure SQL deployment the Version-relation update should run as
+// its own tiny transaction immediately after the maintenance commit so an
+// abort never exposes a half-installed version; with the latched update
+// here the installation is atomic.)
+func (m *Maintenance) Commit() error {
+	if err := m.checkActive(); err != nil {
+		return err
+	}
+	s := m.store
+	if j := s.journalOrNil(); j != nil {
+		// Write-ahead rule: the commit record is durable before the new
+		// version becomes visible.
+		if err := j.LogCommit(m.vn); err != nil {
+			return fmt.Errorf("core: commit journal: %w", err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m.done = true
+	m.undo = nil
+	s.setGlobalsLocked(m.vn, false)
+	s.maint = nil
+	return nil
+}
+
+// Rollback aborts the transaction and reverts every touched tuple to its
+// pre-transaction state.
+//
+// In RollbackUndoLog mode the recorded bookkeeping images are restored
+// exactly and no reader is affected.
+//
+// In RollbackLogless mode (§7) the revert uses only the version
+// information inside each tuple: physically-inserted tuples are deleted,
+// and modified tuples have their current values restored from the slot-1
+// pre-update attributes, with slot 1 rewritten as (currentVN, update) — or
+// (currentVN, delete) when the tuple was logically deleted before this
+// transaction touched it. Because the aborted transaction consumed the
+// slot-1 pre-update version, sessions older than currentVN can no longer be
+// served and are expired, exactly as they would have been had the
+// transaction committed and a new one begun.
+func (m *Maintenance) Rollback() error {
+	if err := m.checkActive(); err != nil {
+		return err
+	}
+	s := m.store
+	if j := s.journalOrNil(); j != nil {
+		j.LogAbort(m.vn)
+	}
+	if m.mode == RollbackUndoLog {
+		// Reverse order restores first-touch images last, which is
+		// correct because there is at most one record per tuple.
+		for i := len(m.undo) - 1; i >= 0; i-- {
+			u := m.undo[i]
+			if u.inserted {
+				_ = u.vt.tbl.Delete(u.rid)
+				continue
+			}
+			if err := u.vt.tbl.Update(u.rid, u.image); err != nil {
+				return fmt.Errorf("core: rollback: %w", err)
+			}
+		}
+	} else {
+		cur := s.CurrentVN()
+		// Physically-inserted tuples are simply deleted (their records are
+		// kept in both modes); everything else reverts from in-tuple
+		// version information.
+		for i := len(m.undo) - 1; i >= 0; i-- {
+			if m.undo[i].inserted {
+				_ = m.undo[i].vt.tbl.Delete(m.undo[i].rid)
+			}
+		}
+		for _, vt := range s.Tables() {
+			if err := m.rollbackTableLogless(vt, cur); err != nil {
+				return err
+			}
+		}
+		s.mu.Lock()
+		if s.expireFloor < cur {
+			s.expireFloor = cur
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m.done = true
+	m.undo = nil
+	curVN, _ := s.globalsLocked()
+	s.setGlobalsLocked(curVN, false)
+	s.maint = nil
+	return nil
+}
+
+// rollbackTableLogless reverts every tuple the transaction touched in one
+// table using only in-tuple information: the previous version is extracted
+// as of currentVN (the paper's §7 observation that modified tuples contain
+// enough information to recover their previous version).
+func (m *Maintenance) rollbackTableLogless(vt *VTable, cur VN) error {
+	e := vt.ext
+	var touched []storage.RID
+	vt.tbl.Scan(func(rid storage.RID, t catalog.Tuple) bool {
+		if e.TupleVN(t, 1) == m.vn {
+			touched = append(touched, rid)
+		}
+		return true
+	})
+	for _, rid := range touched {
+		t, err := vt.tbl.Get(rid)
+		if err != nil {
+			continue // a physically-inserted tuple already removed above
+		}
+		prev, visible, err := e.ReadAsOf(t, cur)
+		if err != nil {
+			return fmt.Errorf("core: logless rollback cannot reconstruct version %d: %w", cur, err)
+		}
+		nt := t.Clone()
+		if visible {
+			// The tuple existed at cur: restore those values as current.
+			e.SetBaseValues(nt, prev)
+			e.SetSlot(nt, 1, cur, OpUpdate)
+		} else {
+			// The tuple was logically deleted at cur (this transaction
+			// re-inserted over a deleted tuple): restore the delete
+			// marker so the key stays reserved for conflict detection.
+			e.SetSlot(nt, 1, cur, OpDelete)
+		}
+		// The slot-1 pre-update values were consumed by the aborted
+		// transaction; leave them equal to the restored current values.
+		// Sessions older than cur are expired by the store, so nothing
+		// ever reads them.
+		e.SetPreValues(nt, 1, e.CurrentUpd(nt))
+		if err := vt.tbl.Update(rid, nt); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// TestNVNLRewriteSQL checks the generalized §5 rewrite: for n = 4 the CASE
+// walks the version slots newest-first and the visibility predicate has one
+// arm per slot.
+func TestNVNLRewriteSQL(t *testing.T) {
+	s := newStore(t, 4)
+	if _, err := s.CreateTable(kvSchema()); err != nil {
+		t.Fatal(err)
+	}
+	sess := s.BeginSession()
+	defer sess.Close()
+	out, err := sess.Rewrite(`SELECT k, v FROM kv WHERE v > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"CASE WHEN (:sessionVN >= tupleVN1) THEN v WHEN (:sessionVN >= tupleVN2) THEN pre1_v WHEN (:sessionVN >= tupleVN3) THEN pre2_v ELSE pre3_v END",
+		"(operation1 <> 'delete')",
+		"(operation1 <> 'insert')",
+		"(operation2 <> 'insert')",
+		"(operation3 <> 'insert')",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("n=4 rewrite missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestNVNLSQLReadsMatchScan runs the full Example 5.1 history and checks
+// the SQL query path agrees with the programmatic ReadAsOf path at every
+// still-valid session version.
+func TestNVNLSQLReadsMatchScan(t *testing.T) {
+	s := newStore(t, 4)
+	if _, err := s.CreateTable(kvSchema()); err != nil {
+		t.Fatal(err)
+	}
+	key := catalog.Tuple{catalog.NewInt(1)}
+	// insert@2 v=10, update@3 v=20, delete@4, insert@5 v=50, update@6 v=60.
+	steps := []func(m *Maintenance) error{
+		func(m *Maintenance) error { return m.Insert("kv", kvTuple(1, 10)) },
+		func(m *Maintenance) error {
+			_, err := m.UpdateKey("kv", key, func(c catalog.Tuple) catalog.Tuple {
+				c[1] = catalog.NewInt(20)
+				return c
+			})
+			return err
+		},
+		func(m *Maintenance) error { _, err := m.DeleteKey("kv", key); return err },
+		func(m *Maintenance) error { return m.Insert("kv", kvTuple(1, 50)) },
+		func(m *Maintenance) error {
+			_, err := m.UpdateKey("kv", key, func(c catalog.Tuple) catalog.Tuple {
+				c[1] = catalog.NewInt(60)
+				return c
+			})
+			return err
+		},
+	}
+	// Keep one session per version alive so we can query as of each.
+	sessions := map[VN]*Session{1: s.BeginSession()}
+	for _, step := range steps {
+		m := mustMaint(t, s)
+		if err := step(m); err != nil {
+			t.Fatal(err)
+		}
+		commit(t, m)
+		sessions[s.CurrentVN()] = s.BeginSession()
+	}
+	defer func() {
+		for _, sess := range sessions {
+			sess.Close()
+		}
+	}()
+	// Expected logical state by version: 1: none, 2: 10, 3: 20, 4: none,
+	// 5: 50, 6: 60. With n=4 and currentVN=6, sessions >= 3 are valid.
+	want := map[VN]int64{3: 20, 4: -1, 5: 50, 6: 60} // -1 = not visible
+	for vn, sess := range sessions {
+		expect, checked := want[vn]
+		if !checked {
+			continue // expired versions
+		}
+		rows, err := sess.Query(`SELECT v FROM kv WHERE k = 1`, nil)
+		if err != nil {
+			t.Errorf("vn %d: %v", vn, err)
+			continue
+		}
+		if expect == -1 {
+			if rows.Len() != 0 {
+				t.Errorf("vn %d: visible %v, want none", vn, rows.Tuples)
+			}
+			continue
+		}
+		if rows.Len() != 1 || rows.Tuples[0][0].Int() != expect {
+			t.Errorf("vn %d: SQL read %v, want %d", vn, rows.Tuples, expect)
+		}
+		// Agreement with the scan path.
+		tu, visible, err := sess.Get("kv", key)
+		if err != nil || !visible || tu[1].Int() != expect {
+			t.Errorf("vn %d: Get = %v %v %v, want %d", vn, tu, visible, err, expect)
+		}
+	}
+	// Sessions 1 and 2 overlapped more than n−1 = 3 maintenance
+	// transactions and must be expired.
+	for _, vn := range []VN{1, 2} {
+		if err := sessions[vn].Check(); err != ErrSessionExpired {
+			t.Errorf("vn %d: Check = %v, want expired", vn, err)
+		}
+	}
+}
+
+// TestNVNLPopFrontPreservesHistory pins the §5 corner case the paper
+// leaves unenumerated (resurrect then delete in one transaction) through
+// the SQL path.
+func TestNVNLPopFrontPreservesHistory(t *testing.T) {
+	s := newStore(t, 3)
+	if _, err := s.CreateTable(kvSchema()); err != nil {
+		t.Fatal(err)
+	}
+	key := catalog.Tuple{catalog.NewInt(1)}
+	m := mustMaint(t, s) // VN 2
+	if err := m.Insert("kv", kvTuple(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, m)
+	sessAt2 := s.BeginSession()
+	defer sessAt2.Close()
+	m = mustMaint(t, s) // VN 3: delete
+	if _, err := m.DeleteKey("kv", key); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, m)
+	sessAt3 := s.BeginSession()
+	defer sessAt3.Close()
+	m = mustMaint(t, s) // VN 4: re-insert, then delete again (nets to nothing)
+	if err := m.Insert("kv", kvTuple(1, 99)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DeleteKey("kv", key); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, m)
+	// The VN-2 session must still see v=10; the VN-3 session must see
+	// nothing.
+	rows, err := sessAt2.Query(`SELECT v FROM kv`, nil)
+	if err != nil || rows.Len() != 1 || rows.Tuples[0][0].Int() != 10 {
+		t.Errorf("VN-2 session after pop-front: %v %v", rows, err)
+	}
+	rows, err = sessAt3.Query(`SELECT v FROM kv`, nil)
+	if err != nil || rows.Len() != 0 {
+		t.Errorf("VN-3 session after pop-front: %v %v", rows, err)
+	}
+}
+
+// TestNVNLStorageGrowth: the extension cost grows linearly in n (§5's
+// "the higher n is, the more overhead we incur").
+func TestNVNLStorageGrowth(t *testing.T) {
+	base := dailySalesSchema()
+	prev := 0
+	var deltas []int
+	for n := 2; n <= 6; n++ {
+		e, err := ExtendSchema(base, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, extB, _ := e.Overhead()
+		if prev > 0 {
+			deltas = append(deltas, extB-prev)
+		}
+		prev = extB
+	}
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i] != deltas[0] {
+			t.Errorf("non-linear slot cost: deltas %v", deltas)
+		}
+	}
+	// Each extra slot costs tupleVN + operation + one pre-update copy of
+	// total_sales = 4 + 1 + 4 = 9 bytes.
+	if len(deltas) > 0 && deltas[0] != 9 {
+		t.Errorf("per-slot cost = %d bytes, want 9", deltas[0])
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"repro/internal/catalog"
+)
+
+// ReadAsOf reconstructs a tuple's state as of session version s,
+// implementing the reader decision procedure: Table 1 for 2VNL and the
+// three-case analysis of §5 for nVNL.
+//
+// It returns the base-schema tuple and visible=true when the tuple exists
+// in version s; visible=false when the tuple must be ignored (reading the
+// current version of a deleted tuple, or the pre-update version of an
+// inserted tuple); and ErrSessionExpired when the tuple has been modified
+// by too many maintenance transactions since s (case 3: s < tupleVN(n−1)−1)
+// — the per-tuple expiration detection of §3.2.
+func (e *ExtTable) ReadAsOf(t catalog.Tuple, s VN) (base catalog.Tuple, visible bool, err error) {
+	n := e.L.N
+	tvn1 := e.TupleVN(t, 1)
+	// Case 1: sessionVN >= tupleVN — read the current version.
+	if s >= tvn1 {
+		if e.OpAt(t, 1) == OpDelete {
+			return nil, false, nil
+		}
+		return e.BaseValues(t), true, nil
+	}
+	// Case 3: the session predates even the oldest reconstructible
+	// version. (Unused slots carry tupleVN 0 and never trigger this,
+	// because sessions start at VN 1.)
+	oldest := e.TupleVN(t, n-1)
+	if oldest > 0 && s < oldest-1 {
+		return nil, false, ErrSessionExpired
+	}
+	// Case 2: read the pre-update version for the least tupleVNj > s —
+	// with slots ordered newest-first, that is the largest j whose
+	// tupleVNj exceeds s.
+	j := 1
+	for j < n-1 && e.TupleVN(t, j+1) > s {
+		j++
+	}
+	if e.OpAt(t, j) == OpInsert {
+		// Pre-update version of an insert: the tuple did not exist.
+		return nil, false, nil
+	}
+	base = e.BaseValues(t)
+	pre := e.PreValues(t, j)
+	for k, ui := range e.L.Upd {
+		base[ui] = pre[k]
+	}
+	return base, true, nil
+}
+
+// CurrentVersion reconstructs the latest tuple state (what the maintenance
+// transaction reads — it always follows the first row of Table 1, §3.3).
+// visible is false for logically-deleted tuples.
+func (e *ExtTable) CurrentVersion(t catalog.Tuple) (base catalog.Tuple, visible bool) {
+	if e.OpAt(t, 1) == OpDelete {
+		return nil, false
+	}
+	return e.BaseValues(t), true
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// Session is a reader session (§1): a sequence of queries that must all
+// observe the same consistent database state. The session captures
+// sessionVN = currentVN when it begins and reads that version — without
+// placing any locks — until it is closed or expires.
+type Session struct {
+	store    *Store
+	vn       VN
+	closed   bool
+	perTuple bool
+}
+
+// BeginSession starts a reader session at the current database version. In
+// relation-backed mode this reads the Version relation, as the paper's
+// deployment does (§4). Expiration uses the global pessimistic check of
+// §4.1.
+func (s *Store) BeginSession() *Session {
+	return s.beginSession(false)
+}
+
+// BeginSessionPerTupleExpiry starts a session using §3.2's first,
+// optimistic expiration alternative: instead of the global currentVN
+// comparison, each query is followed by a per-table probe for tuples whose
+// oldest reconstructible version postdates the session (tupleVN(n−1) >
+// sessionVN + 1). A session only expires when such a tuple actually exists
+// in a table it queries, so sessions reading cold data outlive the global
+// check's bound. (The paper notes true read-set detection "cannot always be
+// implemented by query rewrite"; this per-table probe is the rewrite-
+// implementable form.)
+func (s *Store) BeginSessionPerTupleExpiry() *Session {
+	return s.beginSession(true)
+}
+
+func (s *Store) beginSession(perTuple bool) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vn, _ := s.globalsLocked()
+	sess := &Session{store: s, vn: vn, perTuple: perTuple}
+	s.sessions[sess] = struct{}{}
+	return sess
+}
+
+// VN returns the session's database version.
+func (sess *Session) VN() VN { return sess.vn }
+
+// Close ends the session, releasing it from the store's registry (the
+// garbage collector and the commit-when-quiet policy consult that
+// registry). Closing twice is a no-op.
+func (sess *Session) Close() {
+	if sess.closed {
+		return
+	}
+	sess.closed = true
+	sess.store.mu.Lock()
+	delete(sess.store.sessions, sess)
+	sess.store.mu.Unlock()
+}
+
+// Check performs the global, pessimistic expiration test of §3.2/§4.1: the
+// session is live iff it could not possibly have overlapped more than n−1
+// maintenance transactions. For 2VNL the condition is the paper's
+//
+//	(sessionVN = currentVN) OR
+//	(sessionVN = currentVN−1 AND maintenanceActive = false)
+//
+// generalized for nVNL. It returns nil, ErrSessionExpired, or
+// ErrSessionClosed.
+func (sess *Session) Check() error {
+	if sess.closed {
+		return ErrSessionClosed
+	}
+	st := sess.store
+	st.mu.Lock()
+	cur, active := st.globalsLocked()
+	floor := st.expireFloor
+	st.mu.Unlock()
+	if sess.vn < floor {
+		// A logless rollback invalidated older sessions (see
+		// Maintenance.Rollback).
+		return ErrSessionExpired
+	}
+	if sess.perTuple {
+		// Optimistic discipline: expired only if some table actually holds
+		// a tuple this session cannot reconstruct.
+		for _, vt := range st.Tables() {
+			bad, err := vt.hasUnreconstructible(sess.vn)
+			if err != nil {
+				return err
+			}
+			if bad {
+				return ErrSessionExpired
+			}
+		}
+		return nil
+	}
+	n := VN(st.n)
+	if active {
+		if sess.vn < cur+2-n {
+			return ErrSessionExpired
+		}
+	} else {
+		if sess.vn < cur+1-n {
+			return ErrSessionExpired
+		}
+	}
+	return nil
+}
+
+// Expired reports whether the global check fails.
+func (sess *Session) Expired() bool { return sess.Check() != nil }
+
+// Query parses text, applies the 2VNL reader rewrite (§4.1), and executes
+// it at the session's version. The global expiration check runs before and
+// after execution, so a session that silently expired mid-query (a second
+// maintenance transaction began) reports ErrSessionExpired rather than
+// returning an inconsistent result.
+func (sess *Session) Query(text string, params exec.Params) (*exec.Rows, error) {
+	sel, err := sql.ParseSelect(text)
+	if err != nil {
+		return nil, err
+	}
+	return sess.QueryStmt(sel, params)
+}
+
+// QueryStmt is Query over a pre-parsed statement. The input is not
+// mutated.
+func (sess *Session) QueryStmt(sel *sql.SelectStmt, params exec.Params) (*exec.Rows, error) {
+	if sess.perTuple {
+		return sess.queryPerTuple(sel, params)
+	}
+	if err := sess.Check(); err != nil {
+		return nil, err
+	}
+	rw, err := RewriteSelect(sess.store, sel)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Select(queryCatalog{sess.store}, rw, withSessionVN(params, sess.vn))
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.Check(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// queryPerTuple executes with the optimistic expiration discipline: run the
+// rewritten query, then probe each versioned table it touched for tuples
+// the session can no longer reconstruct. Unreconstructibility is monotone
+// (tuple version numbers only grow), so a clean probe after the query
+// implies the whole execution read reconstructible tuples.
+func (sess *Session) queryPerTuple(sel *sql.SelectStmt, params exec.Params) (*exec.Rows, error) {
+	if sess.closed {
+		return nil, ErrSessionClosed
+	}
+	sess.store.mu.Lock()
+	floor := sess.store.expireFloor
+	sess.store.mu.Unlock()
+	if sess.vn < floor {
+		return nil, ErrSessionExpired
+	}
+	rw, err := RewriteSelect(sess.store, sel)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Select(queryCatalog{sess.store}, rw, withSessionVN(params, sess.vn))
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range sel.From {
+		vt := sess.store.lookup(tr.Table)
+		if vt == nil {
+			continue
+		}
+		expired, err := vt.hasUnreconstructible(sess.vn)
+		if err != nil {
+			return nil, err
+		}
+		if expired {
+			return nil, ErrSessionExpired
+		}
+	}
+	return rows, nil
+}
+
+// hasUnreconstructible reports whether any tuple's oldest recorded
+// modification postdates what a session at vn can reconstruct:
+// tupleVN(n−1) > vn + 1 (unused slots hold 0 and never trigger).
+func (v *VTable) hasUnreconstructible(vn VN) (bool, error) {
+	e := v.ext
+	oldest := e.L.N - 1
+	found := false
+	v.tbl.Scan(func(_ storage.RID, t catalog.Tuple) bool {
+		if e.TupleVN(t, oldest) > vn+1 {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, nil
+}
+
+// Rewrite returns the SQL text of the rewritten form of a query, as the
+// paper presents in Example 4.1 — CASE expressions around updatable
+// attributes and the version predicate in WHERE. It does not execute
+// anything.
+func (sess *Session) Rewrite(text string) (string, error) {
+	sel, err := sql.ParseSelect(text)
+	if err != nil {
+		return "", err
+	}
+	rw, err := RewriteSelect(sess.store, sel)
+	if err != nil {
+		return "", err
+	}
+	return sql.Print(rw), nil
+}
+
+// Scan iterates the named versioned relation at the session's version,
+// calling fn with each visible base-schema tuple. Unlike the SQL path, Scan
+// performs the per-tuple expiration detection of §3.2: touching a tuple
+// whose oldest reconstructible version postdates the session returns
+// ErrSessionExpired immediately.
+func (sess *Session) Scan(table string, fn func(catalog.Tuple) bool) error {
+	if err := sess.Check(); err != nil {
+		return err
+	}
+	vt, err := sess.store.Table(table)
+	if err != nil {
+		return err
+	}
+	var scanErr error
+	vt.tbl.Scan(func(_ storage.RID, t catalog.Tuple) bool {
+		base, visible, err := vt.ext.ReadAsOf(t, sess.vn)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if !visible {
+			return true
+		}
+		return fn(base)
+	})
+	return scanErr
+}
+
+// Get returns the tuple with the given unique key as of the session's
+// version. visible is false when the tuple does not exist in that version.
+func (sess *Session) Get(table string, key catalog.Tuple) (t catalog.Tuple, visible bool, err error) {
+	if err := sess.Check(); err != nil {
+		return nil, false, err
+	}
+	vt, err := sess.store.Table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	rid, ok := vt.tbl.SearchKey(key)
+	if !ok {
+		return nil, false, nil
+	}
+	ext, err := vt.tbl.Get(rid)
+	if err != nil {
+		return nil, false, nil
+	}
+	return vt.ext.ReadAsOf(ext, sess.vn)
+}
+
+// withSessionVN returns params with :sessionVN bound to vn, without
+// mutating the caller's map.
+func withSessionVN(params exec.Params, vn VN) exec.Params {
+	out := make(exec.Params, len(params)+1)
+	for k, v := range params {
+		out[k] = v
+	}
+	out[sessionParam] = catalog.NewInt(int64(vn))
+	return out
+}
+
+func parseCreate(text string) (*catalog.Schema, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	ct, ok := stmt.(*sql.CreateTableStmt)
+	if !ok {
+		return nil, fmt.Errorf("core: expected CREATE TABLE, got %T", stmt)
+	}
+	cols := make([]catalog.Column, len(ct.Columns))
+	for i, c := range ct.Columns {
+		cols[i] = catalog.Column{Name: c.Name, Type: c.Type, Length: c.Length, Updatable: c.Updatable}
+	}
+	return catalog.NewSchema(ct.Name, cols, ct.Key...)
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/db"
+	"repro/internal/exec"
+	"repro/internal/storage"
+)
+
+// versionRelation is the name of the single-tuple relation that holds the
+// global variables when the store runs in relation-backed mode (§4).
+const versionRelation = "Version"
+
+// Options configures a Store.
+type Options struct {
+	// N is the number of simultaneously available database versions;
+	// 0 or 2 selects the paper's 2VNL, larger values select nVNL (§5).
+	N int
+	// VersionRelation stores currentVN and maintenanceActive in a
+	// single-tuple Version relation read through the engine (as §4
+	// prescribes for a pure query-rewrite deployment) instead of in
+	// latched process memory. Reads of the global state then cost buffer
+	// pool traffic, which the experiments can observe.
+	VersionRelation bool
+}
+
+// Store is the 2VNL/nVNL controller for one database: it owns the global
+// version state (currentVN, maintenanceActive), the registry of versioned
+// tables, and the active reader sessions. One maintenance transaction may
+// run at a time; any number of reader sessions run concurrently with it,
+// lock-free.
+type Store struct {
+	d    *db.Database
+	n    int
+	opts Options
+
+	// mu is the latch guarding the global variables and the session and
+	// table registries (§3: "we assume a simple latching mechanism is used
+	// to read and update these global variables").
+	mu          sync.Mutex
+	currentVN   VN
+	maintActive bool
+	maint       *Maintenance
+	tables      map[string]*VTable // lower-cased base name
+	sessions    map[*Session]struct{}
+	versionTbl  *db.Table // non-nil in relation-backed mode
+	// expireFloor expires sessions older than it; a logless rollback
+	// raises it to currentVN because reverted tuples can no longer serve
+	// their pre-update versions.
+	expireFloor VN
+	// journal, when non-nil, receives every physical change for
+	// durability (see Journal).
+	journal Journal
+}
+
+// VTable is a versioned relation managed by the store.
+type VTable struct {
+	store *Store
+	ext   *ExtTable
+	tbl   *db.Table
+}
+
+// Open attaches a 2VNL/nVNL store to a database. currentVN starts at 1
+// (§3).
+func Open(d *db.Database, opts Options) (*Store, error) {
+	n := opts.N
+	if n == 0 {
+		n = 2
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("core: need at least 2 versions, got %d", n)
+	}
+	s := &Store{
+		d:         d,
+		n:         n,
+		opts:      opts,
+		currentVN: 1,
+		tables:    make(map[string]*VTable),
+		sessions:  make(map[*Session]struct{}),
+	}
+	if opts.VersionRelation {
+		schema := catalog.MustSchema(versionRelation, []catalog.Column{
+			{Name: "currentVN", Type: catalog.TypeInt, Length: 4, Updatable: true},
+			{Name: "maintenanceActive", Type: catalog.TypeBool, Length: 1, Updatable: true},
+		})
+		vt, err := d.CreateTable(schema)
+		if err != nil {
+			return nil, fmt.Errorf("core: creating Version relation: %w", err)
+		}
+		if _, err := vt.Insert(catalog.Tuple{catalog.NewInt(1), catalog.NewBool(false)}); err != nil {
+			return nil, err
+		}
+		s.versionTbl = vt
+	}
+	return s, nil
+}
+
+// N returns the number of simultaneously available versions.
+func (s *Store) N() int { return s.n }
+
+// DB returns the underlying database.
+func (s *Store) DB() *db.Database { return s.d }
+
+// globals reads (currentVN, maintenanceActive). In relation-backed mode it
+// reads the Version relation through the engine, paying buffer-pool
+// traffic; otherwise it reads latched memory.
+func (s *Store) globals() (VN, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.globalsLocked()
+}
+
+func (s *Store) globalsLocked() (VN, bool) {
+	if s.versionTbl != nil {
+		var vn VN
+		var active bool
+		s.versionTbl.Scan(func(_ storage.RID, t catalog.Tuple) bool {
+			vn = VN(t[0].Int())
+			active = t[1].Bool()
+			return false
+		})
+		return vn, active
+	}
+	return s.currentVN, s.maintActive
+}
+
+func (s *Store) setGlobalsLocked(vn VN, active bool) {
+	s.currentVN, s.maintActive = vn, active
+	if s.versionTbl != nil {
+		var rid storage.RID
+		s.versionTbl.Scan(func(r storage.RID, _ catalog.Tuple) bool {
+			rid = r
+			return false
+		})
+		_ = s.versionTbl.Update(rid, catalog.Tuple{catalog.NewInt(int64(vn)), catalog.NewBool(active)})
+	}
+}
+
+// CurrentVN returns the committed database version number.
+func (s *Store) CurrentVN() VN {
+	vn, _ := s.globals()
+	return vn
+}
+
+// MaintenanceActive reports whether a maintenance transaction is running.
+func (s *Store) MaintenanceActive() bool {
+	_, a := s.globals()
+	return a
+}
+
+// CreateTable creates a versioned relation: the base schema is extended per
+// §3.1/§5 and the extended table is created in the engine. The base
+// schema's key (for summary tables, the group-by attributes) becomes the
+// extended table's unique key, served by a hash index — which is unaffected
+// by 2VNL because key attributes are never updatable (§4.3).
+func (s *Store) CreateTable(base *catalog.Schema) (*VTable, error) {
+	ext, err := ExtendSchema(base, s.n)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := s.d.CreateTable(ext.Ext)
+	if err != nil {
+		return nil, err
+	}
+	vt := &VTable{store: s, ext: ext, tbl: tbl}
+	s.mu.Lock()
+	if s.journal != nil {
+		s.journal.LogCreate(base)
+	}
+	s.tables[strings.ToLower(base.Name)] = vt
+	s.mu.Unlock()
+	return vt, nil
+}
+
+// CreateTableSQL parses a CREATE TABLE statement (with UPDATABLE column
+// markers and UNIQUE KEY clause) and creates the versioned relation.
+func (s *Store) CreateTableSQL(text string) (*VTable, error) {
+	schema, err := parseCreate(text)
+	if err != nil {
+		return nil, err
+	}
+	return s.CreateTable(schema)
+}
+
+// AdoptTable brings an existing unversioned table in the database under
+// 2VNL management: a new extended table replaces it, with every existing
+// tuple recorded as inserted at version 1 (pre-existing data is visible to
+// every possible session). The original table is dropped.
+func (s *Store) AdoptTable(name string) (*VTable, error) {
+	old, err := s.d.TableOf(name)
+	if err != nil {
+		return nil, err
+	}
+	base := old.Schema().Clone()
+	var tuples []catalog.Tuple
+	old.Scan(func(_ storage.RID, t catalog.Tuple) bool {
+		tuples = append(tuples, t)
+		return true
+	})
+	if err := s.d.DropTable(name); err != nil {
+		return nil, err
+	}
+	vt, err := s.CreateTable(base)
+	if err != nil {
+		return nil, err
+	}
+	j := s.journalOrNil()
+	if j != nil {
+		j.LogBegin(0) // pseudo-transaction for the initial load
+	}
+	for _, t := range tuples {
+		extTuple := vt.ext.NewExtTuple(t, 1)
+		rid, err := vt.tbl.Insert(extTuple)
+		if err != nil {
+			return nil, fmt.Errorf("core: adopting %s: %w", name, err)
+		}
+		if j != nil {
+			j.LogInsert(base.Name, rid, extTuple)
+		}
+	}
+	if j != nil {
+		if err := j.LogCommit(0); err != nil {
+			return nil, err
+		}
+	}
+	return vt, nil
+}
+
+// Table returns the versioned relation registered under name.
+func (s *Store) Table(name string) (*VTable, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vt := s.tables[strings.ToLower(name)]
+	if vt == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotRegistered, name)
+	}
+	return vt, nil
+}
+
+// Tables lists the registered versioned relations.
+func (s *Store) Tables() []*VTable {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*VTable, 0, len(s.tables))
+	for _, vt := range s.tables {
+		out = append(out, vt)
+	}
+	return out
+}
+
+// lookup returns the registered table for name without error wrapping.
+func (s *Store) lookup(name string) *VTable {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tables[strings.ToLower(name)]
+}
+
+// Base returns the relation's base (user-visible) schema.
+func (v *VTable) Base() *catalog.Schema { return v.ext.Base }
+
+// Extended returns the relation's physical extended schema.
+func (v *VTable) Extended() *catalog.Schema { return v.ext.Ext }
+
+// Ext returns the schema-extension descriptor.
+func (v *VTable) Ext() *ExtTable { return v.ext }
+
+// Storage returns the underlying engine table (for storage accounting and
+// tests).
+func (v *VTable) Storage() *db.Table { return v.tbl }
+
+// Len returns the number of physical tuples, including logically-deleted
+// ones awaiting garbage collection.
+func (v *VTable) Len() int { return v.tbl.Len() }
+
+// activeSessionFloor returns the smallest sessionVN among live sessions and
+// whether any session is live. The garbage collector and the
+// commit-when-quiet policy use it.
+func (s *Store) activeSessionFloor() (VN, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var minVN VN
+	any := false
+	for sess := range s.sessions {
+		if !any || sess.vn < minVN {
+			minVN = sess.vn
+			any = true
+		}
+	}
+	return minVN, any
+}
+
+// ActiveSessions returns the number of live reader sessions.
+func (s *Store) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// queryCatalog adapts the store for the executor: registered tables resolve
+// to their extended form (the rewrite layer injects the version logic), and
+// unregistered names fall through to the plain database.
+type queryCatalog struct{ s *Store }
+
+func (qc queryCatalog) Table(name string) (exec.Table, error) {
+	if vt := qc.s.lookup(name); vt != nil {
+		return vt.tbl, nil
+	}
+	return qc.s.d.Table(name)
+}

@@ -1,0 +1,377 @@
+package db
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+)
+
+// openSales creates a database with the paper's DailySales relation (base
+// schema, Example 2.1) and loads a small data set.
+func openSales(t *testing.T) *Database {
+	t.Helper()
+	d := Open(Options{})
+	_, err := d.Exec(`CREATE TABLE DailySales (
+		city VARCHAR(20), state VARCHAR(2), product_line VARCHAR(12),
+		date DATE, total_sales INT(4) UPDATABLE,
+		UNIQUE KEY(city, state, product_line, date))`, nil)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	rows := [][]string{
+		{"San Jose", "CA", "golf equip", "10/14/96", "10000"},
+		{"San Jose", "CA", "golf equip", "10/15/96", "1500"},
+		{"San Jose", "CA", "rollerblades", "10/14/96", "3000"},
+		{"Berkeley", "CA", "racquetball", "10/14/96", "12000"},
+		{"Novato", "CA", "rollerblades", "10/13/96", "8000"},
+		{"Portland", "OR", "golf equip", "10/14/96", "7000"},
+	}
+	for _, r := range rows {
+		_, err := d.Exec(`INSERT INTO DailySales VALUES ('`+r[0]+`', '`+r[1]+`', '`+r[2]+`', '`+r[3]+`', `+r[4]+`)`, nil)
+		if err != nil {
+			t.Fatalf("insert %v: %v", r, err)
+		}
+	}
+	return d
+}
+
+func TestPaperAnalystQueries(t *testing.T) {
+	d := openSales(t)
+	// Example 2.1, query 1: total sales by city.
+	rows, err := d.Query(`SELECT city, state, SUM(total_sales) FROM DailySales GROUP BY city, state ORDER BY city`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"Berkeley": 12000, "Novato": 8000, "Portland": 7000, "San Jose": 14500}
+	if rows.Len() != len(want) {
+		t.Fatalf("got %d groups:\n%s", rows.Len(), rows)
+	}
+	for _, tu := range rows.Tuples {
+		if got := tu[2].Int(); got != want[tu[0].Str()] {
+			t.Errorf("%s: SUM = %d, want %d", tu[0].Str(), got, want[tu[0].Str()])
+		}
+	}
+	// Example 2.1, query 2: drill down into San Jose.
+	rows, err = d.Query(`SELECT product_line, SUM(total_sales)
+		FROM DailySales
+		WHERE city = 'San Jose' AND state = 'CA'
+		GROUP BY product_line ORDER BY product_line`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Fatalf("drill-down rows:\n%s", rows)
+	}
+	if rows.Tuples[0][0].Str() != "golf equip" || rows.Tuples[0][1].Int() != 11500 {
+		t.Errorf("golf equip = %v", rows.Tuples[0])
+	}
+	if rows.Tuples[1][0].Str() != "rollerblades" || rows.Tuples[1][1].Int() != 3000 {
+		t.Errorf("rollerblades = %v", rows.Tuples[1])
+	}
+	// Consistency invariant the paper motivates: drill-down sums to the
+	// overall city total.
+	if rows.Tuples[0][1].Int()+rows.Tuples[1][1].Int() != 14500 {
+		t.Error("drill-down does not add up to city total")
+	}
+}
+
+func TestWhereDateCoercion(t *testing.T) {
+	d := openSales(t)
+	rows, err := d.Query(`SELECT city FROM DailySales WHERE date = '10/13/96'`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Tuples[0][0].Str() != "Novato" {
+		t.Errorf("date filter:\n%s", rows)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	d := openSales(t)
+	n, err := d.Exec(`UPDATE DailySales SET total_sales = total_sales + 1000 WHERE city = 'San Jose' AND date = '10/14/96'`, nil)
+	if err != nil || n != 2 {
+		t.Fatalf("update n=%d err=%v", n, err)
+	}
+	rows, _ := d.Query(`SELECT SUM(total_sales) FROM DailySales WHERE city = 'San Jose'`, nil)
+	if rows.Tuples[0][0].Int() != 16500 {
+		t.Errorf("after update: %v", rows.Tuples[0])
+	}
+	n, err = d.Exec(`DELETE FROM DailySales WHERE state = 'OR'`, nil)
+	if err != nil || n != 1 {
+		t.Fatalf("delete n=%d err=%v", n, err)
+	}
+	rows, _ = d.Query(`SELECT COUNT(*) FROM DailySales`, nil)
+	if rows.Tuples[0][0].Int() != 5 {
+		t.Errorf("count after delete = %v", rows.Tuples[0][0])
+	}
+}
+
+func TestUniqueKeyEnforced(t *testing.T) {
+	d := openSales(t)
+	_, err := d.Exec(`INSERT INTO DailySales VALUES ('San Jose', 'CA', 'golf equip', '10/14/96', 999)`, nil)
+	if !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("duplicate insert err = %v", err)
+	}
+	// Key index must still work (lookup + reinsert after delete).
+	tbl, _ := d.TableOf("DailySales")
+	dt, _ := catalog.ParseDate("10/14/96")
+	key := catalog.Tuple{catalog.NewString("San Jose"), catalog.NewString("CA"), catalog.NewString("golf equip"), dt}
+	rid, ok := tbl.SearchKey(key)
+	if !ok {
+		t.Fatal("SearchKey failed")
+	}
+	if err := tbl.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.SearchKey(key); ok {
+		t.Error("key still indexed after delete")
+	}
+	if _, err := d.Exec(`INSERT INTO DailySales VALUES ('San Jose', 'CA', 'golf equip', '10/14/96', 999)`, nil); err != nil {
+		t.Errorf("reinsert after delete: %v", err)
+	}
+}
+
+func TestParamsAndUnbound(t *testing.T) {
+	d := openSales(t)
+	rows, err := d.Query(`SELECT city FROM DailySales WHERE total_sales > :min ORDER BY city`,
+		exec.Params{"min": catalog.NewInt(7500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 3 {
+		t.Errorf("param query:\n%s", rows)
+	}
+	_, err = d.Query(`SELECT city FROM DailySales WHERE total_sales > :min`, nil)
+	if !errors.Is(err, exec.ErrUnboundParam) {
+		t.Errorf("unbound param err = %v", err)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	d := openSales(t)
+	if _, err := d.Exec(`CREATE TABLE Regions (state VARCHAR(2), region VARCHAR(8), UNIQUE KEY(state))`, nil); err != nil {
+		t.Fatal(err)
+	}
+	d.Exec(`INSERT INTO Regions VALUES ('CA', 'west'), ('OR', 'north')`, nil)
+	rows, err := d.Query(`SELECT r.region, SUM(s.total_sales)
+		FROM DailySales s JOIN Regions r ON s.state = r.state
+		GROUP BY r.region ORDER BY r.region`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Fatalf("join:\n%s", rows)
+	}
+	if rows.Tuples[0][0].Str() != "north" || rows.Tuples[0][1].Int() != 7000 {
+		t.Errorf("north = %v", rows.Tuples[0])
+	}
+	if rows.Tuples[1][0].Str() != "west" || rows.Tuples[1][1].Int() != 34500 {
+		t.Errorf("west = %v", rows.Tuples[1])
+	}
+}
+
+func TestSelectMisc(t *testing.T) {
+	d := openSales(t)
+	// DISTINCT.
+	rows, err := d.Query(`SELECT DISTINCT state FROM DailySales ORDER BY state`, nil)
+	if err != nil || rows.Len() != 2 {
+		t.Fatalf("distinct: %v\n%v", err, rows)
+	}
+	// LIMIT.
+	rows, _ = d.Query(`SELECT city FROM DailySales ORDER BY total_sales DESC LIMIT 2`, nil)
+	if rows.Len() != 2 || rows.Tuples[0][0].Str() != "Berkeley" {
+		t.Errorf("limit:\n%s", rows)
+	}
+	// HAVING.
+	rows, err = d.Query(`SELECT city, COUNT(*) FROM DailySales GROUP BY city HAVING COUNT(*) > 1`, nil)
+	if err != nil || rows.Len() != 1 || rows.Tuples[0][0].Str() != "San Jose" {
+		t.Fatalf("having: %v\n%v", err, rows)
+	}
+	// Aggregates over empty input.
+	rows, err = d.Query(`SELECT COUNT(*), SUM(total_sales), MIN(total_sales) FROM DailySales WHERE state = 'ZZ'`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Tuples[0][0].Int() != 0 || !rows.Tuples[0][1].IsNull() || !rows.Tuples[0][2].IsNull() {
+		t.Errorf("empty aggregates = %v", rows.Tuples[0])
+	}
+	// MIN/MAX/AVG.
+	rows, _ = d.Query(`SELECT MIN(total_sales), MAX(total_sales), AVG(total_sales) FROM DailySales WHERE state = 'CA'`, nil)
+	tu := rows.Tuples[0]
+	if tu[0].Int() != 1500 || tu[1].Int() != 12000 || tu[2].Float() != 6900 {
+		t.Errorf("min/max/avg = %v", tu)
+	}
+	// CASE expression and arithmetic.
+	rows, err = d.Query(`SELECT city, CASE WHEN total_sales >= 10000 THEN 'big' ELSE 'small' END AS size
+		FROM DailySales WHERE product_line = 'racquetball'`, nil)
+	if err != nil || rows.Tuples[0][1].Str() != "big" {
+		t.Fatalf("case: %v %v", err, rows)
+	}
+	// SELECT without FROM.
+	rows, err = d.Query(`SELECT 1 + 2 AS three, 'x'`, nil)
+	if err != nil || rows.Tuples[0][0].Int() != 3 {
+		t.Fatalf("no-from: %v %v", err, rows)
+	}
+	// Star expansion.
+	rows, _ = d.Query(`SELECT * FROM DailySales WHERE city = 'Novato'`, nil)
+	if len(rows.Columns) != 5 || rows.Columns[0] != "city" {
+		t.Errorf("star columns = %v", rows.Columns)
+	}
+	// IS NULL / IN.
+	rows, err = d.Query(`SELECT city FROM DailySales WHERE city IN ('Novato', 'Berkeley') AND total_sales IS NOT NULL ORDER BY city`, nil)
+	if err != nil || rows.Len() != 2 {
+		t.Fatalf("in/isnull: %v\n%v", err, rows)
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	d := Open(Options{})
+	d.Exec(`CREATE TABLE t (a INT, b INT UPDATABLE)`, nil)
+	d.Exec(`INSERT INTO t VALUES (1, NULL), (2, 5), (NULL, 7)`, nil)
+	// NULL comparisons are UNKNOWN, excluded by WHERE.
+	rows, err := d.Query(`SELECT a FROM t WHERE b > 4`, nil)
+	if err != nil || rows.Len() != 2 {
+		t.Fatalf("3VL filter: %v\n%v", err, rows)
+	}
+	// NULL OR TRUE = TRUE; NULL AND TRUE = NULL (excluded).
+	rows, _ = d.Query(`SELECT a FROM t WHERE b > 4 OR a = 1`, nil)
+	if rows.Len() != 3 {
+		t.Errorf("OR with null: %d rows", rows.Len())
+	}
+	rows, _ = d.Query(`SELECT a FROM t WHERE b > 4 AND a IS NOT NULL`, nil)
+	if rows.Len() != 1 {
+		t.Errorf("AND with null: %d rows", rows.Len())
+	}
+	// SUM skips NULLs; COUNT(col) counts non-null; COUNT(*) counts all.
+	rows, _ = d.Query(`SELECT SUM(b), COUNT(b), COUNT(*) FROM t`, nil)
+	tu := rows.Tuples[0]
+	if tu[0].Int() != 12 || tu[1].Int() != 2 || tu[2].Int() != 3 {
+		t.Errorf("null aggregation = %v", tu)
+	}
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	d := openSales(t)
+	tbl, _ := d.TableOf("DailySales")
+	if err := tbl.CreateIndex("by_state", "btree", "state"); err != nil {
+		t.Fatal(err)
+	}
+	rids, err := tbl.IndexLookup("by_state", catalog.Tuple{catalog.NewString("CA")})
+	if err != nil || len(rids) != 5 {
+		t.Fatalf("index lookup: %v, %d rids", err, len(rids))
+	}
+	// Index follows updates and deletes.
+	if _, err := d.Exec(`DELETE FROM DailySales WHERE city = 'Novato'`, nil); err != nil {
+		t.Fatal(err)
+	}
+	rids, _ = tbl.IndexLookup("by_state", catalog.Tuple{catalog.NewString("CA")})
+	if len(rids) != 4 {
+		t.Errorf("after delete: %d rids", len(rids))
+	}
+	if err := tbl.CreateIndex("by_state", "hash", "state"); err == nil {
+		t.Error("duplicate index name accepted")
+	}
+	if err := tbl.CreateIndex("bad", "hash", "nope"); err == nil {
+		t.Error("index on missing column accepted")
+	}
+}
+
+func TestCatalogErrors(t *testing.T) {
+	d := Open(Options{})
+	if _, err := d.Query(`SELECT * FROM missing`, nil); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("missing table: %v", err)
+	}
+	if _, err := d.Exec(`CREATE TABLE t (a INT)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Exec(`CREATE TABLE t (a INT)`, nil); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if err := d.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DropTable("t"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("double drop: %v", err)
+	}
+	if _, err := d.Exec(`SELECT 1`, nil); err == nil {
+		t.Error("Exec accepted a SELECT")
+	}
+	if _, err := d.Query(`SELECT nope FROM t2`, nil); err == nil {
+		t.Error("query on dropped/missing table succeeded")
+	}
+	if names := d.TableNames(); len(names) != 0 {
+		t.Errorf("TableNames = %v", names)
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	d := Open(Options{})
+	d.Exec(`CREATE TABLE a (x INT)`, nil)
+	d.Exec(`CREATE TABLE b (x INT)`, nil)
+	d.Exec(`INSERT INTO a VALUES (1)`, nil)
+	d.Exec(`INSERT INTO b VALUES (1)`, nil)
+	if _, err := d.Query(`SELECT x FROM a, b`, nil); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous ref err = %v", err)
+	}
+	if _, err := d.Query(`SELECT a.x FROM a, b`, nil); err != nil {
+		t.Errorf("qualified ref: %v", err)
+	}
+	// Self join requires aliases.
+	if _, err := d.Query(`SELECT * FROM a, a`, nil); err == nil {
+		t.Error("duplicate range variable accepted")
+	}
+	if _, err := d.Query(`SELECT u.x, v.x FROM a u, a v`, nil); err != nil {
+		t.Errorf("aliased self join: %v", err)
+	}
+}
+
+func TestInsertColumnSubsetAndDefaults(t *testing.T) {
+	d := Open(Options{})
+	d.Exec(`CREATE TABLE t (a INT, b VARCHAR(4), c INT)`, nil)
+	if _, err := d.Exec(`INSERT INTO t (c, a) VALUES (3, 1)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := d.Query(`SELECT a, b, c FROM t`, nil)
+	tu := rows.Tuples[0]
+	if tu[0].Int() != 1 || !tu[1].IsNull() || tu[2].Int() != 3 {
+		t.Errorf("partial insert = %v", tu)
+	}
+	if _, err := d.Exec(`INSERT INTO t (a) VALUES (1, 2)`, nil); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := d.Exec(`INSERT INTO t (nope) VALUES (1)`, nil); err == nil {
+		t.Error("bad column accepted")
+	}
+}
+
+func TestRowsString(t *testing.T) {
+	d := openSales(t)
+	rows, _ := d.Query(`SELECT city, total_sales FROM DailySales WHERE city = 'Novato'`, nil)
+	s := rows.String()
+	if !strings.Contains(s, "city") || !strings.Contains(s, "Novato") || !strings.Contains(s, "8000") {
+		t.Errorf("Rows.String:\n%s", s)
+	}
+}
+
+func TestUpdatePreservesKeyIndexOnKeyChange(t *testing.T) {
+	d := Open(Options{})
+	d.Exec(`CREATE TABLE t (k INT, v INT UPDATABLE, UNIQUE KEY(k))`, nil)
+	d.Exec(`INSERT INTO t VALUES (1, 10), (2, 20)`, nil)
+	// Changing the key via UPDATE must keep uniqueness.
+	if _, err := d.Exec(`UPDATE t SET k = 2 WHERE k = 1`, nil); !errors.Is(err, ErrDuplicateKey) {
+		t.Errorf("key collision on update: %v", err)
+	}
+	if _, err := d.Exec(`UPDATE t SET k = 3 WHERE k = 1`, nil); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := d.TableOf("t")
+	if _, ok := tbl.SearchKey(catalog.Tuple{catalog.NewInt(3)}); !ok {
+		t.Error("new key not indexed")
+	}
+	if _, ok := tbl.SearchKey(catalog.Tuple{catalog.NewInt(1)}); ok {
+		t.Error("old key still indexed")
+	}
+}

@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// IndexedTable is the optional interface a Table may implement to expose
+// equality access paths. The executor probes it for single-table queries
+// whose WHERE contains equality conjuncts on plain column references.
+//
+// This is where §4.3 of the paper becomes mechanical: after the 2VNL
+// rewrite, an updatable attribute no longer appears as a bare column — it
+// is wrapped in a CASE expression — so no access path can match it and the
+// query falls back to a scan. Indexes on non-updatable attributes (the
+// group-by attributes of summary tables) are untouched by the rewrite and
+// keep working.
+type IndexedTable interface {
+	Table
+	// LookupEqual returns the RIDs whose tuples have the given values in
+	// the given columns, and whether an index served the request. When ok
+	// is false the caller must fall back to a scan.
+	LookupEqual(cols []string, vals []catalog.Value) (rids []storage.RID, ok bool)
+}
+
+// eqConjunct is one `col = literal/param` term usable by an access path.
+type eqConjunct struct {
+	col string
+	val catalog.Value
+}
+
+// extractEqConjuncts walks a WHERE tree collecting top-level AND-ed
+// equality comparisons between a bare column of the given binding and a
+// constant. Any OR anywhere above a conjunct disqualifies it.
+func extractEqConjuncts(where sql.Expr, binding string, params Params) []eqConjunct {
+	var out []eqConjunct
+	var walk func(e sql.Expr)
+	walk = func(e sql.Expr) {
+		be, ok := e.(*sql.BinaryExpr)
+		if !ok {
+			return
+		}
+		switch be.Op {
+		case sql.OpAnd:
+			walk(be.L)
+			walk(be.R)
+		case sql.OpEq:
+			col, val, ok := eqSides(be, binding, params)
+			if ok {
+				out = append(out, eqConjunct{col: col, val: val})
+			}
+		}
+	}
+	walk(where)
+	return out
+}
+
+// eqSides matches `col = const` or `const = col` for the given binding.
+func eqSides(be *sql.BinaryExpr, binding string, params Params) (string, catalog.Value, bool) {
+	try := func(l, r sql.Expr) (string, catalog.Value, bool) {
+		cr, ok := l.(*sql.ColumnRef)
+		if !ok {
+			return "", catalog.Null, false
+		}
+		if cr.Table != "" && !strings.EqualFold(cr.Table, binding) {
+			return "", catalog.Null, false
+		}
+		switch c := r.(type) {
+		case *sql.Literal:
+			return cr.Name, c.Value, true
+		case *sql.Param:
+			v, bound := params[c.Name]
+			if !bound {
+				return "", catalog.Null, false
+			}
+			return cr.Name, v, true
+		}
+		return "", catalog.Null, false
+	}
+	if col, v, ok := try(be.L, be.R); ok {
+		return col, v, ok
+	}
+	return try(be.R, be.L)
+}
+
+// accessRIDs attempts an index-served row source for a single-table query,
+// returning candidate RIDs (still to be filtered by the full WHERE) and
+// whether an index was used.
+func accessRIDs(tbl Table, binding string, where sql.Expr, params Params) ([]storage.RID, bool) {
+	it, ok := tbl.(IndexedTable)
+	if !ok || where == nil {
+		return nil, false
+	}
+	eqs := extractEqConjuncts(where, binding, params)
+	if len(eqs) == 0 {
+		return nil, false
+	}
+	cols := make([]string, len(eqs))
+	vals := make([]catalog.Value, len(eqs))
+	for i, e := range eqs {
+		cols[i] = e.col
+		vals[i] = e.val
+	}
+	return it.LookupEqual(cols, vals)
+}
+
+// accessPath is accessRIDs materialized to candidate tuples.
+func accessPath(tbl Table, binding string, where sql.Expr, params Params) ([]catalog.Tuple, bool) {
+	rids, ok := accessRIDs(tbl, binding, where, params)
+	if !ok {
+		return nil, false
+	}
+	rows := make([]catalog.Tuple, 0, len(rids))
+	for _, rid := range rids {
+		t, err := tbl.Get(rid)
+		if err != nil {
+			continue
+		}
+		rows = append(rows, t)
+	}
+	return rows, true
+}

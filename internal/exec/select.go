@@ -1,0 +1,664 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// Rows is a fully materialized query result.
+type Rows struct {
+	Columns []string
+	Tuples  []catalog.Tuple
+}
+
+// Len returns the number of result rows.
+func (r *Rows) Len() int { return len(r.Tuples) }
+
+// String renders the result as an aligned ASCII table for examples and
+// tools.
+func (r *Rows) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Tuples))
+	for ti, t := range r.Tuples {
+		cells[ti] = make([]string, len(t))
+		for i, v := range t {
+			s := v.String()
+			cells[ti][i] = s
+			if i < len(widths) && len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	for _, row := range cells {
+		b.WriteByte('\n')
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+	}
+	return b.String()
+}
+
+// Select runs a SELECT statement against cat and materializes the result.
+func Select(cat Catalog, stmt *sql.SelectStmt, params Params) (*Rows, error) {
+	if len(stmt.From) == 0 {
+		// SELECT <exprs> with no FROM: evaluate once over an empty row.
+		return selectNoFrom(stmt, params)
+	}
+	ev := &env{params: params}
+	// Bind FROM tables and produce the joined row set (nested loops with
+	// join predicates applied as each table joins in). Single-table
+	// queries may be served by an index access path on the WHERE's
+	// equality conjuncts.
+	rows, err := joinFrom(cat, stmt.From, ev, stmt.Where, params)
+	if err != nil {
+		return nil, err
+	}
+	// WHERE.
+	if stmt.Where != nil {
+		kept := rows[:0]
+		for _, row := range rows {
+			v, err := ev.eval(stmt.Where, row)
+			if err != nil {
+				return nil, err
+			}
+			if truthy(v) {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+	items, err := expandStars(stmt, ev)
+	if err != nil {
+		return nil, err
+	}
+	var out *Rows
+	if len(stmt.GroupBy) > 0 || anyAggregate(items) || stmt.Having != nil {
+		out, err = aggregate(stmt, items, rows, ev)
+	} else {
+		out, err = project(items, rows, ev)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(stmt.OrderBy) > 0 {
+		if err := orderBy(stmt, out, rows, ev); err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Distinct {
+		out.Tuples = distinct(out.Tuples)
+	}
+	if stmt.Limit != nil && int64(len(out.Tuples)) > *stmt.Limit {
+		out.Tuples = out.Tuples[:*stmt.Limit]
+	}
+	return out, nil
+}
+
+func selectNoFrom(stmt *sql.SelectStmt, params Params) (*Rows, error) {
+	ev := &env{params: params}
+	out := &Rows{}
+	row := catalog.Tuple{}
+	var tuple catalog.Tuple
+	for i, it := range stmt.Items {
+		if it.Star {
+			return nil, fmt.Errorf("exec: SELECT * requires a FROM clause")
+		}
+		v, err := ev.eval(it.Expr, row)
+		if err != nil {
+			return nil, err
+		}
+		tuple = append(tuple, v)
+		out.Columns = append(out.Columns, itemName(it, i))
+	}
+	out.Tuples = []catalog.Tuple{tuple}
+	return out, nil
+}
+
+// joinFrom binds each FROM entry into ev and nested-loop joins them,
+// applying ON predicates as soon as their table joins. where/params enable
+// the index access path for single-table queries.
+func joinFrom(cat Catalog, from []sql.TableRef, ev *env, where sql.Expr, params Params) ([]catalog.Tuple, error) {
+	var rows []catalog.Tuple
+	for fi, tr := range from {
+		tbl, err := cat.Table(tr.Table)
+		if err != nil {
+			return nil, err
+		}
+		sc := tbl.Schema()
+		offset := 0
+		for _, b := range ev.bindings {
+			offset += len(b.schema.Columns)
+		}
+		for _, b := range ev.bindings {
+			if strings.EqualFold(b.name, tr.Binding()) {
+				return nil, fmt.Errorf("exec: duplicate range variable %q (alias needed)", tr.Binding())
+			}
+		}
+		ev.bindings = append(ev.bindings, binding{name: tr.Binding(), schema: sc, offset: offset})
+		var scanned []catalog.Tuple
+		if len(from) == 1 {
+			if indexed, ok := accessPath(tbl, tr.Binding(), where, params); ok {
+				scanned = indexed
+			} else {
+				tbl.Scan(func(_ storage.RID, t catalog.Tuple) bool {
+					scanned = append(scanned, t)
+					return true
+				})
+			}
+		} else {
+			tbl.Scan(func(_ storage.RID, t catalog.Tuple) bool {
+				scanned = append(scanned, t)
+				return true
+			})
+		}
+		if fi == 0 {
+			rows = scanned
+			continue
+		}
+		var joined []catalog.Tuple
+		for _, left := range rows {
+			for _, right := range scanned {
+				row := make(catalog.Tuple, 0, len(left)+len(right))
+				row = append(row, left...)
+				row = append(row, right...)
+				if tr.On != nil {
+					v, err := ev.eval(tr.On, row)
+					if err != nil {
+						return nil, err
+					}
+					if !truthy(v) {
+						continue
+					}
+				}
+				joined = append(joined, row)
+			}
+		}
+		rows = joined
+	}
+	return rows, nil
+}
+
+// expandStars replaces `*` select items with explicit column references.
+func expandStars(stmt *sql.SelectStmt, ev *env) ([]sql.SelectItem, error) {
+	var items []sql.SelectItem
+	for _, it := range stmt.Items {
+		if !it.Star {
+			items = append(items, it)
+			continue
+		}
+		for _, b := range ev.bindings {
+			for _, c := range b.schema.Columns {
+				items = append(items, sql.SelectItem{
+					Expr:  &sql.ColumnRef{Table: b.name, Name: c.Name},
+					Alias: c.Name,
+				})
+			}
+		}
+	}
+	return items, nil
+}
+
+func anyAggregate(items []sql.SelectItem) bool {
+	for _, it := range items {
+		found := false
+		sql.WalkExpr(it.Expr, func(e sql.Expr) bool {
+			if fc, ok := e.(*sql.FuncCall); ok && IsAggregate(fc.Name) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func itemName(it sql.SelectItem, i int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if cr, ok := it.Expr.(*sql.ColumnRef); ok {
+		return cr.Name
+	}
+	if fc, ok := it.Expr.(*sql.FuncCall); ok {
+		return strings.ToLower(fc.Name)
+	}
+	return fmt.Sprintf("col%d", i+1)
+}
+
+// project evaluates the select list over every row (no aggregation).
+func project(items []sql.SelectItem, rows []catalog.Tuple, ev *env) (*Rows, error) {
+	out := &Rows{}
+	for i, it := range items {
+		out.Columns = append(out.Columns, itemName(it, i))
+	}
+	for _, row := range rows {
+		t := make(catalog.Tuple, len(items))
+		for i, it := range items {
+			v, err := ev.eval(it.Expr, row)
+			if err != nil {
+				return nil, err
+			}
+			t[i] = v
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out, nil
+}
+
+// aggState accumulates one aggregate function over one group.
+type aggState struct {
+	fn     string
+	count  int64
+	sumI   int64
+	sumF   float64
+	isFlt  bool
+	min    catalog.Value
+	max    catalog.Value
+	sawAny bool
+}
+
+func (a *aggState) add(v catalog.Value) error {
+	if a.fn == "COUNT" {
+		// COUNT(*) counts rows (v is a sentinel non-null); COUNT(x) counts
+		// non-null x.
+		if !v.IsNull() {
+			a.count++
+		}
+		return nil
+	}
+	if v.IsNull() {
+		return nil
+	}
+	a.sawAny = true
+	switch a.fn {
+	case "SUM", "AVG":
+		if !v.IsNumeric() {
+			return fmt.Errorf("exec: %s over non-numeric %v", a.fn, v.Kind())
+		}
+		if v.Kind() == catalog.TypeFloat {
+			a.isFlt = true
+		}
+		a.sumI += v.Int()
+		a.sumF += v.Float()
+		a.count++
+	case "MIN", "MAX":
+		if !a.min.IsNull() || a.count > 0 {
+			cmin, err := compare(v, a.min)
+			if err != nil {
+				return err
+			}
+			if cmin < 0 {
+				a.min = v
+			}
+			cmax, err := compare(v, a.max)
+			if err != nil {
+				return err
+			}
+			if cmax > 0 {
+				a.max = v
+			}
+		} else {
+			a.min, a.max = v, v
+		}
+		a.count++
+	}
+	return nil
+}
+
+func (a *aggState) result() catalog.Value {
+	switch a.fn {
+	case "COUNT":
+		return catalog.NewInt(a.count)
+	case "SUM":
+		if !a.sawAny {
+			return catalog.Null
+		}
+		if a.isFlt {
+			return catalog.NewFloat(a.sumF)
+		}
+		return catalog.NewInt(a.sumI)
+	case "AVG":
+		if a.count == 0 {
+			return catalog.Null
+		}
+		return catalog.NewFloat(a.sumF / float64(a.count))
+	case "MIN":
+		if a.count == 0 {
+			return catalog.Null
+		}
+		return a.min
+	case "MAX":
+		if a.count == 0 {
+			return catalog.Null
+		}
+		return a.max
+	}
+	return catalog.Null
+}
+
+// group is one GROUP BY bucket: its key values, a representative source
+// row, and the accumulated aggregate states (in discovery order of the
+// aggregate calls).
+type group struct {
+	key    catalog.Tuple
+	rep    catalog.Tuple
+	states []*aggState
+}
+
+// collectAggCalls finds every aggregate FuncCall in the select list and
+// HAVING clause, in a stable order, returning them plus an index map.
+func collectAggCalls(items []sql.SelectItem, having sql.Expr) []*sql.FuncCall {
+	var calls []*sql.FuncCall
+	add := func(e sql.Expr) {
+		sql.WalkExpr(e, func(x sql.Expr) bool {
+			if fc, ok := x.(*sql.FuncCall); ok && IsAggregate(fc.Name) {
+				calls = append(calls, fc)
+				return false // aggregates don't nest
+			}
+			return true
+		})
+	}
+	for _, it := range items {
+		add(it.Expr)
+	}
+	add(having)
+	return calls
+}
+
+// aggregate implements GROUP BY / HAVING / aggregate-only queries via hash
+// aggregation.
+func aggregate(stmt *sql.SelectStmt, items []sql.SelectItem, rows []catalog.Tuple, ev *env) (*Rows, error) {
+	aggCalls := collectAggCalls(items, stmt.Having)
+	groups := make(map[uint64][]*group)
+	var order []*group
+
+	newGroup := func(key, rep catalog.Tuple) *group {
+		g := &group{key: key, rep: rep}
+		for _, fc := range aggCalls {
+			g.states = append(g.states, &aggState{fn: fc.Name})
+		}
+		return g
+	}
+
+	for _, row := range rows {
+		key := make(catalog.Tuple, len(stmt.GroupBy))
+		for i, ge := range stmt.GroupBy {
+			v, err := ev.eval(ge, row)
+			if err != nil {
+				return nil, err
+			}
+			key[i] = v
+		}
+		h := catalog.HashTuple(key)
+		var g *group
+		for _, cand := range groups[h] {
+			if catalog.TuplesEqual(cand.key, key) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = newGroup(key, row)
+			groups[h] = append(groups[h], g)
+			order = append(order, g)
+		}
+		for i, fc := range aggCalls {
+			var v catalog.Value
+			if fc.Star {
+				v = catalog.NewInt(1) // non-null sentinel: COUNT(*) counts rows
+			} else {
+				var err error
+				v, err = ev.eval(fc.Args[0], row)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := g.states[i].add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Aggregate-only query over zero rows still yields one row (SUM()=NULL,
+	// COUNT(*)=0) when there is no GROUP BY.
+	if len(order) == 0 && len(stmt.GroupBy) == 0 {
+		order = append(order, newGroup(catalog.Tuple{}, nil))
+	}
+
+	out := &Rows{}
+	for i, it := range items {
+		out.Columns = append(out.Columns, itemName(it, i))
+	}
+	for _, g := range order {
+		// Evaluate each output item with aggregate calls replaced by their
+		// computed results for this group.
+		gev := &aggEnv{env: ev, calls: aggCalls, group: g}
+		if stmt.Having != nil {
+			hv, err := gev.evalAgg(stmt.Having)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(hv) {
+				continue
+			}
+		}
+		t := make(catalog.Tuple, len(items))
+		for i, it := range items {
+			v, err := gev.evalAgg(it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			t[i] = v
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out, nil
+}
+
+// aggEnv evaluates expressions in a per-group context: aggregate calls
+// resolve to the group's accumulated results, everything else evaluates
+// against the group's representative row.
+type aggEnv struct {
+	env   *env
+	calls []*sql.FuncCall
+	group *group
+}
+
+func (a *aggEnv) evalAgg(e sql.Expr) (catalog.Value, error) {
+	if e == nil {
+		return catalog.Null, nil
+	}
+	// Identify aggregate calls by pointer (the same nodes collected
+	// earlier), substitute their results, and recurse structurally for
+	// everything else.
+	for i, fc := range a.calls {
+		if e == sql.Expr(fc) {
+			return a.group.states[i].result(), nil
+		}
+	}
+	switch x := e.(type) {
+	case *sql.BinaryExpr:
+		l, err := a.evalAgg(x.L)
+		if err != nil {
+			return catalog.Null, err
+		}
+		r, err := a.evalAgg(x.R)
+		if err != nil {
+			return catalog.Null, err
+		}
+		return a.env.evalBinary(&sql.BinaryExpr{Op: x.Op, L: &sql.Literal{Value: l}, R: &sql.Literal{Value: r}}, nil)
+	case *sql.UnaryExpr:
+		v, err := a.evalAgg(x.X)
+		if err != nil {
+			return catalog.Null, err
+		}
+		return a.env.eval(&sql.UnaryExpr{Op: x.Op, X: &sql.Literal{Value: v}}, nil)
+	case *sql.CaseExpr:
+		for _, w := range x.Whens {
+			c, err := a.evalAgg(w.Cond)
+			if err != nil {
+				return catalog.Null, err
+			}
+			if truthy(c) {
+				return a.evalAgg(w.Result)
+			}
+		}
+		return a.evalAgg(x.Else)
+	case *sql.IsNullExpr:
+		v, err := a.evalAgg(x.X)
+		if err != nil {
+			return catalog.Null, err
+		}
+		return catalog.NewBool(v.IsNull() != x.Not), nil
+	default:
+		// Group-by expressions and plain columns: evaluate over the
+		// representative row.
+		return a.env.eval(e, a.group.rep)
+	}
+}
+
+func distinct(tuples []catalog.Tuple) []catalog.Tuple {
+	seen := make(map[uint64][]catalog.Tuple)
+	out := tuples[:0]
+	for _, t := range tuples {
+		h := catalog.HashTuple(t)
+		dup := false
+		for _, prev := range seen[h] {
+			if catalog.TuplesEqual(prev, t) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[h] = append(seen[h], t)
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// orderBy sorts the result. Each ORDER BY key resolves either against the
+// output columns (by alias or column name, ignoring any table qualifier —
+// this covers aggregate results) or, failing that, against the source rows,
+// which works for non-aggregated queries where source rows and output rows
+// are parallel.
+func orderBy(stmt *sql.SelectStmt, out *Rows, rows []catalog.Tuple, ev *env) error {
+	type keyed struct {
+		tuple catalog.Tuple
+		keys  catalog.Tuple
+	}
+	// Environment over the output columns so ORDER BY can reference
+	// aliases and aggregate result columns. Table qualifiers are dropped
+	// when the bare name is an output column ("r.region" matches output
+	// column "region").
+	outCols := make([]catalog.Column, len(out.Columns))
+	for i, c := range out.Columns {
+		outCols[i] = catalog.Column{Name: c, Type: catalog.TypeNull, Length: 1}
+	}
+	outSchema := &catalog.Schema{Name: "", Columns: outCols}
+	oev := &env{bindings: []binding{{name: "", schema: outSchema}}, params: ev.params}
+
+	// Decide statically, per key, which environment evaluates it.
+	type keyPlan struct {
+		expr      sql.Expr
+		useSource bool
+	}
+	plans := make([]keyPlan, len(stmt.OrderBy))
+	for oi, ob := range stmt.OrderBy {
+		expr := sql.TransformExpr(sql.CloneExpr(ob.Expr), func(e sql.Expr) sql.Expr {
+			if cr, ok := e.(*sql.ColumnRef); ok && cr.Table != "" && outSchema.ColIndex(cr.Name) >= 0 {
+				return &sql.ColumnRef{Name: cr.Name}
+			}
+			return e
+		})
+		resolvable := true
+		sql.WalkExpr(expr, func(e sql.Expr) bool {
+			if cr, ok := e.(*sql.ColumnRef); ok {
+				if cr.Table != "" || outSchema.ColIndex(cr.Name) < 0 {
+					resolvable = false
+					return false
+				}
+			}
+			return true
+		})
+		if resolvable {
+			plans[oi] = keyPlan{expr: expr}
+			continue
+		}
+		if len(rows) != len(out.Tuples) {
+			return fmt.Errorf("exec: ORDER BY key %s must reference output columns in an aggregated or DISTINCT query",
+				sql.PrintExpr(ob.Expr))
+		}
+		plans[oi] = keyPlan{expr: ob.Expr, useSource: true}
+	}
+
+	ks := make([]keyed, len(out.Tuples))
+	for ti, t := range out.Tuples {
+		ks[ti].tuple = t
+		ks[ti].keys = make(catalog.Tuple, len(stmt.OrderBy))
+		for oi, plan := range plans {
+			var v catalog.Value
+			var err error
+			if plan.useSource {
+				v, err = ev.eval(plan.expr, rows[ti])
+			} else {
+				v, err = oev.eval(plan.expr, t)
+			}
+			if err != nil {
+				return fmt.Errorf("exec: ORDER BY: %w", err)
+			}
+			ks[ti].keys[oi] = v
+		}
+	}
+	var sortErr error
+	sort.SliceStable(ks, func(i, j int) bool {
+		for oi, ob := range stmt.OrderBy {
+			c, err := compare(ks[i].keys[oi], ks[j].keys[oi])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if ob.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	for i := range ks {
+		out.Tuples[i] = ks[i].tuple
+	}
+	return nil
+}

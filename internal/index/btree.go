@@ -1,0 +1,477 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+// DefaultOrder is the B+-tree fanout used when NewBTree is given order 0.
+const DefaultOrder = 32
+
+// BTree is a B+-tree mapping composite keys to RIDs. Interior nodes hold
+// separator keys; all entries live in leaves, which are linked left-to-right
+// for range scans. Keys compare with catalog.CompareTuples, so composite
+// group-by keys (the common warehouse index, §4.3) order lexicographically.
+// The tree is guarded by a single RWMutex: mutation is single-writer, reads
+// are concurrent, which matches the warehouse setting of one maintenance
+// transaction plus many readers.
+type BTree struct {
+	mu     sync.RWMutex
+	order  int // max children per interior node; max entries per leaf = order-1
+	unique bool
+	root   *btNode
+	size   int
+	height int
+}
+
+type btNode struct {
+	leaf     bool
+	keys     []catalog.Tuple
+	children []*btNode       // interior: len(keys)+1
+	rids     [][]storage.RID // leaf: parallel to keys
+	next     *btNode         // leaf chain
+	prev     *btNode
+}
+
+// NewBTree returns an empty B+-tree with the given order (max fanout);
+// order 0 selects DefaultOrder, and orders below 3 are rejected.
+func NewBTree(order int, unique bool) (*BTree, error) {
+	if order == 0 {
+		order = DefaultOrder
+	}
+	if order < 3 {
+		return nil, fmt.Errorf("index: B+-tree order must be >= 3, got %d", order)
+	}
+	return &BTree{
+		order:  order,
+		unique: unique,
+		root:   &btNode{leaf: true},
+		height: 1,
+	}, nil
+}
+
+func (t *BTree) maxLeaf() int { return t.order - 1 }
+func (t *BTree) minLeaf() int { return t.maxLeaf() / 2 }
+func (t *BTree) maxKeys() int { return t.order - 1 }
+func (t *BTree) minKeys() int { return t.maxKeys() / 2 }
+
+func mustCompare(a, b catalog.Tuple) int {
+	c, err := catalog.CompareTuples(a, b)
+	if err != nil {
+		panic(fmt.Sprintf("index: incomparable keys %v vs %v: %v", a, b, err))
+	}
+	return c
+}
+
+// findLeafPos returns the index of the first key in n >= key.
+func findPos(n *btNode, key catalog.Tuple) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if mustCompare(n.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns which child of interior node n covers key.
+func childIndex(n *btNode, key catalog.Tuple) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if mustCompare(key, n.keys[mid]) < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Len implements Index.
+func (t *BTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Height returns the tree height (1 for a lone leaf).
+func (t *BTree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
+
+// Search implements Index.
+func (t *BTree) Search(key catalog.Tuple) []storage.RID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n, key)]
+	}
+	i := findPos(n, key)
+	if i < len(n.keys) && mustCompare(n.keys[i], key) == 0 {
+		return append([]storage.RID(nil), n.rids[i]...)
+	}
+	return nil
+}
+
+// Range calls fn for every entry with lo <= key <= hi in ascending key
+// order. A nil lo (hi) leaves that end unbounded. Returning false stops the
+// scan.
+func (t *BTree) Range(lo, hi catalog.Tuple, fn func(key catalog.Tuple, rid storage.RID) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	if lo != nil {
+		for !n.leaf {
+			n = n.children[childIndex(n, lo)]
+		}
+	} else {
+		for !n.leaf {
+			n = n.children[0]
+		}
+	}
+	start := 0
+	if lo != nil {
+		start = findPos(n, lo)
+	}
+	for n != nil {
+		for i := start; i < len(n.keys); i++ {
+			if hi != nil && mustCompare(n.keys[i], hi) > 0 {
+				return
+			}
+			for _, rid := range n.rids[i] {
+				if !fn(n.keys[i].Clone(), rid) {
+					return
+				}
+			}
+		}
+		n = n.next
+		start = 0
+	}
+}
+
+// Insert implements Index.
+func (t *BTree) Insert(key catalog.Tuple, rid storage.RID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key = key.Clone()
+	promoted, right, err := t.insert(t.root, key, rid)
+	if err != nil {
+		return err
+	}
+	if right != nil {
+		newRoot := &btNode{
+			keys:     []catalog.Tuple{promoted},
+			children: []*btNode{t.root, right},
+		}
+		t.root = newRoot
+		t.height++
+	}
+	return nil
+}
+
+// insert adds key/rid under n. If n splits, it returns the promoted
+// separator key and the new right sibling.
+func (t *BTree) insert(n *btNode, key catalog.Tuple, rid storage.RID) (catalog.Tuple, *btNode, error) {
+	if n.leaf {
+		i := findPos(n, key)
+		if i < len(n.keys) && mustCompare(n.keys[i], key) == 0 {
+			if t.unique {
+				return nil, nil, &ErrDuplicateKey{Key: key}
+			}
+			n.rids[i] = append(n.rids[i], rid)
+			t.size++
+			return nil, nil, nil
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.rids = append(n.rids, nil)
+		copy(n.rids[i+1:], n.rids[i:])
+		n.rids[i] = []storage.RID{rid}
+		t.size++
+		if len(n.keys) <= t.maxLeaf() {
+			return nil, nil, nil
+		}
+		return t.splitLeaf(n)
+	}
+	ci := childIndex(n, key)
+	promoted, right, err := t.insert(n.children[ci], key, rid)
+	if err != nil || right == nil {
+		return nil, nil, err
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = promoted
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = right
+	if len(n.keys) <= t.maxKeys() {
+		return nil, nil, nil
+	}
+	return t.splitInterior(n)
+}
+
+func (t *BTree) splitLeaf(n *btNode) (catalog.Tuple, *btNode, error) {
+	mid := len(n.keys) / 2
+	right := &btNode{
+		leaf: true,
+		keys: append([]catalog.Tuple(nil), n.keys[mid:]...),
+		rids: append([][]storage.RID(nil), n.rids[mid:]...),
+		next: n.next,
+		prev: n,
+	}
+	if n.next != nil {
+		n.next.prev = right
+	}
+	n.keys = n.keys[:mid:mid]
+	n.rids = n.rids[:mid:mid]
+	n.next = right
+	return right.keys[0].Clone(), right, nil
+}
+
+func (t *BTree) splitInterior(n *btNode) (catalog.Tuple, *btNode, error) {
+	mid := len(n.keys) / 2
+	promoted := n.keys[mid]
+	right := &btNode{
+		keys:     append([]catalog.Tuple(nil), n.keys[mid+1:]...),
+		children: append([]*btNode(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return promoted, right, nil
+}
+
+// Delete implements Index.
+func (t *BTree) Delete(key catalog.Tuple, rid storage.RID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed := t.delete(t.root, key, rid)
+	if !removed {
+		return false
+	}
+	t.size--
+	if !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.height--
+	}
+	return true
+}
+
+func (t *BTree) delete(n *btNode, key catalog.Tuple, rid storage.RID) bool {
+	if n.leaf {
+		i := findPos(n, key)
+		if i >= len(n.keys) || mustCompare(n.keys[i], key) != 0 {
+			return false
+		}
+		found := false
+		for ri, r := range n.rids[i] {
+			if r == rid {
+				n.rids[i] = append(n.rids[i][:ri], n.rids[i][ri+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+		if len(n.rids[i]) == 0 {
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			n.rids = append(n.rids[:i], n.rids[i+1:]...)
+		}
+		return true
+	}
+	ci := childIndex(n, key)
+	child := n.children[ci]
+	if !t.delete(child, key, rid) {
+		return false
+	}
+	t.rebalance(n, ci)
+	return true
+}
+
+// rebalance fixes child ci of n if it underflowed, by borrowing from or
+// merging with a sibling.
+func (t *BTree) rebalance(n *btNode, ci int) {
+	child := n.children[ci]
+	var underflow bool
+	if child.leaf {
+		underflow = len(child.keys) < t.minLeaf()
+	} else {
+		underflow = len(child.keys) < t.minKeys()
+	}
+	if !underflow {
+		return
+	}
+	// Try borrowing from the left sibling.
+	if ci > 0 {
+		left := n.children[ci-1]
+		if (left.leaf && len(left.keys) > t.minLeaf()) || (!left.leaf && len(left.keys) > t.minKeys()) {
+			if child.leaf {
+				last := len(left.keys) - 1
+				child.keys = append([]catalog.Tuple{left.keys[last]}, child.keys...)
+				child.rids = append([][]storage.RID{left.rids[last]}, child.rids...)
+				left.keys = left.keys[:last]
+				left.rids = left.rids[:last]
+				n.keys[ci-1] = child.keys[0].Clone()
+			} else {
+				child.keys = append([]catalog.Tuple{n.keys[ci-1]}, child.keys...)
+				child.children = append([]*btNode{left.children[len(left.children)-1]}, child.children...)
+				n.keys[ci-1] = left.keys[len(left.keys)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				left.children = left.children[:len(left.children)-1]
+			}
+			return
+		}
+	}
+	// Try borrowing from the right sibling.
+	if ci < len(n.children)-1 {
+		right := n.children[ci+1]
+		if (right.leaf && len(right.keys) > t.minLeaf()) || (!right.leaf && len(right.keys) > t.minKeys()) {
+			if child.leaf {
+				child.keys = append(child.keys, right.keys[0])
+				child.rids = append(child.rids, right.rids[0])
+				right.keys = right.keys[1:]
+				right.rids = right.rids[1:]
+				n.keys[ci] = right.keys[0].Clone()
+			} else {
+				child.keys = append(child.keys, n.keys[ci])
+				child.children = append(child.children, right.children[0])
+				n.keys[ci] = right.keys[0]
+				right.keys = right.keys[1:]
+				right.children = right.children[1:]
+			}
+			return
+		}
+	}
+	// Merge with a sibling.
+	if ci > 0 {
+		t.merge(n, ci-1)
+	} else {
+		t.merge(n, ci)
+	}
+}
+
+// merge folds child i+1 of n into child i and removes separator i.
+func (t *BTree) merge(n *btNode, i int) {
+	left, right := n.children[i], n.children[i+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.rids = append(left.rids, right.rids...)
+		left.next = right.next
+		if right.next != nil {
+			right.next.prev = left
+		}
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Check validates the B+-tree invariants: ordering within and across nodes,
+// occupancy bounds, uniform leaf depth, and an intact leaf chain covering
+// every entry. It is used by property-based tests.
+func (t *BTree) Check() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leafDepth := -1
+	var leftmost *btNode
+	var walk func(n *btNode, depth int, lo, hi catalog.Tuple) (int, error)
+	walk = func(n *btNode, depth int, lo, hi catalog.Tuple) (int, error) {
+		for i := 0; i < len(n.keys)-1; i++ {
+			if mustCompare(n.keys[i], n.keys[i+1]) >= 0 {
+				return 0, fmt.Errorf("keys out of order in node at depth %d", depth)
+			}
+		}
+		for _, k := range n.keys {
+			if lo != nil && mustCompare(k, lo) < 0 {
+				return 0, fmt.Errorf("key %v below lower bound %v", k, lo)
+			}
+			if hi != nil && mustCompare(k, hi) >= 0 {
+				return 0, fmt.Errorf("key %v at or above upper bound %v", k, hi)
+			}
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+				leftmost = n
+			} else if depth != leafDepth {
+				return 0, fmt.Errorf("leaf at depth %d, expected %d", depth, leafDepth)
+			}
+			if n != t.root && len(n.keys) < t.minLeaf() {
+				return 0, fmt.Errorf("leaf underflow: %d keys", len(n.keys))
+			}
+			if len(n.keys) > t.maxLeaf() {
+				return 0, fmt.Errorf("leaf overflow: %d keys", len(n.keys))
+			}
+			count := 0
+			for i, rids := range n.rids {
+				if len(rids) == 0 {
+					return 0, fmt.Errorf("leaf key %v with no RIDs", n.keys[i])
+				}
+				count += len(rids)
+			}
+			return count, nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return 0, fmt.Errorf("interior node with %d keys and %d children", len(n.keys), len(n.children))
+		}
+		if n != t.root && len(n.keys) < t.minKeys() {
+			return 0, fmt.Errorf("interior underflow: %d keys", len(n.keys))
+		}
+		if len(n.keys) > t.maxKeys() {
+			return 0, fmt.Errorf("interior overflow: %d keys", len(n.keys))
+		}
+		total := 0
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			cnt, err := walk(c, depth+1, clo, chi)
+			if err != nil {
+				return 0, err
+			}
+			total += cnt
+		}
+		return total, nil
+	}
+	total, err := walk(t.root, 0, nil, nil)
+	if err != nil {
+		return err
+	}
+	if total != t.size {
+		return fmt.Errorf("size %d but tree holds %d entries", t.size, total)
+	}
+	// Leaf chain covers every key in ascending order.
+	chainCount := 0
+	var prevKey catalog.Tuple
+	for n := leftmost; n != nil; n = n.next {
+		for i, k := range n.keys {
+			if prevKey != nil && mustCompare(prevKey, k) >= 0 {
+				return fmt.Errorf("leaf chain out of order at %v", k)
+			}
+			prevKey = k
+			chainCount += len(n.rids[i])
+		}
+	}
+	if leftmost != nil && chainCount != t.size {
+		return fmt.Errorf("leaf chain holds %d entries, size is %d", chainCount, t.size)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+// Package index provides the two index structures the warehouse engine
+// uses: an equality hash index and a range-capable B+-tree. Both map
+// composite keys (tuples of column values) to record identifiers.
+//
+// The 2VNL paper (§4.3) observes that indexes on non-updatable attributes —
+// for summary tables, the group-by attributes, which are also the unique
+// key — are unaffected by the 2VNL schema extension. The engine therefore
+// builds its key indexes on those columns; the maintenance transaction's
+// key-conflict probe (Table 2) is a unique-index lookup.
+package index
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+// Index is the interface shared by the hash index and the B+-tree.
+type Index interface {
+	// Insert adds an entry. Unique indexes reject a second entry with an
+	// equal key.
+	Insert(key catalog.Tuple, rid storage.RID) error
+	// Delete removes the entry with the given key and RID. It reports
+	// whether an entry was removed.
+	Delete(key catalog.Tuple, rid storage.RID) bool
+	// Search returns the RIDs stored under key, in insertion order for the
+	// hash index and unspecified order for the tree.
+	Search(key catalog.Tuple) []storage.RID
+	// Len returns the number of entries.
+	Len() int
+}
+
+// ErrDuplicateKey is returned when inserting a duplicate key into a unique
+// index. The 2VNL insert rewrite (§4.2.1) catches this error to detect the
+// key conflicts handled by rows one and two of Table 2.
+type ErrDuplicateKey struct {
+	Key catalog.Tuple
+}
+
+func (e *ErrDuplicateKey) Error() string {
+	return fmt.Sprintf("index: duplicate key %v", e.Key)
+}
+
+// hashEntry chains keys that collide in the same bucket.
+type hashEntry struct {
+	key  catalog.Tuple
+	rids []storage.RID
+}
+
+// Hash is an equality index backed by Go's map over tuple hashes with
+// explicit collision chains (tuple equality is checked, not assumed from the
+// hash). It is safe for concurrent use.
+type Hash struct {
+	mu      sync.RWMutex
+	unique  bool
+	buckets map[uint64][]*hashEntry
+	size    int
+}
+
+// NewHash returns an empty hash index. When unique is true, Insert rejects
+// duplicate keys with *ErrDuplicateKey.
+func NewHash(unique bool) *Hash {
+	return &Hash{unique: unique, buckets: make(map[uint64][]*hashEntry)}
+}
+
+// Insert implements Index.
+func (h *Hash) Insert(key catalog.Tuple, rid storage.RID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hk := catalog.HashTuple(key)
+	for _, e := range h.buckets[hk] {
+		if catalog.TuplesEqual(e.key, key) {
+			if h.unique {
+				return &ErrDuplicateKey{Key: key.Clone()}
+			}
+			e.rids = append(e.rids, rid)
+			h.size++
+			return nil
+		}
+	}
+	h.buckets[hk] = append(h.buckets[hk], &hashEntry{key: key.Clone(), rids: []storage.RID{rid}})
+	h.size++
+	return nil
+}
+
+// Delete implements Index.
+func (h *Hash) Delete(key catalog.Tuple, rid storage.RID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hk := catalog.HashTuple(key)
+	chain := h.buckets[hk]
+	for ei, e := range chain {
+		if !catalog.TuplesEqual(e.key, key) {
+			continue
+		}
+		for ri, r := range e.rids {
+			if r == rid {
+				e.rids = append(e.rids[:ri], e.rids[ri+1:]...)
+				h.size--
+				if len(e.rids) == 0 {
+					h.buckets[hk] = append(chain[:ei], chain[ei+1:]...)
+					if len(h.buckets[hk]) == 0 {
+						delete(h.buckets, hk)
+					}
+				}
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// Search implements Index.
+func (h *Hash) Search(key catalog.Tuple) []storage.RID {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for _, e := range h.buckets[catalog.HashTuple(key)] {
+		if catalog.TuplesEqual(e.key, key) {
+			return append([]storage.RID(nil), e.rids...)
+		}
+	}
+	return nil
+}
+
+// Len implements Index.
+func (h *Hash) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.size
+}

@@ -1,0 +1,339 @@
+package index
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+func key(vs ...int64) catalog.Tuple {
+	t := make(catalog.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = catalog.NewInt(v)
+	}
+	return t
+}
+
+func rid(n int) storage.RID { return storage.RID{Page: n / 100, Slot: n % 100} }
+
+// both runs a subtest against the hash index and the B+-tree.
+func both(t *testing.T, unique bool, fn func(t *testing.T, ix Index)) {
+	t.Helper()
+	t.Run("hash", func(t *testing.T) { fn(t, NewHash(unique)) })
+	t.Run("btree", func(t *testing.T) {
+		bt, err := NewBTree(4, unique)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(t, bt)
+	})
+}
+
+func TestInsertSearchDelete(t *testing.T) {
+	both(t, false, func(t *testing.T, ix Index) {
+		for i := 0; i < 100; i++ {
+			if err := ix.Insert(key(int64(i%10), int64(i)), rid(i)); err != nil {
+				t.Fatalf("Insert %d: %v", i, err)
+			}
+		}
+		if ix.Len() != 100 {
+			t.Errorf("Len = %d", ix.Len())
+		}
+		got := ix.Search(key(3, 3))
+		if len(got) != 1 || got[0] != rid(3) {
+			t.Errorf("Search = %v", got)
+		}
+		if ix.Search(key(99, 99)) != nil {
+			t.Error("Search found absent key")
+		}
+		if !ix.Delete(key(3, 3), rid(3)) {
+			t.Error("Delete failed")
+		}
+		if ix.Delete(key(3, 3), rid(3)) {
+			t.Error("double Delete succeeded")
+		}
+		if ix.Search(key(3, 3)) != nil {
+			t.Error("deleted key still found")
+		}
+		if ix.Len() != 99 {
+			t.Errorf("Len = %d after delete", ix.Len())
+		}
+	})
+}
+
+func TestDuplicateRIDsUnderOneKey(t *testing.T) {
+	both(t, false, func(t *testing.T, ix Index) {
+		k := key(7)
+		for i := 0; i < 5; i++ {
+			if err := ix.Insert(k, rid(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := ix.Search(k); len(got) != 5 {
+			t.Errorf("Search = %v, want 5 RIDs", got)
+		}
+		if !ix.Delete(k, rid(2)) {
+			t.Error("Delete of one RID failed")
+		}
+		if got := ix.Search(k); len(got) != 4 {
+			t.Errorf("Search after delete = %v", got)
+		}
+		if ix.Delete(k, rid(99)) {
+			t.Error("Delete of absent RID succeeded")
+		}
+	})
+}
+
+func TestUniqueConstraint(t *testing.T) {
+	both(t, true, func(t *testing.T, ix Index) {
+		if err := ix.Insert(key(1, 2), rid(0)); err != nil {
+			t.Fatal(err)
+		}
+		err := ix.Insert(key(1, 2), rid(1))
+		var dup *ErrDuplicateKey
+		if !errors.As(err, &dup) {
+			t.Fatalf("duplicate insert: %v, want ErrDuplicateKey", err)
+		}
+		if !catalog.TuplesEqual(dup.Key, key(1, 2)) {
+			t.Errorf("error key = %v", dup.Key)
+		}
+		// After deleting, the key can be inserted again — the pattern the
+		// 2VNL insert rewrite relies on.
+		ix.Delete(key(1, 2), rid(0))
+		if err := ix.Insert(key(1, 2), rid(1)); err != nil {
+			t.Errorf("reinsert after delete: %v", err)
+		}
+	})
+}
+
+func TestBTreeRange(t *testing.T) {
+	bt, _ := NewBTree(4, false)
+	for i := 0; i < 50; i++ {
+		bt.Insert(key(int64(i)), rid(i))
+	}
+	var got []int64
+	bt.Range(key(10), key(20), func(k catalog.Tuple, r storage.RID) bool {
+		got = append(got, k[0].Int())
+		return true
+	})
+	if len(got) != 11 || got[0] != 10 || got[10] != 20 {
+		t.Errorf("Range[10,20] = %v", got)
+	}
+	// Unbounded scan is sorted and complete.
+	got = got[:0]
+	bt.Range(nil, nil, func(k catalog.Tuple, r storage.RID) bool {
+		got = append(got, k[0].Int())
+		return true
+	})
+	if len(got) != 50 || !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("full Range returned %d keys, sorted=%v", len(got),
+			sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }))
+	}
+	// Early stop.
+	n := 0
+	bt.Range(nil, nil, func(catalog.Tuple, storage.RID) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Errorf("early stop visited %d", n)
+	}
+	// Empty range.
+	n = 0
+	bt.Range(key(100), key(200), func(catalog.Tuple, storage.RID) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("empty range visited %d", n)
+	}
+}
+
+func TestBTreeCompositeKeyOrdering(t *testing.T) {
+	bt, _ := NewBTree(4, true)
+	// Composite (a, b) keys must order lexicographically.
+	for a := int64(0); a < 5; a++ {
+		for b := int64(0); b < 5; b++ {
+			bt.Insert(key(a, b), rid(int(a*5+b)))
+		}
+	}
+	var got [][2]int64
+	bt.Range(key(1, 3), key(3, 1), func(k catalog.Tuple, _ storage.RID) bool {
+		got = append(got, [2]int64{k[0].Int(), k[1].Int()})
+		return true
+	})
+	want := [][2]int64{{1, 3}, {1, 4}, {2, 0}, {2, 1}, {2, 2}, {2, 3}, {2, 4}, {3, 0}, {3, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBTreeInvalidOrder(t *testing.T) {
+	if _, err := NewBTree(2, false); err == nil {
+		t.Error("order 2 accepted")
+	}
+	bt, err := NewBTree(0, false)
+	if err != nil || bt.order != DefaultOrder {
+		t.Errorf("order 0 should select default: %v, %v", bt, err)
+	}
+}
+
+func TestBTreeGrowAndShrinkHeight(t *testing.T) {
+	bt, _ := NewBTree(4, true)
+	if bt.Height() != 1 {
+		t.Errorf("empty height = %d", bt.Height())
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		bt.Insert(key(int64(i)), rid(i))
+	}
+	if bt.Height() < 3 {
+		t.Errorf("height after %d inserts = %d, expected >= 3", n, bt.Height())
+	}
+	if err := bt.Check(); err != nil {
+		t.Fatalf("Check after inserts: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if !bt.Delete(key(int64(i)), rid(i)) {
+			t.Fatalf("Delete %d failed", i)
+		}
+		if err := bt.Check(); err != nil {
+			t.Fatalf("Check after deleting %d: %v", i, err)
+		}
+	}
+	if bt.Len() != 0 || bt.Height() != 1 {
+		t.Errorf("after deleting all: len=%d height=%d", bt.Len(), bt.Height())
+	}
+}
+
+// TestBTreeRandomOpsProperty drives a B+-tree with random inserts and
+// deletes, comparing against a map oracle and checking structural
+// invariants throughout.
+func TestBTreeRandomOpsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := 3 + rng.Intn(6)
+		bt, _ := NewBTree(order, true)
+		oracle := make(map[int64]storage.RID)
+		for op := 0; op < 300; op++ {
+			k := int64(rng.Intn(80))
+			if rng.Intn(2) == 0 {
+				r := rid(int(k))
+				err := bt.Insert(key(k), r)
+				if _, exists := oracle[k]; exists {
+					var dup *ErrDuplicateKey
+					if !errors.As(err, &dup) {
+						t.Logf("seed %d: expected duplicate error for %d", seed, k)
+						return false
+					}
+				} else if err != nil {
+					t.Logf("seed %d: insert %d: %v", seed, k, err)
+					return false
+				} else {
+					oracle[k] = r
+				}
+			} else {
+				r, exists := oracle[k]
+				if bt.Delete(key(k), r) != exists {
+					t.Logf("seed %d: delete %d mismatch", seed, k)
+					return false
+				}
+				delete(oracle, k)
+			}
+		}
+		if err := bt.Check(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if bt.Len() != len(oracle) {
+			return false
+		}
+		for k, r := range oracle {
+			got := bt.Search(key(k))
+			if len(got) != 1 || got[0] != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashAndBTreeAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHash(false)
+		bt, _ := NewBTree(5, false)
+		for op := 0; op < 200; op++ {
+			k := key(int64(rng.Intn(20)), int64(rng.Intn(3)))
+			r := rid(rng.Intn(500))
+			if rng.Intn(3) > 0 {
+				h.Insert(k, r)
+				bt.Insert(k, r)
+			} else {
+				if h.Delete(k, r) != bt.Delete(k, r) {
+					return false
+				}
+			}
+		}
+		if h.Len() != bt.Len() {
+			return false
+		}
+		for a := int64(0); a < 20; a++ {
+			for b := int64(0); b < 3; b++ {
+				hs := h.Search(key(a, b))
+				bs := bt.Search(key(a, b))
+				if len(hs) != len(bs) {
+					return false
+				}
+				sort.Slice(hs, func(i, j int) bool { return hs[i].Page*1000+hs[i].Slot < hs[j].Page*1000+hs[j].Slot })
+				sort.Slice(bs, func(i, j int) bool { return bs[i].Page*1000+bs[i].Slot < bs[j].Page*1000+bs[j].Slot })
+				for i := range hs {
+					if hs[i] != bs[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	bt, _ := NewBTree(DefaultOrder, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Insert(key(int64(i)), rid(i))
+	}
+}
+
+func BenchmarkBTreeSearch(b *testing.B) {
+	bt, _ := NewBTree(DefaultOrder, true)
+	for i := 0; i < 100000; i++ {
+		bt.Insert(key(int64(i)), rid(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Search(key(int64(i % 100000)))
+	}
+}
+
+func BenchmarkHashSearch(b *testing.B) {
+	h := NewHash(true)
+	for i := 0; i < 100000; i++ {
+		h.Insert(key(int64(i)), rid(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Search(key(int64(i % 100000)))
+	}
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/db"
+)
+
+// FormulaBound returns the paper's §5 guarantee: the longest session length
+// that can never expire under nVNL with minimum inter-maintenance gap i and
+// minimum maintenance duration m:
+//
+//	2VNL:  i
+//	3VNL:  2i + m
+//	nVNL:  (n−1)·(i+m) − m
+func FormulaBound(n int, i, m Minute) Minute {
+	return Minute(n-1)*(i+m) - m
+}
+
+// MeasureGuarantee empirically determines the guaranteed never-expire
+// session length for the given n and schedule by driving the *real* version
+// store through the schedule's event sequence: for every possible arrival
+// phase (minute granularity), it measures how long a session beginning at
+// that phase survives, and returns the minimum over phases — the length a
+// session can always count on, which §5 predicts equals FormulaBound(n, i, m).
+func MeasureGuarantee(n int, sched Schedule, phases Minute) (Minute, error) {
+	if err := sched.Validate(); err != nil {
+		return 0, err
+	}
+	if phases <= 0 {
+		phases = sched.Period
+	}
+	guarantee := Minute(1<<62 - 1)
+	for phase := Minute(0); phase < phases; phase++ {
+		surv, err := survivalFromPhase(n, sched, phase)
+		if err != nil {
+			return 0, err
+		}
+		if surv < guarantee {
+			guarantee = surv
+		}
+	}
+	return guarantee, nil
+}
+
+// survivalFromPhase replays the schedule against a real store with a
+// session arriving at the given phase (minutes after a maintenance start)
+// and returns how long the session stays unexpired.
+func survivalFromPhase(n int, sched Schedule, phase Minute) (Minute, error) {
+	d := db.Open(db.Options{PoolPages: 8})
+	store, err := core.Open(d, core.Options{N: n})
+	if err != nil {
+		return 0, err
+	}
+	// Event horizon: enough periods for any n.
+	horizon := sched.Period * Minute(n+3)
+	type event struct {
+		at    Minute
+		begin bool
+	}
+	var events []event
+	for t := sched.Offset; t < horizon; t += sched.Period {
+		events = append(events, event{t, true}, event{t + sched.Duration, false})
+	}
+	arrive := sched.Offset + phase
+	var sess *core.Session
+	var maint *core.Maintenance
+	for _, ev := range events {
+		// The session arrives between events.
+		if sess == nil && ev.at > arrive {
+			sess = store.BeginSession()
+		}
+		if ev.begin {
+			m, err := store.BeginMaintenance()
+			if err != nil {
+				return 0, fmt.Errorf("sim: begin at %d: %w", ev.at, err)
+			}
+			maint = m
+		} else {
+			if maint == nil {
+				return 0, fmt.Errorf("sim: commit without begin at %d", ev.at)
+			}
+			if err := maint.Commit(); err != nil {
+				return 0, err
+			}
+			maint = nil
+		}
+		if sess != nil && sess.Expired() {
+			sess.Close()
+			return ev.at - arrive, nil
+		}
+	}
+	if sess != nil {
+		sess.Close()
+	}
+	return horizon - arrive, nil
+}

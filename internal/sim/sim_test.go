@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// nightly is the Figure 1/2 schedule scaled to minutes: maintenance starts
+// at 9am (t=540 of day 0 → use Offset), runs 23 hours (commits 8am), gap 1
+// hour.
+func nightly() Schedule {
+	return Schedule{Offset: 540, Period: 1440, Duration: 1380}
+}
+
+func TestScheduleBasics(t *testing.T) {
+	s := nightly()
+	if s.Gap() != 60 {
+		t.Errorf("gap = %d", s.Gap())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.inMaintenance(540) || !s.inMaintenance(540+1379) {
+		t.Error("start/end of window misclassified")
+	}
+	if s.inMaintenance(539) || s.inMaintenance(540+1380) {
+		t.Error("outside window misclassified")
+	}
+	if got := s.commitsIn(0, 3*1440); got != 2 { // commits at 1920, 3360
+		t.Errorf("commitsIn = %d", got)
+	}
+	bad := Schedule{Period: 10, Duration: 10}
+	if err := bad.Validate(); err == nil {
+		t.Error("duration == period accepted")
+	}
+}
+
+// TestFigure1OfflineAvailability reproduces Figure 1 quantitatively: with a
+// classic "night" window (8 hours maintenance, 16 hours open), availability
+// is 2/3 and sessions during the night are blocked.
+func TestFigure1OfflineAvailability(t *testing.T) {
+	night := Schedule{Offset: 0, Period: 1440, Duration: 480} // midnight–8am
+	sessions := []Session{
+		{Arrive: 600, Length: 120},  // mid-day: completes
+		{Arrive: 120, Length: 60},   // during the night: blocked
+		{Arrive: 1380, Length: 120}, // 11pm, runs into the next window: interrupted
+	}
+	res, err := Simulate(PolicyOffline, 0, night, 3*1440, sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Availability < 0.66 || res.Availability > 0.67 {
+		t.Errorf("availability = %.3f, want 2/3", res.Availability)
+	}
+	want := []SessionOutcome{Blocked, Completed, Interrupted} // ordered by arrival
+	for i, w := range want {
+		if res.PerSession[i] != w {
+			t.Errorf("session %d = %v, want %v", i, res.PerSession[i], w)
+		}
+	}
+}
+
+// TestFigure2VNLAvailability reproduces Figure 2: under 2VNL the warehouse
+// is open 24h; a session beginning after the 8am commit survives until 9am
+// the *following* morning, and one beginning just before 8am expires at 9am
+// the same day.
+func TestFigure2VNLAvailability(t *testing.T) {
+	s := nightly() // starts 9am (540), commits 8am (480 next day)
+	horizon := Minute(4 * 1440)
+	// Session A: begins 8:30am (after the commit at 8am on day 1).
+	// Day-1 commit is at minute 540+1380 = 1920 (= 8am day 2)... use day-2
+	// times: commit at 1920 (8am day 2), next start 1980 (9am day 2),
+	// following start 3420 (9am day 3).
+	a := Session{Arrive: 1930, Length: 3420 - 1930 - 1} // expires at 3420 if longer
+	b := Session{Arrive: 1910, Length: 120}             // 7:50am day 2, still VN of day 1
+	res, err := Simulate(PolicyVNL, 2, s, horizon, []Session{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Availability != 1.0 {
+		t.Errorf("2VNL availability = %.3f, want 1.0 (24h operation)", res.Availability)
+	}
+	if res.PerSession[1] != Completed { // a (arrives later? a=1930 > b=1910, so index 1)
+		t.Errorf("session A (post-commit, ends before next-next start) = %v", res.PerSession[1])
+	}
+	if res.PerSession[0] != Expired { // b arrives 1910, spans commit@1920 and start@1980
+		t.Errorf("session B (pre-commit, spans the 9am start) = %v", res.PerSession[0])
+	}
+	// Extend A past the following 9am start: expires.
+	a2 := Session{Arrive: 1930, Length: 3420 - 1930 + 1}
+	res, _ = Simulate(PolicyVNL, 2, s, horizon, []Session{a2})
+	if res.PerSession[0] != Expired {
+		t.Errorf("overlong session = %v, want Expired", res.PerSession[0])
+	}
+}
+
+// TestNVNLReducesExpiration: with n=3 the session that expired under 2VNL
+// survives.
+func TestNVNLReducesExpiration(t *testing.T) {
+	s := nightly()
+	b := Session{Arrive: 1910, Length: 120}
+	res2, _ := Simulate(PolicyVNL, 2, s, 4*1440, []Session{b})
+	res3, _ := Simulate(PolicyVNL, 3, s, 4*1440, []Session{b})
+	if res2.PerSession[0] != Expired {
+		t.Fatalf("2VNL: %v", res2.PerSession[0])
+	}
+	if res3.PerSession[0] != Completed {
+		t.Errorf("3VNL: %v, want Completed", res3.PerSession[0])
+	}
+}
+
+// TestFormulaBoundValues pins the paper's closed forms.
+func TestFormulaBoundValues(t *testing.T) {
+	// 2VNL: i; 3VNL: 2i+m; nVNL: (n−1)(i+m)−m.
+	if FormulaBound(2, 60, 1380) != 60 {
+		t.Error("2VNL bound")
+	}
+	if FormulaBound(3, 60, 1380) != 2*60+1380 {
+		t.Error("3VNL bound")
+	}
+	if FormulaBound(5, 7, 13) != 4*(7+13)-13 {
+		t.Error("5VNL bound")
+	}
+}
+
+// TestMeasuredGuaranteeMatchesFormula drives the real version store through
+// schedules and confirms the measured worst-case survival matches §5's
+// formula (the discrete measurement exceeds the continuous bound by exactly
+// one minute: a session of length == bound never expires, bound+1 can).
+func TestMeasuredGuaranteeMatchesFormula(t *testing.T) {
+	cases := []struct {
+		n    int
+		i, m Minute
+	}{
+		{2, 5, 12},
+		{2, 9, 3},
+		{3, 5, 12},
+		{3, 4, 7},
+		{4, 3, 5},
+		{5, 2, 4},
+	}
+	for _, c := range cases {
+		sched := Schedule{Offset: 0, Period: c.i + c.m, Duration: c.m}
+		measured, err := MeasureGuarantee(c.n, sched, 0)
+		if err != nil {
+			t.Fatalf("n=%d i=%d m=%d: %v", c.n, c.i, c.m, err)
+		}
+		want := FormulaBound(c.n, c.i, c.m)
+		if measured != want+1 {
+			t.Errorf("n=%d i=%d m=%d: measured min survival = %d, want bound+1 = %d (bound %d)",
+				c.n, c.i, c.m, measured, want+1, want)
+		}
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	s := Schedule{Offset: 2, Period: 10, Duration: 6}
+	out := RenderTimeline(PolicyVNL, 2, s, 40, []Session{{Arrive: 9, Length: 5}}, 1)
+	if !strings.Contains(out, "maintenance") || !strings.Contains(out, "session 1") || !strings.Contains(out, "version") {
+		t.Errorf("timeline missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "=") {
+		t.Errorf("timeline missing marks:\n%s", out)
+	}
+	out = RenderTimeline(PolicyOffline, 0, s, 40, []Session{{Arrive: 3, Length: 2}}, 1)
+	if !strings.Contains(out, "x") {
+		t.Errorf("blocked session not marked:\n%s", out)
+	}
+	if got := RenderTimeline(PolicyVNL, 1, s, 40, nil, 1); !strings.Contains(got, "error") {
+		t.Errorf("bad n not reported: %q", got)
+	}
+}

@@ -1,0 +1,274 @@
+// Package sim reproduces the paper's timeline figures and §5 guarantees by
+// discrete-event simulation over logical minutes. The availability
+// simulation quantifies Figure 1 (nightly maintenance, warehouse closed to
+// readers) against Figure 2 (2VNL: maintenance concurrent with sessions,
+// sessions expiring only when a second maintenance transaction begins); the
+// formula simulation validates the nVNL never-expire bound
+// (n−1)·(i+m) − m of §5 against the real version store.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Minute is logical simulation time.
+type Minute = int64
+
+// Schedule describes periodic maintenance transactions: one starts every
+// Period minutes (at Offset, Offset+Period, ...) and runs for Duration
+// minutes. The paper's Figure 2 policy — start 9am, commit 8am next day —
+// is Period=1440, Duration=1380 (gap i = 60).
+type Schedule struct {
+	Offset   Minute
+	Period   Minute
+	Duration Minute
+}
+
+// Gap returns the idle time between a commit and the next start (the
+// paper's i).
+func (s Schedule) Gap() Minute { return s.Period - s.Duration }
+
+// Validate checks the schedule is runnable.
+func (s Schedule) Validate() error {
+	if s.Period <= 0 || s.Duration <= 0 || s.Duration >= s.Period {
+		return fmt.Errorf("sim: schedule needs 0 < duration < period, got %d/%d", s.Duration, s.Period)
+	}
+	return nil
+}
+
+// maintenance windows within [0, horizon): k-th window is
+// [Offset + k*Period, Offset + k*Period + Duration).
+func (s Schedule) windows(horizon Minute) [][2]Minute {
+	var out [][2]Minute
+	for t := s.Offset; t < horizon; t += s.Period {
+		out = append(out, [2]Minute{t, t + s.Duration})
+	}
+	return out
+}
+
+// inMaintenance reports whether t falls inside a maintenance window.
+func (s Schedule) inMaintenance(t Minute) bool {
+	if t < s.Offset {
+		return false
+	}
+	phase := (t - s.Offset) % s.Period
+	return phase < s.Duration
+}
+
+// commitsIn counts maintenance commits in the half-open interval (a, b].
+func (s Schedule) commitsIn(a, b Minute) int {
+	n := 0
+	for start := s.Offset; start+s.Duration <= b; start += s.Period {
+		c := start + s.Duration
+		if c > a {
+			n++
+		}
+	}
+	return n
+}
+
+// startsAfterCommits reports the earliest time u in (a, b] at which a
+// maintenance transaction BEGINS having been preceded by at least k commits
+// in (a, u]; returns (0, false) if none.
+func (s Schedule) startAfterCommits(a, b Minute, k int) (Minute, bool) {
+	for start := s.Offset; start <= b; start += s.Period {
+		if start <= a {
+			continue
+		}
+		if s.commitsIn(a, start) >= k {
+			return start, true
+		}
+	}
+	return 0, false
+}
+
+// SessionOutcome classifies a simulated reader session.
+type SessionOutcome int
+
+const (
+	// Completed: the session ran its full length with a consistent view.
+	Completed SessionOutcome = iota
+	// Blocked: the session could not start (offline policy: warehouse
+	// closed).
+	Blocked
+	// Interrupted: the session started but the warehouse closed before it
+	// finished (offline policy: maintenance window arrived).
+	Interrupted
+	// Expired: the session's version expired (VNL policy: it overlapped
+	// more than n−1 maintenance transactions).
+	Expired
+)
+
+func (o SessionOutcome) String() string {
+	switch o {
+	case Completed:
+		return "completed"
+	case Blocked:
+		return "blocked"
+	case Interrupted:
+		return "interrupted"
+	case Expired:
+		return "expired"
+	default:
+		return fmt.Sprintf("SessionOutcome(%d)", int(o))
+	}
+}
+
+// Session is one simulated reader session request.
+type Session struct {
+	Arrive Minute
+	Length Minute
+}
+
+// Policy selects the warehouse operating discipline for the availability
+// simulation.
+type Policy int
+
+const (
+	// PolicyOffline is Figure 1: readers are locked out during
+	// maintenance windows; sessions cannot span a window.
+	PolicyOffline Policy = iota
+	// PolicyVNL is Figure 2 generalized to n versions: the warehouse is
+	// always open; a session expires when the (n)th overlapping
+	// maintenance transaction begins — i.e. after n−1 commits since its
+	// arrival, the next start kills it.
+	PolicyVNL
+)
+
+// Result aggregates one availability simulation.
+type Result struct {
+	Policy       Policy
+	N            int
+	Horizon      Minute
+	OpenMinutes  Minute
+	Availability float64 // OpenMinutes / Horizon
+	Outcomes     map[SessionOutcome]int
+	// PerSession records each session's outcome, ordered by arrival.
+	PerSession []SessionOutcome
+}
+
+// Simulate runs the availability simulation of Figures 1–2: the given
+// maintenance schedule, the given reader sessions, under the given policy
+// (with n versions for PolicyVNL; n is ignored for PolicyOffline).
+func Simulate(p Policy, n int, sched Schedule, horizon Minute, sessions []Session) (*Result, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	if p == PolicyVNL && n < 2 {
+		return nil, fmt.Errorf("sim: VNL policy needs n >= 2, got %d", n)
+	}
+	res := &Result{
+		Policy:   p,
+		N:        n,
+		Horizon:  horizon,
+		Outcomes: make(map[SessionOutcome]int),
+	}
+	// Availability.
+	switch p {
+	case PolicyOffline:
+		open := horizon
+		for _, w := range sched.windows(horizon) {
+			end := w[1]
+			if end > horizon {
+				end = horizon
+			}
+			open -= end - w[0]
+		}
+		res.OpenMinutes = open
+	case PolicyVNL:
+		res.OpenMinutes = horizon
+	}
+	res.Availability = float64(res.OpenMinutes) / float64(horizon)
+
+	ordered := append([]Session(nil), sessions...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Arrive < ordered[j].Arrive })
+	for _, sess := range ordered {
+		var outcome SessionOutcome
+		endAt := sess.Arrive + sess.Length
+		switch p {
+		case PolicyOffline:
+			switch {
+			case sched.inMaintenance(sess.Arrive):
+				outcome = Blocked
+			case sched.commitsIn(sess.Arrive, endAt) > 0 || sched.inMaintenance(endAt):
+				// A maintenance window begins (or is running) before the
+				// session finishes: the warehouse closes on it.
+				if _, started := sched.startAfterCommits(sess.Arrive, endAt, 0); started || sched.inMaintenance(endAt) {
+					outcome = Interrupted
+				} else {
+					outcome = Completed
+				}
+			default:
+				outcome = Completed
+			}
+		case PolicyVNL:
+			// Expired iff some maintenance txn begins within the session
+			// after ≥ n−1 commits since arrival.
+			if _, dead := sched.startAfterCommits(sess.Arrive, endAt, n-1); dead {
+				outcome = Expired
+			} else {
+				outcome = Completed
+			}
+		}
+		res.Outcomes[outcome]++
+		res.PerSession = append(res.PerSession, outcome)
+	}
+	return res, nil
+}
+
+// RenderTimeline draws an ASCII timeline in the style of Figures 1 and 2:
+// one row for maintenance transactions, one row for each session, and (for
+// the VNL policy) a row of database version numbers. scale is minutes per
+// character.
+func RenderTimeline(p Policy, n int, sched Schedule, horizon Minute, sessions []Session, scale Minute) string {
+	if scale <= 0 {
+		scale = 60
+	}
+	width := int(horizon / scale)
+	row := func(fill func(t Minute) byte) string {
+		var b strings.Builder
+		for c := 0; c < width; c++ {
+			b.WriteByte(fill(Minute(c) * scale))
+		}
+		return b.String()
+	}
+	var out strings.Builder
+	fmt.Fprintf(&out, "%-14s|%s|\n", "maintenance", row(func(t Minute) byte {
+		if sched.inMaintenance(t) {
+			return '#'
+		}
+		return ' '
+	}))
+	res, err := Simulate(p, n, sched, horizon, sessions)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	for i, sess := range sessions {
+		outcome := res.PerSession[i]
+		ch := byte('=')
+		switch outcome {
+		case Blocked:
+			ch = 'x'
+		case Interrupted:
+			ch = '/'
+		case Expired:
+			ch = '!'
+		}
+		label := fmt.Sprintf("session %d", i+1)
+		fmt.Fprintf(&out, "%-14s|%s| %s\n", label, row(func(t Minute) byte {
+			if t >= sess.Arrive && t < sess.Arrive+sess.Length {
+				return ch
+			}
+			return ' '
+		}), outcome)
+	}
+	if p == PolicyVNL {
+		fmt.Fprintf(&out, "%-14s|%s|\n", "version", row(func(t Minute) byte {
+			v := 1 + sched.commitsIn(-1, t)
+			return byte('0' + v%10)
+		}))
+	}
+	return out.String()
+}

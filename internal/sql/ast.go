@@ -1,0 +1,398 @@
+package sql
+
+import (
+	"repro/internal/catalog"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmtNode() }
+
+// Expr is any SQL expression.
+type Expr interface{ exprNode() }
+
+// SelectItem is one output column of a SELECT: an expression and an
+// optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	// Star marks a bare `*` item.
+	Star bool
+}
+
+// TableRef names a relation in a FROM clause, with an optional alias and an
+// optional join condition (for the second and later tables, which are inner
+// joins).
+type TableRef struct {
+	Table string
+	Alias string
+	// On is the join condition for JOIN ... ON; nil for the first table or
+	// comma-style cross joins.
+	On Expr
+}
+
+// Binding returns the name the table is referred to by: the alias if
+// present, else the table name.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	// Limit is nil for no limit.
+	Limit *int64
+}
+
+func (*SelectStmt) stmtNode() {}
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string // nil means all columns in schema order
+	Rows    [][]Expr
+}
+
+func (*InsertStmt) stmtNode() {}
+
+// SetClause is one column assignment in an UPDATE.
+type SetClause struct {
+	Column string
+	Expr   Expr
+}
+
+// UpdateStmt is UPDATE t SET ... [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Sets  []SetClause
+	Where Expr
+}
+
+func (*UpdateStmt) stmtNode() {}
+
+// DeleteStmt is DELETE FROM t [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmtNode() {}
+
+// ColumnDef is one column in a CREATE TABLE.
+type ColumnDef struct {
+	Name      string
+	Type      catalog.Type
+	Length    int // bytes; 0 means a type-dependent default
+	Updatable bool
+}
+
+// CreateTableStmt is CREATE TABLE with optional UNIQUE KEY(...) clause and
+// per-column UPDATABLE markers (this engine's dialect for declaring which
+// attributes a maintenance transaction may change, which the 2VNL schema
+// extension needs to know).
+type CreateTableStmt struct {
+	Name    string
+	Columns []ColumnDef
+	Key     []string
+}
+
+func (*CreateTableStmt) stmtNode() {}
+
+// ColumnRef references a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table string // "" if unqualified
+	Name  string
+}
+
+func (*ColumnRef) exprNode() {}
+
+// Literal is a constant value.
+type Literal struct {
+	Value catalog.Value
+}
+
+func (*Literal) exprNode() {}
+
+// Param is a named placeholder like :sessionVN, bound at execution time.
+type Param struct {
+	Name string
+}
+
+func (*Param) exprNode() {}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators.
+const (
+	OpAdd BinaryOp = iota + 1
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+func (op BinaryOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	default:
+		return "?"
+	}
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   BinaryOp
+	L, R Expr
+}
+
+func (*BinaryExpr) exprNode() {}
+
+// UnaryExpr is NOT x or -x.
+type UnaryExpr struct {
+	// Op is "NOT" or "-".
+	Op string
+	X  Expr
+}
+
+func (*UnaryExpr) exprNode() {}
+
+// FuncCall is a function or aggregate call: SUM(x), COUNT(*), ABS(x)...
+type FuncCall struct {
+	Name string // upper-cased
+	Args []Expr
+	Star bool // COUNT(*)
+}
+
+func (*FuncCall) exprNode() {}
+
+// WhenClause is one WHEN cond THEN result arm of a CASE expression.
+type WhenClause struct {
+	Cond   Expr
+	Result Expr
+}
+
+// CaseExpr is a searched CASE expression — the construct the 2VNL reader
+// rewrite wraps around every updatable attribute (§4.1).
+type CaseExpr struct {
+	Whens []WhenClause
+	Else  Expr // nil means ELSE NULL
+}
+
+func (*CaseExpr) exprNode() {}
+
+// IsNullExpr is `x IS [NOT] NULL`.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+func (*IsNullExpr) exprNode() {}
+
+// InExpr is `x [NOT] IN (e1, e2, ...)`.
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+func (*InExpr) exprNode() {}
+
+// BetweenExpr is `x [NOT] BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+func (*BetweenExpr) exprNode() {}
+
+// CloneExpr deep-copies an expression tree. The rewrite layer clones before
+// transforming so callers' ASTs are never mutated.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ColumnRef:
+		c := *x
+		return &c
+	case *Literal:
+		c := *x
+		return &c
+	case *Param:
+		c := *x
+		return &c
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, X: CloneExpr(x.X)}
+	case *FuncCall:
+		f := &FuncCall{Name: x.Name, Star: x.Star}
+		for _, a := range x.Args {
+			f.Args = append(f.Args, CloneExpr(a))
+		}
+		return f
+	case *CaseExpr:
+		c := &CaseExpr{Else: CloneExpr(x.Else)}
+		for _, w := range x.Whens {
+			c.Whens = append(c.Whens, WhenClause{Cond: CloneExpr(w.Cond), Result: CloneExpr(w.Result)})
+		}
+		return c
+	case *IsNullExpr:
+		return &IsNullExpr{X: CloneExpr(x.X), Not: x.Not}
+	case *InExpr:
+		c := &InExpr{X: CloneExpr(x.X), Not: x.Not}
+		for _, e := range x.List {
+			c.List = append(c.List, CloneExpr(e))
+		}
+		return c
+	case *BetweenExpr:
+		return &BetweenExpr{X: CloneExpr(x.X), Lo: CloneExpr(x.Lo), Hi: CloneExpr(x.Hi), Not: x.Not}
+	default:
+		panic("sql: CloneExpr: unknown expression type")
+	}
+}
+
+// CloneSelect deep-copies a SELECT statement.
+func CloneSelect(s *SelectStmt) *SelectStmt {
+	out := &SelectStmt{
+		Distinct: s.Distinct,
+		Where:    CloneExpr(s.Where),
+		Having:   CloneExpr(s.Having),
+	}
+	for _, it := range s.Items {
+		out.Items = append(out.Items, SelectItem{Expr: CloneExpr(it.Expr), Alias: it.Alias, Star: it.Star})
+	}
+	for _, tr := range s.From {
+		out.From = append(out.From, TableRef{Table: tr.Table, Alias: tr.Alias, On: CloneExpr(tr.On)})
+	}
+	for _, g := range s.GroupBy {
+		out.GroupBy = append(out.GroupBy, CloneExpr(g))
+	}
+	for _, o := range s.OrderBy {
+		out.OrderBy = append(out.OrderBy, OrderItem{Expr: CloneExpr(o.Expr), Desc: o.Desc})
+	}
+	if s.Limit != nil {
+		l := *s.Limit
+		out.Limit = &l
+	}
+	return out
+}
+
+// TransformExpr rewrites an expression bottom-up: fn is applied to every
+// node after its children have been transformed, and its return value
+// replaces the node. It mutates the given tree; clone first if the original
+// must survive.
+func TransformExpr(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		x.L = TransformExpr(x.L, fn)
+		x.R = TransformExpr(x.R, fn)
+	case *UnaryExpr:
+		x.X = TransformExpr(x.X, fn)
+	case *FuncCall:
+		for i := range x.Args {
+			x.Args[i] = TransformExpr(x.Args[i], fn)
+		}
+	case *CaseExpr:
+		for i := range x.Whens {
+			x.Whens[i].Cond = TransformExpr(x.Whens[i].Cond, fn)
+			x.Whens[i].Result = TransformExpr(x.Whens[i].Result, fn)
+		}
+		x.Else = TransformExpr(x.Else, fn)
+	case *IsNullExpr:
+		x.X = TransformExpr(x.X, fn)
+	case *InExpr:
+		x.X = TransformExpr(x.X, fn)
+		for i := range x.List {
+			x.List[i] = TransformExpr(x.List[i], fn)
+		}
+	case *BetweenExpr:
+		x.X = TransformExpr(x.X, fn)
+		x.Lo = TransformExpr(x.Lo, fn)
+		x.Hi = TransformExpr(x.Hi, fn)
+	}
+	return fn(e)
+}
+
+// WalkExpr visits every node of an expression tree top-down. fn returning
+// false prunes the subtree.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case *UnaryExpr:
+		WalkExpr(x.X, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			WalkExpr(w.Cond, fn)
+			WalkExpr(w.Result, fn)
+		}
+		WalkExpr(x.Else, fn)
+	case *IsNullExpr:
+		WalkExpr(x.X, fn)
+	case *InExpr:
+		WalkExpr(x.X, fn)
+		for _, e := range x.List {
+			WalkExpr(e, fn)
+		}
+	case *BetweenExpr:
+		WalkExpr(x.X, fn)
+		WalkExpr(x.Lo, fn)
+		WalkExpr(x.Hi, fn)
+	}
+}

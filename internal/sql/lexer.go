@@ -1,0 +1,179 @@
+// Package sql implements the SQL subset the warehouse engine speaks: a
+// lexer, an AST, a recursive-descent parser, and a printer that renders ASTs
+// back to SQL text.
+//
+// The subset covers what the paper's examples and rewrites need (§2, §4):
+// SELECT with expressions, CASE WHEN, aggregate functions, WHERE, GROUP BY,
+// HAVING, ORDER BY, LIMIT and inner joins; INSERT/UPDATE/DELETE; CREATE
+// TABLE with key and UPDATABLE column markers; and named parameters like
+// :sessionVN, which the paper uses as placeholders in rewritten queries.
+//
+// Following the paper's typography, double-quoted tokens are string
+// literals (the paper writes city = "San Jose"); single quotes work too.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokParam  // :name
+	TokSymbol // punctuation and operators
+)
+
+// Token is one lexical token with its position for error messages.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep their case
+	Pos  int    // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	case TokParam:
+		return ":" + t.Text
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords recognized by the lexer. Anything else alphabetic is an
+// identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "CREATE": true, "TABLE": true, "KEY": true, "UNIQUE": true,
+	"AND": true, "OR": true, "NOT": true, "NULL": true, "IS": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"AS": true, "DISTINCT": true, "JOIN": true, "ON": true, "INNER": true,
+	"TRUE": true, "FALSE": true, "IN": true, "BETWEEN": true,
+	"INT": true, "FLOAT": true, "VARCHAR": true, "DATE": true, "BOOL": true,
+	"UPDATABLE": true, "PRIMARY": true,
+}
+
+// Lex tokenizes input. It returns an error for unterminated strings or
+// stray characters.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{TokKeyword, upper, start})
+			} else {
+				toks = append(toks, Token{TokIdent, word, start})
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			seenDot := false
+			for i < n {
+				d := input[i]
+				if unicode.IsDigit(rune(d)) {
+					i++
+				} else if d == '.' && !seenDot {
+					seenDot = true
+					i++
+				} else if d == '_' && i+1 < n && unicode.IsDigit(rune(input[i+1])) {
+					// 10_000-style digit grouping (commas would be
+					// ambiguous with list separators).
+					i++
+				} else {
+					break
+				}
+			}
+			text := strings.ReplaceAll(input[start:i], "_", "")
+			toks = append(toks, Token{TokNumber, text, start})
+		case c == '\'' || c == '"':
+			quote := c
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == quote {
+					if i+1 < n && input[i+1] == quote { // doubled quote escapes
+						sb.WriteByte(quote)
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string starting at offset %d", start)
+			}
+			toks = append(toks, Token{TokString, sb.String(), start})
+		case c == ':':
+			start := i
+			i++
+			ns := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			if i == ns {
+				return nil, fmt.Errorf("sql: ':' without parameter name at offset %d", start)
+			}
+			toks = append(toks, Token{TokParam, input[ns:i], start})
+		default:
+			// Multi-character operators first.
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<>", "<=", ">=", "!=":
+				sym := two
+				if sym == "!=" {
+					sym = "<>"
+				}
+				toks = append(toks, Token{TokSymbol, sym, i})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', '.', ';':
+				toks = append(toks, Token{TokSymbol, string(c), i})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}

@@ -1,0 +1,797 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// Parse parses a single SQL statement (a trailing semicolon is allowed).
+func Parse(input string) (Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokSymbol, ";")
+	if p.peek().Kind != TokEOF {
+		return nil, p.errorf("unexpected %v after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses input and requires it to be a SELECT.
+func ParseSelect(input string) (*SelectStmt, error) {
+	stmt, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT statement, got %T", stmt)
+	}
+	return sel, nil
+}
+
+// ParseExpr parses a standalone expression (for tests and tools).
+func ParseExpr(input string) (Expr, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errorf("unexpected %v after expression", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error near offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+// accept consumes the next token if it matches kind and (case-sensitively
+// for the stored text, which is upper-cased for keywords) text.
+func (p *parser) accept(kind TokenKind, text string) bool {
+	t := p.peek()
+	if t.Kind == kind && t.Text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind, text string) error {
+	if !p.accept(kind, text) {
+		return p.errorf("expected %q, found %v", text, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool { return p.accept(TokKeyword, kw) }
+
+func (p *parser) expectKeyword(kw string) error { return p.expect(TokKeyword, kw) }
+
+// parseIdent accepts an identifier or a non-reserved-looking keyword used
+// as a name (e.g. a column named "date", which is a type keyword in this
+// dialect).
+func (p *parser) parseIdent() (string, error) {
+	t := p.peek()
+	if t.Kind == TokIdent {
+		p.pos++
+		return t.Text, nil
+	}
+	// Permit type keywords as identifiers: the paper's running example has
+	// a column literally named "date".
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "DATE", "KEY", "INT", "FLOAT", "BOOL", "VARCHAR":
+			p.pos++
+			return strings.ToLower(t.Text), nil
+		}
+	}
+	return "", p.errorf("expected identifier, found %v", t)
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.peek().Kind == TokKeyword && p.peek().Text == "SELECT":
+		return p.parseSelect()
+	case p.acceptKeyword("INSERT"):
+		return p.parseInsert()
+	case p.acceptKeyword("UPDATE"):
+		return p.parseUpdate()
+	case p.acceptKeyword("DELETE"):
+		return p.parseDelete()
+	case p.acceptKeyword("CREATE"):
+		return p.parseCreateTable()
+	default:
+		return nil, p.errorf("expected a statement, found %v", p.peek())
+	}
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{}
+	sel.Distinct = p.acceptKeyword("DISTINCT")
+	for {
+		if p.accept(TokSymbol, "*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				name, err := p.parseIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = name
+			} else if p.peek().Kind == TokIdent {
+				item.Alias = p.next().Text
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, tr)
+		for {
+			if p.accept(TokSymbol, ",") {
+				tr, err := p.parseTableRef()
+				if err != nil {
+					return nil, err
+				}
+				sel.From = append(sel.From, tr)
+				continue
+			}
+			if p.acceptKeyword("INNER") {
+				if err := p.expectKeyword("JOIN"); err != nil {
+					return nil, err
+				}
+			} else if !p.acceptKeyword("JOIN") {
+				break
+			}
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			tr.On = on
+			sel.From = append(sel.From, tr)
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, g)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.Kind != TokNumber {
+			return nil, p.errorf("expected a number after LIMIT, found %v", t)
+		}
+		p.pos++
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad LIMIT %q", t.Text)
+		}
+		sel.Limit = &n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: name}
+	if p.acceptKeyword("AS") {
+		a, err := p.parseIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = a
+	} else if p.peek().Kind == TokIdent {
+		tr.Alias = p.next().Text
+	}
+	return tr, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: table}
+	if p.accept(TokSymbol, "(") {
+		for {
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	upd := &UpdateStmt{Table: table}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokSymbol, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Sets = append(upd.Sets, SetClause{Column: col, Expr: e})
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Where = w
+	}
+	return upd, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	del := &DeleteStmt{Table: table}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = w
+	}
+	return del, nil
+}
+
+func (p *parser) parseCreateTable() (Statement, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	ct := &CreateTableStmt{Name: name}
+	if err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		if p.acceptKeyword("UNIQUE") || p.acceptKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expect(TokSymbol, "("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.parseIdent()
+				if err != nil {
+					return nil, err
+				}
+				ct.Key = append(ct.Key, col)
+				if !p.accept(TokSymbol, ",") {
+					break
+				}
+			}
+			if err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.parseColumnDef()
+			if err != nil {
+				return nil, err
+			}
+			ct.Columns = append(ct.Columns, col)
+		}
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *parser) parseColumnDef() (ColumnDef, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return ColumnDef{}, err
+	}
+	def := ColumnDef{Name: name}
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return ColumnDef{}, p.errorf("expected a type for column %q, found %v", name, t)
+	}
+	p.pos++
+	switch t.Text {
+	case "INT":
+		def.Type, def.Length = catalog.TypeInt, 4
+	case "FLOAT":
+		def.Type, def.Length = catalog.TypeFloat, 8
+	case "VARCHAR":
+		def.Type, def.Length = catalog.TypeString, 16
+	case "DATE":
+		def.Type, def.Length = catalog.TypeDate, 4
+	case "BOOL":
+		def.Type, def.Length = catalog.TypeBool, 1
+	default:
+		return ColumnDef{}, p.errorf("unknown type %q for column %q", t.Text, name)
+	}
+	if p.accept(TokSymbol, "(") {
+		lt := p.peek()
+		if lt.Kind != TokNumber {
+			return ColumnDef{}, p.errorf("expected a length, found %v", lt)
+		}
+		p.pos++
+		n, err := strconv.Atoi(lt.Text)
+		if err != nil || n <= 0 {
+			return ColumnDef{}, p.errorf("bad length %q", lt.Text)
+		}
+		def.Length = n
+		if err := p.expect(TokSymbol, ")"); err != nil {
+			return ColumnDef{}, err
+		}
+	}
+	if p.acceptKeyword("UPDATABLE") {
+		def.Updatable = true
+	}
+	return def, nil
+}
+
+// Expression grammar, loosest to tightest: OR, AND, NOT, comparison
+// (including IS NULL, IN, BETWEEN), additive, multiplicative, unary minus,
+// primary.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKeyword("IS") {
+		not := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: l, Not: not}, nil
+	}
+	notIn := false
+	if p.peek().Kind == TokKeyword && p.peek().Text == "NOT" {
+		// lookahead for NOT IN / NOT BETWEEN
+		save := p.pos
+		p.pos++
+		if p.peek().Kind == TokKeyword && (p.peek().Text == "IN" || p.peek().Text == "BETWEEN") {
+			notIn = true
+		} else {
+			p.pos = save
+		}
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{X: l, Not: notIn}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			in.List = append(in.List, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{X: l, Lo: lo, Hi: hi, Not: notIn}, nil
+	}
+	ops := map[string]BinaryOp{"=": OpEq, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe}
+	t := p.peek()
+	if t.Kind == TokSymbol {
+		if op, ok := ops[t.Text]; ok {
+			p.pos++
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.accept(TokSymbol, "+"):
+			op = OpAdd
+		case p.accept(TokSymbol, "-"):
+			op = OpSub
+		default:
+			return l, nil
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.accept(TokSymbol, "*"):
+			op = OpMul
+		case p.accept(TokSymbol, "/"):
+			op = OpDiv
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.pos++
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.Text)
+			}
+			return &Literal{Value: catalog.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.Text)
+		}
+		return &Literal{Value: catalog.NewInt(n)}, nil
+	case TokString:
+		p.pos++
+		return &Literal{Value: catalog.NewString(t.Text)}, nil
+	case TokParam:
+		p.pos++
+		return &Param{Name: t.Text}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.pos++
+			return &Literal{Value: catalog.Null}, nil
+		case "TRUE":
+			p.pos++
+			return &Literal{Value: catalog.NewBool(true)}, nil
+		case "FALSE":
+			p.pos++
+			return &Literal{Value: catalog.NewBool(false)}, nil
+		case "CASE":
+			return p.parseCase()
+		case "DATE":
+			// A column named "date" in expression position.
+			p.pos++
+			return p.maybeQualified("date")
+		}
+		return nil, p.errorf("unexpected %v in expression", t)
+	case TokIdent:
+		p.pos++
+		// Function call?
+		if p.accept(TokSymbol, "(") {
+			fc := &FuncCall{Name: strings.ToUpper(t.Text)}
+			if p.accept(TokSymbol, "*") {
+				fc.Star = true
+			} else if !p.accept(TokSymbol, ")") {
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, e)
+					if !p.accept(TokSymbol, ",") {
+						break
+					}
+				}
+				if err := p.expect(TokSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return fc, nil
+			} else {
+				return fc, nil
+			}
+			if fc.Star {
+				if err := p.expect(TokSymbol, ")"); err != nil {
+					return nil, err
+				}
+			}
+			return fc, nil
+		}
+		return p.maybeQualified(t.Text)
+	case TokSymbol:
+		if t.Text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("unexpected %v in expression", t)
+}
+
+// maybeQualified finishes a column reference that may be table-qualified
+// (t.col).
+func (p *parser) maybeQualified(first string) (Expr, error) {
+	if p.accept(TokSymbol, ".") {
+		col, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ColumnRef{Table: first, Name: col}, nil
+	}
+	return &ColumnRef{Name: first}, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	ce := &CaseExpr{}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, WhenClause{Cond: cond, Result: res})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN arm")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}

@@ -1,0 +1,242 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// Print renders a statement back to SQL text. Round-tripping through Parse
+// and Print is stable (Print(Parse(Print(x))) == Print(x)), which the tests
+// rely on; the rewrite layer uses Print to show users the rewritten queries,
+// mirroring the paper's Example 4.1.
+func Print(stmt Statement) string {
+	var b strings.Builder
+	printStatement(&b, stmt)
+	return b.String()
+}
+
+func printStatement(b *strings.Builder, stmt Statement) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		printSelect(b, s)
+	case *InsertStmt:
+		fmt.Fprintf(b, "INSERT INTO %s", s.Table)
+		if len(s.Columns) > 0 {
+			fmt.Fprintf(b, " (%s)", strings.Join(s.Columns, ", "))
+		}
+		b.WriteString(" VALUES ")
+		for i, row := range s.Rows {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteByte('(')
+			for j, e := range row {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(PrintExpr(e))
+			}
+			b.WriteByte(')')
+		}
+	case *UpdateStmt:
+		fmt.Fprintf(b, "UPDATE %s SET ", s.Table)
+		for i, set := range s.Sets {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%s = %s", set.Column, PrintExpr(set.Expr))
+		}
+		if s.Where != nil {
+			fmt.Fprintf(b, " WHERE %s", PrintExpr(s.Where))
+		}
+	case *DeleteStmt:
+		fmt.Fprintf(b, "DELETE FROM %s", s.Table)
+		if s.Where != nil {
+			fmt.Fprintf(b, " WHERE %s", PrintExpr(s.Where))
+		}
+	case *CreateTableStmt:
+		fmt.Fprintf(b, "CREATE TABLE %s (", s.Name)
+		for i, c := range s.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%s %s(%d)", c.Name, c.Type, c.Length)
+			if c.Updatable {
+				b.WriteString(" UPDATABLE")
+			}
+		}
+		if len(s.Key) > 0 {
+			fmt.Fprintf(b, ", UNIQUE KEY(%s)", strings.Join(s.Key, ", "))
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "/* unknown statement %T */", stmt)
+	}
+}
+
+func printSelect(b *strings.Builder, s *SelectStmt) {
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteByte('*')
+			continue
+		}
+		b.WriteString(PrintExpr(it.Expr))
+		if it.Alias != "" {
+			fmt.Fprintf(b, " AS %s", it.Alias)
+		}
+	}
+	for i, tr := range s.From {
+		if i == 0 {
+			b.WriteString(" FROM ")
+		} else if tr.On != nil {
+			b.WriteString(" JOIN ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(tr.Table)
+		if tr.Alias != "" {
+			fmt.Fprintf(b, " AS %s", tr.Alias)
+		}
+		if tr.On != nil {
+			fmt.Fprintf(b, " ON %s", PrintExpr(tr.On))
+		}
+	}
+	if s.Where != nil {
+		fmt.Fprintf(b, " WHERE %s", PrintExpr(s.Where))
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(PrintExpr(g))
+		}
+	}
+	if s.Having != nil {
+		fmt.Fprintf(b, " HAVING %s", PrintExpr(s.Having))
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(PrintExpr(o.Expr))
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(b, " LIMIT %d", *s.Limit)
+	}
+}
+
+// PrintExpr renders an expression to SQL text, parenthesizing conservatively
+// so the output reparses to the same tree.
+func PrintExpr(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return "NULL"
+	case *ColumnRef:
+		if x.Table != "" {
+			return x.Table + "." + x.Name
+		}
+		return x.Name
+	case *Literal:
+		return printLiteral(x.Value)
+	case *Param:
+		return ":" + x.Name
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", PrintExpr(x.L), x.Op, PrintExpr(x.R))
+	case *UnaryExpr:
+		if x.Op == "NOT" {
+			return fmt.Sprintf("(NOT %s)", PrintExpr(x.X))
+		}
+		return fmt.Sprintf("(-%s)", PrintExpr(x.X))
+	case *FuncCall:
+		if x.Star {
+			return x.Name + "(*)"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = PrintExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", "))
+	case *CaseExpr:
+		var b strings.Builder
+		b.WriteString("CASE")
+		for _, w := range x.Whens {
+			fmt.Fprintf(&b, " WHEN %s THEN %s", PrintExpr(w.Cond), PrintExpr(w.Result))
+		}
+		if x.Else != nil {
+			fmt.Fprintf(&b, " ELSE %s", PrintExpr(x.Else))
+		}
+		b.WriteString(" END")
+		return b.String()
+	case *IsNullExpr:
+		if x.Not {
+			return fmt.Sprintf("(%s IS NOT NULL)", PrintExpr(x.X))
+		}
+		return fmt.Sprintf("(%s IS NULL)", PrintExpr(x.X))
+	case *InExpr:
+		items := make([]string, len(x.List))
+		for i, e := range x.List {
+			items[i] = PrintExpr(e)
+		}
+		op := "IN"
+		if x.Not {
+			op = "NOT IN"
+		}
+		return fmt.Sprintf("(%s %s (%s))", PrintExpr(x.X), op, strings.Join(items, ", "))
+	case *BetweenExpr:
+		op := "BETWEEN"
+		if x.Not {
+			op = "NOT BETWEEN"
+		}
+		return fmt.Sprintf("(%s %s %s AND %s)", PrintExpr(x.X), op, PrintExpr(x.Lo), PrintExpr(x.Hi))
+	default:
+		return fmt.Sprintf("/* unknown expr %T */", e)
+	}
+}
+
+func printLiteral(v catalog.Value) string {
+	switch v.Kind() {
+	case catalog.TypeNull:
+		return "NULL"
+	case catalog.TypeString:
+		return "'" + strings.ReplaceAll(v.Str(), "'", "''") + "'"
+	case catalog.TypeBool:
+		if v.Bool() {
+			return "TRUE"
+		}
+		return "FALSE"
+	case catalog.TypeDate:
+		return "'" + v.String() + "'"
+	case catalog.TypeFloat:
+		// Negative numerics print in the unary form the parser produces,
+		// so Print is a fixed point under reparsing.
+		if v.Float() < 0 {
+			return "(-" + strconv.FormatFloat(-v.Float(), 'g', -1, 64) + ")"
+		}
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	case catalog.TypeInt:
+		if v.Int() < 0 {
+			return "(-" + strconv.FormatInt(-v.Int(), 10) + ")"
+		}
+		return v.String()
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,165 @@
+package sql
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+)
+
+// genExpr builds a random expression tree of bounded depth. The generator
+// only produces trees the dialect can print and reparse (e.g. string
+// literals without exotic characters beyond quotes, which exercise
+// escaping).
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return &Literal{Value: catalog.NewInt(rng.Int63n(1000) - 500)}
+		case 1:
+			words := []string{"a", "San Jose", "it's", "", "x y z"}
+			return &Literal{Value: catalog.NewString(words[rng.Intn(len(words))])}
+		case 2:
+			return &Literal{Value: catalog.NewBool(rng.Intn(2) == 0)}
+		case 3:
+			cols := []string{"a", "b", "total_sales", "tupleVN"}
+			cr := &ColumnRef{Name: cols[rng.Intn(len(cols))]}
+			if rng.Intn(3) == 0 {
+				cr.Table = "t"
+			}
+			return cr
+		default:
+			return &Param{Name: "sessionVN"}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		ops := []BinaryOp{OpAdd, OpSub, OpMul, OpDiv, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpAnd, OpOr}
+		return &BinaryExpr{
+			Op: ops[rng.Intn(len(ops))],
+			L:  genExpr(rng, depth-1),
+			R:  genExpr(rng, depth-1),
+		}
+	case 1:
+		op := "NOT"
+		if rng.Intn(2) == 0 {
+			op = "-"
+		}
+		return &UnaryExpr{Op: op, X: genExpr(rng, depth-1)}
+	case 2:
+		ce := &CaseExpr{}
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			ce.Whens = append(ce.Whens, WhenClause{
+				Cond:   genExpr(rng, depth-1),
+				Result: genExpr(rng, depth-1),
+			})
+		}
+		if rng.Intn(2) == 0 {
+			ce.Else = genExpr(rng, depth-1)
+		}
+		return ce
+	case 3:
+		return &IsNullExpr{X: genExpr(rng, depth-1), Not: rng.Intn(2) == 0}
+	case 4:
+		in := &InExpr{X: genExpr(rng, depth-1), Not: rng.Intn(2) == 0}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			in.List = append(in.List, genExpr(rng, depth-1))
+		}
+		return in
+	case 5:
+		return &BetweenExpr{
+			X: genExpr(rng, depth-1), Lo: genExpr(rng, depth-1), Hi: genExpr(rng, depth-1),
+			Not: rng.Intn(2) == 0,
+		}
+	case 6:
+		names := []string{"SUM", "COUNT", "ABS", "COALESCE"}
+		fc := &FuncCall{Name: names[rng.Intn(len(names))]}
+		if fc.Name == "COUNT" && rng.Intn(2) == 0 {
+			fc.Star = true
+			return fc
+		}
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			fc.Args = append(fc.Args, genExpr(rng, depth-1))
+		}
+		return fc
+	default:
+		return &Literal{Value: catalog.Null}
+	}
+}
+
+// TestExprPrintParseRoundTripProperty: printing any generated expression
+// and reparsing it yields a tree that prints identically (print is a fixed
+// point after one parse).
+func TestExprPrintParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 3)
+		p1 := PrintExpr(e)
+		parsed, err := ParseExpr(p1)
+		if err != nil {
+			t.Logf("seed %d: parse of %q failed: %v", seed, p1, err)
+			return false
+		}
+		p2 := PrintExpr(parsed)
+		if p1 != p2 {
+			t.Logf("seed %d:\n first: %s\nsecond: %s", seed, p1, p2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSelectPrintParseRoundTripProperty builds random SELECTs from
+// generated expressions and round-trips them.
+func TestSelectPrintParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sel := &SelectStmt{Distinct: rng.Intn(4) == 0}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			item := SelectItem{Expr: genExpr(rng, 2)}
+			if rng.Intn(3) == 0 {
+				item.Alias = "x" + string(rune('a'+i))
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		sel.From = []TableRef{{Table: "t"}}
+		if rng.Intn(2) == 0 {
+			sel.From = append(sel.From, TableRef{Table: "u", On: genExpr(rng, 1)})
+		}
+		if rng.Intn(2) == 0 {
+			sel.Where = genExpr(rng, 2)
+		}
+		if rng.Intn(3) == 0 {
+			sel.GroupBy = []Expr{genExpr(rng, 1)}
+			if rng.Intn(2) == 0 {
+				sel.Having = genExpr(rng, 1)
+			}
+		}
+		if rng.Intn(3) == 0 {
+			sel.OrderBy = []OrderItem{{Expr: genExpr(rng, 1), Desc: rng.Intn(2) == 0}}
+		}
+		if rng.Intn(4) == 0 {
+			lim := rng.Int63n(100)
+			sel.Limit = &lim
+		}
+		p1 := Print(sel)
+		parsed, err := Parse(p1)
+		if err != nil {
+			t.Logf("seed %d: parse of %q failed: %v", seed, p1, err)
+			return false
+		}
+		p2 := Print(parsed)
+		if p1 != p2 {
+			t.Logf("seed %d:\n first: %s\nsecond: %s", seed, p1, p2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

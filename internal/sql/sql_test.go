@@ -1,0 +1,356 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`SELECT city, SUM(total_sales) FROM DailySales WHERE city = "San Jose" AND x >= 10.5 -- comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	if texts[0] != "SELECT" || kinds[0] != TokKeyword {
+		t.Errorf("first token %v %q", kinds[0], texts[0])
+	}
+	found := false
+	for i, tx := range texts {
+		if tx == "San Jose" && kinds[i] == TokString {
+			found = true
+		}
+	}
+	if !found {
+		t.Error(`double-quoted "San Jose" not lexed as a string (paper convention)`)
+	}
+	if kinds[len(kinds)-1] != TokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexParams(t *testing.T) {
+	toks, err := Lex(":sessionVN <= tupleVN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokParam || toks[0].Text != "sessionVN" {
+		t.Errorf("param token = %v", toks[0])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := Lex("a : b"); err == nil {
+		t.Error("bare colon accepted")
+	}
+	if _, err := Lex("a @ b"); err == nil {
+		t.Error("stray character accepted")
+	}
+}
+
+func TestLexQuoteEscapes(t *testing.T) {
+	toks, err := Lex(`'it''s'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "it's" {
+		t.Errorf("escaped quote = %q", toks[0].Text)
+	}
+}
+
+func TestLexNumberGrouping(t *testing.T) {
+	toks, err := Lex("VALUES (1,2, 10_000)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nums []string
+	for _, tok := range toks {
+		if tok.Kind == TokNumber {
+			nums = append(nums, tok.Text)
+		}
+	}
+	if len(nums) != 3 || nums[0] != "1" || nums[1] != "2" || nums[2] != "10000" {
+		t.Errorf("numbers = %v, want [1 2 10000] — comma must separate list items", nums)
+	}
+}
+
+// TestParsePaperQuery parses the analyst query from Example 2.1.
+func TestParsePaperQuery(t *testing.T) {
+	sel, err := ParseSelect(`
+		SELECT city, state, SUM(total_sales)
+		FROM DailySales
+		GROUP BY city, state`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Items) != 3 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	fc, ok := sel.Items[2].Expr.(*FuncCall)
+	if !ok || fc.Name != "SUM" {
+		t.Errorf("item 3 = %#v, want SUM call", sel.Items[2].Expr)
+	}
+	if len(sel.From) != 1 || sel.From[0].Table != "DailySales" {
+		t.Errorf("from = %+v", sel.From)
+	}
+	if len(sel.GroupBy) != 2 {
+		t.Errorf("group by = %d exprs", len(sel.GroupBy))
+	}
+}
+
+// TestParseRewrittenQuery parses the paper's rewritten query from Example
+// 4.1, exercising CASE, params, and the compound WHERE clause.
+func TestParseRewrittenQuery(t *testing.T) {
+	q := `
+	SELECT city, state,
+	       SUM(CASE WHEN :sessionVN >= tupleVN
+	           THEN total_sales ELSE pre_total_sales END)
+	FROM DailySales
+	WHERE (:sessionVN >= tupleVN AND operation <> 'delete')
+	   OR (:sessionVN < tupleVN AND operation <> 'insert')
+	GROUP BY city, state`
+	sel, err := ParseSelect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, ok := sel.Items[2].Expr.(*FuncCall)
+	if !ok {
+		t.Fatalf("item 3 is %T", sel.Items[2].Expr)
+	}
+	ce, ok := sum.Args[0].(*CaseExpr)
+	if !ok || len(ce.Whens) != 1 || ce.Else == nil {
+		t.Fatalf("CASE = %#v", sum.Args[0])
+	}
+	or, ok := sel.Where.(*BinaryExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("where = %#v, want OR at top", sel.Where)
+	}
+}
+
+func TestParseDMLAndCreate(t *testing.T) {
+	stmt, err := Parse(`INSERT INTO DailySales (city, total_sales) VALUES ('San Jose', 10_000), ('Berkeley', 500)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*InsertStmt)
+	if len(ins.Rows) != 2 || len(ins.Columns) != 2 {
+		t.Errorf("insert = %+v", ins)
+	}
+
+	stmt, err = Parse(`UPDATE DailySales SET total_sales = total_sales + 1000 WHERE city = 'San Jose' AND date = '10/13/96'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := stmt.(*UpdateStmt)
+	if len(upd.Sets) != 1 || upd.Where == nil {
+		t.Errorf("update = %+v", upd)
+	}
+
+	stmt, err = Parse(`DELETE FROM DailySales WHERE city = 'San Jose'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.(*DeleteStmt).Where == nil {
+		t.Error("delete where missing")
+	}
+
+	stmt, err = Parse(`CREATE TABLE DailySales (
+		city VARCHAR(20), state VARCHAR(2), product_line VARCHAR(12),
+		date DATE, total_sales INT(4) UPDATABLE,
+		UNIQUE KEY(city, state, product_line, date))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if len(ct.Columns) != 5 || len(ct.Key) != 4 {
+		t.Errorf("create = %+v", ct)
+	}
+	if !ct.Columns[4].Updatable || ct.Columns[4].Length != 4 {
+		t.Errorf("total_sales column = %+v", ct.Columns[4])
+	}
+	if ct.Columns[3].Name != "date" || ct.Columns[3].Type != catalog.TypeDate {
+		t.Errorf("date column = %+v (a column named date must parse)", ct.Columns[3])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	e, err := ParseExpr("a + b * c = d AND NOT e OR f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ((a + (b*c)) = d AND (NOT e)) OR f
+	want := "(((a + (b * c)) = d) AND (NOT e)) OR f"
+	_ = want
+	or, ok := e.(*BinaryExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top = %s", PrintExpr(e))
+	}
+	and, ok := or.L.(*BinaryExpr)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("left of OR = %s", PrintExpr(or.L))
+	}
+	eq, ok := and.L.(*BinaryExpr)
+	if !ok || eq.Op != OpEq {
+		t.Fatalf("left of AND = %s", PrintExpr(and.L))
+	}
+	add, ok := eq.L.(*BinaryExpr)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("left of = is %s", PrintExpr(eq.L))
+	}
+	if mul, ok := add.R.(*BinaryExpr); !ok || mul.Op != OpMul {
+		t.Fatalf("right of + is %s", PrintExpr(add.R))
+	}
+}
+
+func TestParseMisc(t *testing.T) {
+	if _, err := ParseExpr("x IS NOT NULL"); err != nil {
+		t.Error(err)
+	}
+	e, err := ParseExpr("x NOT IN (1, 2, 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in, ok := e.(*InExpr); !ok || !in.Not || len(in.List) != 3 {
+		t.Errorf("NOT IN = %#v", e)
+	}
+	e, err = ParseExpr("x BETWEEN 1 AND 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*BetweenExpr); !ok {
+		t.Errorf("BETWEEN = %#v", e)
+	}
+	if _, err := ParseExpr("COUNT(*)"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseExpr("-x + 3"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseExpr("t.col"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSelectExtras(t *testing.T) {
+	sel, err := ParseSelect(`SELECT DISTINCT a AS x, b y FROM t1 AS u JOIN t2 ON u.id = t2.id
+		WHERE a > 0 GROUP BY a HAVING COUNT(*) > 1 ORDER BY a DESC, b LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Distinct || sel.Items[0].Alias != "x" || sel.Items[1].Alias != "y" {
+		t.Errorf("select head = %+v", sel.Items)
+	}
+	if len(sel.From) != 2 || sel.From[1].On == nil {
+		t.Errorf("from = %+v", sel.From)
+	}
+	if sel.Having == nil || len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("tail clauses = %+v %+v", sel.Having, sel.OrderBy)
+	}
+	if sel.Limit == nil || *sel.Limit != 10 {
+		t.Errorf("limit = %v", sel.Limit)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC x",
+		"SELECT",
+		"SELECT a FROM",
+		"INSERT INTO t",
+		"UPDATE t",
+		"CREATE TABLE t ()",
+		"SELECT a FROM t WHERE",
+		"SELECT CASE END",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t; garbage",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded", q)
+		}
+	}
+	if _, err := ParseSelect("DELETE FROM t"); err == nil {
+		t.Error("ParseSelect accepted a DELETE")
+	}
+}
+
+// TestPrintRoundTrip checks Print/Parse stability: printing a parsed
+// statement and reparsing it yields the same printed form.
+func TestPrintRoundTrip(t *testing.T) {
+	queries := []string{
+		`SELECT city, state, SUM(total_sales) FROM DailySales GROUP BY city, state`,
+		`SELECT product_line, SUM(total_sales) FROM DailySales WHERE city = 'San Jose' AND state = 'CA' GROUP BY product_line`,
+		`SELECT city, SUM(CASE WHEN :sessionVN >= tupleVN THEN total_sales ELSE pre_total_sales END) FROM DailySales WHERE (:sessionVN >= tupleVN AND operation <> 'delete') OR (:sessionVN < tupleVN AND operation <> 'insert') GROUP BY city`,
+		`INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)`,
+		`UPDATE t SET a = a + 1, b = 'y' WHERE a IS NOT NULL`,
+		`DELETE FROM t WHERE a IN (1, 2) OR b BETWEEN 3 AND 4`,
+		`CREATE TABLE t (a INT(4), b VARCHAR(8) UPDATABLE, UNIQUE KEY(a))`,
+		`SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 3`,
+		`SELECT * FROM t JOIN u ON t.a = u.a WHERE NOT (t.b = 1)`,
+	}
+	for _, q := range queries {
+		s1, err := Parse(q)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", q, err)
+			continue
+		}
+		p1 := Print(s1)
+		s2, err := Parse(p1)
+		if err != nil {
+			t.Errorf("reparse of %q: %v\nprinted: %s", q, err, p1)
+			continue
+		}
+		p2 := Print(s2)
+		if p1 != p2 {
+			t.Errorf("unstable print for %q:\n first: %s\nsecond: %s", q, p1, p2)
+		}
+	}
+}
+
+func TestCloneAndTransform(t *testing.T) {
+	sel, _ := ParseSelect(`SELECT a, SUM(b) FROM t WHERE a > 1 GROUP BY a HAVING SUM(b) > 0 ORDER BY a LIMIT 5`)
+	clone := CloneSelect(sel)
+	// Transform the clone: replace every ColumnRef "b" with "c".
+	rename := func(e Expr) Expr {
+		if cr, ok := e.(*ColumnRef); ok && cr.Name == "b" {
+			return &ColumnRef{Name: "c"}
+		}
+		return e
+	}
+	for i := range clone.Items {
+		if clone.Items[i].Expr != nil {
+			clone.Items[i].Expr = TransformExpr(clone.Items[i].Expr, rename)
+		}
+	}
+	clone.Having = TransformExpr(clone.Having, rename)
+	if strings.Contains(Print(clone), "SUM(b)") {
+		t.Error("transform did not apply")
+	}
+	if !strings.Contains(Print(sel), "SUM(b)") {
+		t.Error("transform leaked into the original (clone not deep)")
+	}
+}
+
+func TestWalkExpr(t *testing.T) {
+	e, _ := ParseExpr("CASE WHEN a = 1 THEN b + c ELSE d END")
+	var cols []string
+	WalkExpr(e, func(x Expr) bool {
+		if cr, ok := x.(*ColumnRef); ok {
+			cols = append(cols, cr.Name)
+		}
+		return true
+	})
+	if len(cols) != 4 {
+		t.Errorf("walk found %v", cols)
+	}
+}

@@ -1,0 +1,318 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+)
+
+// RID is a record identifier: the physical address of a tuple within a heap.
+type RID struct {
+	Page int
+	Slot int
+}
+
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// ErrNoSuchTuple is returned when an RID does not name a live tuple.
+var ErrNoSuchTuple = errors.New("storage: no such tuple")
+
+// slot holds one tuple. Dead slots are left in place and reused by later
+// inserts; they still occupy their page's slot array but not its byte
+// budget.
+type slot struct {
+	tuple catalog.Tuple
+	live  bool
+}
+
+// page is a slotted page. Its latch (mu) is the paper's "short-duration
+// lock": held only across a single tuple read or mutation, never until
+// commit.
+type page struct {
+	mu    sync.RWMutex
+	slots []slot
+	live  int // live slot count
+}
+
+// Heap is an unordered collection of tuples stored on slotted pages. Each
+// tuple occupies rowBytes bytes of its page (fixed-width accounting, as the
+// paper's Figure 3 measures schemas by declared column lengths), so a page
+// holds pageSize/rowBytes tuples. Widening a schema — as the 2VNL extension
+// does — therefore reduces tuples per page and increases scan I/O, an effect
+// the paper calls out in §6.
+type Heap struct {
+	name        string
+	fileID      int
+	pool        *BufferPool
+	rowBytes    int
+	slotsPerPag int
+
+	mu    sync.RWMutex // guards pages slice growth and freePages
+	pages []*page
+	// freePages holds indexes of pages that had a free slot when last
+	// observed; it may contain stale entries, which Insert skips.
+	freePages []int
+
+	liveCount atomic.Int64
+}
+
+var nextFileID atomic.Int64
+
+// NewHeap creates a heap named name whose tuples each occupy rowBytes bytes,
+// attached to the given buffer pool. pageSize 0 selects DefaultPageSize.
+// rowBytes must be positive and at most pageSize.
+func NewHeap(name string, rowBytes, pageSize int, pool *BufferPool) (*Heap, error) {
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	if rowBytes <= 0 {
+		return nil, fmt.Errorf("storage: heap %q rowBytes must be positive, got %d", name, rowBytes)
+	}
+	if rowBytes > pageSize {
+		return nil, fmt.Errorf("storage: heap %q rowBytes %d exceeds page size %d", name, rowBytes, pageSize)
+	}
+	if pool == nil {
+		return nil, fmt.Errorf("storage: heap %q needs a buffer pool", name)
+	}
+	return &Heap{
+		name:        name,
+		fileID:      int(nextFileID.Add(1)),
+		pool:        pool,
+		rowBytes:    rowBytes,
+		slotsPerPag: pageSize / rowBytes,
+	}, nil
+}
+
+// Name returns the heap's name.
+func (h *Heap) Name() string { return h.name }
+
+// FileID returns the heap's buffer-pool file identifier.
+func (h *Heap) FileID() int { return h.fileID }
+
+// RowBytes returns the per-tuple storage footprint.
+func (h *Heap) RowBytes() int { return h.rowBytes }
+
+// SlotsPerPage returns how many tuples fit on one page.
+func (h *Heap) SlotsPerPage() int { return h.slotsPerPag }
+
+// Len returns the number of live tuples.
+func (h *Heap) Len() int { return int(h.liveCount.Load()) }
+
+// NumPages returns the number of allocated pages.
+func (h *Heap) NumPages() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.pages)
+}
+
+// Bytes returns the total allocated storage in bytes (pages × page payload),
+// the quantity storage-overhead experiments report.
+func (h *Heap) Bytes() int {
+	return h.NumPages() * h.slotsPerPag * h.rowBytes
+}
+
+func (h *Heap) getPage(i int) *page {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if i < 0 || i >= len(h.pages) {
+		return nil
+	}
+	return h.pages[i]
+}
+
+// Insert stores a copy of t and returns its RID. It reuses dead slots before
+// allocating new pages.
+func (h *Heap) Insert(t catalog.Tuple) (RID, error) {
+	t = t.Clone()
+	for {
+		pi, pg := h.pageWithSpace()
+		pg.mu.Lock()
+		// Reuse a dead slot if any.
+		for si := range pg.slots {
+			if !pg.slots[si].live {
+				pg.slots[si] = slot{tuple: t, live: true}
+				pg.live++
+				pg.mu.Unlock()
+				h.pool.Touch(PageKey{h.fileID, pi}, true)
+				h.liveCount.Add(1)
+				return RID{Page: pi, Slot: si}, nil
+			}
+		}
+		if len(pg.slots) < h.slotsPerPag {
+			pg.slots = append(pg.slots, slot{tuple: t, live: true})
+			pg.live++
+			si := len(pg.slots) - 1
+			pg.mu.Unlock()
+			h.pool.Touch(PageKey{h.fileID, pi}, true)
+			h.liveCount.Add(1)
+			return RID{Page: pi, Slot: si}, nil
+		}
+		// Page filled up between pageWithSpace and the latch; retry.
+		pg.mu.Unlock()
+		h.dropFree(pi)
+	}
+}
+
+// pageWithSpace returns a page believed to have a free slot, allocating one
+// if necessary.
+func (h *Heap) pageWithSpace() (int, *page) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.freePages) > 0 {
+		pi := h.freePages[len(h.freePages)-1]
+		pg := h.pages[pi]
+		pg.mu.RLock()
+		hasSpace := pg.live < h.slotsPerPag
+		pg.mu.RUnlock()
+		if hasSpace {
+			return pi, pg
+		}
+		h.freePages = h.freePages[:len(h.freePages)-1]
+	}
+	pg := &page{}
+	h.pages = append(h.pages, pg)
+	pi := len(h.pages) - 1
+	h.freePages = append(h.freePages, pi)
+	return pi, pg
+}
+
+func (h *Heap) dropFree(pi int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, v := range h.freePages {
+		if v == pi {
+			h.freePages = append(h.freePages[:i], h.freePages[i+1:]...)
+			return
+		}
+	}
+}
+
+func (h *Heap) noteFree(pi int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, v := range h.freePages {
+		if v == pi {
+			return
+		}
+	}
+	h.freePages = append(h.freePages, pi)
+}
+
+// Get returns a copy of the tuple at rid. The page latch is held only while
+// the tuple is copied out, so callers never see a partly-modified tuple and
+// never block behind a transaction (only behind an in-flight single-tuple
+// mutation).
+func (h *Heap) Get(rid RID) (catalog.Tuple, error) {
+	pg := h.getPage(rid.Page)
+	if pg == nil {
+		return nil, fmt.Errorf("%w: %v in %s", ErrNoSuchTuple, rid, h.name)
+	}
+	pg.mu.RLock()
+	defer pg.mu.RUnlock()
+	if rid.Slot < 0 || rid.Slot >= len(pg.slots) || !pg.slots[rid.Slot].live {
+		return nil, fmt.Errorf("%w: %v in %s", ErrNoSuchTuple, rid, h.name)
+	}
+	h.pool.Touch(PageKey{h.fileID, rid.Page}, false)
+	return pg.slots[rid.Slot].tuple.Clone(), nil
+}
+
+// Update replaces the tuple at rid in place — the same slot on the same
+// page — under the page latch. This is the in-place physical update the
+// 2VNL rewrite implementation requires (§4): a scan can never return two
+// physical records for the same logical tuple.
+func (h *Heap) Update(rid RID, t catalog.Tuple) error {
+	pg := h.getPage(rid.Page)
+	if pg == nil {
+		return fmt.Errorf("%w: %v in %s", ErrNoSuchTuple, rid, h.name)
+	}
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if rid.Slot < 0 || rid.Slot >= len(pg.slots) || !pg.slots[rid.Slot].live {
+		return fmt.Errorf("%w: %v in %s", ErrNoSuchTuple, rid, h.name)
+	}
+	pg.slots[rid.Slot].tuple = t.Clone()
+	h.pool.Touch(PageKey{h.fileID, rid.Page}, true)
+	return nil
+}
+
+// Delete removes the tuple at rid, freeing its slot for reuse.
+func (h *Heap) Delete(rid RID) error {
+	pg := h.getPage(rid.Page)
+	if pg == nil {
+		return fmt.Errorf("%w: %v in %s", ErrNoSuchTuple, rid, h.name)
+	}
+	pg.mu.Lock()
+	if rid.Slot < 0 || rid.Slot >= len(pg.slots) || !pg.slots[rid.Slot].live {
+		pg.mu.Unlock()
+		return fmt.Errorf("%w: %v in %s", ErrNoSuchTuple, rid, h.name)
+	}
+	pg.slots[rid.Slot] = slot{}
+	pg.live--
+	pg.mu.Unlock()
+	h.pool.Touch(PageKey{h.fileID, rid.Page}, true)
+	h.liveCount.Add(-1)
+	h.noteFree(rid.Page)
+	return nil
+}
+
+// Scan calls fn for every live tuple. Each page's latch is held only while
+// that page's live tuples are copied out; fn runs without any latch held, so
+// it may freely read or write the heap. Scan observes each slot at most
+// once; tuples inserted into already-visited pages during the scan are not
+// observed (standard heap-scan semantics). Returning false from fn stops the
+// scan early.
+func (h *Heap) Scan(fn func(RID, catalog.Tuple) bool) {
+	n := h.NumPages()
+	var buf []struct {
+		rid RID
+		t   catalog.Tuple
+	}
+	for pi := 0; pi < n; pi++ {
+		pg := h.getPage(pi)
+		if pg == nil {
+			return
+		}
+		buf = buf[:0]
+		pg.mu.RLock()
+		if pg.live > 0 {
+			h.pool.Touch(PageKey{h.fileID, pi}, false)
+			for si := range pg.slots {
+				if pg.slots[si].live {
+					buf = append(buf, struct {
+						rid RID
+						t   catalog.Tuple
+					}{RID{pi, si}, pg.slots[si].tuple.Clone()})
+				}
+			}
+		}
+		pg.mu.RUnlock()
+		for _, e := range buf {
+			if !fn(e.rid, e.t) {
+				return
+			}
+		}
+	}
+}
+
+// UpdateFunc applies fn to the tuple at rid atomically under the page latch:
+// read-modify-write as one short critical section. fn receives a copy and
+// returns the replacement tuple. This is the primitive the 2VNL maintenance
+// cursor uses so that a reader latching the page sees either the old or the
+// new complete tuple state, never an intermediate one.
+func (h *Heap) UpdateFunc(rid RID, fn func(catalog.Tuple) catalog.Tuple) error {
+	pg := h.getPage(rid.Page)
+	if pg == nil {
+		return fmt.Errorf("%w: %v in %s", ErrNoSuchTuple, rid, h.name)
+	}
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if rid.Slot < 0 || rid.Slot >= len(pg.slots) || !pg.slots[rid.Slot].live {
+		return fmt.Errorf("%w: %v in %s", ErrNoSuchTuple, rid, h.name)
+	}
+	h.pool.Touch(PageKey{h.fileID, rid.Page}, true)
+	pg.slots[rid.Slot].tuple = fn(pg.slots[rid.Slot].tuple.Clone()).Clone()
+	return nil
+}

@@ -1,0 +1,155 @@
+// Package storage implements the heap storage engine the warehouse runs on:
+// slotted pages holding whole tuples, a buffer pool that accounts for
+// logical page I/O, per-page short-duration latches, and in-place tuple
+// updates.
+//
+// The 2VNL paper (§4) requires exactly two properties of the underlying
+// DBMS's storage layer, and this package provides both:
+//
+//  1. While a tuple is being modified a latch (short-duration lock) is held
+//     on its page so readers never observe a partly-modified tuple; the
+//     latch is released as soon as the tuple is modified, not at commit.
+//  2. Physical tuple updates happen in place, so a scan never returns two
+//     physical records for one tuple.
+//
+// The buffer pool does not persist anything — the engine is in-memory — but
+// it simulates a page cache with LRU eviction and counts hits, misses
+// (reads), and dirty-page write-backs. Those counters power the paper's §6
+// I/O-overhead comparison between 2VNL (both tuple versions in one physical
+// location, zero extra I/O) and MV2PL version-pool designs (chain walks and
+// copy-outs cost extra I/O).
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// DefaultPageSize is the page size, in bytes, used when a Heap is created
+// with size 0. 8 KiB matches common DBMS defaults.
+const DefaultPageSize = 8192
+
+// PageKey identifies a page globally: which file (heap) and which page
+// within it.
+type PageKey struct {
+	File int
+	Page int
+}
+
+// IOStats is a snapshot of buffer-pool activity. Misses are logical read
+// I/Os; WriteBacks are logical write I/Os (dirty evictions plus flushes).
+type IOStats struct {
+	Hits       int64
+	Misses     int64
+	WriteBacks int64
+}
+
+// Reads returns the logical read I/O count (buffer misses).
+func (s IOStats) Reads() int64 { return s.Misses }
+
+// Total returns all logical I/Os (reads plus write-backs).
+func (s IOStats) Total() int64 { return s.Misses + s.WriteBacks }
+
+// Sub returns the delta between two snapshots (s - prev).
+func (s IOStats) Sub(prev IOStats) IOStats {
+	return IOStats{
+		Hits:       s.Hits - prev.Hits,
+		Misses:     s.Misses - prev.Misses,
+		WriteBacks: s.WriteBacks - prev.WriteBacks,
+	}
+}
+
+func (s IOStats) String() string {
+	return fmt.Sprintf("hits=%d reads=%d writebacks=%d", s.Hits, s.Misses, s.WriteBacks)
+}
+
+type poolEntry struct {
+	key   PageKey
+	dirty bool
+}
+
+// BufferPool simulates a fixed-capacity page cache with LRU replacement and
+// counts logical I/O. All heaps sharing a pool compete for its capacity,
+// exactly as relations and a version pool would inside one DBMS.
+type BufferPool struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recently used; values are *poolEntry
+	index    map[PageKey]*list.Element
+	stats    IOStats
+}
+
+// NewBufferPool returns a pool caching up to capacity pages. Capacity must
+// be positive.
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity <= 0 {
+		panic("storage: buffer pool capacity must be positive")
+	}
+	return &BufferPool{
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[PageKey]*list.Element, capacity),
+	}
+}
+
+// Touch records an access to the page. A miss counts as a read I/O; evicting
+// a dirty page counts as a write I/O. When write is true the cached page is
+// marked dirty.
+func (p *BufferPool) Touch(key PageKey, write bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.index[key]; ok {
+		p.stats.Hits++
+		p.lru.MoveToFront(el)
+		if write {
+			el.Value.(*poolEntry).dirty = true
+		}
+		return
+	}
+	p.stats.Misses++
+	for p.lru.Len() >= p.capacity {
+		back := p.lru.Back()
+		e := back.Value.(*poolEntry)
+		if e.dirty {
+			p.stats.WriteBacks++
+		}
+		delete(p.index, e.key)
+		p.lru.Remove(back)
+	}
+	p.index[key] = p.lru.PushFront(&poolEntry{key: key, dirty: write})
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *BufferPool) Stats() IOStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Reset zeroes the counters and empties the cache, flushing nothing (this is
+// an accounting reset, not a checkpoint).
+func (p *BufferPool) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = IOStats{}
+	p.lru.Init()
+	p.index = make(map[PageKey]*list.Element, p.capacity)
+}
+
+// Flush write-backs every dirty cached page, counting one write I/O each,
+// and marks them clean. It models a checkpoint at transaction commit.
+func (p *BufferPool) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*poolEntry)
+		if e.dirty {
+			p.stats.WriteBacks++
+			e.dirty = false
+		}
+	}
+}
+
+// Capacity returns the pool's page capacity.
+func (p *BufferPool) Capacity() int { return p.capacity }

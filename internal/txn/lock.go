@@ -1,0 +1,345 @@
+// Package txn provides the transaction substrate the warehouse baselines
+// run on: a lock manager with shared, exclusive, and the two-version
+// write/certify modes of 2V2PL, waits-for deadlock detection, and strict
+// two-phase transaction lifecycles.
+//
+// The 2VNL algorithm itself places no locks — that is the paper's point —
+// but its comparison targets do: strict 2PL blocks readers behind the
+// maintenance transaction, and 2V2PL writers must certify (upgrade W→C) at
+// commit, waiting out every reader of a modified tuple (§6). This package
+// implements those mechanisms faithfully so the experiments can measure the
+// blocking the paper argues 2VNL avoids.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes. S and X are conventional. W and Certify implement 2V2PL
+// [BHR80, SR81]: a writer takes W locks (compatible with readers' S locks,
+// since the writer writes a new version) and converts them to Certify locks
+// at commit; Certify conflicts with S, so commit waits for readers.
+const (
+	S Mode = iota + 1
+	X
+	W
+	Certify
+)
+
+func (m Mode) String() string {
+	switch m {
+	case S:
+		return "S"
+	case X:
+		return "X"
+	case W:
+		return "W"
+	case Certify:
+		return "C"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Compatible reports whether a lock in mode a held by one transaction is
+// compatible with a request in mode b by another.
+func Compatible(a, b Mode) bool {
+	switch a {
+	case S:
+		return b == S || b == W
+	case W:
+		return b == S
+	case X, Certify:
+		return false
+	default:
+		return false
+	}
+}
+
+// stronger reports whether mode a subsumes mode b for upgrade purposes.
+func stronger(a, b Mode) bool {
+	rank := func(m Mode) int {
+		switch m {
+		case S:
+			return 1
+		case W:
+			return 2
+		case X, Certify:
+			return 3
+		}
+		return 0
+	}
+	return rank(a) >= rank(b)
+}
+
+// ErrDeadlock is returned by Acquire when granting the request would create
+// a waits-for cycle; the requester should abort.
+var ErrDeadlock = errors.New("txn: deadlock detected")
+
+// ErrTxnDone is returned when using a committed or aborted transaction.
+var ErrTxnDone = errors.New("txn: transaction already finished")
+
+// Resource names a lockable object: a whole table or a single tuple.
+type Resource struct {
+	Table string
+	RID   storage.RID
+	// Tuple distinguishes tuple-level resources from the table-level
+	// resource (which has the zero RID).
+	Tuple bool
+}
+
+// TableResource returns the table-granularity resource for a table.
+func TableResource(table string) Resource { return Resource{Table: table} }
+
+// TupleResource returns the tuple-granularity resource for one record.
+func TupleResource(table string, rid storage.RID) Resource {
+	return Resource{Table: table, RID: rid, Tuple: true}
+}
+
+func (r Resource) String() string {
+	if r.Tuple {
+		return fmt.Sprintf("%s%v", r.Table, r.RID)
+	}
+	return r.Table
+}
+
+type lockState struct {
+	holders map[ID]Mode
+}
+
+type waiter struct {
+	txn  ID
+	res  Resource
+	mode Mode
+	// seq is the arrival order of the request; a waiter only defers to
+	// incompatible waiters with smaller seq, so two equal waiters can
+	// never block each other.
+	seq int64
+}
+
+// Manager is the lock manager. A single mutex plus condition variable
+// serializes lock-table changes; blocked Acquire calls wait on the
+// condition and re-examine the table FIFO-fairly on every release.
+type Manager struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	locks map[Resource]*lockState
+	// waiting records, for every blocked transaction, the resource it
+	// waits on; it drives deadlock detection.
+	waiting map[ID]Resource
+	// queue preserves arrival order of blocked requests so that releases
+	// wake waiters fairly.
+	queue   []waiter
+	nextSeq int64
+	stats   Stats
+}
+
+// Stats counts lock-manager events; the blocking experiments report these.
+type Stats struct {
+	Acquired  int64
+	Waited    int64 // requests that blocked at least once
+	Deadlocks int64
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	m := &Manager{
+		locks:   make(map[Resource]*lockState),
+		waiting: make(map[ID]Resource),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// grantable reports whether txn may take res in mode, given current holders
+// and queued waiters. A transaction is always compatible with itself
+// (upgrades). Fairness: a request must not overtake an earlier-arrived
+// (smaller seq) incompatible waiter — otherwise a stream of short readers
+// starves a waiting writer (or a 2V2PL certifier) forever. A fresh request
+// passes seq < 0 and defers to every queued incompatible waiter.
+// Transactions that already hold a lock on res are exempt from the fairness
+// rule, so lock upgrades cannot deadlock against the queue.
+func (m *Manager) grantable(txn ID, res Resource, mode Mode, seq int64) bool {
+	st := m.locks[res]
+	holdsSomething := false
+	if st != nil {
+		for holder, hm := range st.holders {
+			if holder == txn {
+				holdsSomething = true
+				continue
+			}
+			if !Compatible(hm, mode) {
+				return false
+			}
+		}
+	}
+	if !holdsSomething {
+		for _, w := range m.queue {
+			if w.txn == txn || w.res != res {
+				continue
+			}
+			if seq >= 0 && w.seq >= seq {
+				continue // w arrived later (or is our own re-queue)
+			}
+			if !Compatible(w.mode, mode) || !Compatible(mode, w.mode) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// acquire blocks until txn holds res in (at least) mode, or returns
+// ErrDeadlock. It must be called without m.mu held.
+func (m *Manager) acquire(txn ID, res Resource, mode Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Fast path.
+	if st := m.locks[res]; st != nil {
+		if held, ok := st.holders[txn]; ok && stronger(held, mode) {
+			return nil
+		}
+	}
+	seq := int64(-1) // assigned at first wait; kept across re-checks
+	for !m.grantable(txn, res, mode, seq) {
+		if m.wouldDeadlock(txn, res, mode) {
+			m.stats.Deadlocks++
+			return ErrDeadlock
+		}
+		if seq < 0 {
+			m.stats.Waited++
+			seq = m.nextSeq
+			m.nextSeq++
+		}
+		m.waiting[txn] = res
+		m.queue = append(m.queue, waiter{txn, res, mode, seq})
+		m.cond.Wait()
+		delete(m.waiting, txn)
+		m.dequeue(txn)
+	}
+	st := m.locks[res]
+	if st == nil {
+		st = &lockState{holders: make(map[ID]Mode)}
+		m.locks[res] = st
+	}
+	if held, ok := st.holders[txn]; !ok || !stronger(held, mode) {
+		st.holders[txn] = mode
+	}
+	m.stats.Acquired++
+	return nil
+}
+
+func (m *Manager) dequeue(txn ID) {
+	for i, w := range m.queue {
+		if w.txn == txn {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// wouldDeadlock checks, with m.mu held, whether txn waiting on res would
+// close a waits-for cycle. Edges: a waiter waits for every incompatible
+// holder of its resource.
+func (m *Manager) wouldDeadlock(txn ID, res Resource, mode Mode) bool {
+	// blockersOf returns the transactions that keep `t` from acquiring
+	// `r` in mode `md`.
+	blockersOf := func(t ID, r Resource, md Mode) []ID {
+		var out []ID
+		if st := m.locks[r]; st != nil {
+			for holder, hm := range st.holders {
+				if holder != t && !Compatible(hm, md) {
+					out = append(out, holder)
+				}
+			}
+		}
+		return out
+	}
+	// DFS from txn's prospective blockers; reaching txn again is a cycle.
+	// Mode information for already-waiting transactions is approximated
+	// conservatively as X (any conflict blocks them).
+	visited := make(map[ID]bool)
+	var dfs func(t ID) bool
+	dfs = func(t ID) bool {
+		if t == txn {
+			return true
+		}
+		if visited[t] {
+			return false
+		}
+		visited[t] = true
+		wres, isWaiting := m.waiting[t]
+		if !isWaiting {
+			return false
+		}
+		for _, b := range blockersOf(t, wres, X) {
+			if dfs(b) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range blockersOf(txn, res, mode) {
+		if dfs(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// release drops every lock txn holds and wakes all waiters.
+func (m *Manager) release(txn ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for res, st := range m.locks {
+		if _, ok := st.holders[txn]; ok {
+			delete(st.holders, txn)
+			if len(st.holders) == 0 {
+				delete(m.locks, res)
+			}
+		}
+	}
+	m.cond.Broadcast()
+}
+
+// releaseOne drops a single lock (used by short read locks under
+// READ COMMITTED) and wakes waiters.
+func (m *Manager) releaseOne(txn ID, res Resource) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st := m.locks[res]; st != nil {
+		delete(st.holders, txn)
+		if len(st.holders) == 0 {
+			delete(m.locks, res)
+		}
+	}
+	m.cond.Broadcast()
+}
+
+// HeldModes returns the modes txn currently holds, keyed by resource. For
+// tests and diagnostics.
+func (m *Manager) HeldModes(txn ID) map[Resource]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[Resource]Mode)
+	for res, st := range m.locks {
+		if mode, ok := st.holders[txn]; ok {
+			out[res] = mode
+		}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package txn
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ID identifies a transaction.
+type ID int64
+
+// IsolationLevel selects the locking discipline a transaction runs under.
+type IsolationLevel int
+
+const (
+	// ReadUncommitted places no read locks and ignores write locks. This is
+	// the level the 2VNL paper requires warehouse readers to run at (§4):
+	// correctness comes from the version logic in the tuples, not from
+	// locks.
+	ReadUncommitted IsolationLevel = iota
+	// ReadCommitted takes short S locks, released after each read.
+	ReadCommitted
+	// Serializable is strict two-phase locking: all locks held to the end.
+	Serializable
+)
+
+func (l IsolationLevel) String() string {
+	switch l {
+	case ReadUncommitted:
+		return "READ UNCOMMITTED"
+	case ReadCommitted:
+		return "READ COMMITTED"
+	case Serializable:
+		return "SERIALIZABLE"
+	default:
+		return fmt.Sprintf("IsolationLevel(%d)", int(l))
+	}
+}
+
+// State is a transaction's lifecycle state.
+type State int
+
+const (
+	Active State = iota
+	Committed
+	Aborted
+)
+
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+var nextTxnID atomic.Int64
+
+// Txn is a transaction handle. Lock acquisition goes through the manager;
+// commit and abort release every held lock (strict 2PL) and run any
+// registered hooks, which baselines use to install or discard deferred
+// writes.
+type Txn struct {
+	id        ID
+	isolation IsolationLevel
+	mgr       *Manager
+
+	mu        sync.Mutex
+	state     State
+	onCommit  []func()
+	onAbort   []func()
+	onRelease []func() // after locks drop, either way
+}
+
+// Begin starts a transaction at the given isolation level.
+func (m *Manager) Begin(level IsolationLevel) *Txn {
+	return &Txn{
+		id:        ID(nextTxnID.Add(1)),
+		isolation: level,
+		mgr:       m,
+	}
+}
+
+// ID returns the transaction's identifier.
+func (t *Txn) ID() ID { return t.id }
+
+// Isolation returns the transaction's isolation level.
+func (t *Txn) Isolation() IsolationLevel { return t.isolation }
+
+// State returns the lifecycle state.
+func (t *Txn) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+func (t *Txn) checkActive() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != Active {
+		return fmt.Errorf("%w (txn %d is %v)", ErrTxnDone, t.id, t.state)
+	}
+	return nil
+}
+
+// AcquireRead takes a read lock on res according to the isolation level:
+// none for READ UNCOMMITTED, a short S lock for READ COMMITTED (released by
+// the returned func), a held S lock for SERIALIZABLE (returned func is a
+// no-op). It may return ErrDeadlock.
+func (t *Txn) AcquireRead(res Resource) (release func(), err error) {
+	if err := t.checkActive(); err != nil {
+		return nil, err
+	}
+	switch t.isolation {
+	case ReadUncommitted:
+		return func() {}, nil
+	case ReadCommitted:
+		if err := t.mgr.acquire(t.id, res, S); err != nil {
+			return nil, err
+		}
+		return func() { t.mgr.releaseOne(t.id, res) }, nil
+	default:
+		if err := t.mgr.acquire(t.id, res, S); err != nil {
+			return nil, err
+		}
+		return func() {}, nil
+	}
+}
+
+// AcquireWrite takes an exclusive (X) lock on res, held until commit.
+func (t *Txn) AcquireWrite(res Resource) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	return t.mgr.acquire(t.id, res, X)
+}
+
+// AcquireW takes a 2V2PL write (W) lock: compatible with readers' S locks,
+// incompatible with other writers.
+func (t *Txn) AcquireW(res Resource) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	return t.mgr.acquire(t.id, res, W)
+}
+
+// Certify upgrades res from W to Certify, waiting for all readers to
+// release their S locks. 2V2PL writers call this for every written resource
+// at commit; the wait is the "readers delay writers" cost the paper's §6
+// attributes to 2V2PL.
+func (t *Txn) Certify(res Resource) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	return t.mgr.acquire(t.id, res, Certify)
+}
+
+// OnCommit registers fn to run during Commit, before locks are released.
+func (t *Txn) OnCommit(fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onCommit = append(t.onCommit, fn)
+}
+
+// OnAbort registers fn to run during Abort, before locks are released.
+func (t *Txn) OnAbort(fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onAbort = append(t.onAbort, fn)
+}
+
+// OnRelease registers fn to run after locks are released, on either commit
+// or abort.
+func (t *Txn) OnRelease(fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onRelease = append(t.onRelease, fn)
+}
+
+// Commit runs commit hooks, releases all locks, and marks the transaction
+// committed.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	if t.state != Active {
+		t.mu.Unlock()
+		return fmt.Errorf("%w (txn %d is %v)", ErrTxnDone, t.id, t.state)
+	}
+	hooks := t.onCommit
+	after := t.onRelease
+	t.state = Committed
+	t.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	t.mgr.release(t.id)
+	for _, fn := range after {
+		fn()
+	}
+	return nil
+}
+
+// Abort runs abort hooks, releases all locks, and marks the transaction
+// aborted. Aborting a finished transaction is a no-op.
+func (t *Txn) Abort() {
+	t.mu.Lock()
+	if t.state != Active {
+		t.mu.Unlock()
+		return
+	}
+	hooks := t.onAbort
+	after := t.onRelease
+	t.state = Aborted
+	t.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	t.mgr.release(t.id)
+	for _, fn := range after {
+		fn()
+	}
+}

@@ -1,0 +1,430 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	// Rows: held mode; columns: requested mode.
+	want := map[[2]Mode]bool{
+		{S, S}: true, {S, X}: false, {S, W}: true, {S, Certify}: false,
+		{X, S}: false, {X, X}: false, {X, W}: false, {X, Certify}: false,
+		{W, S}: true, {W, X}: false, {W, W}: false, {W, Certify}: false,
+		{Certify, S}: false, {Certify, X}: false, {Certify, W}: false, {Certify, Certify}: false,
+	}
+	for pair, exp := range want {
+		if got := Compatible(pair[0], pair[1]); got != exp {
+			t.Errorf("Compatible(%v, %v) = %v, want %v", pair[0], pair[1], got, exp)
+		}
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := NewManager()
+	r := TableResource("t")
+	t1 := m.Begin(Serializable)
+	t2 := m.Begin(Serializable)
+	if _, err := t1.AcquireRead(r); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := t2.AcquireRead(r)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("second S lock: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("S lock blocked behind S lock")
+	}
+	t1.Commit()
+	t2.Commit()
+}
+
+func TestExclusiveBlocksReader(t *testing.T) {
+	m := NewManager()
+	r := TupleResource("t", storage.RID{Page: 0, Slot: 1})
+	w := m.Begin(Serializable)
+	if err := w.AcquireWrite(r); err != nil {
+		t.Fatal(err)
+	}
+	rd := m.Begin(Serializable)
+	acquired := make(chan struct{})
+	go func() {
+		if _, err := rd.AcquireRead(r); err != nil {
+			t.Errorf("reader: %v", err)
+		}
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("reader acquired S lock while X lock held — strict 2PL must block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	w.Commit()
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("reader never woke after writer commit")
+	}
+	rd.Commit()
+	if st := m.Stats(); st.Waited == 0 {
+		t.Error("Stats.Waited = 0, expected a blocked request")
+	}
+}
+
+func TestReadUncommittedNeverBlocks(t *testing.T) {
+	m := NewManager()
+	r := TableResource("t")
+	w := m.Begin(Serializable)
+	if err := w.AcquireWrite(r); err != nil {
+		t.Fatal(err)
+	}
+	rd := m.Begin(ReadUncommitted)
+	done := make(chan struct{})
+	go func() {
+		if _, err := rd.AcquireRead(r); err != nil {
+			t.Errorf("read-uncommitted read: %v", err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("READ UNCOMMITTED reader blocked behind X lock")
+	}
+	w.Commit()
+	rd.Commit()
+}
+
+func TestReadCommittedReleasesEarly(t *testing.T) {
+	m := NewManager()
+	r := TableResource("t")
+	rd := m.Begin(ReadCommitted)
+	release, err := rd.AcquireRead(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.HeldModes(rd.ID())) != 1 {
+		t.Fatal("S lock not recorded")
+	}
+	release()
+	if len(m.HeldModes(rd.ID())) != 0 {
+		t.Error("READ COMMITTED S lock not released by release()")
+	}
+	rd.Commit()
+}
+
+func Test2V2PLWriterCompatibleWithReaders(t *testing.T) {
+	m := NewManager()
+	r := TupleResource("t", storage.RID{})
+	rd := m.Begin(Serializable)
+	if _, err := rd.AcquireRead(r); err != nil {
+		t.Fatal(err)
+	}
+	w := m.Begin(Serializable)
+	done := make(chan error, 1)
+	go func() { done <- w.AcquireW(r) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("W lock: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("W lock blocked behind S lock — 2V2PL writers must not block on readers")
+	}
+	// But certify must wait for the reader.
+	certified := make(chan struct{})
+	go func() {
+		if err := w.Certify(r); err != nil {
+			t.Errorf("certify: %v", err)
+		}
+		close(certified)
+	}()
+	select {
+	case <-certified:
+		t.Fatal("certify succeeded while a reader holds S — commit must be delayed")
+	case <-time.After(50 * time.Millisecond):
+	}
+	rd.Commit()
+	select {
+	case <-certified:
+	case <-time.After(time.Second):
+		t.Fatal("certify never completed after reader commit")
+	}
+	w.Commit()
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := NewManager()
+	ra := TableResource("a")
+	rb := TableResource("b")
+	t1 := m.Begin(Serializable)
+	t2 := m.Begin(Serializable)
+	if err := t1.AcquireWrite(ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.AcquireWrite(rb); err != nil {
+		t.Fatal(err)
+	}
+	// t1 waits for b.
+	t1err := make(chan error, 1)
+	go func() { t1err <- t1.AcquireWrite(rb) }()
+	time.Sleep(20 * time.Millisecond)
+	// t2 requests a: cycle t2 -> t1 -> t2 must be detected.
+	err := t2.AcquireWrite(ra)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+	t2.Abort()
+	if err := <-t1err; err != nil {
+		t.Fatalf("t1 should acquire after victim aborts: %v", err)
+	}
+	t1.Commit()
+	if st := m.Stats(); st.Deadlocks != 1 {
+		t.Errorf("Deadlocks = %d, want 1", st.Deadlocks)
+	}
+}
+
+func TestUpgradeSToX(t *testing.T) {
+	m := NewManager()
+	r := TableResource("t")
+	tx := m.Begin(Serializable)
+	if _, err := tx.AcquireRead(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.AcquireWrite(r); err != nil {
+		t.Fatalf("self-upgrade S->X: %v", err)
+	}
+	if got := m.HeldModes(tx.ID())[r]; got != X {
+		t.Errorf("held mode = %v, want X", got)
+	}
+	// Re-acquiring a weaker mode is a no-op.
+	if _, err := tx.AcquireRead(r); err != nil {
+		t.Fatalf("re-read under X: %v", err)
+	}
+	if got := m.HeldModes(tx.ID())[r]; got != X {
+		t.Errorf("mode downgraded to %v", got)
+	}
+	tx.Commit()
+}
+
+func TestTxnLifecycle(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin(Serializable)
+	if tx.State() != Active || tx.Isolation() != Serializable {
+		t.Fatalf("fresh txn: %v %v", tx.State(), tx.Isolation())
+	}
+	var order []string
+	tx.OnCommit(func() { order = append(order, "commit") })
+	tx.OnRelease(func() { order = append(order, "release") })
+	tx.OnAbort(func() { order = append(order, "abort") })
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "commit" || order[1] != "release" {
+		t.Errorf("hook order = %v", order)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("double commit = %v", err)
+	}
+	tx.Abort() // no-op, must not run abort hook
+	if len(order) != 2 {
+		t.Errorf("abort hook ran on finished txn: %v", order)
+	}
+	if err := tx.AcquireWrite(TableResource("t")); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("lock on finished txn = %v", err)
+	}
+}
+
+func TestAbortReleasesLocks(t *testing.T) {
+	m := NewManager()
+	r := TableResource("t")
+	t1 := m.Begin(Serializable)
+	t1.AcquireWrite(r)
+	aborted := false
+	t1.OnAbort(func() { aborted = true })
+	t1.Abort()
+	if !aborted {
+		t.Error("abort hook did not run")
+	}
+	t2 := m.Begin(Serializable)
+	done := make(chan error, 1)
+	go func() { done <- t2.AcquireWrite(r) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("lock not released by abort")
+	}
+	t2.Commit()
+}
+
+// TestManyReadersOneWriterStress mirrors the warehouse pattern: one
+// 2V2PL-style writer cycling through tuples while readers take and release
+// S locks. The test asserts freedom from lost wakeups and data races.
+func TestManyReadersOneWriterStress(t *testing.T) {
+	m := NewManager()
+	resources := make([]Resource, 8)
+	for i := range resources {
+		resources[i] = TupleResource("t", storage.RID{Page: 0, Slot: i})
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tx := m.Begin(Serializable)
+				for _, res := range resources {
+					if _, err := tx.AcquireRead(res); err != nil {
+						tx.Abort()
+						return
+					}
+				}
+				tx.Commit()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			tx := m.Begin(Serializable)
+			ok := true
+			for _, res := range resources {
+				if err := tx.AcquireW(res); err != nil {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, res := range resources {
+					if err := tx.Certify(res); err != nil {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				tx.Commit()
+			} else {
+				tx.Abort()
+			}
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stress test hung — probable lost wakeup or livelock")
+	}
+}
+
+// TestWriterNotStarvedByReaderStream: with a continuous stream of new
+// reader transactions, a waiting Certify (or X) request must still be
+// granted — new readers queue behind it (FIFO fairness). Without fairness
+// the 2V2PL commit path livelocks, which is how this bug was found.
+func TestWriterNotStarvedByReaderStream(t *testing.T) {
+	m := NewManager()
+	r := TupleResource("t", storage.RID{})
+	// One reader holds S; the writer will wait to certify.
+	first := m.Begin(Serializable)
+	if _, err := first.AcquireRead(r); err != nil {
+		t.Fatal(err)
+	}
+	w := m.Begin(Serializable)
+	if err := w.AcquireW(r); err != nil {
+		t.Fatal(err)
+	}
+	certified := make(chan error, 1)
+	go func() { certified <- w.Certify(r) }()
+	time.Sleep(10 * time.Millisecond) // let the certify request queue
+
+	// A stream of new readers: each must NOT be granted S ahead of the
+	// queued certify; they finish quickly either way.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	overtook := make(chan struct{}, 1024)
+	for g := 0; g < 3; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := m.Begin(Serializable)
+				got := make(chan error, 1)
+				go func() {
+					_, err := tx.AcquireRead(r)
+					got <- err
+				}()
+				select {
+				case err := <-got:
+					if err == nil {
+						select {
+						case overtook <- struct{}{}:
+						default:
+						}
+					}
+					tx.Commit()
+				case <-time.After(20 * time.Millisecond):
+					// Correct behaviour: blocked behind the certify.
+					tx.Abort()
+					<-got
+					tx.Commit()
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(30 * time.Millisecond)
+	// Release the original reader: the certify must now complete even
+	// though readers keep arriving.
+	first.Commit()
+	select {
+	case err := <-certified:
+		if err != nil {
+			t.Fatalf("certify: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("certify starved by reader stream — FIFO fairness broken")
+	}
+	w.Commit()
+	close(stop)
+	readers.Wait()
+	select {
+	case <-overtook:
+		t.Error("a new reader overtook the queued certify request")
+	default:
+	}
+}
+
+func TestIsolationAndStateStrings(t *testing.T) {
+	if ReadUncommitted.String() != "READ UNCOMMITTED" || Serializable.String() != "SERIALIZABLE" {
+		t.Error("IsolationLevel.String")
+	}
+	if Active.String() != "active" || Committed.String() != "committed" || Aborted.String() != "aborted" {
+		t.Error("State.String")
+	}
+	if S.String() != "S" || Certify.String() != "C" {
+		t.Error("Mode.String")
+	}
+	if rs := TupleResource("t", storage.RID{Page: 1, Slot: 2}).String(); rs != "t(1,2)" {
+		t.Errorf("Resource.String = %q", rs)
+	}
+}

@@ -1,0 +1,216 @@
+// Package wal gives the warehouse durability: a write-ahead log of the
+// maintenance transactions' physical changes, with crash recovery by
+// redo-of-committed replay.
+//
+// Two logging policies make §7's claim measurable. A conventional
+// in-place-update engine logs before-images so aborted transactions can be
+// undone (PolicyFullImages). Under 2VNL the before-image is redundant —
+// every tuple carries its own pre-update version — so the log needs only
+// redo information (PolicyRedoOnly). The E10 experiment compares the log
+// volume of the two policies on identical batches.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+)
+
+// Value wire kinds.
+const (
+	wireNull byte = iota
+	wireInt
+	wireFloat
+	wireString
+	wireBool
+	wireDate
+)
+
+// appendValue encodes one value.
+func appendValue(buf []byte, v catalog.Value) []byte {
+	switch v.Kind() {
+	case catalog.TypeNull:
+		return append(buf, wireNull)
+	case catalog.TypeInt:
+		buf = append(buf, wireInt)
+		return binary.AppendVarint(buf, v.Int())
+	case catalog.TypeFloat:
+		buf = append(buf, wireFloat)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Float()))
+	case catalog.TypeString:
+		buf = append(buf, wireString)
+		buf = binary.AppendUvarint(buf, uint64(len(v.Str())))
+		return append(buf, v.Str()...)
+	case catalog.TypeBool:
+		b := byte(0)
+		if v.Bool() {
+			b = 1
+		}
+		return append(buf, wireBool, b)
+	case catalog.TypeDate:
+		buf = append(buf, wireDate)
+		return binary.AppendVarint(buf, v.Days())
+	default:
+		panic(fmt.Sprintf("wal: cannot encode value kind %v", v.Kind()))
+	}
+}
+
+// readValue decodes one value, returning the remaining buffer.
+func readValue(buf []byte) (catalog.Value, []byte, error) {
+	if len(buf) == 0 {
+		return catalog.Null, nil, fmt.Errorf("wal: truncated value")
+	}
+	kind := buf[0]
+	buf = buf[1:]
+	switch kind {
+	case wireNull:
+		return catalog.Null, buf, nil
+	case wireInt:
+		n, sz := binary.Varint(buf)
+		if sz <= 0 {
+			return catalog.Null, nil, fmt.Errorf("wal: bad varint")
+		}
+		return catalog.NewInt(n), buf[sz:], nil
+	case wireFloat:
+		if len(buf) < 8 {
+			return catalog.Null, nil, fmt.Errorf("wal: truncated float")
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		return catalog.NewFloat(f), buf[8:], nil
+	case wireString:
+		n, sz := binary.Uvarint(buf)
+		if sz <= 0 || uint64(len(buf[sz:])) < n {
+			return catalog.Null, nil, fmt.Errorf("wal: truncated string")
+		}
+		s := string(buf[sz : sz+int(n)])
+		return catalog.NewString(s), buf[sz+int(n):], nil
+	case wireBool:
+		if len(buf) < 1 {
+			return catalog.Null, nil, fmt.Errorf("wal: truncated bool")
+		}
+		return catalog.NewBool(buf[0] != 0), buf[1:], nil
+	case wireDate:
+		n, sz := binary.Varint(buf)
+		if sz <= 0 {
+			return catalog.Null, nil, fmt.Errorf("wal: bad date")
+		}
+		return catalog.NewDate(n), buf[sz:], nil
+	default:
+		return catalog.Null, nil, fmt.Errorf("wal: unknown value kind %d", kind)
+	}
+}
+
+// appendTuple encodes a tuple (count + values).
+func appendTuple(buf []byte, t catalog.Tuple) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(t)))
+	for _, v := range t {
+		buf = appendValue(buf, v)
+	}
+	return buf
+}
+
+func readTuple(buf []byte) (catalog.Tuple, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || n > 1<<20 {
+		return nil, nil, fmt.Errorf("wal: bad tuple arity")
+	}
+	buf = buf[sz:]
+	t := make(catalog.Tuple, n)
+	var err error
+	for i := range t {
+		t[i], buf, err = readValue(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return t, buf, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || uint64(len(buf[sz:])) < n {
+		return "", nil, fmt.Errorf("wal: truncated string field")
+	}
+	return string(buf[sz : sz+int(n)]), buf[sz+int(n):], nil
+}
+
+// appendSchema encodes a base schema for Create records.
+func appendSchema(buf []byte, s *catalog.Schema) []byte {
+	buf = appendString(buf, s.Name)
+	buf = binary.AppendUvarint(buf, uint64(len(s.Columns)))
+	for _, c := range s.Columns {
+		buf = appendString(buf, c.Name)
+		buf = binary.AppendUvarint(buf, uint64(c.Type))
+		buf = binary.AppendUvarint(buf, uint64(c.Length))
+		b := byte(0)
+		if c.Updatable {
+			b = 1
+		}
+		buf = append(buf, b)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Key)))
+	for _, k := range s.KeyNames() {
+		buf = appendString(buf, k)
+	}
+	return buf
+}
+
+func readSchema(buf []byte) (*catalog.Schema, []byte, error) {
+	name, buf, err := readString(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || n > 1<<16 {
+		return nil, nil, fmt.Errorf("wal: bad column count")
+	}
+	buf = buf[sz:]
+	cols := make([]catalog.Column, n)
+	for i := range cols {
+		cols[i].Name, buf, err = readString(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		typ, s1 := binary.Uvarint(buf)
+		if s1 <= 0 {
+			return nil, nil, fmt.Errorf("wal: bad column type")
+		}
+		buf = buf[s1:]
+		length, s2 := binary.Uvarint(buf)
+		if s2 <= 0 {
+			return nil, nil, fmt.Errorf("wal: bad column length")
+		}
+		buf = buf[s2:]
+		if len(buf) < 1 {
+			return nil, nil, fmt.Errorf("wal: truncated column")
+		}
+		cols[i].Type = catalog.Type(typ)
+		cols[i].Length = int(length)
+		cols[i].Updatable = buf[0] != 0
+		buf = buf[1:]
+	}
+	kn, sz := binary.Uvarint(buf)
+	if sz <= 0 || kn > n {
+		return nil, nil, fmt.Errorf("wal: bad key count")
+	}
+	buf = buf[sz:]
+	keys := make([]string, kn)
+	for i := range keys {
+		keys[i], buf, err = readString(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	schema, err := catalog.NewSchema(name, cols, keys...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return schema, buf, nil
+}

@@ -1,0 +1,373 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Kind identifies a log record type.
+type Kind byte
+
+// Record kinds.
+const (
+	KindCreate Kind = iota + 1
+	KindBegin
+	KindInsert
+	KindUpdate
+	KindDelete
+	KindCommit
+	KindAbort
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCreate:
+		return "create"
+	case KindBegin:
+		return "begin"
+	case KindInsert:
+		return "insert"
+	case KindUpdate:
+		return "update"
+	case KindDelete:
+		return "delete"
+	case KindCommit:
+		return "commit"
+	case KindAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("Kind(%d)", byte(k))
+	}
+}
+
+// Record is one decoded log record. Fields are populated per kind.
+type Record struct {
+	Kind   Kind
+	VN     core.VN
+	Table  string
+	RID    storage.RID
+	Before catalog.Tuple // updates/deletes under PolicyFullImages
+	After  catalog.Tuple // inserts/updates
+	Schema *catalog.Schema
+}
+
+// Policy selects how much each record carries.
+type Policy int
+
+const (
+	// PolicyRedoOnly logs only redo information — no before-images. Under
+	// 2VNL this is sufficient (§7): aborted transactions revert from the
+	// in-tuple pre-update versions, and recovery replays only committed
+	// transactions.
+	PolicyRedoOnly Policy = iota
+	// PolicyFullImages additionally logs the before-image of every update
+	// and delete — what a conventional in-place engine must write to
+	// support undo. Used as the comparison baseline.
+	PolicyFullImages
+)
+
+func (p Policy) String() string {
+	if p == PolicyFullImages {
+		return "full-images"
+	}
+	return "redo-only"
+}
+
+// Stats summarizes log activity.
+type Stats struct {
+	Records     int64
+	Bytes       int64
+	BeforeBytes int64 // bytes attributable to before-images
+	Syncs       int64
+}
+
+// Log is an append-only record log on one file. It implements core.Journal,
+// so installing it on a Store journals every maintenance transaction.
+type Log struct {
+	policy Policy
+
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	stats Stats
+	err   error // first write error; subsequent appends are dropped
+}
+
+// Create creates (or truncates) a log file with the given policy.
+func Create(path string, policy Policy) (*Log, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{policy: policy, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// Append opens an existing log for appending (after recovery). The caller
+// is responsible for having recovered from the log first; appended records
+// continue the history.
+func Append(path string, policy Policy) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{policy: policy, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// Close flushes and closes the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Close()
+}
+
+// Stats returns a snapshot of the counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Err returns the first write error, if any. Journal methods have no error
+// returns (except LogCommit), so persistent failures surface here and at
+// commit time.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// append frames and writes one record: [len u32][crc u32][payload].
+func (l *Log) append(payload []byte, beforeBytes int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		l.err = err
+		return
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		l.err = err
+		return
+	}
+	l.stats.Records++
+	l.stats.Bytes += int64(len(hdr) + len(payload))
+	l.stats.BeforeBytes += int64(beforeBytes)
+}
+
+// sync flushes buffered records and fsyncs the file.
+func (l *Log) sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.w.Flush(); err != nil {
+		l.err = err
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = err
+		return err
+	}
+	l.stats.Syncs++
+	return nil
+}
+
+// --- core.Journal implementation ---------------------------------------
+
+// LogCreate implements core.Journal.
+func (l *Log) LogCreate(base *catalog.Schema) {
+	buf := []byte{byte(KindCreate)}
+	buf = appendSchema(buf, base)
+	l.append(buf, 0)
+}
+
+// LogBegin implements core.Journal.
+func (l *Log) LogBegin(vn core.VN) {
+	buf := []byte{byte(KindBegin)}
+	buf = binary.AppendVarint(buf, int64(vn))
+	l.append(buf, 0)
+}
+
+func (l *Log) tupleRecord(kind Kind, table string, rid storage.RID, before, after catalog.Tuple) {
+	buf := []byte{byte(kind)}
+	buf = appendString(buf, table)
+	buf = binary.AppendVarint(buf, int64(rid.Page))
+	buf = binary.AppendVarint(buf, int64(rid.Slot))
+	beforeBytes := 0
+	hasBefore := l.policy == PolicyFullImages && before != nil
+	if hasBefore {
+		buf = append(buf, 1)
+		mark := len(buf)
+		buf = appendTuple(buf, before)
+		beforeBytes = len(buf) - mark
+	} else {
+		buf = append(buf, 0)
+	}
+	if after != nil {
+		buf = append(buf, 1)
+		buf = appendTuple(buf, after)
+	} else {
+		buf = append(buf, 0)
+	}
+	l.append(buf, beforeBytes)
+}
+
+// LogInsert implements core.Journal.
+func (l *Log) LogInsert(table string, rid storage.RID, after catalog.Tuple) {
+	l.tupleRecord(KindInsert, table, rid, nil, after)
+}
+
+// LogUpdate implements core.Journal.
+func (l *Log) LogUpdate(table string, rid storage.RID, before, after catalog.Tuple) {
+	l.tupleRecord(KindUpdate, table, rid, before, after)
+}
+
+// LogDelete implements core.Journal.
+func (l *Log) LogDelete(table string, rid storage.RID, before catalog.Tuple) {
+	l.tupleRecord(KindDelete, table, rid, before, nil)
+}
+
+// LogCommit implements core.Journal: append the commit record and force the
+// log to stable storage (the write-ahead rule).
+func (l *Log) LogCommit(vn core.VN) error {
+	buf := []byte{byte(KindCommit)}
+	buf = binary.AppendVarint(buf, int64(vn))
+	l.append(buf, 0)
+	return l.sync()
+}
+
+// LogAbort implements core.Journal.
+func (l *Log) LogAbort(vn core.VN) {
+	buf := []byte{byte(KindAbort)}
+	buf = binary.AppendVarint(buf, int64(vn))
+	l.append(buf, 0)
+}
+
+var _ core.Journal = (*Log)(nil)
+
+// --- reading ------------------------------------------------------------
+
+// ErrTornRecord marks a truncated or corrupted tail record; iteration stops
+// there, which is the normal crash-recovery behaviour.
+var ErrTornRecord = errors.New("wal: torn or corrupt record")
+
+// Iterate reads the log file at path, calling fn for each decoded record in
+// order. A torn or corrupted tail ends iteration silently (standard crash
+// semantics); corruption before the tail returns ErrTornRecord.
+func Iterate(path string, fn func(*Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // clean end or torn header at tail
+			}
+			return err
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if length > 1<<28 {
+			return nil // implausible length: treat as torn tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil // torn tail
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil // corrupt tail
+		}
+		rec, err := decode(payload)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrTornRecord, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+func decode(payload []byte) (*Record, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("empty record")
+	}
+	rec := &Record{Kind: Kind(payload[0])}
+	buf := payload[1:]
+	var err error
+	switch rec.Kind {
+	case KindCreate:
+		rec.Schema, _, err = readSchema(buf)
+		return rec, err
+	case KindBegin, KindCommit, KindAbort:
+		vn, sz := binary.Varint(buf)
+		if sz <= 0 {
+			return nil, fmt.Errorf("bad vn")
+		}
+		rec.VN = core.VN(vn)
+		return rec, nil
+	case KindInsert, KindUpdate, KindDelete:
+		rec.Table, buf, err = readString(buf)
+		if err != nil {
+			return nil, err
+		}
+		pg, sz := binary.Varint(buf)
+		if sz <= 0 {
+			return nil, fmt.Errorf("bad page")
+		}
+		buf = buf[sz:]
+		sl, sz := binary.Varint(buf)
+		if sz <= 0 {
+			return nil, fmt.Errorf("bad slot")
+		}
+		buf = buf[sz:]
+		rec.RID = storage.RID{Page: int(pg), Slot: int(sl)}
+		if len(buf) < 1 {
+			return nil, fmt.Errorf("truncated flags")
+		}
+		hasBefore := buf[0] != 0
+		buf = buf[1:]
+		if hasBefore {
+			rec.Before, buf, err = readTuple(buf)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if len(buf) < 1 {
+			return nil, fmt.Errorf("truncated flags")
+		}
+		hasAfter := buf[0] != 0
+		buf = buf[1:]
+		if hasAfter {
+			rec.After, _, err = readTuple(buf)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return rec, nil
+	default:
+		return nil, fmt.Errorf("unknown kind %d", payload[0])
+	}
+}

@@ -1,0 +1,130 @@
+package wal
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/storage"
+)
+
+// RecoverStats summarizes a recovery pass.
+type RecoverStats struct {
+	RecordsScanned int
+	CommittedTxns  int
+	SkippedTxns    int // uncommitted at crash: ignored entirely
+	TablesCreated  int
+	TuplesReplayed int
+	HighestVN      core.VN
+}
+
+// Recover rebuilds a version store from the log at path: it scans once to
+// find the committed transactions, then replays their physical changes in
+// log order into a fresh store. Records of transactions without a commit
+// record — in-flight at the crash — are skipped entirely, so no undo
+// information is ever needed: the redo-only discipline §7's observation
+// enables.
+//
+// Logged RIDs are remapped: because uncommitted transactions' inserts are
+// not replayed, physical addresses shift; the remap table tracks, per
+// logged (table, RID), the address the replayed tuple actually landed at.
+//
+// The returned store has currentVN equal to the highest committed
+// maintenance VN and no active transaction.
+func Recover(path string, dbOpts db.Options, storeOpts core.Options) (*core.Store, *db.Database, RecoverStats, error) {
+	var stats RecoverStats
+	// Pass 1: which transaction *instances* committed? Version numbers are
+	// not unique across the log — an aborted transaction's VN is reused by
+	// the next one — so transactions are identified by their ordinal
+	// position (Begin count).
+	committed := map[int]bool{}
+	instance := -1
+	if err := Iterate(path, func(r *Record) error {
+		stats.RecordsScanned++
+		switch r.Kind {
+		case KindBegin:
+			instance++
+		case KindCommit:
+			committed[instance] = true
+			if r.VN > stats.HighestVN {
+				stats.HighestVN = r.VN
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, nil, stats, err
+	}
+	stats.CommittedTxns = len(committed)
+	stats.SkippedTxns = (instance + 1) - len(committed)
+
+	// Pass 2: replay.
+	engine := db.Open(dbOpts)
+	store, err := core.Open(engine, storeOpts)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	type addr struct {
+		table string
+		rid   storage.RID
+	}
+	remap := map[addr]storage.RID{}
+	inCommitted := false
+	instance = -1
+	replayErr := Iterate(path, func(r *Record) error {
+		switch r.Kind {
+		case KindCreate:
+			if _, err := store.CreateTable(r.Schema); err != nil {
+				return fmt.Errorf("wal: recreate %s: %w", r.Schema.Name, err)
+			}
+			stats.TablesCreated++
+		case KindBegin:
+			instance++
+			inCommitted = committed[instance]
+		case KindCommit, KindAbort:
+			inCommitted = false
+		case KindInsert, KindUpdate, KindDelete:
+			if !inCommitted {
+				return nil
+			}
+			vt, err := store.Table(r.Table)
+			if err != nil {
+				return fmt.Errorf("wal: replay into unknown table %q", r.Table)
+			}
+			key := addr{r.Table, r.RID}
+			switch r.Kind {
+			case KindInsert:
+				newRID, err := vt.Storage().Insert(r.After)
+				if err != nil {
+					return fmt.Errorf("wal: replay insert: %w", err)
+				}
+				remap[key] = newRID
+			case KindUpdate:
+				rid, ok := remap[key]
+				if !ok {
+					return fmt.Errorf("wal: update of unmapped tuple %s%v", r.Table, r.RID)
+				}
+				if err := vt.Storage().Update(rid, r.After); err != nil {
+					return fmt.Errorf("wal: replay update: %w", err)
+				}
+			case KindDelete:
+				rid, ok := remap[key]
+				if !ok {
+					return fmt.Errorf("wal: delete of unmapped tuple %s%v", r.Table, r.RID)
+				}
+				if err := vt.Storage().Delete(rid); err != nil {
+					return fmt.Errorf("wal: replay delete: %w", err)
+				}
+				delete(remap, key)
+			}
+			stats.TuplesReplayed++
+		}
+		return nil
+	})
+	if replayErr != nil {
+		return nil, nil, stats, replayErr
+	}
+	if stats.HighestVN > 1 {
+		store.SetCurrentVN(stats.HighestVN)
+	}
+	return store, engine, stats, nil
+}

@@ -1,0 +1,221 @@
+// Package warehouse builds the data-warehousing scenario of the paper's
+// introduction on top of the 2VNL store: source facts arrive in batches
+// from operational systems, and the warehouse materializes summary tables —
+// select-from-where-groupby aggregate views [HRU96] — that are refreshed by
+// incremental view maintenance [GL95] inside 2VNL maintenance transactions,
+// while reader sessions analyze the summaries concurrently.
+//
+// A summary table's group-by attributes form its unique key and are never
+// updated; only the aggregate columns change. That is exactly the schema
+// profile (§3.1) that makes 2VNL's storage overhead small.
+package warehouse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+)
+
+// Fact is one source record: a sales event flowing into the warehouse.
+type Fact struct {
+	Store       int64
+	City        string
+	State       string
+	ProductLine string
+	Product     string
+	Date        catalog.Value // TypeDate
+	Amount      int64
+	Quantity    int64
+}
+
+// Batch is one maintenance delivery: facts to add and facts to retract
+// (corrections). An update to a fact is modelled, as usual in view
+// maintenance, as a retraction plus an insertion.
+type Batch struct {
+	Inserts []Fact
+	Deletes []Fact
+}
+
+// Size returns the number of source modifications in the batch.
+func (b *Batch) Size() int { return len(b.Inserts) + len(b.Deletes) }
+
+// Aggregate names an aggregate column of a summary view.
+type Aggregate struct {
+	// Func is "sum" or "count".
+	Func string
+	// Source selects the fact field for sum: "amount" or "quantity".
+	Source string
+	// As is the output column name.
+	As string
+}
+
+// ViewDef declares a summary table: GROUP BY the listed fact dimensions,
+// computing the listed aggregates. Every view implicitly maintains a hidden
+// tuple count so groups whose support drops to zero are deleted, per
+// standard incremental maintenance of aggregate views.
+type ViewDef struct {
+	Name string
+	// GroupBy lists fact dimensions: any of "store", "city", "state",
+	// "product_line", "product", "date".
+	GroupBy []string
+	// Aggregates lists the aggregate columns (at least one).
+	Aggregates []Aggregate
+	// Filter, when non-nil, keeps only matching facts (the WHERE of the
+	// view definition).
+	Filter func(Fact) bool
+}
+
+// countCol is the hidden support-count column appended to every summary
+// table.
+const countCol = "support_count"
+
+// dimension metadata: name → (type, length, extractor).
+var dimensions = map[string]struct {
+	typ    catalog.Type
+	length int
+	get    func(Fact) catalog.Value
+}{
+	"store":        {catalog.TypeInt, 4, func(f Fact) catalog.Value { return catalog.NewInt(f.Store) }},
+	"city":         {catalog.TypeString, 20, func(f Fact) catalog.Value { return catalog.NewString(f.City) }},
+	"state":        {catalog.TypeString, 2, func(f Fact) catalog.Value { return catalog.NewString(f.State) }},
+	"product_line": {catalog.TypeString, 12, func(f Fact) catalog.Value { return catalog.NewString(f.ProductLine) }},
+	"product":      {catalog.TypeString, 16, func(f Fact) catalog.Value { return catalog.NewString(f.Product) }},
+	"date":         {catalog.TypeDate, 4, func(f Fact) catalog.Value { return f.Date }},
+}
+
+func measure(f Fact, source string) (int64, error) {
+	switch source {
+	case "amount":
+		return f.Amount, nil
+	case "quantity":
+		return f.Quantity, nil
+	default:
+		return 0, fmt.Errorf("warehouse: unknown measure %q", source)
+	}
+}
+
+// View is a materialized summary table registered with a warehouse.
+type View struct {
+	def    ViewDef
+	schema *catalog.Schema
+	vt     *core.VTable
+	// aggIdx[i] is the base-schema column of aggregate i; cntIdx of the
+	// hidden count.
+	aggIdx []int
+	cntIdx int
+}
+
+// Def returns the view definition.
+func (v *View) Def() ViewDef { return v.def }
+
+// Table returns the underlying versioned relation.
+func (v *View) Table() *core.VTable { return v.vt }
+
+// buildSchema converts a ViewDef to a base relation schema: group-by
+// columns (key), aggregate columns (updatable), hidden count (updatable).
+func buildSchema(def ViewDef) (*catalog.Schema, error) {
+	if def.Name == "" {
+		return nil, fmt.Errorf("warehouse: view needs a name")
+	}
+	if len(def.GroupBy) == 0 {
+		return nil, fmt.Errorf("warehouse: view %q needs group-by dimensions", def.Name)
+	}
+	if len(def.Aggregates) == 0 {
+		return nil, fmt.Errorf("warehouse: view %q needs at least one aggregate", def.Name)
+	}
+	var cols []catalog.Column
+	for _, g := range def.GroupBy {
+		dim, ok := dimensions[strings.ToLower(g)]
+		if !ok {
+			return nil, fmt.Errorf("warehouse: view %q: unknown dimension %q", def.Name, g)
+		}
+		cols = append(cols, catalog.Column{Name: strings.ToLower(g), Type: dim.typ, Length: dim.length})
+	}
+	for _, a := range def.Aggregates {
+		if a.As == "" {
+			return nil, fmt.Errorf("warehouse: view %q: aggregate needs an output name", def.Name)
+		}
+		switch a.Func {
+		case "sum":
+			if _, err := measure(Fact{}, a.Source); err != nil {
+				return nil, err
+			}
+		case "count":
+		default:
+			return nil, fmt.Errorf("warehouse: view %q: unsupported aggregate %q (sum and count are incrementally maintainable)", def.Name, a.Func)
+		}
+		cols = append(cols, catalog.Column{Name: a.As, Type: catalog.TypeInt, Length: 8, Updatable: true})
+	}
+	cols = append(cols, catalog.Column{Name: countCol, Type: catalog.TypeInt, Length: 4, Updatable: true})
+	return catalog.NewSchema(def.Name, cols, def.GroupBy...)
+}
+
+// groupKey extracts the view's group-by key values from a fact.
+func (v *View) groupKey(f Fact) catalog.Tuple {
+	key := make(catalog.Tuple, len(v.def.GroupBy))
+	for i, g := range v.def.GroupBy {
+		key[i] = dimensions[strings.ToLower(g)].get(f)
+	}
+	return key
+}
+
+// delta is the net per-group change a batch induces on one view.
+type delta struct {
+	key  catalog.Tuple
+	aggs []int64 // per aggregate column
+	cnt  int64
+}
+
+// deltas folds a batch into net per-group changes — the "net effect" at the
+// view-maintenance level, computed before touching the warehouse so each
+// group is written at most once per batch.
+func (v *View) deltas(b *Batch) ([]*delta, error) {
+	byKey := make(map[uint64][]*delta)
+	var order []*delta
+	apply := func(f Fact, sign int64) error {
+		if v.def.Filter != nil && !v.def.Filter(f) {
+			return nil
+		}
+		key := v.groupKey(f)
+		h := catalog.HashTuple(key)
+		var d *delta
+		for _, cand := range byKey[h] {
+			if catalog.TuplesEqual(cand.key, key) {
+				d = cand
+				break
+			}
+		}
+		if d == nil {
+			d = &delta{key: key, aggs: make([]int64, len(v.def.Aggregates))}
+			byKey[h] = append(byKey[h], d)
+			order = append(order, d)
+		}
+		for i, a := range v.def.Aggregates {
+			switch a.Func {
+			case "sum":
+				m, err := measure(f, a.Source)
+				if err != nil {
+					return err
+				}
+				d.aggs[i] += sign * m
+			case "count":
+				d.aggs[i] += sign
+			}
+		}
+		d.cnt += sign
+		return nil
+	}
+	for _, f := range b.Inserts {
+		if err := apply(f, 1); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range b.Deletes {
+		if err := apply(f, -1); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

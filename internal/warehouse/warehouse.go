@@ -1,0 +1,285 @@
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+)
+
+// Warehouse couples a 2VNL/nVNL version store with a set of materialized
+// summary views and propagates source batches to every view inside a
+// single maintenance transaction — the paper's maintenance-transaction
+// model (§1): one batch update, applied to all materialized views, running
+// concurrently with reader sessions.
+type Warehouse struct {
+	store *core.Store
+	views map[string]*View
+	order []*View
+	// ApplyStats accumulates across batches.
+	batches int
+	facts   int
+}
+
+// New wraps a version store as a warehouse.
+func New(store *core.Store) *Warehouse {
+	return &Warehouse{store: store, views: make(map[string]*View)}
+}
+
+// Store returns the underlying version store.
+func (w *Warehouse) Store() *core.Store { return w.store }
+
+// Materialize creates a summary table for the view definition.
+func (w *Warehouse) Materialize(def ViewDef) (*View, error) {
+	if _, dup := w.views[def.Name]; dup {
+		return nil, fmt.Errorf("warehouse: view %q already materialized", def.Name)
+	}
+	schema, err := buildSchema(def)
+	if err != nil {
+		return nil, err
+	}
+	vt, err := w.store.CreateTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{def: def, schema: schema, vt: vt}
+	for i := range def.Aggregates {
+		v.aggIdx = append(v.aggIdx, len(def.GroupBy)+i)
+	}
+	v.cntIdx = len(def.GroupBy) + len(def.Aggregates)
+	w.views[def.Name] = v
+	w.order = append(w.order, v)
+	return v, nil
+}
+
+// View returns a materialized view by name.
+func (w *Warehouse) View(name string) (*View, error) {
+	v := w.views[name]
+	if v == nil {
+		return nil, fmt.Errorf("warehouse: no view %q", name)
+	}
+	return v, nil
+}
+
+// Views lists the materialized views in creation order.
+func (w *Warehouse) Views() []*View { return append([]*View(nil), w.order...) }
+
+// Batches returns how many batches have been applied.
+func (w *Warehouse) Batches() int { return w.batches }
+
+// Facts returns how many source modifications have been propagated.
+func (w *Warehouse) Facts() int { return w.facts }
+
+// ApplyBatch propagates one source batch to every materialized view inside
+// the given maintenance transaction. For each view it computes net
+// per-group deltas and then, per group: inserts a new summary tuple,
+// updates the aggregate columns, or deletes the tuple when its support
+// count reaches zero — each through the 2VNL maintenance operations, so
+// concurrent readers keep a consistent view throughout.
+func (w *Warehouse) ApplyBatch(m *core.Maintenance, b *Batch) error {
+	for _, v := range w.order {
+		ds, err := v.deltas(b)
+		if err != nil {
+			return err
+		}
+		for _, d := range ds {
+			if err := w.applyDelta(m, v, d); err != nil {
+				return fmt.Errorf("warehouse: view %q group %v: %w", v.def.Name, d.key, err)
+			}
+		}
+	}
+	w.batches++
+	w.facts += b.Size()
+	return nil
+}
+
+// RefreshBatch is the one-shot convenience: begin a maintenance
+// transaction, apply the batch, commit.
+func (w *Warehouse) RefreshBatch(b *Batch) error {
+	m, err := w.store.BeginMaintenance()
+	if err != nil {
+		return err
+	}
+	if err := w.ApplyBatch(m, b); err != nil {
+		m.Rollback()
+		return err
+	}
+	return m.Commit()
+}
+
+func (w *Warehouse) applyDelta(m *core.Maintenance, v *View, d *delta) error {
+	if d.cnt == 0 {
+		allZero := true
+		for _, a := range d.aggs {
+			if a != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			return nil // retraction exactly cancelled insertion
+		}
+	}
+	cur, found, err := m.GetCurrent(v.def.Name, d.key)
+	if err != nil {
+		return err
+	}
+	if !found {
+		if d.cnt < 0 {
+			return fmt.Errorf("retraction of unknown group (count %d)", d.cnt)
+		}
+		tuple := make(catalog.Tuple, len(v.schema.Columns))
+		copy(tuple, d.key)
+		for i, ai := range v.aggIdx {
+			tuple[ai] = catalog.NewInt(d.aggs[i])
+		}
+		tuple[v.cntIdx] = catalog.NewInt(d.cnt)
+		return m.Insert(v.def.Name, tuple)
+	}
+	newCnt := cur[v.cntIdx].Int() + d.cnt
+	if newCnt < 0 {
+		return fmt.Errorf("support count would go negative (%d)", newCnt)
+	}
+	if newCnt == 0 {
+		_, err := m.DeleteKey(v.def.Name, d.key)
+		return err
+	}
+	_, err = m.UpdateKey(v.def.Name, d.key, func(c catalog.Tuple) catalog.Tuple {
+		for i, ai := range v.aggIdx {
+			c[ai] = catalog.NewInt(c[ai].Int() + d.aggs[i])
+		}
+		c[v.cntIdx] = catalog.NewInt(newCnt)
+		return c
+	})
+	return err
+}
+
+// CommitPolicy decides when a maintenance transaction commits (§2.1
+// discusses the alternatives).
+type CommitPolicy int
+
+const (
+	// CommitImmediately commits as soon as the batch is applied — the
+	// fixed-schedule policy of Figure 2. Sessions older than one version
+	// expire when the next transaction begins.
+	CommitImmediately CommitPolicy = iota
+	// CommitWhenQuiet waits until no reader session is active before
+	// committing, so sessions never expire — at the risk of writer
+	// starvation (§2.1).
+	CommitWhenQuiet
+)
+
+// ErrStarved is returned by CommitWithPolicy when CommitWhenQuiet gives up
+// waiting for readers to drain.
+var ErrStarved = errors.New("warehouse: maintenance starved waiting for reader sessions to finish")
+
+// CommitWithPolicy commits m under the chosen policy. For CommitWhenQuiet,
+// poll is the re-check interval and maxWait bounds the starvation; on
+// timeout the transaction is left open and ErrStarved returned, so the
+// caller may retry, force-commit, or abort.
+func (w *Warehouse) CommitWithPolicy(m *core.Maintenance, p CommitPolicy, poll, maxWait time.Duration) error {
+	switch p {
+	case CommitImmediately:
+		return m.Commit()
+	case CommitWhenQuiet:
+		deadline := time.Now().Add(maxWait)
+		for w.store.ActiveSessions() > 0 {
+			if time.Now().After(deadline) {
+				return ErrStarved
+			}
+			time.Sleep(poll)
+		}
+		return m.Commit()
+	default:
+		return fmt.Errorf("warehouse: unknown commit policy %d", p)
+	}
+}
+
+// CheckViews recomputes every view from the given fact history and compares
+// it to the warehouse's current contents — the maintenance-correctness
+// audit used by tests and the experiment harness. It returns a description
+// of the first divergence, or "" when all views match.
+func (w *Warehouse) CheckViews(history []Fact) string {
+	sess := w.store.BeginSession()
+	defer sess.Close()
+	for _, v := range w.order {
+		expect := make(map[uint64]*delta)
+		var keys []*delta
+		for _, f := range history {
+			if v.def.Filter != nil && !v.def.Filter(f) {
+				continue
+			}
+			key := v.groupKey(f)
+			h := catalog.HashTuple(key)
+			d := expect[h]
+			if d == nil || !catalog.TuplesEqual(d.key, key) {
+				var found *delta
+				for _, cand := range keys {
+					if catalog.TuplesEqual(cand.key, key) {
+						found = cand
+						break
+					}
+				}
+				if found == nil {
+					found = &delta{key: key, aggs: make([]int64, len(v.def.Aggregates))}
+					expect[h] = found
+					keys = append(keys, found)
+				}
+				d = found
+			}
+			for i, a := range v.def.Aggregates {
+				switch a.Func {
+				case "sum":
+					mv, _ := measure(f, a.Source)
+					d.aggs[i] += mv
+				case "count":
+					d.aggs[i]++
+				}
+			}
+			d.cnt++
+		}
+		got := 0
+		var mismatch string
+		err := sess.Scan(v.def.Name, func(t catalog.Tuple) bool {
+			got++
+			key := t[:len(v.def.GroupBy)]
+			var d *delta
+			for _, cand := range keys {
+				if catalog.TuplesEqual(cand.key, key) {
+					d = cand
+					break
+				}
+			}
+			if d == nil || d.cnt == 0 {
+				mismatch = fmt.Sprintf("view %s: unexpected group %v", v.def.Name, key)
+				return false
+			}
+			for i, ai := range v.aggIdx {
+				if t[ai].Int() != d.aggs[i] {
+					mismatch = fmt.Sprintf("view %s group %v: %s = %d, want %d",
+						v.def.Name, key, v.def.Aggregates[i].As, t[ai].Int(), d.aggs[i])
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return fmt.Sprintf("view %s: scan: %v", v.def.Name, err)
+		}
+		if mismatch != "" {
+			return mismatch
+		}
+		wantGroups := 0
+		for _, d := range keys {
+			if d.cnt > 0 {
+				wantGroups++
+			}
+		}
+		if got != wantGroups {
+			return fmt.Sprintf("view %s: %d groups, want %d", v.def.Name, got, wantGroups)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,317 @@
+package warehouse
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/db"
+)
+
+func newWarehouse(t *testing.T, n int) *Warehouse {
+	t.Helper()
+	d := db.Open(db.Options{})
+	s, err := core.Open(d, core.Options{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(s)
+}
+
+func fact(city, state, line string, day int, amount int64) Fact {
+	return Fact{
+		City: city, State: state, ProductLine: line, Product: line + "-p",
+		Date:   catalog.NewDate(catalog.DateFromYMD(1996, 10, 1).Days() + int64(day)),
+		Amount: amount, Quantity: 1,
+	}
+}
+
+func dailySalesDef() ViewDef {
+	return ViewDef{
+		Name:    "DailySales",
+		GroupBy: []string{"city", "state", "product_line", "date"},
+		Aggregates: []Aggregate{
+			{Func: "sum", Source: "amount", As: "total_sales"},
+		},
+	}
+}
+
+func TestMaterializeSchema(t *testing.T) {
+	w := newWarehouse(t, 2)
+	v, err := w.Materialize(dailySalesDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := v.Table().Base()
+	if !sc.HasKey() || len(sc.Key) != 4 {
+		t.Errorf("summary key = %v", sc.Key)
+	}
+	if idx := sc.ColIndex("total_sales"); idx < 0 || !sc.Columns[idx].Updatable {
+		t.Error("total_sales must be updatable")
+	}
+	if idx := sc.ColIndex("city"); sc.Columns[idx].Updatable {
+		t.Error("group-by column must not be updatable")
+	}
+	// Errors.
+	if _, err := w.Materialize(dailySalesDef()); err == nil {
+		t.Error("duplicate view accepted")
+	}
+	bad := []ViewDef{
+		{Name: "", GroupBy: []string{"city"}, Aggregates: []Aggregate{{Func: "count", As: "n"}}},
+		{Name: "x", Aggregates: []Aggregate{{Func: "count", As: "n"}}},
+		{Name: "x", GroupBy: []string{"nope"}, Aggregates: []Aggregate{{Func: "count", As: "n"}}},
+		{Name: "x", GroupBy: []string{"city"}},
+		{Name: "x", GroupBy: []string{"city"}, Aggregates: []Aggregate{{Func: "avg", Source: "amount", As: "a"}}},
+		{Name: "x", GroupBy: []string{"city"}, Aggregates: []Aggregate{{Func: "sum", Source: "nope", As: "a"}}},
+		{Name: "x", GroupBy: []string{"city"}, Aggregates: []Aggregate{{Func: "sum", Source: "amount"}}},
+	}
+	for i, def := range bad {
+		if _, err := w.Materialize(def); err == nil {
+			t.Errorf("bad def %d accepted", i)
+		}
+	}
+	if _, err := w.View("DailySales"); err != nil {
+		t.Error(err)
+	}
+	if _, err := w.View("nope"); err == nil {
+		t.Error("missing view lookup succeeded")
+	}
+}
+
+func TestApplyBatchAggregation(t *testing.T) {
+	w := newWarehouse(t, 2)
+	if _, err := w.Materialize(dailySalesDef()); err != nil {
+		t.Fatal(err)
+	}
+	batch := &Batch{Inserts: []Fact{
+		fact("San Jose", "CA", "golf equip", 0, 100),
+		fact("San Jose", "CA", "golf equip", 0, 250),
+		fact("Berkeley", "CA", "racquetball", 0, 40),
+	}}
+	if err := w.RefreshBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	sess := w.Store().BeginSession()
+	defer sess.Close()
+	rows, err := sess.Query(`SELECT city, SUM(total_sales) FROM DailySales GROUP BY city ORDER BY city`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 || rows.Tuples[1][1].Int() != 350 || rows.Tuples[0][1].Int() != 40 {
+		t.Errorf("aggregation:\n%s", rows)
+	}
+	if w.Batches() != 1 || w.Facts() != 3 {
+		t.Errorf("counters: %d batches %d facts", w.Batches(), w.Facts())
+	}
+}
+
+func TestRetractionsAndGroupDeath(t *testing.T) {
+	w := newWarehouse(t, 2)
+	if _, err := w.Materialize(dailySalesDef()); err != nil {
+		t.Fatal(err)
+	}
+	f1 := fact("San Jose", "CA", "golf equip", 0, 100)
+	f2 := fact("San Jose", "CA", "golf equip", 0, 50)
+	if err := w.RefreshBatch(&Batch{Inserts: []Fact{f1, f2}}); err != nil {
+		t.Fatal(err)
+	}
+	// Retract one fact: group survives with reduced sum.
+	if err := w.RefreshBatch(&Batch{Deletes: []Fact{f2}}); err != nil {
+		t.Fatal(err)
+	}
+	sess := w.Store().BeginSession()
+	rows, _ := sess.Query(`SELECT SUM(total_sales), COUNT(*) FROM DailySales`, nil)
+	if rows.Tuples[0][0].Int() != 100 || rows.Tuples[0][1].Int() != 1 {
+		t.Fatalf("after retraction: %v", rows.Tuples[0])
+	}
+	sess.Close()
+	// Retract the last fact: the group's support hits zero and the
+	// summary tuple is logically deleted.
+	if err := w.RefreshBatch(&Batch{Deletes: []Fact{f1}}); err != nil {
+		t.Fatal(err)
+	}
+	sess = w.Store().BeginSession()
+	rows, _ = sess.Query(`SELECT COUNT(*) FROM DailySales`, nil)
+	if rows.Tuples[0][0].Int() != 0 {
+		t.Errorf("group not deleted: %v", rows.Tuples[0])
+	}
+	sess.Close()
+	if dead := w.Store().DeadTuples()["DailySales"]; dead != 1 {
+		t.Errorf("dead tuples = %d, want 1 (logical delete)", dead)
+	}
+	// Re-selling resurrects the group (Table 2 row 1 under the covers).
+	if err := w.RefreshBatch(&Batch{Inserts: []Fact{fact("San Jose", "CA", "golf equip", 0, 75)}}); err != nil {
+		t.Fatal(err)
+	}
+	sess = w.Store().BeginSession()
+	rows, _ = sess.Query(`SELECT SUM(total_sales) FROM DailySales`, nil)
+	if rows.Tuples[0][0].Int() != 75 {
+		t.Errorf("resurrected group: %v", rows.Tuples[0])
+	}
+	sess.Close()
+	// Retracting an unknown fact fails and rolls the batch back.
+	err := w.RefreshBatch(&Batch{Deletes: []Fact{fact("Nowhere", "ZZ", "golf equip", 0, 1)}})
+	if err == nil {
+		t.Fatal("retraction of unknown group accepted")
+	}
+	if w.Store().MaintenanceActive() {
+		t.Error("failed batch left maintenance active")
+	}
+}
+
+func TestNetDeltasTouchEachGroupOnce(t *testing.T) {
+	w := newWarehouse(t, 2)
+	if _, err := w.Materialize(dailySalesDef()); err != nil {
+		t.Fatal(err)
+	}
+	// 100 facts, all in one group: the summary tuple must be written once
+	// (insert), not 100 times.
+	var b Batch
+	for i := 0; i < 100; i++ {
+		b.Inserts = append(b.Inserts, fact("San Jose", "CA", "golf equip", 0, 10))
+	}
+	m, err := w.Store().BeginMaintenance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ApplyBatch(m, &b); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.LogicalInserts != 1 || st.LogicalUpdates != 0 {
+		t.Errorf("delta folding failed: %+v", st)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleViewsOneTransaction(t *testing.T) {
+	w := newWarehouse(t, 2)
+	if _, err := w.Materialize(dailySalesDef()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Materialize(ViewDef{
+		Name:    "StateSales",
+		GroupBy: []string{"state"},
+		Aggregates: []Aggregate{
+			{Func: "sum", Source: "amount", As: "total_sales"},
+			{Func: "count", As: "num_sales"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Materialize(ViewDef{
+		Name:       "GolfByCity",
+		GroupBy:    []string{"city"},
+		Aggregates: []Aggregate{{Func: "sum", Source: "quantity", As: "qty"}},
+		Filter:     func(f Fact) bool { return f.ProductLine == "golf equip" },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	batch := &Batch{Inserts: []Fact{
+		fact("San Jose", "CA", "golf equip", 0, 100),
+		fact("Berkeley", "CA", "skis", 0, 200),
+		fact("Portland", "OR", "golf equip", 1, 300),
+	}}
+	if err := w.RefreshBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	sess := w.Store().BeginSession()
+	defer sess.Close()
+	rows, err := sess.Query(`SELECT state, total_sales, num_sales FROM StateSales ORDER BY state`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CA: 100+200 = 300 over 2 sales; OR: 300 over 1 sale.
+	if rows.Len() != 2 || rows.Tuples[0][1].Int() != 300 || rows.Tuples[0][2].Int() != 2 ||
+		rows.Tuples[1][1].Int() != 300 || rows.Tuples[1][2].Int() != 1 {
+		t.Errorf("StateSales:\n%s", rows)
+	}
+	if rows.Columns[1] != "total_sales" || rows.Columns[2] != "num_sales" {
+		t.Errorf("rewritten output columns lost their names: %v", rows.Columns)
+	}
+	rows, err = sess.Query(`SELECT city, qty FROM GolfByCity ORDER BY city`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Errorf("filtered view:\n%s", rows)
+	}
+	// All three views maintained by one transaction → one version bump.
+	if got := w.Store().CurrentVN(); got != 2 {
+		t.Errorf("currentVN = %d, want 2", got)
+	}
+	if len(w.Views()) != 3 {
+		t.Errorf("views = %d", len(w.Views()))
+	}
+}
+
+func TestCheckViewsAudit(t *testing.T) {
+	w := newWarehouse(t, 2)
+	if _, err := w.Materialize(dailySalesDef()); err != nil {
+		t.Fatal(err)
+	}
+	history := []Fact{
+		fact("San Jose", "CA", "golf equip", 0, 100),
+		fact("San Jose", "CA", "golf equip", 1, 60),
+		fact("Berkeley", "CA", "skis", 0, 30),
+	}
+	if err := w.RefreshBatch(&Batch{Inserts: history}); err != nil {
+		t.Fatal(err)
+	}
+	if diff := w.CheckViews(history); diff != "" {
+		t.Errorf("audit found divergence: %s", diff)
+	}
+	// Corrupt a summary tuple behind the warehouse's back; the audit must
+	// notice.
+	m, _ := w.Store().BeginMaintenance()
+	n, err := m.Exec(`UPDATE DailySales SET total_sales = 999 WHERE city = 'Berkeley'`, nil)
+	if err != nil || n != 1 {
+		t.Fatal(err)
+	}
+	m.Commit()
+	if diff := w.CheckViews(history); !strings.Contains(diff, "Berkeley") {
+		t.Errorf("audit missed corruption: %q", diff)
+	}
+}
+
+func TestCommitPolicies(t *testing.T) {
+	w := newWarehouse(t, 2)
+	if _, err := w.Materialize(dailySalesDef()); err != nil {
+		t.Fatal(err)
+	}
+	// CommitImmediately.
+	m, _ := w.Store().BeginMaintenance()
+	if err := w.CommitWithPolicy(m, CommitImmediately, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// CommitWhenQuiet with an open session starves...
+	sess := w.Store().BeginSession()
+	m, _ = w.Store().BeginMaintenance()
+	err := w.CommitWithPolicy(m, CommitWhenQuiet, time.Millisecond, 30*time.Millisecond)
+	if !errors.Is(err, ErrStarved) {
+		t.Fatalf("starvation not reported: %v", err)
+	}
+	// ...and the session never expired while waiting.
+	if sess.Expired() {
+		t.Error("session expired under CommitWhenQuiet")
+	}
+	// Close the reader: commit proceeds.
+	done := make(chan error, 1)
+	go func() { done <- w.CommitWithPolicy(m, CommitWhenQuiet, time.Millisecond, time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	sess.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("commit after drain: %v", err)
+	}
+	// Unknown policy.
+	m, _ = w.Store().BeginMaintenance()
+	if err := w.CommitWithPolicy(m, CommitPolicy(99), 0, 0); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	m.Rollback()
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	ba, bb := a.Batch(100, 10), b.Batch(100, 10)
+	if len(ba.Inserts) != len(bb.Inserts) || len(ba.Deletes) != len(bb.Deletes) {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d", len(ba.Inserts), len(ba.Deletes), len(bb.Inserts), len(bb.Deletes))
+	}
+	for i := range ba.Inserts {
+		if ba.Inserts[i] != bb.Inserts[i] {
+			t.Fatalf("fact %d differs: %+v vs %+v", i, ba.Inserts[i], bb.Inserts[i])
+		}
+	}
+	c := New(43)
+	bc := c.Batch(100, 10)
+	same := true
+	for i := range ba.Inserts {
+		if i < len(bc.Inserts) && ba.Inserts[i] != bc.Inserts[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical feeds")
+	}
+}
+
+func TestFactDomain(t *testing.T) {
+	g := New(1)
+	cities := make(map[string]bool)
+	for _, c := range Cities {
+		cities[c[0]] = true
+	}
+	for i := 0; i < 500; i++ {
+		f := g.Fact()
+		if !cities[f.City] {
+			t.Fatalf("unknown city %q", f.City)
+		}
+		products, ok := ProductLines[f.ProductLine]
+		if !ok {
+			t.Fatalf("unknown product line %q", f.ProductLine)
+		}
+		found := false
+		for _, p := range products {
+			if p == f.Product {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("product %q not in line %q", f.Product, f.ProductLine)
+		}
+		if f.Amount < 10 || f.Amount >= 500 {
+			t.Fatalf("amount %d out of range", f.Amount)
+		}
+		if f.Quantity < 1 || f.Quantity > 5 {
+			t.Fatalf("quantity %d out of range", f.Quantity)
+		}
+		if f.Date.Kind() != catalog.TypeDate {
+			t.Fatal("date not a date")
+		}
+	}
+}
+
+func TestSkew(t *testing.T) {
+	g := New(5)
+	counts := make(map[string]int)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		counts[g.Fact().City]++
+	}
+	first := counts[Cities[0][0]]
+	last := counts[Cities[len(Cities)-1][0]]
+	if first <= last {
+		t.Errorf("expected head skew: first city %d draws vs last %d", first, last)
+	}
+	if first < 2*last {
+		t.Errorf("skew too weak: %d vs %d", first, last)
+	}
+}
+
+func TestRetractionsComeFromHistory(t *testing.T) {
+	g := New(9)
+	b1 := g.Batch(50, 0)
+	b2 := g.Batch(50, 20)
+	if len(b2.Deletes) == 0 {
+		t.Fatal("no retractions generated")
+	}
+	inHistory := func(f any) bool {
+		for _, h := range append(b1.Inserts, b2.Inserts...) {
+			if h == f {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range b2.Deletes {
+		if !inHistory(d) {
+			t.Fatalf("retraction %+v was never sold", d)
+		}
+	}
+	// Sold() excludes retracted facts.
+	sold := g.Sold()
+	for _, d := range b2.Deletes {
+		for _, s := range sold {
+			if s == d {
+				t.Fatalf("retracted fact %+v still in Sold()", d)
+			}
+		}
+	}
+	if len(sold) != 100-len(b2.Deletes) {
+		t.Errorf("Sold() = %d facts, want %d", len(sold), 100-len(b2.Deletes))
+	}
+}
+
+func TestDayAdvance(t *testing.T) {
+	g := New(1)
+	f1 := g.Fact()
+	g.NextDay()
+	f2 := g.Fact()
+	if f2.Date.Days() != f1.Date.Days()+1 {
+		t.Errorf("dates: %v then %v", f1.Date, f2.Date)
+	}
+	if g.Day() != 1 {
+		t.Errorf("Day = %d", g.Day())
+	}
+}
+
+func TestKVBatch(t *testing.T) {
+	g := New(2)
+	ins, upd, del := g.KVBatch(100, 20, 5, 10)
+	if len(upd) != 20 || len(ins) != 5 {
+		t.Errorf("sizes: %d upd, %d ins", len(upd), len(ins))
+	}
+	for _, u := range upd {
+		if u[0] < 0 || u[0] >= 100 {
+			t.Errorf("update key %d out of live range", u[0])
+		}
+	}
+	for i, kv := range ins {
+		if kv[0] != int64(100+i) {
+			t.Errorf("insert key %d not fresh", kv[0])
+		}
+	}
+	seen := map[int64]bool{}
+	for _, k := range del {
+		if seen[k] {
+			t.Errorf("duplicate delete key %d", k)
+		}
+		seen[k] = true
+	}
+}
