@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 		rows    = flag.Int("rows", 0, "base relation size (0 = default)")
 		readers = flag.Int("readers", 0, "concurrent readers for E2 (0 = default)")
 		batches = flag.Int("batches", 0, "maintenance batches for E1 (0 = default)")
+		metrics = flag.Bool("metrics", true, "print the process metrics snapshot after the run")
 	)
 	flag.Parse()
 
@@ -65,6 +67,15 @@ func main() {
 		}
 		for _, t := range tables {
 			t.Render(os.Stdout)
+		}
+	}
+	if *metrics {
+		// Everything the experiments did — maintenance outcomes per Tables
+		// 2–4 cell, lock waits per scheme, WAL forces — accumulated in the
+		// default registry; dump it alongside the tables.
+		fmt.Println("\n== metrics snapshot ==")
+		if err := obs.Default().Snapshot().WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "vnlbench: metrics:", err)
 		}
 	}
 	if failed > 0 {

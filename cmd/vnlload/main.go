@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/db"
@@ -28,15 +29,16 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		gc      = flag.Bool("gc", true, "garbage-collect after loading")
 		walPath = flag.String("wal", "", "journal maintenance to this write-ahead log")
+		metrics = flag.Bool("metrics", false, "print the full metrics snapshot at the end")
 	)
 	flag.Parse()
-	if err := run(*days, *facts, *retract, *n, *seed, *gc, *walPath); err != nil {
+	if err := run(*days, *facts, *retract, *n, *seed, *gc, *walPath, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "vnlload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(days, facts, retract, n int, seed int64, gc bool, walPath string) error {
+func run(days, facts, retract, n int, seed int64, gc bool, walPath string, metrics bool) error {
 	d := db.Open(db.Options{})
 	store, err := core.Open(d, core.Options{N: n})
 	if err != nil {
@@ -68,6 +70,13 @@ func run(days, facts, retract, n int, seed int64, gc bool, walPath string) error
 	}
 	fmt.Printf("materialized %d summary views (n=%d versions)\n", len(views), n)
 
+	// Throughput is reported from the store's own instrumentation rather
+	// than hand-rolled counters: the snapshot delta across the load is the
+	// work done.
+	reg := store.Metrics()
+	before := reg.Snapshot()
+	loadStart := time.Now()
+
 	gen := workload.New(seed)
 	// A long-running analyst session opened before loading: it must keep a
 	// stable (empty) view until it expires, demonstrating on-line
@@ -92,7 +101,22 @@ func run(days, facts, retract, n int, seed int64, gc bool, walPath string) error
 		sess.Close()
 		gen.NextDay()
 	}
+	elapsed := time.Since(loadStart)
 	analyst.Close()
+
+	delta := reg.Snapshot().Sub(before)
+	logical := delta.Counters["core_maint_logical_inserts_total"] +
+		delta.Counters["core_maint_logical_updates_total"] +
+		delta.Counters["core_maint_logical_deletes_total"]
+	physical := delta.Counters["core_maint_physical_inserts_total"] +
+		delta.Counters["core_maint_physical_updates_total"] +
+		delta.Counters["core_maint_physical_deletes_total"]
+	secs := elapsed.Seconds()
+	if secs > 0 {
+		fmt.Printf("throughput: %.0f logical ops/s (%d logical -> %d physical over %v, %d commits)\n",
+			float64(logical)/secs, logical, physical, elapsed.Round(time.Millisecond),
+			delta.Counters["core_maint_commits_total"])
+	}
 
 	if diff := wh.CheckViews(gen.Sold()); diff != "" {
 		return fmt.Errorf("view audit failed: %s", diff)
@@ -119,5 +143,11 @@ func run(days, facts, retract, n int, seed int64, gc bool, walPath string) error
 	}
 	fmt.Println("\ntop states by sales:")
 	fmt.Println(rows)
+	if metrics {
+		fmt.Println("== metrics snapshot ==")
+		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
 }

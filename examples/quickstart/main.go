@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/db"
@@ -91,4 +92,12 @@ func main() {
 	}
 	fmt.Println("the reader's query is rewritten (Example 4.1 style) to:")
 	fmt.Println(" ", rewritten)
+
+	// 8. Everything above was metered: the store instruments sessions,
+	//    version advances, and each Tables 2–4 outcome cell (see
+	//    ARCHITECTURE.md, "Observability").
+	fmt.Println("\n--- metrics snapshot ---")
+	if err := store.Metrics().Snapshot().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/mvcc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -164,9 +165,15 @@ func blockingRun(s mvcc.Scheme, cfg Config, hold time.Duration) (*blockingResult
 		}
 	}
 	// The transaction now stays open for `hold`, with readers hammering.
-	var mu sync.Mutex
-	res := &blockingResult{}
-	var total time.Duration
+	// The readers meter themselves through a private obs registry —
+	// lock-free counters and a latency histogram instead of a
+	// mutex-protected tally, so the measurement does not serialize the
+	// very concurrency being measured.
+	reg := obs.NewRegistry()
+	okC := reg.Counter("bench_reads_ok_total", "reader transactions completed")
+	failC := reg.Counter("bench_reads_failed_total", "reader transactions refused or erroring")
+	lat := reg.Histogram("bench_read_latency_ns", "reader begin-to-close latency", obs.DurationBuckets)
+	maxLat := reg.Gauge("bench_read_latency_max_ns", "worst reader latency")
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	for r := 0; r < cfg.Readers; r++ {
@@ -182,26 +189,20 @@ func blockingRun(s mvcc.Scheme, cfg Config, hold time.Duration) (*blockingResult
 				start := time.Now()
 				rd, err := s.BeginReader()
 				if err != nil {
-					mu.Lock()
-					res.failed++
-					mu.Unlock()
+					failC.Inc()
 					time.Sleep(time.Millisecond)
 					continue
 				}
 				_, _, err = rd.ScanSum()
 				rd.Close()
-				lat := time.Since(start)
-				mu.Lock()
+				l := time.Since(start).Nanoseconds()
 				if err != nil {
-					res.failed++
+					failC.Inc()
 				} else {
-					res.ok++
-					total += lat
-					if lat > res.maxLat {
-						res.maxLat = lat
-					}
+					okC.Inc()
+					lat.Observe(l)
+					maxLat.SetMax(l)
 				}
-				mu.Unlock()
 			}
 		}()
 	}
@@ -214,10 +215,15 @@ func blockingRun(s mvcc.Scheme, cfg Config, hold time.Duration) (*blockingResult
 	if err != nil {
 		return nil, err
 	}
-	if res.ok > 0 {
-		res.meanLat = total / time.Duration(res.ok)
+	res := &blockingResult{
+		ok:          int(okC.Value()),
+		failed:      int(failC.Value()),
+		maxLat:      time.Duration(maxLat.Value()),
+		commitDelay: commit,
 	}
-	res.commitDelay = commit
+	if hs := lat.Snapshot(); hs.Count > 0 {
+		res.meanLat = time.Duration(hs.Sum / hs.Count)
+	}
 	return res, nil
 }
 

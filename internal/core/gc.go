@@ -93,6 +93,12 @@ func (s *Store) GCWithFloor(floor VN) GCStats {
 	if journalOpen {
 		_ = j.LogCommit(0)
 	}
+	mm := s.metrics
+	mm.gcPasses.Inc()
+	mm.gcScanned.Add(int64(stats.Scanned))
+	mm.gcRemoved.Add(int64(stats.Removed))
+	mm.gcBytes.Add(int64(stats.BytesReclaimed))
+	mm.trace(TraceGCPass, floor, int64(stats.Removed))
 	return stats
 }
 

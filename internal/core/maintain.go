@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/db"
@@ -69,7 +70,11 @@ type Maintenance struct {
 	// an ablation switch used to demonstrate why the folding matters.
 	netEffect bool
 	stats     MaintStats
+	began     time.Time
 }
+
+// met returns the store's metrics (never nil).
+func (m *Maintenance) met() *storeMetrics { return m.store.metrics }
 
 // BeginMaintenance starts the maintenance transaction: it reads currentVN,
 // sets maintenanceVN = currentVN + 1, and raises the global
@@ -88,18 +93,23 @@ func (s *Store) BeginMaintenanceMode(mode RollbackMode, netEffect bool) (*Mainte
 }
 
 func (s *Store) beginMaintenance(mode RollbackMode, netEffect bool) (*Maintenance, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	acquired := s.latchAcquire()
 	cur, active := s.globalsLocked()
 	if active {
+		s.latchRelease(acquired)
 		return nil, ErrMaintenanceActive
 	}
-	m := &Maintenance{store: s, vn: cur + 1, mode: mode, netEffect: netEffect}
+	m := &Maintenance{store: s, vn: cur + 1, mode: mode, netEffect: netEffect, began: time.Now()}
 	if s.journal != nil {
 		s.journal.LogBegin(m.vn)
 	}
 	s.setGlobalsLocked(cur, true)
 	s.maint = m
+	s.latchRelease(acquired)
+	mm := s.metrics
+	mm.maintBegun.Inc()
+	mm.maintActive.Set(1)
+	mm.trace(TraceMaintBegin, m.vn, 0)
 	return m, nil
 }
 
@@ -151,6 +161,7 @@ func (m *Maintenance) physInsert(vt *VTable, ext catalog.Tuple) (storage.RID, er
 		j.LogInsert(vt.ext.Base.Name, rid, ext)
 	}
 	m.stats.PhysicalInserts++
+	m.met().physIns.Inc()
 	return rid, nil
 }
 
@@ -163,6 +174,7 @@ func (m *Maintenance) physUpdate(vt *VTable, rid storage.RID, before, after cata
 		j.LogUpdate(vt.ext.Base.Name, rid, before, after)
 	}
 	m.stats.PhysicalUpdates++
+	m.met().physUpd.Inc()
 	return nil
 }
 
@@ -175,6 +187,7 @@ func (m *Maintenance) physDelete(vt *VTable, rid storage.RID, before catalog.Tup
 		j.LogDelete(vt.ext.Base.Name, rid, before)
 	}
 	m.stats.PhysicalDeletes++
+	m.met().physDel.Inc()
 	return nil
 }
 
@@ -196,6 +209,7 @@ func (m *Maintenance) Insert(tableName string, base catalog.Tuple) error {
 		return err
 	}
 	m.stats.LogicalInserts++
+	m.met().logicalIns.Inc()
 	e := vt.ext
 	if e.Base.HasKey() {
 		key := e.KeyOfBase(base)
@@ -216,6 +230,7 @@ func (m *Maintenance) Insert(tableName string, base catalog.Tuple) error {
 		return err
 	}
 	m.snapshot(vt, rid, nil, true)
+	m.met().cellT2R3.Inc()
 	return nil
 }
 
@@ -250,9 +265,15 @@ func (m *Maintenance) insertOnConflict(vt *VTable, rid storage.RID, ext catalog.
 		}
 		e.SetSlot(t, 1, m.vn, op)
 		m.stats.NetEffectFolds++
+		m.met().netFolds.Inc()
 	}
 	if err := m.physUpdate(vt, rid, ext, t); err != nil {
 		return err
+	}
+	if tvn < m.vn {
+		m.met().cellT2R1.Inc()
+	} else {
+		m.met().cellT2R2.Inc()
 	}
 	return nil
 }
@@ -276,6 +297,7 @@ func (m *Maintenance) applyUpdate(vt *VTable, rid storage.RID, ext catalog.Tuple
 		}
 	}
 	m.stats.LogicalUpdates++
+	m.met().logicalUpd.Inc()
 	m.snapshot(vt, rid, ext, false)
 	t := ext.Clone()
 	if e.TupleVN(ext, 1) < m.vn {
@@ -294,9 +316,15 @@ func (m *Maintenance) applyUpdate(vt *VTable, rid storage.RID, ext catalog.Tuple
 			e.SetSlot(t, 1, m.vn, OpUpdate) // ablation: clobber the net effect
 		}
 		m.stats.NetEffectFolds++
+		m.met().netFolds.Inc()
 	}
 	if err := m.physUpdate(vt, rid, ext, t); err != nil {
 		return err
+	}
+	if e.TupleVN(ext, 1) < m.vn {
+		m.met().cellT3R1.Inc()
+	} else {
+		m.met().cellT3R2.Inc()
 	}
 	return nil
 }
@@ -308,6 +336,7 @@ func (m *Maintenance) applyDelete(vt *VTable, rid storage.RID, ext catalog.Tuple
 		return fmt.Errorf("%w: delete of logically-deleted tuple in %s", ErrInvalidMaintenanceOp, e.Base.Name)
 	}
 	m.stats.LogicalDeletes++
+	m.met().logicalDel.Inc()
 	if e.TupleVN(ext, 1) < m.vn {
 		// Row 1: preserve the current values as the pre-update version and
 		// mark the tuple logically deleted. The physical operation is an
@@ -320,6 +349,7 @@ func (m *Maintenance) applyDelete(vt *VTable, rid storage.RID, ext catalog.Tuple
 		if err := m.physUpdate(vt, rid, ext, t); err != nil {
 			return err
 		}
+		m.met().cellT4R1.Inc()
 		return nil
 	}
 	// Row 2: modified earlier by this same transaction.
@@ -338,6 +368,8 @@ func (m *Maintenance) applyDelete(vt *VTable, rid storage.RID, ext catalog.Tuple
 				return err
 			}
 			m.stats.NetEffectFolds++
+			m.met().netFolds.Inc()
+			m.met().cellT4R2InsPop.Inc()
 			return nil
 		}
 		// A fresh physical insert (or 2VNL, where no concurrent session
@@ -347,6 +379,8 @@ func (m *Maintenance) applyDelete(vt *VTable, rid storage.RID, ext catalog.Tuple
 			return err
 		}
 		m.stats.NetEffectFolds++
+		m.met().netFolds.Inc()
+		m.met().cellT4R2InsDelete.Inc()
 		m.dropUndo(vt, rid)
 		return nil
 	}
@@ -358,6 +392,8 @@ func (m *Maintenance) applyDelete(vt *VTable, rid storage.RID, ext catalog.Tuple
 		return err
 	}
 	m.stats.NetEffectFolds++
+	m.met().netFolds.Inc()
+	m.met().cellT4R2Update.Inc()
 	return nil
 }
 
@@ -669,6 +705,7 @@ func (m *Maintenance) Commit() error {
 	if err := m.checkActive(); err != nil {
 		return err
 	}
+	start := time.Now()
 	s := m.store
 	if j := s.journalOrNil(); j != nil {
 		// Write-ahead rule: the commit record is durable before the new
@@ -677,12 +714,22 @@ func (m *Maintenance) Commit() error {
 			return fmt.Errorf("core: commit journal: %w", err)
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	acquired := s.latchAcquire()
 	m.done = true
 	m.undo = nil
 	s.setGlobalsLocked(m.vn, false)
 	s.maint = nil
+	s.latchRelease(acquired)
+	mm := s.metrics
+	mm.commitNS.ObserveSince(start)
+	mm.txnNS.ObserveSince(m.began)
+	mm.maintCommits.Inc()
+	mm.vnAdvances.Inc()
+	mm.currentVN.Set(int64(m.vn))
+	mm.maintActive.Set(0)
+	phys := int64(m.stats.PhysicalInserts + m.stats.PhysicalUpdates + m.stats.PhysicalDeletes)
+	mm.trace(TraceMaintCommit, m.vn, phys)
+	mm.trace(TraceVNAdvance, m.vn, 0)
 	return nil
 }
 
@@ -705,6 +752,7 @@ func (m *Maintenance) Rollback() error {
 	if err := m.checkActive(); err != nil {
 		return err
 	}
+	start := time.Now()
 	s := m.store
 	if j := s.journalOrNil(); j != nil {
 		j.LogAbort(m.vn)
@@ -743,13 +791,19 @@ func (m *Maintenance) Rollback() error {
 		}
 		s.mu.Unlock()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	acquired := s.latchAcquire()
 	m.done = true
 	m.undo = nil
 	curVN, _ := s.globalsLocked()
 	s.setGlobalsLocked(curVN, false)
 	s.maint = nil
+	s.latchRelease(acquired)
+	mm := s.metrics
+	mm.rollbackNS.ObserveSince(start)
+	mm.txnNS.ObserveSince(m.began)
+	mm.maintRollbacks.Inc()
+	mm.maintActive.Set(0)
+	mm.trace(TraceMaintRollback, m.vn, 0)
 	return nil
 }
 

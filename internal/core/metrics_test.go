@@ -1,0 +1,366 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/db"
+	"repro/internal/obs"
+)
+
+// metricsStore opens a store over a private registry and ring tracer so the
+// test can make exact-count assertions without interference from other
+// tests sharing obs.Default().
+func metricsStore(t *testing.T) (*Store, *obs.Registry, *obs.Ring) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	ring := obs.NewRing(256)
+	s, err := Open(db.Open(db.Options{}), Options{Metrics: reg, Tracer: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := catalog.MustSchema("DailySales", []catalog.Column{
+		{Name: "city", Type: catalog.TypeString, Length: 20},
+		{Name: "date", Type: catalog.TypeString, Length: 8},
+		{Name: "total_sales", Type: catalog.TypeInt, Length: 4, Updatable: true},
+	}, "city", "date")
+	if _, err := s.CreateTable(schema); err != nil {
+		t.Fatal(err)
+	}
+	return s, reg, ring
+}
+
+func row(city, date string, total int64) catalog.Tuple {
+	return catalog.Tuple{catalog.NewString(city), catalog.NewString(date), catalog.NewInt(total)}
+}
+
+func rowKey(city, date string) catalog.Tuple {
+	return catalog.Tuple{catalog.NewString(city), catalog.NewString(date)}
+}
+
+// TestFigure5CellCounters drives the paper's worked example — the Figure 4
+// history followed by the Figure 5 maintenance transaction that yields
+// Figure 6 — and asserts the per-cell Tables 2–4 counters match the
+// decision-table outcomes cell for cell.
+func TestFigure5CellCounters(t *testing.T) {
+	s, reg, _ := metricsStore(t)
+
+	run := func(fn func(m *Maintenance)) {
+		t.Helper()
+		m, err := s.BeginMaintenance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(m)
+		if err := m.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	update := func(m *Maintenance, city, date string, total int64) {
+		t.Helper()
+		found, err := m.UpdateKey("DailySales", rowKey(city, date), func(c catalog.Tuple) catalog.Tuple {
+			c[2] = catalog.NewInt(total)
+			return c
+		})
+		if err != nil || !found {
+			t.Fatalf("update %s/%s: found=%v err=%v", city, date, found, err)
+		}
+	}
+
+	// Figure 4 history: transactions 2–4.
+	run(func(m *Maintenance) { // VN 2
+		if err := m.Insert("DailySales", row("Berkeley", "10/14/96", 10000)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Insert("DailySales", row("Novato", "10/13/96", 8000)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	run(func(m *Maintenance) { // VN 3
+		if err := m.Insert("DailySales", row("San Jose", "10/14/96", 10000)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	run(func(m *Maintenance) { // VN 4
+		if err := m.Insert("DailySales", row("San Jose", "10/15/96", 1500)); err != nil {
+			t.Fatal(err)
+		}
+		update(m, "Berkeley", "10/14/96", 12000)
+		if found, err := m.DeleteKey("DailySales", rowKey("Novato", "10/13/96")); err != nil || !found {
+			t.Fatalf("delete: found=%v err=%v", found, err)
+		}
+	})
+
+	before := reg.Snapshot()
+
+	// The Figure 5 transaction (maintenanceVN = 5).
+	run(func(m *Maintenance) {
+		// Fresh insert: Table 2 row 3.
+		if err := m.Insert("DailySales", row("San Jose", "10/16/96", 11000)); err != nil {
+			t.Fatal(err)
+		}
+		// Insert over the VN-4 delete of Novato: Table 2 row 1.
+		if err := m.Insert("DailySales", row("Novato", "10/13/96", 6000)); err != nil {
+			t.Fatal(err)
+		}
+		// First-touch update: Table 3 row 1.
+		update(m, "San Jose", "10/14/96", 10200)
+		// First-touch delete: Table 4 row 1.
+		if found, err := m.DeleteKey("DailySales", rowKey("Berkeley", "10/14/96")); err != nil || !found {
+			t.Fatalf("delete: found=%v err=%v", found, err)
+		}
+	})
+
+	delta := reg.Snapshot().Sub(before)
+	// The Figure 5 transaction hits exactly four cells, once each.
+	wantDelta := map[string]int64{
+		"core_maint_table2_row1_total":            1, // Novato re-insert over earlier delete
+		"core_maint_table2_row2_total":            0,
+		"core_maint_table2_row3_total":            1, // San Jose 10/16 fresh insert
+		"core_maint_table3_row1_total":            1, // San Jose 10/14 first-touch update
+		"core_maint_table3_row2_total":            0,
+		"core_maint_table4_row1_total":            1, // Berkeley first-touch delete
+		"core_maint_table4_row2_update_total":     0,
+		"core_maint_table4_row2_insert_total":     0,
+		"core_maint_table4_row2_insert_pop_total": 0,
+		// §3.3: four logical operations become one physical insert and
+		// three physical updates — no physical delete.
+		"core_maint_logical_inserts_total":  2,
+		"core_maint_logical_updates_total":  1,
+		"core_maint_logical_deletes_total":  1,
+		"core_maint_physical_inserts_total": 1,
+		"core_maint_physical_updates_total": 3,
+		"core_maint_physical_deletes_total": 0,
+		"core_maint_net_effect_folds_total": 0,
+		"core_maint_commits_total":          1,
+		"core_vn_advances_total":            1,
+	}
+	for name, want := range wantDelta {
+		if got := delta.Counters[name]; got != want {
+			t.Errorf("Figure 5 delta %s = %d, want %d", name, got, want)
+		}
+	}
+
+	// Whole-history totals (Figure 4 history + Figure 5).
+	wantTotal := map[string]int64{
+		"core_maint_table2_row1_total": 1,
+		"core_maint_table2_row2_total": 0,
+		"core_maint_table2_row3_total": 5,
+		"core_maint_table3_row1_total": 2,
+		"core_maint_table3_row2_total": 0,
+		"core_maint_table4_row1_total": 2,
+		"core_maint_commits_total":     4,
+		"core_vn_advances_total":       4,
+	}
+	for name, want := range wantTotal {
+		if got := reg.CounterValue(name); got != want {
+			t.Errorf("total %s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.GaugeValue("core_current_vn"); got != 5 {
+		t.Errorf("core_current_vn = %d, want 5", got)
+	}
+}
+
+// TestSameTxnCellCounters exercises the second rows of Tables 2–4 — the
+// net-effect folds — and checks each fold lands in its own cell.
+func TestSameTxnCellCounters(t *testing.T) {
+	s, reg, _ := metricsStore(t)
+	m, err := s.BeginMaintenance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// insert + update: Table 3 row 2 (current values overwritten).
+	if err := m.Insert("DailySales", row("a", "d1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.UpdateKey("DailySales", rowKey("a", "d1"), func(c catalog.Tuple) catalog.Tuple {
+		c[2] = catalog.NewInt(2)
+		return c
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// insert + delete: Table 4 row 2, physical delete.
+	if err := m.Insert("DailySales", row("b", "d1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DeleteKey("DailySales", rowKey("b", "d1")); err != nil {
+		t.Fatal(err)
+	}
+	// update + delete: Table 4 row 2, net-effect delete. ("a" was inserted
+	// this txn, so delete it via a fresh tuple updated first.)
+	if err := m.Insert("DailySales", row("c", "d1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m, err = s.BeginMaintenance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.UpdateKey("DailySales", rowKey("c", "d1"), func(c catalog.Tuple) catalog.Tuple {
+		c[2] = catalog.NewInt(9)
+		return c
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DeleteKey("DailySales", rowKey("c", "d1")); err != nil {
+		t.Fatal(err)
+	}
+	// delete + insert: Table 2 row 2 (net-effect update); "a" is live from
+	// the first transaction.
+	if _, err := m.DeleteKey("DailySales", rowKey("a", "d1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert("DailySales", row("a", "d1", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]int64{
+		"core_maint_table2_row2_total":        1, // a: delete then insert
+		"core_maint_table3_row2_total":        1, // a: insert then update (txn 1)
+		"core_maint_table4_row2_insert_total": 1, // b: insert then delete
+		"core_maint_table4_row2_update_total": 1, // c: update then delete
+		"core_maint_net_effect_folds_total":   4,
+	}
+	for name, w := range want {
+		if got := reg.CounterValue(name); got != w {
+			t.Errorf("%s = %d, want %d", name, got, w)
+		}
+	}
+}
+
+// TestSessionMetricsAndTrace checks session lifecycle counters, the
+// deduplicated expiry count, and the trace event stream.
+func TestSessionMetricsAndTrace(t *testing.T) {
+	s, reg, ring := metricsStore(t)
+	sess := s.BeginSession()
+	if got := reg.GaugeValue("core_sessions_active"); got != 1 {
+		t.Errorf("active = %d, want 1", got)
+	}
+	// Two committed maintenance transactions expire a 2VNL session.
+	for i := 0; i < 2; i++ {
+		m, err := s.BeginMaintenance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sess.Expired() {
+		t.Fatal("session should have expired after two maintenance commits")
+	}
+	// Repeated checks must not recount the expiry.
+	_ = sess.Expired()
+	_ = sess.Check()
+	if got := reg.CounterValue("core_sessions_expired_total"); got != 1 {
+		t.Errorf("expired counter = %d, want exactly 1 despite repeated checks", got)
+	}
+	sess.Close()
+	if got := reg.CounterValue("core_sessions_closed_total"); got != 1 {
+		t.Errorf("closed = %d, want 1", got)
+	}
+	if got := reg.GaugeValue("core_sessions_active"); got != 0 {
+		t.Errorf("active = %d, want 0", got)
+	}
+
+	// The trace must contain the full lifecycle in order.
+	var names []string
+	for _, e := range ring.Events() {
+		names = append(names, e.Name)
+	}
+	wantOrder := []string{
+		TraceSessionBegin,
+		TraceMaintBegin, TraceMaintCommit, TraceVNAdvance,
+		TraceMaintBegin, TraceMaintCommit, TraceVNAdvance,
+		TraceSessionExpired,
+		TraceSessionClose,
+	}
+	if len(names) != len(wantOrder) {
+		t.Fatalf("trace = %v, want %v", names, wantOrder)
+	}
+	for i, w := range wantOrder {
+		if names[i] != w {
+			t.Errorf("trace[%d] = %s, want %s (full: %v)", i, names[i], w, names)
+		}
+	}
+}
+
+// TestGCAndLatchMetrics checks the GC counters and that latch holds are
+// being observed at all.
+func TestGCAndLatchMetrics(t *testing.T) {
+	s, reg, _ := metricsStore(t)
+	m, err := s.BeginMaintenance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert("DailySales", row("x", "d", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m, err = s.BeginMaintenance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DeleteKey("DailySales", rowKey("x", "d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.GC()
+	if st.Removed != 1 {
+		t.Fatalf("gc removed = %d, want 1", st.Removed)
+	}
+	if got := reg.CounterValue("core_gc_passes_total"); got != 1 {
+		t.Errorf("gc passes = %d, want 1", got)
+	}
+	if got := reg.CounterValue("core_gc_removed_total"); got != 1 {
+		t.Errorf("gc removed counter = %d, want 1", got)
+	}
+	if got := reg.CounterValue("core_gc_scanned_total"); got != int64(st.Scanned) {
+		t.Errorf("gc scanned counter = %d, want %d", got, st.Scanned)
+	}
+	snap := reg.Snapshot()
+	if h, ok := snap.Histograms["core_latch_hold_ns"]; !ok || h.Count == 0 {
+		t.Error("latch hold histogram should have observations")
+	}
+}
+
+// TestMaintenanceRollbackMetrics checks the rollback counter and the
+// maintenance-active gauge transitions.
+func TestMaintenanceRollbackMetrics(t *testing.T) {
+	s, reg, _ := metricsStore(t)
+	m, err := s.BeginMaintenance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.GaugeValue("core_maintenance_active"); got != 1 {
+		t.Errorf("maintenance_active = %d, want 1", got)
+	}
+	if err := m.Insert("DailySales", row("r", "d", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.GaugeValue("core_maintenance_active"); got != 0 {
+		t.Errorf("maintenance_active = %d, want 0", got)
+	}
+	if got := reg.CounterValue("core_maint_rollbacks_total"); got != 1 {
+		t.Errorf("rollbacks = %d, want 1", got)
+	}
+	if got := reg.CounterValue("core_maint_commits_total"); got != 0 {
+		t.Errorf("commits = %d, want 0", got)
+	}
+	if got := reg.GaugeValue("core_current_vn"); got != 1 {
+		t.Errorf("current_vn = %d, want 1 after rollback", got)
+	}
+}

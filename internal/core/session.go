@@ -18,6 +18,10 @@ type Session struct {
 	vn       VN
 	closed   bool
 	perTuple bool
+	// expiredSeen dedupes the expiry metric and trace event: a session is
+	// counted expired once, on the first failing check, however many
+	// queries observe the error afterwards.
+	expiredSeen bool
 }
 
 // BeginSession starts a reader session at the current database version. In
@@ -42,11 +46,16 @@ func (s *Store) BeginSessionPerTupleExpiry() *Session {
 }
 
 func (s *Store) beginSession(perTuple bool) *Session {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	acquired := s.latchAcquire()
 	vn, _ := s.globalsLocked()
 	sess := &Session{store: s, vn: vn, perTuple: perTuple}
 	s.sessions[sess] = struct{}{}
+	active := len(s.sessions)
+	s.latchRelease(acquired)
+	m := s.metrics
+	m.sessionsBegun.Inc()
+	m.activeSessions.Set(int64(active))
+	m.trace(TraceSessionBegin, vn, 0)
 	return sess
 }
 
@@ -61,9 +70,25 @@ func (sess *Session) Close() {
 		return
 	}
 	sess.closed = true
-	sess.store.mu.Lock()
-	delete(sess.store.sessions, sess)
-	sess.store.mu.Unlock()
+	st := sess.store
+	acquired := st.latchAcquire()
+	delete(st.sessions, sess)
+	active := len(st.sessions)
+	st.latchRelease(acquired)
+	st.metrics.sessionsClosed.Inc()
+	st.metrics.activeSessions.Set(int64(active))
+	st.metrics.trace(TraceSessionClose, sess.vn, 0)
+}
+
+// markExpired records the session's expiry — once, however many queries
+// observe the error afterwards — and returns ErrSessionExpired.
+func (sess *Session) markExpired() error {
+	if !sess.expiredSeen {
+		sess.expiredSeen = true
+		sess.store.metrics.sessionsExpired.Inc()
+		sess.store.metrics.trace(TraceSessionExpired, sess.vn, 0)
+	}
+	return ErrSessionExpired
 }
 
 // Check performs the global, pessimistic expiration test of §3.2/§4.1: the
@@ -87,7 +112,7 @@ func (sess *Session) Check() error {
 	if sess.vn < floor {
 		// A logless rollback invalidated older sessions (see
 		// Maintenance.Rollback).
-		return ErrSessionExpired
+		return sess.markExpired()
 	}
 	if sess.perTuple {
 		// Optimistic discipline: expired only if some table actually holds
@@ -98,7 +123,7 @@ func (sess *Session) Check() error {
 				return err
 			}
 			if bad {
-				return ErrSessionExpired
+				return sess.markExpired()
 			}
 		}
 		return nil
@@ -106,11 +131,11 @@ func (sess *Session) Check() error {
 	n := VN(st.n)
 	if active {
 		if sess.vn < cur+2-n {
-			return ErrSessionExpired
+			return sess.markExpired()
 		}
 	} else {
 		if sess.vn < cur+1-n {
-			return ErrSessionExpired
+			return sess.markExpired()
 		}
 	}
 	return nil
@@ -168,7 +193,7 @@ func (sess *Session) queryPerTuple(sel *sql.SelectStmt, params exec.Params) (*ex
 	floor := sess.store.expireFloor
 	sess.store.mu.Unlock()
 	if sess.vn < floor {
-		return nil, ErrSessionExpired
+		return nil, sess.markExpired()
 	}
 	rw, err := RewriteSelect(sess.store, sel)
 	if err != nil {
@@ -188,7 +213,7 @@ func (sess *Session) queryPerTuple(sel *sql.SelectStmt, params exec.Params) (*ex
 			return nil, err
 		}
 		if expired {
-			return nil, ErrSessionExpired
+			return nil, sess.markExpired()
 		}
 	}
 	return rows, nil
@@ -252,6 +277,9 @@ func (sess *Session) Scan(table string, fn func(catalog.Tuple) bool) error {
 		}
 		return fn(base)
 	})
+	if scanErr == ErrSessionExpired {
+		return sess.markExpired()
+	}
 	return scanErr
 }
 
@@ -273,7 +301,11 @@ func (sess *Session) Get(table string, key catalog.Tuple) (t catalog.Tuple, visi
 	if err != nil {
 		return nil, false, nil
 	}
-	return vt.ext.ReadAsOf(ext, sess.vn)
+	t, visible, err = vt.ext.ReadAsOf(ext, sess.vn)
+	if err == ErrSessionExpired {
+		err = sess.markExpired()
+	}
+	return t, visible, err
 }
 
 // withSessionVN returns params with :sessionVN bound to vn, without

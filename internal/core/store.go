@@ -8,6 +8,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/db"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -26,6 +27,14 @@ type Options struct {
 	// latched process memory. Reads of the global state then cost buffer
 	// pool traffic, which the experiments can observe.
 	VersionRelation bool
+	// Metrics receives the store's instrumentation (sessions, version
+	// advances, Tables 2–4 outcome cells, GC). Nil selects obs.Default(),
+	// which is what the binaries render; tests pass a private registry to
+	// make exact-count assertions.
+	Metrics *obs.Registry
+	// Tracer receives the store's state-transition events. Nil selects
+	// obs.DefaultTracer(), a ring buffer of recent events.
+	Tracer obs.Tracer
 }
 
 // Store is the 2VNL/nVNL controller for one database: it owns the global
@@ -55,6 +64,11 @@ type Store struct {
 	// journal, when non-nil, receives every physical change for
 	// durability (see Journal).
 	journal Journal
+
+	// reg and metrics are the store's observability surface (never nil;
+	// see Options.Metrics).
+	reg     *obs.Registry
+	metrics *storeMetrics
 }
 
 // VTable is a versioned relation managed by the store.
@@ -74,6 +88,14 @@ func Open(d *db.Database, opts Options) (*Store, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("core: need at least 2 versions, got %d", n)
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	tracer := opts.Tracer
+	if tracer == nil {
+		tracer = obs.DefaultTracer()
+	}
 	s := &Store{
 		d:         d,
 		n:         n,
@@ -81,7 +103,11 @@ func Open(d *db.Database, opts Options) (*Store, error) {
 		currentVN: 1,
 		tables:    make(map[string]*VTable),
 		sessions:  make(map[*Session]struct{}),
+		reg:       reg,
+		metrics:   newStoreMetrics(reg, tracer),
 	}
+	s.metrics.currentVN.Set(1)
+	d.Pool().Instrument(reg, "storage_pool")
 	if opts.VersionRelation {
 		schema := catalog.MustSchema(versionRelation, []catalog.Column{
 			{Name: "currentVN", Type: catalog.TypeInt, Length: 4, Updatable: true},
@@ -109,9 +135,10 @@ func (s *Store) DB() *db.Database { return s.d }
 // reads the Version relation through the engine, paying buffer-pool
 // traffic; otherwise it reads latched memory.
 func (s *Store) globals() (VN, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.globalsLocked()
+	acquired := s.latchAcquire()
+	vn, active := s.globalsLocked()
+	s.latchRelease(acquired)
+	return vn, active
 }
 
 func (s *Store) globalsLocked() (VN, bool) {

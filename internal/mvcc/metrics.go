@@ -1,0 +1,44 @@
+package mvcc
+
+import (
+	"strings"
+
+	"repro/internal/db"
+	"repro/internal/obs"
+	"repro/internal/txn"
+)
+
+// metricPrefix derives a metric-name-safe prefix from a scheme name:
+// "MV2PL/cache3" becomes "mvcc_mv2pl_cache3". Lower-cased, with every
+// non-alphanumeric run collapsed to one underscore.
+func metricPrefix(name string) string {
+	var b strings.Builder
+	b.WriteString("mvcc_")
+	us := false
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			us = false
+		default:
+			if !us {
+				b.WriteByte('_')
+				us = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "_")
+}
+
+// instrument wires a scheme's private engine pool and (when the scheme
+// locks) its lock manager into the default registry under the scheme's
+// prefix, so lock waits, deadlock aborts, and I/O are observable per scheme
+// — the §6 comparison quantities — without threading a registry through
+// every constructor. mgr may be nil for lock-free schemes.
+func instrument(d *db.Database, mgr *txn.Manager, name string) {
+	prefix := metricPrefix(name)
+	d.Pool().Instrument(obs.Default(), prefix+"_pool")
+	if mgr != nil {
+		mgr.Instrument(obs.Default(), prefix)
+	}
+}

@@ -105,11 +105,13 @@ func NewMV2PL(cfg Config) (*MV2PL, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &MV2PL{
+	s := &MV2PL{
 		d: d, tbl: tbl, pool: pool, cache: cfg.CacheSlots,
 		committed: 1,
 		readers:   make(map[*mvReader]struct{}),
-	}, nil
+	}
+	instrument(d, nil, s.Name())
+	return s, nil
 }
 
 // Name implements Scheme.

@@ -32,7 +32,9 @@ func NewOffline(cfg Config) (*Offline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Offline{d: d, tbl: tbl}, nil
+	s := &Offline{d: d, tbl: tbl}
+	instrument(d, nil, s.Name())
+	return s, nil
 }
 
 // Name implements Scheme.

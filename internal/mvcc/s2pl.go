@@ -43,7 +43,9 @@ func NewS2PL(cfg Config) (*S2PL, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &S2PL{d: d, tbl: tbl, mgr: txn.NewManager()}, nil
+	s := &S2PL{d: d, tbl: tbl, mgr: txn.NewManager()}
+	instrument(d, s.mgr, s.Name())
+	return s, nil
 }
 
 // Name implements Scheme.

@@ -51,7 +51,9 @@ func NewTwoV2PL(cfg Config) (*TwoV2PL, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TwoV2PL{d: d, tbl: tbl, mgr: txn.NewManager()}, nil
+	s := &TwoV2PL{d: d, tbl: tbl, mgr: txn.NewManager()}
+	instrument(d, s.mgr, s.Name())
+	return s, nil
 }
 
 // Name implements Scheme.

@@ -30,7 +30,12 @@ func NewVNL(cfg Config, n int) (*VNL, error) {
 	if _, err := s.CreateTable(kvSchema()); err != nil {
 		return nil, err
 	}
-	return &VNL{d: d, store: s, n: n}, nil
+	v := &VNL{d: d, store: s, n: n}
+	// Re-point the pool counters from core.Open's generic "storage_pool"
+	// prefix to this scheme's own series (no lock manager — that is the
+	// point of 2VNL).
+	instrument(d, nil, v.Name())
+	return v, nil
 }
 
 // Name implements Scheme.

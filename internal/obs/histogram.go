@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Common bucket boundaries. Bounds are inclusive upper limits; values above
+// the last bound land in the implicit +Inf bucket.
+var (
+	// DurationBuckets covers latencies recorded in nanoseconds, from 1µs
+	// to 10s in decade-and-a-half steps.
+	DurationBuckets = []int64{
+		int64(time.Microsecond), int64(10 * time.Microsecond),
+		int64(100 * time.Microsecond), int64(time.Millisecond),
+		int64(10 * time.Millisecond), int64(100 * time.Millisecond),
+		int64(time.Second), int64(10 * time.Second),
+	}
+	// CountBuckets covers batch sizes and per-pass counts.
+	CountBuckets = []int64{1, 10, 100, 1_000, 10_000, 100_000, 1_000_000}
+)
+
+// Histogram is a fixed-boundary histogram with atomic buckets. Boundaries
+// are set at construction and never change, so Observe is a binary search
+// plus three atomic adds — no locks, no allocation.
+type Histogram struct {
+	bounds []int64        // inclusive upper bounds, strictly increasing
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given inclusive upper bounds,
+// which must be strictly increasing and non-empty.
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not increasing at %d", i))
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the elapsed time since start, in nanoseconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Buckets are
+// cumulative-free: Counts[i] is the number of observations in
+// (Bounds[i-1], Bounds[i]], with Counts[len(Bounds)] the overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observe calls
+// may be torn across the per-bucket reads (a bucket may be ahead of Count),
+// but each field is itself atomically read and totals are exact once
+// writers quiesce.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Mean returns the mean observed value, or 0 with no observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1):
+// the bucket bound below which at least q of the observations fall. For the
+// overflow bucket it returns the largest bound.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

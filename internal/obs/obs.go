@@ -1,0 +1,229 @@
+// Package obs is the warehouse's observability layer: a lightweight,
+// allocation-conscious metrics library (atomic counters, gauges, and
+// fixed-bucket histograms in a named registry, with point-in-time snapshots
+// and text/JSON export) plus a pluggable event tracer with a ring-buffer
+// default.
+//
+// The paper's argument is entirely about runtime dynamics that are
+// invisible from the outside — sessions silently expiring when they overlap
+// too many maintenance transactions (§3.2/§5), logical operations folding
+// into net effects inside tuples (§3.3), storage overhead accruing
+// tuple-by-tuple (§6). This package makes those dynamics first-class:
+// internal/core, internal/wal, internal/txn, internal/storage, and
+// internal/mvcc all register named metrics here, and the binaries
+// (vnlsh \metrics, vnlbench, vnlload) render snapshots of them. The design
+// follows the per-scheme instrumented-counter style of Larson et al.,
+// "High-Performance Concurrency Control Mechanisms for Main-Memory
+// Databases" (VLDB 2012): cheap enough to leave on in every run, so the
+// experiments read the same counters production would.
+//
+// # Metrics
+//
+// A Registry maps names to metrics. All constructors are get-or-create:
+// calling Registry.Counter twice with one name returns the same counter, so
+// multiple stores or schemes sharing a registry aggregate into shared
+// series rather than colliding. Updates are single atomic operations;
+// nothing allocates on the hot path.
+//
+//	reg := obs.NewRegistry()
+//	begun := reg.Counter("core_sessions_begun_total", "reader sessions begun")
+//	begun.Inc()
+//	lat := reg.Histogram("wal_fsync_ns", "fsync latency (ns)", obs.DurationBuckets)
+//	lat.Observe(time.Since(start).Nanoseconds())
+//	reg.Snapshot().WriteText(os.Stdout)
+//
+// The package-level Default registry and tracer are what the binaries use;
+// components default to them when no registry is supplied.
+//
+// # Tracing
+//
+// A Tracer receives one Event per interesting state transition (session
+// begin/expire, maintenance begin/commit/rollback, version advance, GC
+// pass). The default implementation is a fixed-size ring buffer that keeps
+// the most recent events for post-hoc inspection (vnlsh \trace); a nop
+// tracer and the interface itself allow plugging in external sinks.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (negative deltas are the caller's bug; counters are
+// conventionally monotone, and exporters may assume it).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value: it can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// SetMax raises the gauge to v if v exceeds the current value (a running
+// maximum, e.g. worst-case latency). Safe under concurrent SetMax calls;
+// mixing SetMax with Set forfeits the maximum property.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a named collection of metrics. All lookups are get-or-create
+// and safe for concurrent use; metric updates after lookup are lock-free.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	help       map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry, used by every component that
+// is not handed an explicit one.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter registered under name, creating it if needed.
+// help is recorded on first creation and shown by text export.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+		r.setHelpLocked(name, help)
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.setHelpLocked(name, help)
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds if needed. An existing histogram keeps its
+// original buckets regardless of the bounds passed later.
+func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+		r.setHelpLocked(name, help)
+	}
+	return h
+}
+
+func (r *Registry) setHelpLocked(name, help string) {
+	if help != "" {
+		r.help[name] = help
+	}
+}
+
+// Help returns the help string recorded for name, if any.
+func (r *Registry) Help(name string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.help[name]
+}
+
+// Names returns every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CounterValue returns the value of the named counter, or 0 if absent. It
+// never creates the counter — use it for assertions and reporting.
+func (r *Registry) CounterValue(name string) int64 {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return c.Value()
+}
+
+// GaugeValue returns the value of the named gauge, or 0 if absent.
+func (r *Registry) GaugeValue(name string) int64 {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g == nil {
+		return 0
+	}
+	return g.Value()
+}

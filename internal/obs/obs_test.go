@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "ignored"); again != c {
+		t.Error("Counter is not get-or-create")
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+	if r.Help("c_total") != "a counter" {
+		t.Errorf("help = %q, want first-registration help", r.Help("c_total"))
+	}
+	if r.CounterValue("absent") != 0 || r.GaugeValue("absent") != 0 {
+		t.Error("absent metrics should read 0")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	// Bounds are inclusive upper limits.
+	for _, v := range []int64{1, 10} { // bucket 0: (-inf, 10]
+		h.Observe(v)
+	}
+	for _, v := range []int64{11, 100} { // bucket 1: (10, 100]
+		h.Observe(v)
+	}
+	h.Observe(500)  // bucket 2: (100, 1000]
+	h.Observe(5000) // overflow bucket
+	s := h.Snapshot()
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1+10+11+100+500+5000 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+	if got := s.Quantile(0.5); got != 100 {
+		t.Errorf("p50 = %d, want 100", got)
+	}
+	if got := s.Quantile(1.0); got != 1000 {
+		t.Errorf("p100 = %d, want 1000 (largest bound for overflow)", got)
+	}
+}
+
+func TestHistogramBoundsValidation(t *testing.T) {
+	for _, bounds := range [][]int64{nil, {}, {5, 5}, {10, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestSnapshotConsistencyUnderConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Every goroutine hits the same names: get-or-create must
+			// hand out one shared instance per name.
+			c := r.Counter("ops_total", "")
+			h := r.Histogram("lat_ns", "", []int64{10, 100, 1000})
+			g := r.Gauge("level", "")
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				h.Observe(int64(j % 2000))
+				g.Set(int64(j))
+				if j%1000 == 0 {
+					// Concurrent snapshots must not race or tear
+					// individual fields.
+					_ = r.Snapshot()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counters["ops_total"]; got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	h := s.Histograms["lat_ns"]
+	if h.Count != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count, goroutines*perG)
+	}
+	var bucketSum int64
+	for _, c := range h.Counts {
+		bucketSum += c
+	}
+	if bucketSum != h.Count {
+		t.Errorf("bucket sum %d != count %d after quiesce", bucketSum, h.Count)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	h := r.Histogram("v", "", []int64{10})
+	c.Add(3)
+	h.Observe(5)
+	before := r.Snapshot()
+	c.Add(4)
+	h.Observe(50)
+	r.Gauge("g", "").Set(9)
+	d := r.Snapshot().Sub(before)
+	if d.Counters["n_total"] != 4 {
+		t.Errorf("delta counter = %d, want 4", d.Counters["n_total"])
+	}
+	if hd := d.Histograms["v"]; hd.Count != 1 || hd.Counts[1] != 1 || hd.Counts[0] != 0 {
+		t.Errorf("delta histogram = %+v", hd)
+	}
+	if d.Gauges["g"] != 9 {
+		t.Errorf("gauge should pass through, got %d", d.Gauges["g"])
+	}
+}
+
+func TestExportTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "").Add(2)
+	r.Gauge("a", "").Set(1)
+	r.Histogram("lat_ns", "", DurationBuckets).Observe(1500)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	// Lexicographic order, one line per metric.
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %q", len(lines), text)
+	}
+	if !strings.HasPrefix(lines[0], "a") || !strings.HasPrefix(lines[1], "b_total") ||
+		!strings.HasPrefix(lines[2], "lat_ns") {
+		t.Errorf("unexpected order:\n%s", text)
+	}
+	if !strings.Contains(lines[2], "count=1") {
+		t.Errorf("histogram line missing count: %q", lines[2])
+	}
+
+	buf.Reset()
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if round.Counters["b_total"] != 2 || round.Gauges["a"] != 1 {
+		t.Errorf("JSON round-trip lost values: %+v", round)
+	}
+	if round.Empty() {
+		t.Error("snapshot should not be empty")
+	}
+}
+
+func TestRingTracer(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 6; i++ {
+		r.Emit("e", int64(i), 0)
+	}
+	if r.Total() != 6 {
+		t.Errorf("total = %d, want 6", r.Total())
+	}
+	if r.Len() != 4 {
+		t.Errorf("len = %d, want 4", r.Len())
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("events = %d, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := int64(i + 3); e.VN != want {
+			t.Errorf("event %d VN = %d, want %d (oldest-first after wrap)", i, e.VN, want)
+		}
+		if e.Seq != uint64(i+3) {
+			t.Errorf("event %d Seq = %d, want %d", i, e.Seq, i+3)
+		}
+	}
+	if last := r.Last(2); len(last) != 2 || last[1].VN != 6 {
+		t.Errorf("Last(2) = %v", last)
+	}
+}
+
+func TestRingTracerConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Emit("e", int64(j), 1)
+				if j%100 == 0 {
+					_ = r.Events()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 4000 {
+		t.Errorf("total = %d, want 4000", r.Total())
+	}
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry, suitable
+// for rendering, diffing, and assertions.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state. Individual metric reads are
+// atomic; the set as a whole is not a transaction, which is fine for the
+// monotone counters this package holds.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.histograms {
+		s.Histograms[n] = h.Snapshot()
+	}
+	return s
+}
+
+// Empty reports whether the snapshot holds no metrics at all.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// Sub returns the delta snapshot s − prev: counters and histogram
+// counts/sums are subtracted (metrics absent from prev pass through);
+// gauges keep their current values, since deltas of instantaneous values
+// are meaningless.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for n, v := range s.Counters {
+		out.Counters[n] = v - prev.Counters[n]
+	}
+	for n, v := range s.Gauges {
+		out.Gauges[n] = v
+	}
+	for n, h := range s.Histograms {
+		d := HistogramSnapshot{
+			Bounds: h.Bounds,
+			Counts: append([]int64(nil), h.Counts...),
+			Count:  h.Count,
+			Sum:    h.Sum,
+		}
+		if p, ok := prev.Histograms[n]; ok && len(p.Counts) == len(h.Counts) {
+			for i := range d.Counts {
+				d.Counts[i] -= p.Counts[i]
+			}
+			d.Count -= p.Count
+			d.Sum -= p.Sum
+		}
+		out.Histograms[n] = d
+	}
+	return out
+}
+
+// WriteText renders the snapshot in a stable, human-oriented text format:
+// one "name value" line per counter and gauge, and one summary line per
+// histogram (count, mean, p50/p99 upper bounds). Names sort
+// lexicographically. Histograms whose name ends in "_ns" are rendered as
+// durations.
+func (s Snapshot) WriteText(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if v, ok := s.Counters[n]; ok {
+			if _, err := fmt.Fprintf(w, "%-52s %d\n", n, v); err != nil {
+				return err
+			}
+			continue
+		}
+		if v, ok := s.Gauges[n]; ok {
+			if _, err := fmt.Fprintf(w, "%-52s %d\n", n, v); err != nil {
+				return err
+			}
+			continue
+		}
+		h := s.Histograms[n]
+		var line string
+		if isDurationName(n) {
+			line = fmt.Sprintf("%-52s count=%d mean=%s p50<=%s p99<=%s", n, h.Count,
+				time.Duration(int64(h.Mean())).Round(time.Microsecond),
+				time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.99)))
+		} else {
+			line = fmt.Sprintf("%-52s count=%d mean=%.1f p50<=%d p99<=%d", n, h.Count,
+				h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isDurationName(n string) bool {
+	return len(n) > 3 && n[len(n)-3:] == "_ns"
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

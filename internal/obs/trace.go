@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event is one traced state transition. The fixed shape — a static name
+// plus two integer arguments — keeps emission allocation-free; VN carries
+// the version number involved (or 0) and Arg an event-specific quantity
+// (rows affected, tuples reclaimed, nanoseconds, ...).
+type Event struct {
+	// Seq is the tracer-assigned sequence number, dense from 1.
+	Seq uint64
+	// Unix is the event time in nanoseconds since the epoch.
+	Unix int64
+	// Name identifies the transition, e.g. "session_begin",
+	// "maint_commit", "gc_pass".
+	Name string
+	// VN is the database version number involved, if any.
+	VN int64
+	// Arg is an event-specific quantity, if any.
+	Arg int64
+}
+
+// Time returns the event time.
+func (e Event) Time() time.Time { return time.Unix(0, e.Unix) }
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s #%d %s vn=%d arg=%d",
+		e.Time().Format("15:04:05.000000"), e.Seq, e.Name, e.VN, e.Arg)
+}
+
+// Tracer receives events from instrumented components. Implementations
+// must be safe for concurrent use and should not block: emitters sit on
+// hot paths.
+type Tracer interface {
+	Emit(name string, vn, arg int64)
+}
+
+// NopTracer discards every event.
+type NopTracer struct{}
+
+// Emit implements Tracer.
+func (NopTracer) Emit(string, int64, int64) {}
+
+// Ring is the default Tracer: a fixed-capacity ring buffer keeping the most
+// recent events. Emission is one mutex-guarded slot write — no allocation
+// after construction.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever emitted
+}
+
+// NewRing returns a ring tracer keeping the last capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+var defaultTracer = NewRing(1024)
+
+// DefaultTracer returns the process-wide ring tracer, used by components
+// not handed an explicit one.
+func DefaultTracer() *Ring { return defaultTracer }
+
+// Emit implements Tracer.
+func (r *Ring) Emit(name string, vn, arg int64) {
+	now := time.Now().UnixNano()
+	r.mu.Lock()
+	r.next++
+	r.buf[int((r.next-1)%uint64(len(r.buf)))] = Event{
+		Seq: r.next, Unix: now, Name: name, VN: vn, Arg: arg,
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of events currently held (≤ capacity).
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of events ever emitted, including overwritten
+// ones.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	if r.next <= n {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, n)
+	start := r.next % n
+	copy(out, r.buf[start:])
+	copy(out[n-start:], r.buf[:start])
+	return out
+}
+
+// Last returns up to k most recent events, oldest first.
+func (r *Ring) Last(k int) []Event {
+	ev := r.Events()
+	if len(ev) > k {
+		ev = ev[len(ev)-k:]
+	}
+	return ev
+}
+
+// Interface conformance.
+var (
+	_ Tracer = (*Ring)(nil)
+	_ Tracer = NopTracer{}
+)

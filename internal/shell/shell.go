@@ -6,9 +6,11 @@ package shell
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -27,6 +29,8 @@ commands:
   \rewrite <query>  print the rewritten form of a reader query
   \tables           list versioned tables and their schemas
   \status           currentVN, maintenanceActive, session state
+  \metrics [json]   dump the store's metrics snapshot (text or JSON)
+  \trace [n]        print the last n trace events (default 20)
   \gc               garbage-collect logically deleted tuples
   \checkpoint <path>  write a compact recovery checkpoint of the warehouse
   \help             this text
@@ -171,6 +175,42 @@ func (sh *Shell) command(line string) (quit bool) {
 				sh.printf("%s: %d logically-deleted tuples awaiting GC\n", table, dead)
 			}
 		}
+	case "\\metrics":
+		snap := sh.store.Metrics().Snapshot()
+		if snap.Empty() {
+			sh.printf("no metrics recorded yet\n")
+			return false
+		}
+		var err error
+		if len(parts) > 1 && strings.TrimSpace(parts[1]) == "json" {
+			err = snap.WriteJSON(sh.out)
+		} else {
+			err = snap.WriteText(sh.out)
+		}
+		if err != nil {
+			sh.printf("error: %v\n", err)
+		}
+	case "\\trace":
+		ring, ok := sh.store.Tracer().(*obs.Ring)
+		if !ok {
+			sh.printf("tracer is not a ring buffer; no events to show\n")
+			return false
+		}
+		n := 20
+		if len(parts) > 1 {
+			if v, err := strconv.Atoi(strings.TrimSpace(parts[1])); err == nil && v > 0 {
+				n = v
+			}
+		}
+		events := ring.Last(n)
+		if len(events) == 0 {
+			sh.printf("no trace events yet\n")
+			return false
+		}
+		for _, e := range events {
+			sh.printf("  %s\n", e)
+		}
+		sh.printf("(%d of %d total events)\n", len(events), ring.Total())
 	case "\\gc":
 		st := sh.store.GC()
 		sh.printf("scanned %d, reclaimed %d tuples (%d bytes)\n", st.Scanned, st.Removed, st.BytesReclaimed)

@@ -24,6 +24,8 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // DefaultPageSize is the page size, in bytes, used when a Heap is created
@@ -78,6 +80,10 @@ type BufferPool struct {
 	lru      *list.List // front = most recently used; values are *poolEntry
 	index    map[PageKey]*list.Element
 	stats    IOStats
+	// Optional observability counters (see Instrument); nil until
+	// instrumented. They mirror stats live into a shared registry, so
+	// several pools instrumented with one prefix aggregate process-wide.
+	cHits, cMisses, cWriteBacks *obs.Counter
 }
 
 // NewBufferPool returns a pool caching up to capacity pages. Capacity must
@@ -93,6 +99,19 @@ func NewBufferPool(capacity int) *BufferPool {
 	}
 }
 
+// Instrument mirrors the pool's counters live into reg under
+// prefix+"_hits_total" etc. Several pools instrumented with the same prefix
+// share the counters (registry lookups are get-or-create), yielding
+// process-wide aggregate I/O; counters record activity from instrumentation
+// time onward.
+func (p *BufferPool) Instrument(reg *obs.Registry, prefix string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cHits = reg.Counter(prefix+"_hits_total", "buffer-pool hits")
+	p.cMisses = reg.Counter(prefix+"_misses_total", "buffer-pool misses (logical read I/Os)")
+	p.cWriteBacks = reg.Counter(prefix+"_writebacks_total", "dirty-page write-backs (logical write I/Os)")
+}
+
 // Touch records an access to the page. A miss counts as a read I/O; evicting
 // a dirty page counts as a write I/O. When write is true the cached page is
 // marked dirty.
@@ -101,6 +120,9 @@ func (p *BufferPool) Touch(key PageKey, write bool) {
 	defer p.mu.Unlock()
 	if el, ok := p.index[key]; ok {
 		p.stats.Hits++
+		if p.cHits != nil {
+			p.cHits.Inc()
+		}
 		p.lru.MoveToFront(el)
 		if write {
 			el.Value.(*poolEntry).dirty = true
@@ -108,11 +130,17 @@ func (p *BufferPool) Touch(key PageKey, write bool) {
 		return
 	}
 	p.stats.Misses++
+	if p.cMisses != nil {
+		p.cMisses.Inc()
+	}
 	for p.lru.Len() >= p.capacity {
 		back := p.lru.Back()
 		e := back.Value.(*poolEntry)
 		if e.dirty {
 			p.stats.WriteBacks++
+			if p.cWriteBacks != nil {
+				p.cWriteBacks.Inc()
+			}
 		}
 		delete(p.index, e.key)
 		p.lru.Remove(back)
@@ -146,6 +174,9 @@ func (p *BufferPool) Flush() {
 		e := el.Value.(*poolEntry)
 		if e.dirty {
 			p.stats.WriteBacks++
+			if p.cWriteBacks != nil {
+				p.cWriteBacks.Inc()
+			}
 			e.dirty = false
 		}
 	}

@@ -15,7 +15,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -139,6 +141,10 @@ type Manager struct {
 	queue   []waiter
 	nextSeq int64
 	stats   Stats
+	// Optional observability mirrors (see Instrument); nil until
+	// instrumented, so uninstrumented managers pay only a nil check.
+	cAcquired, cWaited, cDeadlocks *obs.Counter
+	hWaitNS                        *obs.Histogram
 }
 
 // Stats counts lock-manager events; the blocking experiments report these.
@@ -163,6 +169,19 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.stats
+}
+
+// Instrument mirrors the manager's counters live into reg under
+// prefix+"_locks_acquired_total" etc., and records blocked-request wait
+// times in prefix+"_lock_wait_ns". Managers instrumented with the same
+// prefix share the series (registry lookups are get-or-create).
+func (m *Manager) Instrument(reg *obs.Registry, prefix string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cAcquired = reg.Counter(prefix+"_locks_acquired_total", "lock requests granted")
+	m.cWaited = reg.Counter(prefix+"_locks_waited_total", "lock requests that blocked at least once")
+	m.cDeadlocks = reg.Counter(prefix+"_deadlocks_total", "lock requests aborted by deadlock detection")
+	m.hWaitNS = reg.Histogram(prefix+"_lock_wait_ns", "time blocked lock requests spent waiting", obs.DurationBuckets)
 }
 
 // grantable reports whether txn may take res in mode, given current holders
@@ -215,13 +234,21 @@ func (m *Manager) acquire(txn ID, res Resource, mode Mode) error {
 		}
 	}
 	seq := int64(-1) // assigned at first wait; kept across re-checks
+	var waitStart time.Time
 	for !m.grantable(txn, res, mode, seq) {
 		if m.wouldDeadlock(txn, res, mode) {
 			m.stats.Deadlocks++
+			if m.cDeadlocks != nil {
+				m.cDeadlocks.Inc()
+			}
 			return ErrDeadlock
 		}
 		if seq < 0 {
 			m.stats.Waited++
+			if m.cWaited != nil {
+				m.cWaited.Inc()
+				waitStart = time.Now()
+			}
 			seq = m.nextSeq
 			m.nextSeq++
 		}
@@ -240,6 +267,12 @@ func (m *Manager) acquire(txn ID, res Resource, mode Mode) error {
 		st.holders[txn] = mode
 	}
 	m.stats.Acquired++
+	if m.cAcquired != nil {
+		m.cAcquired.Inc()
+		if !waitStart.IsZero() {
+			m.hWaitNS.ObserveSince(waitStart)
+		}
+	}
 	return nil
 }
 

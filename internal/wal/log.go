@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -170,6 +171,9 @@ func (l *Log) append(payload []byte, beforeBytes int) {
 	l.stats.Records++
 	l.stats.Bytes += int64(len(hdr) + len(payload))
 	l.stats.BeforeBytes += int64(beforeBytes)
+	mAppends.Inc()
+	mBytes.Add(int64(len(hdr) + len(payload)))
+	mBeforeBytes.Add(int64(beforeBytes))
 }
 
 // sync flushes buffered records and fsyncs the file.
@@ -179,6 +183,7 @@ func (l *Log) sync() error {
 	if l.err != nil {
 		return l.err
 	}
+	start := time.Now()
 	if err := l.w.Flush(); err != nil {
 		l.err = err
 		return err
@@ -188,6 +193,8 @@ func (l *Log) sync() error {
 		return err
 	}
 	l.stats.Syncs++
+	mSyncs.Inc()
+	mSyncNS.ObserveSince(start)
 	return nil
 }
 

@@ -126,5 +126,8 @@ func Recover(path string, dbOpts db.Options, storeOpts core.Options) (*core.Stor
 	if stats.HighestVN > 1 {
 		store.SetCurrentVN(stats.HighestVN)
 	}
+	mRecoverRecords.Add(int64(stats.RecordsScanned))
+	mRecoverReplayed.Add(int64(stats.TuplesReplayed))
+	mRecoverTxns.Add(int64(stats.CommittedTxns))
 	return store, engine, stats, nil
 }
