@@ -1,0 +1,28 @@
+# Developer entry points. CI runs the same targets; see
+# .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: build test race lint bench-smoke all
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs vnlvet, the in-repo analyzer suite that enforces the paper's
+# latch, guarded-write, decision-table, metric-registry, and WAL-error
+# invariants (see ARCHITECTURE.md "Checked invariants").
+lint:
+	$(GO) run ./cmd/vnlvet ./...
+
+# bench-smoke runs every benchmark once, just to prove they still execute;
+# real measurement runs use cmd/bench.
+bench-smoke:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...

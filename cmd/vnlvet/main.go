@@ -1,0 +1,97 @@
+// Command vnlvet runs the repro lint suite: five analyzers that mechanically
+// enforce the paper's latch, version, and decision-table invariants
+// (internal/lint). It is a multichecker in the spirit of go vet:
+//
+//	vnlvet [-checks latchsafety,walerr] [-list] [packages...]
+//
+// Package patterns default to ./... and are resolved by `go list`, so the
+// tool must run from inside the module. Exit status is 0 when the tree is
+// clean, 1 when any analyzer reports a diagnostic, and 2 on usage or load
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("vnlvet", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vnlvet [-checks name,...] [-list] [packages...]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+
+	analyzers := lint.Analyzers()
+	if *checks != "" {
+		var names []string
+		for _, n := range strings.Split(*checks, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		var err error
+		analyzers, err = lint.ByName(names)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vnlvet: %v\n", err)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vnlvet: %v\n", err)
+		return 2
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vnlvet: %s: %v\n", pkg.PkgPath, err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "vnlvet: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -211,6 +211,9 @@ func probeCell(prevOp core.Op, sameTxn bool, maintOp core.Op) (cellResult, error
 			}
 			_, err := m.DeleteKey("kv", key)
 			return err
+		case core.OpNone:
+			// No previous operation to stage; callers guard on OpNone but
+			// the cell is listed so the decision table reads exhaustively.
 		}
 		return nil
 	}
@@ -288,6 +291,8 @@ func probeCell(prevOp core.Op, sameTxn bool, maintOp core.Op) (cellResult, error
 		} else if !found {
 			opErr = fmt.Errorf("%w: target invisible", core.ErrInvalidMaintenanceOp)
 		}
+	case core.OpNone:
+		opErr = fmt.Errorf("%w: probe requires an operation", core.ErrInvalidMaintenanceOp)
 	}
 	if opErr != nil {
 		m.Rollback()

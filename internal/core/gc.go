@@ -15,6 +15,11 @@ type GCStats struct {
 	// BytesReclaimed is Removed × the extended tuple size, summed per
 	// table.
 	BytesReclaimed int
+	// Err is the journal error, if any, from committing the GC
+	// pseudo-transaction. The physical reclamation itself has already
+	// happened; callers that need the reclamation to be recoverable must
+	// check it (§7).
+	Err error
 }
 
 // GC physically removes logically-deleted tuples that no current or future
@@ -91,7 +96,9 @@ func (s *Store) GCWithFloor(floor VN) GCStats {
 		}
 	}
 	if journalOpen {
-		_ = j.LogCommit(0)
+		if err := j.LogCommit(0); err != nil {
+			stats.Err = err
+		}
 	}
 	mm := s.metrics
 	mm.gcPasses.Inc()

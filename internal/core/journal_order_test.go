@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+// recordingJournal records the sequence of journal calls and can inject a
+// commit failure. It backs the regression tests for the vnlvet latchsafety
+// and walerr fixes: LogCreate and LogBegin moved out of the latched
+// sections, and GC now surfaces a failed commit force instead of blanking
+// it — neither change may reorder the write-ahead record sequence.
+type recordingJournal struct {
+	calls     []string
+	commitErr error
+}
+
+func (r *recordingJournal) LogCreate(base *catalog.Schema) {
+	r.calls = append(r.calls, "create:"+base.Name)
+}
+func (r *recordingJournal) LogBegin(vn VN) { r.calls = append(r.calls, "begin") }
+func (r *recordingJournal) LogInsert(table string, rid storage.RID, after catalog.Tuple) {
+	r.calls = append(r.calls, "insert:"+table)
+}
+func (r *recordingJournal) LogUpdate(table string, rid storage.RID, before, after catalog.Tuple) {
+	r.calls = append(r.calls, "update:"+table)
+}
+func (r *recordingJournal) LogDelete(table string, rid storage.RID, before catalog.Tuple) {
+	r.calls = append(r.calls, "delete:"+table)
+}
+func (r *recordingJournal) LogCommit(vn VN) error {
+	r.calls = append(r.calls, "commit")
+	return r.commitErr
+}
+func (r *recordingJournal) LogAbort(vn VN) { r.calls = append(r.calls, "abort") }
+
+// TestJournalRecordOrder checks the write-ahead record sequence now that
+// LogCreate and LogBegin are emitted outside the latch: the create record
+// must still precede the begin record, and the begin record every tuple
+// record of its transaction.
+func TestJournalRecordOrder(t *testing.T) {
+	s := newStore(t, 2)
+	j := &recordingJournal{}
+	s.SetJournal(j)
+	if _, err := s.CreateTable(kvSchema()); err != nil {
+		t.Fatal(err)
+	}
+	m := mustMaint(t, s)
+	if err := m.Insert("kv", kvTuple(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, m)
+	want := []string{"create:kv", "begin", "insert:kv", "commit"}
+	if len(j.calls) != len(want) {
+		t.Fatalf("journal calls = %v, want %v", j.calls, want)
+	}
+	for i := range want {
+		if j.calls[i] != want[i] {
+			t.Fatalf("journal calls = %v, want %v", j.calls, want)
+		}
+	}
+}
+
+// TestGCReportsJournalCommitError checks that a failed commit force of the
+// GC pseudo-transaction is surfaced in GCStats.Err rather than discarded:
+// callers that need the reclamation to be recoverable must see the failure.
+func TestGCReportsJournalCommitError(t *testing.T) {
+	s := newStore(t, 2)
+	if _, err := s.CreateTable(kvSchema()); err != nil {
+		t.Fatal(err)
+	}
+	m := mustMaint(t, s)
+	if err := m.Insert("kv", kvTuple(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, m)
+	m = mustMaint(t, s)
+	if _, err := m.DeleteKey("kv", catalog.Tuple{catalog.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, m)
+
+	// Install the failing journal only now: the logically-deleted tuple is
+	// in place, so the GC pass journals its physical delete and the commit
+	// force fails.
+	boom := errors.New("boom: force failed")
+	s.SetJournal(&recordingJournal{commitErr: boom})
+	stats := s.GCWithFloor(s.CurrentVN())
+	if stats.Removed == 0 {
+		t.Fatalf("GC removed nothing: %+v", stats)
+	}
+	if !errors.Is(stats.Err, boom) {
+		t.Fatalf("GCStats.Err = %v, want %v", stats.Err, boom)
+	}
+
+	// A clean pass reports no error.
+	if stats := s.GC(); stats.Err != nil {
+		t.Fatalf("clean GC pass reported error %v", stats.Err)
+	}
+}

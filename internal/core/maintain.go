@@ -100,12 +100,18 @@ func (s *Store) beginMaintenance(mode RollbackMode, netEffect bool) (*Maintenanc
 		return nil, ErrMaintenanceActive
 	}
 	m := &Maintenance{store: s, vn: cur + 1, mode: mode, netEffect: netEffect, began: time.Now()}
-	if s.journal != nil {
-		s.journal.LogBegin(m.vn)
-	}
+	j := s.journal
 	s.setGlobalsLocked(cur, true)
 	s.maint = m
 	s.latchRelease(acquired)
+	// Journal the begin record outside the latch: the append may block on
+	// I/O and the §3 latch must stay short-duration. Write-ahead is
+	// preserved — no tuple record can be emitted before this call returns
+	// the Maintenance handle, and the active flag set above excludes a
+	// competing begin.
+	if j != nil {
+		j.LogBegin(m.vn)
+	}
 	mm := s.metrics
 	mm.maintBegun.Inc()
 	mm.maintActive.Set(1)
@@ -352,8 +358,12 @@ func (m *Maintenance) applyDelete(vt *VTable, rid storage.RID, ext catalog.Tuple
 		m.met().cellT4R1.Inc()
 		return nil
 	}
-	// Row 2: modified earlier by this same transaction.
-	if e.OpAt(ext, 1) == OpInsert {
+	// Row 2: modified earlier by this same transaction. The net effect
+	// depends on which operation this transaction already recorded — the
+	// switch mirrors Table 4's row-2 cells and is checked for coverage by
+	// vnlvet's tableexhaustive analyzer.
+	switch e.OpAt(ext, 1) {
+	case OpInsert:
 		if e.L.N > 2 && e.TupleVN(ext, 2) > 0 {
 			// The "insert" was a re-insert over an earlier delete (Table 2
 			// row 1) that pushed older history back. Insert+delete nets to
@@ -383,18 +393,24 @@ func (m *Maintenance) applyDelete(vt *VTable, rid storage.RID, ext catalog.Tuple
 		m.met().cellT4R2InsDelete.Inc()
 		m.dropUndo(vt, rid)
 		return nil
+	case OpUpdate:
+		// Previously updated by this transaction: net effect is delete.
+		m.snapshot(vt, rid, ext, false)
+		t := ext.Clone()
+		e.SetSlot(t, 1, m.vn, OpDelete)
+		if err := m.physUpdate(vt, rid, ext, t); err != nil {
+			return err
+		}
+		m.stats.NetEffectFolds++
+		m.met().netFolds.Inc()
+		m.met().cellT4R2Update.Inc()
+		return nil
+	default:
+		// OpDelete is rejected on entry and OpNone never carries
+		// tupleVN == maintenanceVN; reaching here is a bookkeeping bug.
+		return fmt.Errorf("%w: delete of %s tuple with unexpected slot-1 operation %s",
+			ErrInvalidMaintenanceOp, e.Base.Name, e.OpAt(ext, 1))
 	}
-	// Previously updated by this transaction: net effect is delete.
-	m.snapshot(vt, rid, ext, false)
-	t := ext.Clone()
-	e.SetSlot(t, 1, m.vn, OpDelete)
-	if err := m.physUpdate(vt, rid, ext, t); err != nil {
-		return err
-	}
-	m.stats.NetEffectFolds++
-	m.met().netFolds.Inc()
-	m.met().cellT4R2Update.Inc()
-	return nil
 }
 
 // dropUndo removes the undo record for a tuple this transaction inserted

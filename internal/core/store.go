@@ -49,20 +49,22 @@ type Store struct {
 
 	// mu is the latch guarding the global variables and the session and
 	// table registries (§3: "we assume a simple latching mechanism is used
-	// to read and update these global variables").
+	// to read and update these global variables"). The "guarded by mu"
+	// annotations below are enforced mechanically by vnlvet's guardedwrite
+	// analyzer.
 	mu          sync.Mutex
-	currentVN   VN
-	maintActive bool
-	maint       *Maintenance
-	tables      map[string]*VTable // lower-cased base name
-	sessions    map[*Session]struct{}
-	versionTbl  *db.Table // non-nil in relation-backed mode
+	currentVN   VN                    // guarded by mu
+	maintActive bool                  // guarded by mu
+	maint       *Maintenance          // guarded by mu
+	tables      map[string]*VTable    // guarded by mu; lower-cased base name
+	sessions    map[*Session]struct{} // guarded by mu
+	versionTbl  *db.Table             // non-nil in relation-backed mode
 	// expireFloor expires sessions older than it; a logless rollback
 	// raises it to currentVN because reverted tuples can no longer serve
-	// their pre-update versions.
+	// their pre-update versions. Guarded by mu.
 	expireFloor VN
 	// journal, when non-nil, receives every physical change for
-	// durability (see Journal).
+	// durability (see Journal). Guarded by mu.
 	journal Journal
 
 	// reg and metrics are the store's observability surface (never nil;
@@ -194,10 +196,14 @@ func (s *Store) CreateTable(base *catalog.Schema) (*VTable, error) {
 		return nil, err
 	}
 	vt := &VTable{store: s, ext: ext, tbl: tbl}
-	s.mu.Lock()
-	if s.journal != nil {
-		s.journal.LogCreate(base)
+	// Journal the create record before taking the latch: the append may
+	// block on I/O and the §3 latch must stay short-duration. The record
+	// still precedes any tuple record for the table because the table is
+	// not visible to writers until registered below.
+	if j := s.journalOrNil(); j != nil {
+		j.LogCreate(base)
 	}
+	s.mu.Lock()
 	s.tables[strings.ToLower(base.Name)] = vt
 	s.mu.Unlock()
 	return vt, nil

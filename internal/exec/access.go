@@ -52,6 +52,9 @@ func extractEqConjuncts(where sql.Expr, binding string, params Params) []eqConju
 			if ok {
 				out = append(out, eqConjunct{col: col, val: val})
 			}
+		default:
+			// No other operator can contribute an indexable conjunct.
+			return
 		}
 	}
 	walk(where)

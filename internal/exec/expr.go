@@ -148,8 +148,9 @@ func (e *env) eval(expr sql.Expr, row catalog.Tuple) (catalog.Value, error) {
 				return catalog.NewInt(-v.Int()), nil
 			case catalog.TypeFloat:
 				return catalog.NewFloat(-v.Float()), nil
+			default:
+				return catalog.Null, fmt.Errorf("exec: unary minus on %v", v.Kind())
 			}
-			return catalog.Null, fmt.Errorf("exec: unary minus on %v", v.Kind())
 		}
 		return catalog.Null, fmt.Errorf("exec: unknown unary operator %q", x.Op)
 	case *sql.BinaryExpr:
@@ -301,6 +302,8 @@ func (e *env) evalBinary(x *sql.BinaryExpr, row catalog.Tuple) (catalog.Value, e
 			res = c > 0
 		case sql.OpGe:
 			res = c >= 0
+		default:
+			return catalog.Null, fmt.Errorf("exec: unexpected comparison operator %v", x.Op)
 		}
 		return catalog.NewBool(res), nil
 	case sql.OpAdd, sql.OpSub, sql.OpMul, sql.OpDiv:
@@ -324,6 +327,8 @@ func (e *env) evalBinary(x *sql.BinaryExpr, row catalog.Tuple) (catalog.Value, e
 					return catalog.Null, errors.New("exec: division by zero")
 				}
 				return catalog.NewInt(a / b), nil
+			default:
+				return catalog.Null, fmt.Errorf("exec: unexpected arithmetic operator %v", x.Op)
 			}
 		}
 		a, b := l.Float(), r.Float()
@@ -339,7 +344,12 @@ func (e *env) evalBinary(x *sql.BinaryExpr, row catalog.Tuple) (catalog.Value, e
 				return catalog.Null, errors.New("exec: division by zero")
 			}
 			return catalog.NewFloat(a / b), nil
+		default:
+			return catalog.Null, fmt.Errorf("exec: unexpected arithmetic operator %v", x.Op)
 		}
+	case sql.OpAnd, sql.OpOr:
+		// Unreachable: the boolean operators short-circuit above, before
+		// both operands are evaluated.
 	}
 	return catalog.Null, fmt.Errorf("exec: unknown binary operator %v", x.Op)
 }
@@ -375,8 +385,9 @@ func (e *env) evalScalarFunc(x *sql.FuncCall, row catalog.Tuple) (catalog.Value,
 			return v, nil
 		case catalog.TypeFloat:
 			return catalog.NewFloat(math.Abs(v.Float())), nil
+		default:
+			return catalog.Null, fmt.Errorf("exec: ABS of %v", v.Kind())
 		}
-		return catalog.Null, fmt.Errorf("exec: ABS of %v", v.Kind())
 	case "COALESCE":
 		for _, v := range args {
 			if !v.IsNull() {

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedWrite enforces the §3 ownership rule for the global variables:
+// currentVN, maintenanceActive, and the session/table registries "are read
+// and updated under a simple latching mechanism". Struct fields whose doc
+// or line comment contains "guarded by mu" (case-insensitive) may only be
+// written:
+//
+//   - while the latch is definitely held (latchAcquire/mu.Lock reached the
+//     write on every path), or
+//   - inside a function whose name ends in "Locked" — the package's
+//     convention for helpers whose callers hold the latch.
+//
+// Map writes (m[k] = v, delete(m, k)) and ++/-- count as writes to the
+// field. Reads are not checked: the analyzer enforces the single-writer
+// half of the protocol that data-race detectors only catch when a race
+// actually fires under test.
+var GuardedWrite = &Analyzer{
+	Name: "guardedwrite",
+	Doc:  "check that fields annotated \"guarded by mu\" are only written under the latch (§3)",
+	Run:  runGuardedWrite,
+}
+
+var guardedByRE = regexp.MustCompile(`(?i)\bguarded by\b`)
+
+func runGuardedWrite(pass *Pass) error {
+	guarded := guardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	owners := latchOwners(pass.Pkg)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			if fn.Name.Name == "latchAcquire" || fn.Name.Name == "latchRelease" {
+				continue
+			}
+			checkGuardedFunc(pass, owners, guarded, fn)
+		}
+	}
+	return nil
+}
+
+// guardedFields collects the field objects annotated "guarded by mu" in
+// the package's struct declarations.
+func guardedFields(pass *Pass) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !fieldAnnotatedGuarded(field) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func fieldAnnotatedGuarded(field *ast.Field) bool {
+	if field.Doc != nil && guardedByRE.MatchString(field.Doc.Text()) {
+		return true
+	}
+	return field.Comment != nil && guardedByRE.MatchString(field.Comment.Text())
+}
+
+func checkGuardedFunc(pass *Pass, owners map[*types.Named]bool, guarded map[*types.Var]bool, fn *ast.FuncDecl) {
+	report := func(pos token.Pos, name string) {
+		pass.Reportf(pos, "write to latch-guarded field %q outside the latch; acquire it or move the write into a *Locked helper (§3)", name)
+	}
+	hooks := latchHooks{
+		isAcquire: func(c *ast.CallExpr) bool {
+			return classifyLatchCall(pass.TypesInfo, owners, c, true)
+		},
+		isRelease: func(c *ast.CallExpr) bool {
+			return classifyLatchCall(pass.TypesInfo, owners, c, false)
+		},
+		onWrite: func(n ast.Node, held latchState) {
+			if held == latchHeld {
+				return
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if v := writtenGuardedField(pass.TypesInfo, guarded, lhs); v != nil {
+						report(lhs.Pos(), v.Name())
+					}
+				}
+			case *ast.IncDecStmt:
+				if v := writtenGuardedField(pass.TypesInfo, guarded, n.X); v != nil {
+					report(n.X.Pos(), v.Name())
+				}
+			}
+		},
+		onCall: func(c *ast.CallExpr, held latchState) {
+			if held == latchHeld {
+				return
+			}
+			// delete(s.sessions, k) writes the guarded map.
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "delete" && len(c.Args) == 2 {
+				if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin {
+					if v := writtenGuardedField(pass.TypesInfo, guarded, c.Args[0]); v != nil {
+						report(c.Args[0].Pos(), v.Name())
+					}
+				}
+			}
+		},
+	}
+	walkFuncBody(pass.TypesInfo, fn.Body, hooks)
+}
+
+// writtenGuardedField resolves an assignment target to a guarded field, if
+// it is one: s.field, s.field[k], or s.field[k1][k2]....
+func writtenGuardedField(info *types.Info, guarded map[*types.Var]bool, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+			continue
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok && guarded[v] {
+					return v
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LatchSafety enforces the paper's §3 latch discipline on the global-
+// variable latch: the store "uses a simple latching mechanism to read and
+// update these global variables", which is only correct if the latch is
+// short-duration. Concretely, in any package that defines latchAcquire/
+// latchRelease wrappers:
+//
+//   - every acquisition is released on all paths out of the function (or a
+//     release is deferred);
+//   - the latch is never re-acquired while held (sync.Mutex self-deadlock);
+//   - a loop iteration never exits still holding a latch it acquired;
+//   - no blocking operation runs while the latch is held: WAL/journal
+//     appends and forces, channel operations, select, time.Sleep,
+//     sync.WaitGroup.Wait, sync.Cond.Wait, os.File.Sync, bufio
+//     flushes.
+//
+// Both the instrumented wrappers (latchAcquire/latchRelease) and direct
+// mu.Lock/mu.Unlock calls on a latch-owner type count as latch operations.
+// Functions named latchAcquire/latchRelease themselves are exempt (they
+// are the unpaired halves by construction), as are test files.
+var LatchSafety = &Analyzer{
+	Name: "latchsafety",
+	Doc:  "check that the global-variable latch is released on every path and never held across a blocking call (§3)",
+	Run:  runLatchSafety,
+}
+
+func runLatchSafety(pass *Pass) error {
+	owners := latchOwners(pass.Pkg)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Name.Name == "latchAcquire" || fn.Name.Name == "latchRelease" {
+				continue
+			}
+			checkLatchFunc(pass, owners, fn)
+		}
+	}
+	return nil
+}
+
+func checkLatchFunc(pass *Pass, owners map[*types.Named]bool, fn *ast.FuncDecl) {
+	hooks := latchHooks{
+		isAcquire: func(c *ast.CallExpr) bool {
+			return classifyLatchCall(pass.TypesInfo, owners, c, true)
+		},
+		isRelease: func(c *ast.CallExpr) bool {
+			return classifyLatchCall(pass.TypesInfo, owners, c, false)
+		},
+		onCall: func(c *ast.CallExpr, held latchState) {
+			if held != latchHeld {
+				return
+			}
+			if desc := blockingCallDesc(pass.TypesInfo, c); desc != "" {
+				pass.Reportf(c.Pos(), "%s while the global-variable latch is held; the §3 latch must stay short-duration", desc)
+			}
+		},
+		onChanOp: func(n ast.Node, held latchState) {
+			if held == latchHeld {
+				pass.Reportf(n.Pos(), "channel operation while the global-variable latch is held; the §3 latch must stay short-duration")
+			}
+		},
+		onExitHeld: func(pos token.Pos) {
+			pass.Reportf(pos, "%s exits with the global-variable latch held; release it on every path (§3)", fn.Name.Name)
+		},
+		onNestedAcquire: func(pos token.Pos) {
+			pass.Reportf(pos, "global-variable latch acquired while already held; sync.Mutex is not reentrant")
+		},
+		onLoopLeak: func(pos token.Pos) {
+			pass.Reportf(pos, "loop iteration ends with the global-variable latch still held; release it before the next iteration")
+		},
+	}
+	walkFuncBody(pass.TypesInfo, fn.Body, hooks)
+}
+
+// blockingCallDesc returns a human-readable description when call is a
+// blocking operation per the latchsafety denylist, and "" otherwise.
+func blockingCallDesc(info *types.Info, call *ast.CallExpr) string {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	var obj types.Object
+	if isSel {
+		obj = info.ObjectOf(sel.Sel)
+	} else if id, ok := call.Fun.(*ast.Ident); ok {
+		obj = info.ObjectOf(id)
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	pkg, name := fn.Pkg().Name(), fn.Name()
+	switch {
+	case pkg == "time" && (name == "Sleep" || name == "After" || name == "Tick"):
+		return "call to time." + name
+	case pkg == "wal":
+		return "WAL call wal." + name
+	case pkg == "sync" && name == "Wait":
+		return "call to sync " + name
+	case pkg == "os" && name == "Sync":
+		return "call to os file Sync"
+	case pkg == "bufio" && name == "Flush":
+		return "call to bufio Flush"
+	}
+	// Journal interface methods append to (and at commit force) the WAL.
+	if isSel {
+		if s, ok := info.Selections[sel]; ok {
+			recv := s.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				if _, isIface := named.Underlying().(*types.Interface); isIface && named.Obj().Name() == "Journal" {
+					return "journal call Journal." + name
+				}
+			}
+		}
+	}
+	return ""
+}

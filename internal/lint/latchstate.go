@@ -1,0 +1,416 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// latchState is the abstract "is the latch held here" value tracked by the
+// walker. The lattice is unheld < held < maybe; joins of disagreeing branch
+// states go to maybe, and checks only fire on definite states so a maybe
+// never produces a false positive.
+type latchState uint8
+
+const (
+	latchUnheld latchState = iota
+	latchHeld
+	latchMaybe
+)
+
+func joinLatch(a, b latchState) latchState {
+	if a == b {
+		return a
+	}
+	return latchMaybe
+}
+
+// latchHooks are the walker's callbacks. Any of them may be nil.
+type latchHooks struct {
+	// isAcquire and isRelease classify calls that take and drop the latch.
+	isAcquire func(*ast.CallExpr) bool
+	isRelease func(*ast.CallExpr) bool
+	// onCall fires for every other call expression, with the state at the
+	// point of the call.
+	onCall func(call *ast.CallExpr, held latchState)
+	// onChanOp fires for channel sends, receives, channel ranges, and
+	// select statements.
+	onChanOp func(n ast.Node, held latchState)
+	// onWrite fires for assignments and inc/dec statements after their
+	// right-hand side has been evaluated.
+	onWrite func(n ast.Node, held latchState)
+	// onExitHeld fires when a path leaves the function with the latch
+	// definitely held and no release deferred.
+	onExitHeld func(pos token.Pos)
+	// onNestedAcquire fires when an acquire happens with the latch already
+	// definitely held (sync.Mutex self-deadlock).
+	onNestedAcquire func(pos token.Pos)
+	// onLoopLeak fires when a loop body acquires the latch and does not
+	// release it by the end of the iteration.
+	onLoopLeak func(pos token.Pos)
+}
+
+// walkState threads the abstract state through the walk.
+type walkState struct {
+	held         latchState
+	deferRelease bool // a `defer latchRelease(...)` has been registered
+	terminated   bool // this path returned or broke out
+}
+
+func joinState(a, b walkState) walkState {
+	if a.terminated {
+		return b
+	}
+	if b.terminated {
+		return a
+	}
+	return walkState{
+		held:         joinLatch(a.held, b.held),
+		deferRelease: a.deferRelease || b.deferRelease,
+	}
+}
+
+// latchWalker runs the abstract interpretation over one function body.
+type latchWalker struct {
+	info      *types.Info
+	hooks     latchHooks
+	inClosure bool
+}
+
+// walkFuncBody analyzes one function body starting with the latch unheld
+// and reports a held latch at fall-off-the-end exit.
+func walkFuncBody(info *types.Info, body *ast.BlockStmt, hooks latchHooks) {
+	w := &latchWalker{info: info, hooks: hooks}
+	st := w.walkBlock(body, walkState{})
+	if !st.terminated && st.held == latchHeld && !st.deferRelease && hooks.onExitHeld != nil {
+		hooks.onExitHeld(body.Rbrace)
+	}
+}
+
+func (w *latchWalker) walkBlock(b *ast.BlockStmt, st walkState) walkState {
+	for _, s := range b.List {
+		if st.terminated {
+			return st
+		}
+		st = w.walkStmt(s, st)
+	}
+	return st
+}
+
+func (w *latchWalker) walkStmt(s ast.Stmt, st walkState) walkState {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return w.walkExpr(s.X, st)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			st = w.walkExpr(r, st)
+		}
+		for _, l := range s.Lhs {
+			// Index and selector operands on the left are evaluated too.
+			st = w.walkExpr(l, st)
+		}
+		if w.hooks.onWrite != nil {
+			w.hooks.onWrite(s, st.held)
+		}
+		return st
+	case *ast.IncDecStmt:
+		st = w.walkExpr(s.X, st)
+		if w.hooks.onWrite != nil {
+			w.hooks.onWrite(s, st.held)
+		}
+		return st
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st = w.walkExpr(v, st)
+					}
+				}
+			}
+		}
+		return st
+	case *ast.DeferStmt:
+		if w.isRelease(s.Call) {
+			st.deferRelease = true
+			return st
+		}
+		// Arguments are evaluated at the defer statement; the call itself
+		// runs at exit, outside this walk's scope.
+		for _, a := range s.Call.Args {
+			st = w.walkExpr(a, st)
+		}
+		return st
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			st = w.walkExpr(a, st)
+		}
+		return st
+	case *ast.SendStmt:
+		st = w.walkExpr(s.Chan, st)
+		st = w.walkExpr(s.Value, st)
+		if w.hooks.onChanOp != nil {
+			w.hooks.onChanOp(s, st.held)
+		}
+		return st
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			st = w.walkExpr(r, st)
+		}
+		if !w.inClosure && st.held == latchHeld && !st.deferRelease && w.hooks.onExitHeld != nil {
+			w.hooks.onExitHeld(s.Pos())
+		}
+		st.terminated = true
+		return st
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = w.walkStmt(s.Init, st)
+		}
+		st = w.walkExpr(s.Cond, st)
+		then := w.walkBlock(s.Body, st)
+		alt := st
+		if s.Else != nil {
+			alt = w.walkStmt(s.Else, st)
+		}
+		return joinState(then, alt)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			st = w.walkExpr(s.Cond, st)
+		}
+		body := w.walkBlock(s.Body, st)
+		if s.Post != nil && !body.terminated {
+			body = w.walkStmt(s.Post, body)
+		}
+		if !body.terminated && st.held == latchUnheld && body.held == latchHeld && w.hooks.onLoopLeak != nil {
+			w.hooks.onLoopLeak(s.Pos())
+		}
+		return joinState(st, body)
+	case *ast.RangeStmt:
+		st = w.walkExpr(s.X, st)
+		if t := w.info.TypeOf(s.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok && w.hooks.onChanOp != nil {
+				w.hooks.onChanOp(s, st.held)
+			}
+		}
+		body := w.walkBlock(s.Body, st)
+		if !body.terminated && st.held == latchUnheld && body.held == latchHeld && w.hooks.onLoopLeak != nil {
+			w.hooks.onLoopLeak(s.Pos())
+		}
+		return joinState(st, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = w.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			st = w.walkExpr(s.Tag, st)
+		}
+		return w.walkCases(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = w.walkStmt(s.Init, st)
+		}
+		return w.walkCases(s.Body, st)
+	case *ast.SelectStmt:
+		if w.hooks.onChanOp != nil {
+			w.hooks.onChanOp(s, st.held)
+		}
+		return w.walkCases(s.Body, st)
+	case *ast.BlockStmt:
+		return w.walkBlock(s, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto: end this path conservatively; the joined
+		// sibling paths carry the analysis forward.
+		st.terminated = true
+		return st
+	default:
+		return st
+	}
+}
+
+// walkCases analyzes a switch/select body: each clause starts from the
+// entry state and the results join. Without a default clause the entry
+// state joins in as the nothing-matched path.
+func (w *latchWalker) walkCases(body *ast.BlockStmt, st walkState) walkState {
+	out := walkState{terminated: true}
+	hasDefault := false
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		cs := st
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				cs = w.walkStmt(c.Comm, cs)
+			}
+			stmts = c.Body
+		}
+		for _, s := range stmts {
+			if cs.terminated {
+				break
+			}
+			cs = w.walkStmt(s, cs)
+		}
+		out = joinState(out, cs)
+	}
+	if !hasDefault {
+		out = joinState(out, st)
+	}
+	return out
+}
+
+// walkExpr scans an expression in evaluation order, updating latch state at
+// acquire/release calls and invoking hooks for other calls and channel
+// receives. Function literals are walked with the current entry state (a
+// synchronous callback under the latch runs under the latch) but their
+// internal state transitions do not leak out.
+func (w *latchWalker) walkExpr(e ast.Expr, st walkState) walkState {
+	if e == nil {
+		return st
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		// Arguments first (including nested calls), then the call itself.
+		st = w.walkExpr(e.Fun, st)
+		for _, a := range e.Args {
+			st = w.walkExpr(a, st)
+		}
+		switch {
+		case w.isAcquire(e):
+			if st.held == latchHeld && w.hooks.onNestedAcquire != nil {
+				w.hooks.onNestedAcquire(e.Pos())
+			}
+			st.held = latchHeld
+		case w.isRelease(e):
+			st.held = latchUnheld
+		default:
+			if w.hooks.onCall != nil {
+				w.hooks.onCall(e, st.held)
+			}
+		}
+		return st
+	case *ast.UnaryExpr:
+		st = w.walkExpr(e.X, st)
+		if e.Op == token.ARROW && w.hooks.onChanOp != nil {
+			w.hooks.onChanOp(e, st.held)
+		}
+		return st
+	case *ast.BinaryExpr:
+		st = w.walkExpr(e.X, st)
+		return w.walkExpr(e.Y, st)
+	case *ast.ParenExpr:
+		return w.walkExpr(e.X, st)
+	case *ast.SelectorExpr:
+		return w.walkExpr(e.X, st)
+	case *ast.IndexExpr:
+		st = w.walkExpr(e.X, st)
+		return w.walkExpr(e.Index, st)
+	case *ast.SliceExpr:
+		st = w.walkExpr(e.X, st)
+		st = w.walkExpr(e.Low, st)
+		st = w.walkExpr(e.High, st)
+		return w.walkExpr(e.Max, st)
+	case *ast.StarExpr:
+		return w.walkExpr(e.X, st)
+	case *ast.TypeAssertExpr:
+		return w.walkExpr(e.X, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			st = w.walkExpr(el, st)
+		}
+		return st
+	case *ast.KeyValueExpr:
+		st = w.walkExpr(e.Key, st)
+		return w.walkExpr(e.Value, st)
+	case *ast.FuncLit:
+		nested := &latchWalker{info: w.info, hooks: w.hooks, inClosure: true}
+		nested.walkBlock(e.Body, walkState{held: st.held})
+		return st
+	default:
+		return st
+	}
+}
+
+func (w *latchWalker) isAcquire(call *ast.CallExpr) bool {
+	return w.hooks.isAcquire != nil && w.hooks.isAcquire(call)
+}
+
+func (w *latchWalker) isRelease(call *ast.CallExpr) bool {
+	return w.hooks.isRelease != nil && w.hooks.isRelease(call)
+}
+
+// --- latch classification shared by latchsafety and guardedwrite --------
+
+// latchOwners returns the named struct types in pkg that define both
+// latchAcquire and latchRelease methods — the types whose `mu` field is the
+// paper's global-variable latch rather than an ordinary mutex.
+func latchOwners(pkg *types.Package) map[*types.Named]bool {
+	owners := make(map[*types.Named]bool)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if hasMethod(named, pkg, "latchAcquire") && hasMethod(named, pkg, "latchRelease") {
+			owners[named] = true
+		}
+	}
+	return owners
+}
+
+func hasMethod(t types.Type, pkg *types.Package, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, pkg, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// isLatchOwnerType reports whether t (possibly a pointer) is one of the
+// latch-owner types.
+func isLatchOwnerType(t types.Type, owners map[*types.Named]bool) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && owners[n]
+}
+
+// classifyLatchCall reports whether call is a latch acquire or release:
+// either the instrumented wrappers (latchAcquire/latchRelease) or a direct
+// Lock/Unlock on the `mu` field of a latch-owner type.
+func classifyLatchCall(info *types.Info, owners map[*types.Named]bool, call *ast.CallExpr, acquire bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	wrapper, direct := "latchAcquire", "Lock"
+	if !acquire {
+		wrapper, direct = "latchRelease", "Unlock"
+	}
+	if sel.Sel.Name == wrapper {
+		return true
+	}
+	if sel.Sel.Name != direct {
+		return false
+	}
+	field, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || field.Sel.Name != "mu" {
+		return false
+	}
+	recvType := info.TypeOf(field.X)
+	return recvType != nil && isLatchOwnerType(recvType, owners)
+}

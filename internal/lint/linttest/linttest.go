@@ -1,0 +1,170 @@
+// Package linttest is an analysistest-style harness for the vnlvet
+// analyzers: it loads a fixture package from a GOPATH-shaped testdata tree
+// (testdata/src/<pkgpath>/*.go), runs one analyzer over it, and compares
+// the diagnostics against `// want "regexp"` comments in the fixtures.
+//
+// Fixture imports resolve first against testdata/src (so fixtures can
+// import small fakes of repo packages like "obs" or "wal" without
+// depending on the real ones), then fall back to the standard library via
+// the source importer.
+package linttest
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run loads testdata/src/<pkgPath> under dir, runs the analyzer, and
+// checks its diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &testdataImporter{
+		root:     filepath.Join(dir, "src"),
+		fset:     fset,
+		cache:    make(map[string]*types.Package),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	pkg, err := loadFixture(fset, imp, imp.root, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	diags, err := lint.Run(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkWants(t, pkg, diags)
+}
+
+// loadFixture parses and type-checks one fixture package directory.
+func loadFixture(fset *token.FileSet, imp types.Importer, root, pkgPath string) (*lint.Package, error) {
+	files, err := fixtureFiles(filepath.Join(root, filepath.FromSlash(pkgPath)))
+	if err != nil {
+		return nil, err
+	}
+	return lint.CheckFiles(fset, imp, pkgPath, files)
+}
+
+func fixtureFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	return files, nil
+}
+
+// testdataImporter resolves imports against testdata/src first, then the
+// standard library.
+type testdataImporter struct {
+	root     string
+	fset     *token.FileSet
+	cache    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (ti *testdataImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := ti.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ti.root, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		files, err := fixtureFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := lint.CheckFiles(ti.fset, ti, path, files)
+		if err != nil {
+			return nil, err
+		}
+		ti.cache[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	return ti.fallback.Import(path)
+}
+
+// wantRE matches the trailing expectation comment: // want "re" "re" ...
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+var wantArgRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// checkWants compares diagnostics with the fixture's want comments, both
+// keyed by (file, line).
+func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Syntax {
+		tokFile := pkg.Fset.File(f.Pos())
+		src, err := os.ReadFile(tokFile.Name())
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range wantArgRE.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", tokFile.Name(), i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", tokFile.Name(), i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: tokFile.Name(), line: i + 1, re: re, raw: pat})
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Syntax  []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load resolves the package patterns with the go tool, then parses and
+// type-checks each matched package. Only non-test Go files are analyzed:
+// the invariants vnlvet enforces live in production code, and test files
+// legitimately poke at unexported state.
+//
+// Type-checking uses the standard library's source importer, so the loader
+// works without network access or pre-built export data — dependencies
+// (including the standard library) are checked from source and cached
+// across packages.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("lint: go list %s: %s", strings.Join(patterns, " "), ee.Stderr)
+		}
+		return nil, fmt.Errorf("lint: go list: %w", err)
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	// One shared source importer caches every dependency (std lib included)
+	// across the run instead of re-checking it per package.
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := checkFiles(fset, imp, lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = lp.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// CheckFiles parses and type-checks one package from explicit file paths
+// with the given importer. The linttest harness uses it to load testdata
+// fixture packages that live outside the module's package graph.
+func CheckFiles(fset *token.FileSet, imp types.Importer, pkgPath string, files []string) (*Package, error) {
+	return checkFiles(fset, imp, pkgPath, files)
+}
+
+// checkFiles parses and type-checks one package from explicit file paths.
+func checkFiles(fset *token.FileSet, imp types.Importer, pkgPath string, files []string) (*Package, error) {
+	syntax := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		syntax = append(syntax, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Fset:    fset,
+		Syntax:  syntax,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// ObsRegistry enforces the observability layer's registration contract
+// (internal/obs): metric constructors are get-or-create by name, so the
+// name is the identity of the series and the help string its only
+// documentation. For every call whose static callee returns *obs.Counter,
+// *obs.Gauge, or *obs.Histogram with a (name, help, ...) signature — which
+// catches both direct reg.Counter(...) calls and the method-value aliases
+// the instrumented packages use — the analyzer requires:
+//
+//   - a constant name to be snake_case under a known subsystem prefix
+//     (core_, wal_, txn_, storage_, mvcc_, bench_, db_, sim_);
+//   - the help string to be a non-empty constant;
+//   - no second registration of the same constant name with different help
+//     in the same package (two sites claiming one series with conflicting
+//     documentation — the registry would silently keep the first).
+//
+// Dynamic names (prefix+"_hits_total" in Instrument-style plumbing) are
+// not checkable statically and are skipped.
+var ObsRegistry = &Analyzer{
+	Name: "obsregistry",
+	Doc:  "check metric registrations: prefixed snake_case names, non-empty help, no conflicting duplicates",
+	Run:  runObsRegistry,
+}
+
+var metricNameRE = regexp.MustCompile(`^(core|wal|txn|storage|mvcc|bench|db|sim)_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+func runObsRegistry(pass *Pass) error {
+	type site struct {
+		pos  ast.Node
+		help string
+	}
+	seen := make(map[string]site)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			if !isMetricConstructor(pass.TypesInfo, call) {
+				return true
+			}
+			name, nameConst := constString(pass.TypesInfo, call.Args[0])
+			help, helpConst := constString(pass.TypesInfo, call.Args[1])
+			if nameConst {
+				if !metricNameRE.MatchString(name) {
+					pass.Reportf(call.Args[0].Pos(), "metric name %q does not follow the <subsystem>_<snake_case> convention (core_, wal_, txn_, storage_, mvcc_, ...)", name)
+				}
+				if prev, dup := seen[name]; dup && prev.help != help {
+					pass.Reportf(call.Args[0].Pos(), "metric %q already registered in this package with different help; the registry keeps the first registration's help", name)
+				} else if !dup {
+					seen[name] = site{pos: call, help: help}
+				}
+			}
+			if helpConst && help == "" {
+				pass.Reportf(call.Args[1].Pos(), "metric registered with empty help; describe the series (text export shows it)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isMetricConstructor reports whether the call's static callee is an obs
+// metric constructor: a func whose first two parameters are strings and
+// whose result is *obs.Counter, *obs.Gauge, or *obs.Histogram. Matching on
+// the signature rather than the selector catches method values
+// (c := reg.Counter; c("...", "...")) used throughout the metrics files.
+func isMetricConstructor(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call.Fun)
+	sig, ok := t.(*types.Signature)
+	if !ok || sig.Results().Len() != 1 || sig.Params().Len() < 2 {
+		return false
+	}
+	for i := 0; i < 2; i++ {
+		b, ok := sig.Params().At(i).Type().Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsString == 0 {
+			return false
+		}
+	}
+	ptr, ok := sig.Results().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "obs" {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Counter", "Gauge", "Histogram":
+		return true
+	default:
+		return false
+	}
+}
+
+// constString evaluates e as a constant string.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// TableExhaustive keeps the decision-table logic of §3.2–§3.3 total. The
+// paper's Tables 1–4 enumerate every (recorded operation × row) cell; in
+// code those enumerations become switches over small named constant types —
+// the tuple operation enum (core.Op), WAL record kinds (wal.Kind), the
+// 2V2PL pending-operation markers. For every switch whose tag has a named
+// type with declared package-level constants in this module, the analyzer
+// requires either:
+//
+//   - cases covering every declared constant of the type, or
+//   - a default clause with a non-empty body (an explicit "impossible
+//     cell" branch that returns an error or panics).
+//
+// An empty default is reported even when all constants are covered: it
+// silently swallows values a future constant would introduce. Explicitly
+// listing constants in a case with an empty body is allowed — that is the
+// named acknowledgment the analyzer exists to force.
+var TableExhaustive = &Analyzer{
+	Name: "tableexhaustive",
+	Doc:  "check that switches over decision-table enums cover every constant or handle the remainder explicitly (§3.2–§3.3)",
+	Run:  runTableExhaustive,
+}
+
+func runTableExhaustive(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	tagType := pass.TypesInfo.TypeOf(sw.Tag)
+	named := enumType(pass, tagType)
+	if named == nil {
+		return
+	}
+	consts := enumConsts(named)
+	if len(consts) < 2 {
+		return
+	}
+
+	covered := make(map[string]bool)
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+
+	if defaultClause != nil {
+		if len(defaultClause.Body) == 0 {
+			pass.Reportf(defaultClause.Pos(), "switch over %s has a silent empty default; handle the unexpected value or list the ignored constants in a case", typeName(named))
+		}
+		return
+	}
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch over %s misses constants %s; add cases (an empty body marks them explicitly ignored) or a non-empty default", typeName(named), strings.Join(missing, ", "))
+	}
+}
+
+// enumType returns the named type behind t when it is an enum candidate: a
+// named, non-boolean basic type declared in this module or in the package
+// under analysis (which covers testdata fixtures).
+func enumType(pass *Pass, t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsBoolean != 0 {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	if obj.Pkg() != pass.Pkg && !strings.HasPrefix(obj.Pkg().Path(), "repro/") {
+		return nil
+	}
+	return named
+}
+
+// enumConsts lists the package-level constants declared with exactly the
+// named type, sorted by declaration name for stable diagnostics.
+func enumConsts(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, vj := out[i].Val(), out[j].Val()
+		if vi.Kind() == constant.Int && vj.Kind() == constant.Int {
+			return constant.Compare(vi, token.LSS, vj)
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}
+
+func typeName(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() != nil {
+		return fmt.Sprintf("%s.%s", obj.Pkg().Name(), obj.Name())
+	}
+	return obj.Name()
+}

@@ -1,0 +1,88 @@
+// Package guardedwrite holds known-bad and known-good writes to
+// latch-guarded fields for the guardedwrite analyzer.
+package guardedwrite
+
+import (
+	"sync"
+	"time"
+)
+
+// Store mirrors core.Store's guarded-field annotations.
+type Store struct {
+	// mu is the latch.
+	mu sync.Mutex
+	// currentVN is the committed version number. Guarded by mu.
+	currentVN int64
+	maint     bool                 // guarded by mu
+	sessions  map[int]struct{}     // guarded by mu
+	tables    map[string]*struct{} // guarded by mu
+	// free is not annotated; writes anywhere are fine.
+	free int64
+}
+
+func (s *Store) latchAcquire() time.Time {
+	s.mu.Lock()
+	return time.Now()
+}
+
+func (s *Store) latchRelease(acquired time.Time) {
+	s.mu.Unlock()
+}
+
+// goodUnderWrapper writes under the instrumented wrappers: no finding.
+func (s *Store) goodUnderWrapper(vn int64) {
+	acquired := s.latchAcquire()
+	s.currentVN = vn
+	s.maint = true
+	s.latchRelease(acquired)
+}
+
+// goodUnderRawLock writes under the raw mutex with defer: no finding.
+func (s *Store) goodUnderRawLock(vn int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.currentVN = vn
+	delete(s.sessions, int(vn))
+}
+
+// setGlobalsLocked is a *Locked helper: the caller holds the latch.
+func (s *Store) setGlobalsLocked(vn int64, active bool) {
+	s.currentVN, s.maint = vn, active
+}
+
+// goodUnguardedField writes an unannotated field: no finding.
+func (s *Store) goodUnguardedField(v int64) {
+	s.free = v
+}
+
+// badBareWrite writes a guarded field with no latch at all.
+func (s *Store) badBareWrite(vn int64) {
+	s.currentVN = vn // want "write to latch-guarded field \"currentVN\" outside the latch"
+}
+
+// badWriteAfterRelease writes after dropping the latch.
+func (s *Store) badWriteAfterRelease(vn int64) {
+	acquired := s.latchAcquire()
+	s.latchRelease(acquired)
+	s.maint = false // want "write to latch-guarded field \"maint\" outside the latch"
+}
+
+// badMapAssign writes a guarded map without the latch.
+func (s *Store) badMapAssign(k int) {
+	s.sessions[k] = struct{}{} // want "write to latch-guarded field \"sessions\" outside the latch"
+}
+
+// badMapDelete deletes from a guarded map without the latch.
+func (s *Store) badMapDelete(k int) {
+	delete(s.sessions, k) // want "write to latch-guarded field \"sessions\" outside the latch"
+}
+
+// badIncDec increments a guarded field without the latch.
+func (s *Store) badIncDec() {
+	s.currentVN++ // want "write to latch-guarded field \"currentVN\" outside the latch"
+}
+
+// badMultiAssign blanks both guarded fields in one statement.
+func (s *Store) badMultiAssign(vn int64) {
+	s.currentVN, s.maint = vn, true // want "write to latch-guarded field \"currentVN\" outside the latch" "write to latch-guarded field \"maint\" outside the latch"
+}

@@ -1,0 +1,32 @@
+// Package obs is a miniature stand-in for repro/internal/obs used by the
+// obsregistry fixture: the analyzer matches metric constructors by their
+// signature (two leading string parameters returning *obs.Counter/Gauge/
+// Histogram), which this fake reproduces.
+package obs
+
+// Counter mimics obs.Counter.
+type Counter struct{ v int64 }
+
+// Inc mimics the counter increment.
+func (c *Counter) Inc() { c.v++ }
+
+// Gauge mimics obs.Gauge.
+type Gauge struct{ v int64 }
+
+// Histogram mimics obs.Histogram.
+type Histogram struct{ n int64 }
+
+// Registry mimics the get-or-create registry.
+type Registry struct{}
+
+// Counter mimics get-or-create counter registration.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// Gauge mimics get-or-create gauge registration.
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+// Histogram mimics get-or-create histogram registration.
+func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram { return &Histogram{} }
+
+// Default mimics the process-wide registry.
+func Default() *Registry { return &Registry{} }

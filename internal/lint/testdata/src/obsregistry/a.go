@@ -1,0 +1,44 @@
+// Package obsregistry holds known-bad and known-good metric registrations
+// for the obsregistry analyzer.
+package obsregistry
+
+import "obs"
+
+var reg = obs.Default()
+
+// Good registrations: prefixed snake_case names, non-empty help.
+var (
+	goodCounter = reg.Counter("core_sessions_begun_total", "reader sessions begun")
+	goodGauge   = reg.Gauge("wal_queue_depth", "records awaiting force")
+	goodHist    = reg.Histogram("txn_lock_wait_ns", "lock wait latency", []int64{10, 100})
+)
+
+// goodMethodValue registers through a method-value alias, the idiom the
+// instrumented metrics files use: still checked, still clean.
+func goodMethodValue() {
+	c := reg.Counter
+	c("storage_pool_hits_total", "buffer-pool hits").Inc()
+}
+
+// goodDynamicName builds the name at runtime: not statically checkable.
+func goodDynamicName(prefix string) {
+	reg.Counter(prefix+"_hits_total", "buffer-pool hits").Inc()
+}
+
+var (
+	badPrefix = reg.Counter("sessions_begun_total", "no subsystem prefix") // want "does not follow the <subsystem>_<snake_case> convention"
+	badCase   = reg.Gauge("core_CurrentVN", "camel case name")             // want "does not follow the <subsystem>_<snake_case> convention"
+	badHelp   = reg.Counter("core_gc_passes_total", "")                    // want "registered with empty help"
+)
+
+// badDuplicate re-registers an existing name with different help: the
+// registry would silently keep the first help string.
+func badDuplicate() {
+	reg.Counter("core_sessions_begun_total", "sessions started (conflicting help)") // want "already registered in this package with different help"
+}
+
+// badMethodValue: the alias idiom is checked too.
+func badMethodValue() {
+	c := reg.Counter
+	c("Bad_Name_total", "help").Inc() // want "does not follow the <subsystem>_<snake_case> convention"
+}

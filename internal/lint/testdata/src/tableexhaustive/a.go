@@ -1,0 +1,96 @@
+// Package tableexhaustive holds known-bad and known-good decision-table
+// switches for the tableexhaustive analyzer.
+package tableexhaustive
+
+import "fmt"
+
+// Op mirrors core.Op: the tuple operation enum of Tables 2-4.
+type Op string
+
+// The decision-table constants.
+const (
+	OpNone   Op = ""
+	OpInsert Op = "insert"
+	OpUpdate Op = "update"
+	OpDelete Op = "delete"
+)
+
+// Kind mirrors wal.Kind: an integer record-kind enum.
+type Kind byte
+
+// Record kinds.
+const (
+	KindBegin Kind = iota + 1
+	KindCommit
+	KindAbort
+)
+
+// goodFullCoverage lists every constant: no finding.
+func goodFullCoverage(op Op) int {
+	switch op {
+	case OpNone:
+		return 0
+	case OpInsert:
+		return 1
+	case OpUpdate:
+		return 2
+	case OpDelete:
+		return 3
+	}
+	return -1
+}
+
+// goodNonEmptyDefault handles the remainder explicitly: no finding.
+func goodNonEmptyDefault(op Op) error {
+	switch op {
+	case OpInsert:
+		return nil
+	default:
+		return fmt.Errorf("unexpected operation %q", op)
+	}
+}
+
+// goodExplicitIgnore lists ignored constants with an empty case body: no
+// finding — naming the ignored cells is exactly the acknowledgment wanted.
+func goodExplicitIgnore(k Kind) int {
+	n := 0
+	switch k {
+	case KindBegin:
+		n++
+	case KindCommit, KindAbort:
+		// No bookkeeping for transaction ends here.
+	}
+	return n
+}
+
+// goodNonEnumSwitch switches over a plain string: no finding.
+func goodNonEnumSwitch(s string) bool {
+	switch s {
+	case "x":
+		return true
+	}
+	return false
+}
+
+func badMissingConstants(op Op) int {
+	switch op { // want "switch over tableexhaustive.Op misses constants OpDelete, OpNone"
+	case OpInsert:
+		return 1
+	case OpUpdate:
+		return 2
+	}
+	return 0
+}
+
+func badSilentDefault(k Kind) int {
+	switch k {
+	case KindBegin:
+		return 1
+	case KindCommit:
+		return 2
+	case KindAbort:
+		return 3
+	default: // want "switch over tableexhaustive.Kind has a silent empty default"
+	}
+	return 0
+}

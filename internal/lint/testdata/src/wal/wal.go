@@ -1,0 +1,29 @@
+// Package wal is a miniature stand-in for repro/internal/wal used by the
+// latchsafety and walerr fixtures: the analyzers match on the package name
+// "wal" and on error-returning signatures, so this fake exercises the same
+// code paths without importing the real module.
+package wal
+
+// Log mimics the real append-only log's error-returning surface.
+type Log struct{}
+
+// Append mimics a record append (no error: failures latch internally).
+func (l *Log) Append(b []byte) {}
+
+// LogCommit mimics the commit force.
+func (l *Log) LogCommit(vn int64) error { return nil }
+
+// Sync mimics an explicit force.
+func (l *Log) Sync() error { return nil }
+
+// Close mimics teardown.
+func (l *Log) Close() error { return nil }
+
+// Iterate mimics log iteration.
+func Iterate(path string, fn func() error) error { return nil }
+
+// Recover mimics recovery, with the error in a later result position.
+func Recover(path string) (*Log, int, error) { return nil, 0, nil }
+
+// Checkpoint mimics checkpointing.
+func Checkpoint(path string) error { return nil }

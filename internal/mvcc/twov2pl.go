@@ -11,13 +11,24 @@ import (
 	"repro/internal/txn"
 )
 
+// pendingOp is the pending_op column's domain: the uncommitted operation a
+// writer has staged on a tuple. A named type so vnlvet's tableexhaustive
+// analyzer checks switches over it.
+type pendingOp string
+
+const (
+	pendingInsert pendingOp = "i"
+	pendingUpdate pendingOp = "u"
+	pendingDelete pendingOp = "d"
+)
+
 // twoVSchema stores both 2V2PL versions in one tuple: the committed value
 // and the writer's pending (uncommitted) state.
 //
 //	k          key
 //	v          committed value (NULL when the tuple is a pending insert)
 //	pending_v  writer's new value (NULL when no pending write)
-//	pending_op ""/insert/update/delete
+//	pending_op ""/i/u/d (see pendingOp)
 func twoVSchema() *catalog.Schema {
 	return catalog.MustSchema("acct", []catalog.Column{
 		{Name: "k", Type: catalog.TypeInt, Length: 8},
@@ -177,7 +188,7 @@ func (w *twoVWriter) wLock(rid storage.RID) error {
 func (w *twoVWriter) Insert(k, v int64) error {
 	// A pending insert has no committed version; readers skip it.
 	rid, err := w.s.tbl.Insert(catalog.Tuple{
-		catalog.NewInt(k), catalog.Null, catalog.NewInt(v), catalog.NewString("i"),
+		catalog.NewInt(k), catalog.Null, catalog.NewInt(v), catalog.NewString(string(pendingInsert)),
 	})
 	if err != nil {
 		return err
@@ -189,7 +200,7 @@ func (w *twoVWriter) Insert(k, v int64) error {
 	return nil
 }
 
-func (w *twoVWriter) write(k int64, op string, v catalog.Value) error {
+func (w *twoVWriter) write(k int64, op pendingOp, v catalog.Value) error {
 	rid, ok := w.s.tbl.SearchKey(kvKey(k))
 	if !ok {
 		return fmt.Errorf("mvcc: %s of missing key %d", op, k)
@@ -202,7 +213,7 @@ func (w *twoVWriter) write(k int64, op string, v catalog.Value) error {
 		return err
 	}
 	t[2] = v
-	t[3] = catalog.NewString(op)
+	t[3] = catalog.NewString(string(op))
 	if err := w.s.tbl.Update(rid, t); err != nil {
 		return err
 	}
@@ -210,9 +221,9 @@ func (w *twoVWriter) write(k int64, op string, v catalog.Value) error {
 	return nil
 }
 
-func (w *twoVWriter) Update(k, v int64) error { return w.write(k, "u", catalog.NewInt(v)) }
+func (w *twoVWriter) Update(k, v int64) error { return w.write(k, pendingUpdate, catalog.NewInt(v)) }
 
-func (w *twoVWriter) Delete(k int64) error { return w.write(k, "d", catalog.Null) }
+func (w *twoVWriter) Delete(k int64) error { return w.write(k, pendingDelete, catalog.Null) }
 
 func (w *twoVWriter) finish() {
 	w.s.mu.Lock()
@@ -244,17 +255,19 @@ func (w *twoVWriter) Commit() error {
 		if t[3].IsNull() {
 			continue // already installed (rid written more than once)
 		}
-		switch t[3].Str() {
-		case "d":
+		switch pendingOp(t[3].Str()) {
+		case pendingDelete:
 			if err := w.s.tbl.Delete(rid); err != nil {
 				return err
 			}
-		default: // insert or update: pending becomes committed
+		case pendingInsert, pendingUpdate: // pending becomes committed
 			t[1] = t[2]
 			t[2], t[3] = catalog.Null, catalog.Null
 			if err := w.s.tbl.Update(rid, t); err != nil {
 				return err
 			}
+		default:
+			return fmt.Errorf("mvcc: unknown pending op %q on %v", t[3].Str(), rid)
 		}
 	}
 	return w.tx.Commit()

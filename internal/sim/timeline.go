@@ -255,6 +255,8 @@ func RenderTimeline(p Policy, n int, sched Schedule, horizon Minute, sessions []
 			ch = '/'
 		case Expired:
 			ch = '!'
+		case Completed:
+			// Completed sessions keep the '=' glyph.
 		}
 		label := fmt.Sprintf("session %d", i+1)
 		fmt.Fprintf(&out, "%-14s|%s| %s\n", label, row(func(t Minute) byte {

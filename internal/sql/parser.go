@@ -744,6 +744,8 @@ func (p *parser) parsePrimary() (Expr, error) {
 			}
 			return e, nil
 		}
+	case TokEOF:
+		return nil, p.errorf("unexpected end of input in expression")
 	}
 	return nil, p.errorf("unexpected %v in expression", t)
 }

@@ -238,6 +238,11 @@ func TestParseMisc(t *testing.T) {
 	if _, err := ParseExpr("t.col"); err != nil {
 		t.Error(err)
 	}
+	// A truncated expression must fail with the dedicated end-of-input
+	// message, not a confusing "unexpected EOF token" fallthrough.
+	if _, err := ParseExpr("x +"); err == nil || !strings.Contains(err.Error(), "unexpected end of input") {
+		t.Errorf("truncated expression error = %v", err)
+	}
 }
 
 func TestParseSelectExtras(t *testing.T) {

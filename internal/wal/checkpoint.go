@@ -45,7 +45,7 @@ func Checkpoint(store *core.Store, path string) (Stats, error) {
 	// The commit record carries currentVN so recovery restores the version
 	// counter.
 	if err := log.LogCommit(store.CurrentVN()); err != nil {
-		log.Close()
+		_ = log.Close()
 		os.Remove(tmp)
 		return Stats{}, err
 	}

@@ -49,6 +49,9 @@ func Recover(path string, dbOpts db.Options, storeOpts core.Options) (*core.Stor
 			if r.VN > stats.HighestVN {
 				stats.HighestVN = r.VN
 			}
+		case KindCreate, KindInsert, KindUpdate, KindDelete, KindAbort:
+			// Only transaction boundaries matter in pass 1; tuple records
+			// and aborts are replayed (or skipped) in pass 2.
 		}
 		return nil
 	}); err != nil {
@@ -92,6 +95,9 @@ func Recover(path string, dbOpts db.Options, storeOpts core.Options) (*core.Stor
 			}
 			key := addr{r.Table, r.RID}
 			switch r.Kind {
+			case KindCreate, KindBegin, KindCommit, KindAbort:
+				// Unreachable: the enclosing case restricts r.Kind to the
+				// three tuple-record kinds.
 			case KindInsert:
 				newRID, err := vt.Storage().Insert(r.After)
 				if err != nil {
