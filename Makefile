@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench-smoke all
+.PHONY: build test race stress lint bench-smoke all
 
 all: build lint test
 
@@ -15,6 +15,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# stress runs the multi-goroutine concurrency tests (readers racing
+# maintenance, shared sessions, mid-query expiry) under the race detector,
+# with a generous timeout so slow CI machines finish the full matrix.
+stress:
+	$(GO) test -race -timeout 10m -run 'TestStress|TestSessionSharedAcrossGoroutines|TestMidQueryVersionAdvance|TestConcurrentReadersDuringMaintenance' -count=2 ./internal/core/
 
 # lint runs vnlvet, the in-repo analyzer suite that enforces the paper's
 # latch, guarded-write, decision-table, metric-registry, and WAL-error

@@ -212,9 +212,7 @@ func TestPerTupleExpiryHonoursLoglessRollbackFloor(t *testing.T) {
 	commit(t, m) // VN 2
 	// An older session (simulate VN 1).
 	older := &Session{store: s, vn: 1, perTuple: true}
-	s.mu.Lock()
-	s.sessions[older] = struct{}{}
-	s.mu.Unlock()
+	s.sessions.add(older)
 	defer older.Close()
 
 	mb, err := s.BeginMaintenanceMode(RollbackLogless, true)

@@ -42,9 +42,7 @@ type GCStats struct {
 // coherent, GC skips tables while a maintenance transaction is active
 // unless force is requested via GCWithFloor.
 func (s *Store) GC() GCStats {
-	s.mu.Lock()
-	cur, active := s.globalsLocked()
-	s.mu.Unlock()
+	cur, active, _ := s.readGlobals()
 	if active {
 		return GCStats{}
 	}
@@ -85,6 +83,7 @@ func (s *Store) GCWithFloor(floor VN) GCStats {
 			if err := vt.tbl.Delete(rid); err == nil {
 				stats.Removed++
 				stats.BytesReclaimed += e.Ext.RowBytes()
+				vt.noteTupleRemoved(before)
 				if j != nil {
 					if !journalOpen {
 						j.LogBegin(0)

@@ -101,7 +101,10 @@ func (s *Store) beginMaintenance(mode RollbackMode, netEffect bool) (*Maintenanc
 	}
 	m := &Maintenance{store: s, vn: cur + 1, mode: mode, netEffect: netEffect, began: time.Now()}
 	j := s.journal
-	s.setGlobalsLocked(cur, true)
+	if err := s.setGlobalsLocked(cur, true); err != nil {
+		s.latchRelease(acquired)
+		return nil, fmt.Errorf("core: raising maintenanceActive: %w", err)
+	}
 	s.maint = m
 	s.latchRelease(acquired)
 	// Journal the begin record outside the latch: the append may block on
@@ -166,6 +169,7 @@ func (m *Maintenance) physInsert(vt *VTable, ext catalog.Tuple) (storage.RID, er
 	if j := m.store.journalOrNil(); j != nil {
 		j.LogInsert(vt.ext.Base.Name, rid, ext)
 	}
+	vt.noteTupleWrite(ext)
 	m.stats.PhysicalInserts++
 	m.met().physIns.Inc()
 	return rid, nil
@@ -179,6 +183,7 @@ func (m *Maintenance) physUpdate(vt *VTable, rid storage.RID, before, after cata
 	if j := m.store.journalOrNil(); j != nil {
 		j.LogUpdate(vt.ext.Base.Name, rid, before, after)
 	}
+	vt.noteTupleWrite(after)
 	m.stats.PhysicalUpdates++
 	m.met().physUpd.Inc()
 	return nil
@@ -192,6 +197,7 @@ func (m *Maintenance) physDelete(vt *VTable, rid storage.RID, before catalog.Tup
 	if j := m.store.journalOrNil(); j != nil {
 		j.LogDelete(vt.ext.Base.Name, rid, before)
 	}
+	vt.noteTupleRemoved(before)
 	m.stats.PhysicalDeletes++
 	m.met().physDel.Inc()
 	return nil
@@ -731,9 +737,15 @@ func (m *Maintenance) Commit() error {
 		}
 	}
 	acquired := s.latchAcquire()
+	if err := s.setGlobalsLocked(m.vn, false); err != nil {
+		s.latchRelease(acquired)
+		// Nothing was installed: the transaction stays active, so the
+		// caller can retry Commit or fall back to Rollback rather than
+		// run against a version state diverged from the relation.
+		return fmt.Errorf("core: installing version %d: %w", m.vn, err)
+	}
 	m.done = true
 	m.undo = nil
-	s.setGlobalsLocked(m.vn, false)
 	s.maint = nil
 	s.latchRelease(acquired)
 	mm := s.metrics
@@ -776,8 +788,10 @@ func (m *Maintenance) Rollback() error {
 	if m.mode == RollbackUndoLog {
 		// Reverse order restores first-touch images last, which is
 		// correct because there is at most one record per tuple.
+		touched := make(map[*VTable]bool)
 		for i := len(m.undo) - 1; i >= 0; i-- {
 			u := m.undo[i]
+			touched[u.vt] = true
 			if u.inserted {
 				_ = u.vt.tbl.Delete(u.rid)
 				continue
@@ -786,8 +800,26 @@ func (m *Maintenance) Rollback() error {
 				return fmt.Errorf("core: rollback: %w", err)
 			}
 		}
+		// Restored images lowered slot version numbers back below
+		// maintenanceVN; rebuild the per-table watermarks so the
+		// per-tuple expiration probe does not falsely expire sessions
+		// this rollback was supposed to spare.
+		for vt := range touched {
+			vt.recomputeOldestHW()
+		}
 	} else {
 		cur := s.CurrentVN()
+		// Raise the expiration floor before touching any tuple: the
+		// revert consumes the slot-1 pre-update versions, so a reader
+		// older than currentVN that raced the revert must already see
+		// itself expired by its post-query check rather than return
+		// values from a half-reverted state.
+		s.mu.Lock()
+		if s.expireFloor < cur {
+			s.expireFloor = cur
+			s.publishLocked()
+		}
+		s.mu.Unlock()
 		// Physically-inserted tuples are simply deleted (their records are
 		// kept in both modes); everything else reverts from in-tuple
 		// version information.
@@ -800,18 +832,17 @@ func (m *Maintenance) Rollback() error {
 			if err := m.rollbackTableLogless(vt, cur); err != nil {
 				return err
 			}
+			vt.recomputeOldestHW()
 		}
-		s.mu.Lock()
-		if s.expireFloor < cur {
-			s.expireFloor = cur
-		}
-		s.mu.Unlock()
 	}
 	acquired := s.latchAcquire()
+	curVN, _ := s.globalsLocked()
+	if err := s.setGlobalsLocked(curVN, false); err != nil {
+		s.latchRelease(acquired)
+		return fmt.Errorf("core: clearing maintenanceActive: %w", err)
+	}
 	m.done = true
 	m.undo = nil
-	curVN, _ := s.globalsLocked()
-	s.setGlobalsLocked(curVN, false)
 	s.maint = nil
 	s.latchRelease(acquired)
 	mm := s.metrics

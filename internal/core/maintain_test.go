@@ -189,9 +189,7 @@ func TestRollbackLogless(t *testing.T) {
 	// ...but the rollback raised the expire floor: a hypothetical older
 	// session is now expired. Simulate one.
 	older := &Session{store: s, vn: 3}
-	s.mu.Lock()
-	s.sessions[older] = struct{}{}
-	s.mu.Unlock()
+	s.sessions.add(older)
 	if err := older.Check(); !errors.Is(err, ErrSessionExpired) {
 		t.Errorf("pre-currentVN session after logless rollback: %v, want expired", err)
 	}
@@ -312,9 +310,7 @@ func TestGC(t *testing.T) {
 	// A session at VN 3 still needs the deleted Novato tuple (it reads the
 	// pre-delete version).
 	holdout := &Session{store: s, vn: 3}
-	s.mu.Lock()
-	s.sessions[holdout] = struct{}{}
-	s.mu.Unlock()
+	s.sessions.add(holdout)
 	if st := s.GC(); st.Removed != 0 {
 		t.Errorf("GC removed %d tuples while a VN-3 session needs them", st.Removed)
 	}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/db"
+	"repro/internal/storage"
+)
+
+// assertWatermark pins the per-table oldest-slot high-water mark against
+// the full-scan oracle: the stored mark equals the scan maximum, and the
+// O(1) expiration probe agrees with the scan form for every version up to
+// just past currentVN.
+func assertWatermark(t *testing.T, s *Store, vt *VTable) {
+	t.Helper()
+	e := vt.ext
+	oldest := e.L.N - 1
+	var max int64
+	vt.tbl.Scan(func(_ storage.RID, tu catalog.Tuple) bool {
+		if vn := int64(e.TupleVN(tu, oldest)); vn > max {
+			max = vn
+		}
+		return true
+	})
+	if got := vt.oldestHW.Load(); got != max {
+		t.Errorf("%s: oldestHW = %d, scan max = %d", vt.Base().Name, got, max)
+	}
+	for vn := VN(0); vn <= s.CurrentVN()+2; vn++ {
+		fast, slow := vt.hasUnreconstructible(vn), vt.scanUnreconstructible(vn)
+		if fast != slow {
+			t.Errorf("%s: hasUnreconstructible(%d) = %v, scan oracle = %v", vt.Base().Name, vn, fast, slow)
+		}
+	}
+}
+
+// TestOldestHWMatchesScan drives every path that can move a table's
+// watermark — inserts, updates, deletes, both rollback modes, recovery's
+// SetCurrentVN, and GC — asserting the maintained mark never diverges from
+// the scan oracle.
+func TestOldestHWMatchesScan(t *testing.T) {
+	s := newStore(t, 2)
+	vt, err := s.CreateTable(kvSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(name string) {
+		t.Helper()
+		assertWatermark(t, s, vt)
+		if t.Failed() {
+			t.Fatalf("watermark diverged after %s", name)
+		}
+	}
+	step("create")
+
+	m := mustMaint(t, s)
+	for k := int64(0); k < 6; k++ {
+		if err := m.Insert("kv", kvTuple(k, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit(t, m)
+	step("insert commit")
+
+	m = mustMaint(t, s)
+	if _, err := m.Exec(`UPDATE kv SET v = v + 1 WHERE k < 3`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DeleteKey("kv", catalog.Tuple{catalog.NewInt(5)}); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, m)
+	step("update/delete commit")
+
+	// Undo-log rollback restores bookkeeping images exactly; the watermark
+	// must fall back with them.
+	m = mustMaint(t, s)
+	if _, err := m.Exec(`UPDATE kv SET v = v + 100 WHERE k < 4`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert("kv", kvTuple(40, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	step("undo-log rollback")
+
+	// Logless rollback rewrites slot 1 as (currentVN, ·); recompute keeps
+	// the mark exact.
+	m2, err := s.BeginMaintenanceMode(RollbackLogless, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Exec(`UPDATE kv SET v = v + 100 WHERE k < 2`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	step("logless rollback")
+
+	// GC physically removes dead tuples, possibly the ones carrying the
+	// mark.
+	m = mustMaint(t, s)
+	if _, err := m.Exec(`DELETE FROM kv WHERE k = 4`, nil); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, m)
+	s.GC()
+	step("gc")
+
+	// Recovery installs a version without running the maintenance write
+	// path; SetCurrentVN rebuilds the marks by scan.
+	if err := s.SetCurrentVN(s.CurrentVN() + 3); err != nil {
+		t.Fatal(err)
+	}
+	step("recovery SetCurrentVN")
+}
+
+// TestSessionGetSurfacesHeapError is the regression test for the swallowed
+// storage error: when the key index points at a tuple the heap cannot
+// serve, Get must report the failure, not mask it as "tuple not visible".
+func TestSessionGetSurfacesHeapError(t *testing.T) {
+	s := newStore(t, 2)
+	vt, err := s.CreateTable(kvSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustMaint(t, s)
+	if err := m.Insert("kv", kvTuple(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, m)
+	sess := s.BeginSession()
+	defer sess.Close()
+
+	key := catalog.Tuple{catalog.NewInt(1)}
+	rid, ok := vt.Storage().SearchKey(key)
+	if !ok {
+		t.Fatal("key not indexed")
+	}
+	// Corrupt the table: remove the tuple from the heap directly, leaving
+	// the index entry dangling.
+	if err := vt.Storage().Heap().Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	_, visible, err := sess.Get("kv", key)
+	if err == nil {
+		t.Fatal("Get over a dangling index entry returned no error")
+	}
+	if visible {
+		t.Error("Get reported a visible tuple it could not read")
+	}
+	if !errors.Is(err, storage.ErrNoSuchTuple) {
+		t.Errorf("Get error does not wrap the storage cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "kv") {
+		t.Errorf("Get error does not name the table: %v", err)
+	}
+}
+
+// TestCommitSurfacesVersionRelationError covers the setGlobalsLocked fix
+// in relation-backed mode: a failed Version-relation write surfaces from
+// Commit, nothing is installed, and the transaction stays active so the
+// caller can repair and retry.
+func TestCommitSurfacesVersionRelationError(t *testing.T) {
+	d := db.Open(db.Options{})
+	s, err := Open(d, Options{VersionRelation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable(kvSchema()); err != nil {
+		t.Fatal(err)
+	}
+	m := mustMaint(t, s)
+	if err := m.Insert("kv", kvTuple(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Break the global state's backing: delete the single Version tuple.
+	var rid storage.RID
+	s.versionTbl.Scan(func(r storage.RID, _ catalog.Tuple) bool { rid = r; return false })
+	if err := s.versionTbl.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	err = m.Commit()
+	if err == nil {
+		t.Fatal("Commit with a broken Version relation succeeded")
+	}
+	if !strings.Contains(err.Error(), "installing version") {
+		t.Errorf("Commit error = %v", err)
+	}
+	// Repair the relation; nothing was installed, so the transaction is
+	// still the active one (the restored tuple carries active = true).
+	if _, err := s.versionTbl.Insert(catalog.Tuple{catalog.NewInt(1), catalog.NewBool(true)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BeginMaintenance(); !errors.Is(err, ErrMaintenanceActive) {
+		t.Fatalf("BeginMaintenance after failed commit = %v, want ErrMaintenanceActive", err)
+	}
+	// Retry the same transaction.
+	commit(t, m)
+	if got := s.CurrentVN(); got != 2 {
+		t.Errorf("CurrentVN after retried commit = %d, want 2", got)
+	}
+
+	// The begin path surfaces the same failure class.
+	s.versionTbl.Scan(func(r storage.RID, _ catalog.Tuple) bool { rid = r; return false })
+	if err := s.versionTbl.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BeginMaintenance(); err == nil || !strings.Contains(err.Error(), "raising maintenanceActive") {
+		t.Fatalf("BeginMaintenance with a broken Version relation = %v", err)
+	}
+	if _, err := s.versionTbl.Insert(catalog.Tuple{catalog.NewInt(2), catalog.NewBool(false)}); err != nil {
+		t.Fatal(err)
+	}
+	m = mustMaint(t, s)
+	commit(t, m)
+	if got := s.CurrentVN(); got != 3 {
+		t.Errorf("CurrentVN after repair = %d, want 3", got)
+	}
+}
+
+// TestAdoptTableFailureLeavesOriginalIntact injects a mid-load failure
+// into AdoptTable and checks the create-and-load-first ordering: the
+// user's table is untouched, nothing is registered, and the half-built
+// replacement is cleaned up — then a retry succeeds.
+func TestAdoptTableFailureLeavesOriginalIntact(t *testing.T) {
+	s := newStore(t, 2)
+	d := s.DB()
+	if _, err := d.Exec(`CREATE TABLE kv (k INT(8), v INT(8) UPDATABLE, UNIQUE KEY(k))`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Exec(`INSERT INTO kv VALUES (1, 10), (2, 20), (3, 30)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected load failure")
+	s.adoptLoadHook = func(i int) error {
+		if i == 1 {
+			return boom
+		}
+		return nil
+	}
+	if _, err := s.AdoptTable("kv"); !errors.Is(err, boom) {
+		t.Fatalf("AdoptTable with failing load = %v, want injected failure", err)
+	}
+	// The original table survives with its data.
+	old, err := d.TableOf("kv")
+	if err != nil {
+		t.Fatalf("original table gone after failed adoption: %v", err)
+	}
+	if old.Len() != 3 {
+		t.Errorf("original table has %d tuples after failed adoption", old.Len())
+	}
+	rows, err := d.Query(`SELECT SUM(v) FROM kv`, nil)
+	if err != nil || rows.Tuples[0][0].Int() != 60 {
+		t.Errorf("original table query after failed adoption: %v %v", err, rows)
+	}
+	// Nothing registered, no temporary table left behind.
+	if _, err := s.Table("kv"); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("failed adoption registered the table: %v", err)
+	}
+	if _, err := d.TableOf("kv__adopting"); err == nil {
+		t.Error("temporary adoption table left behind")
+	}
+
+	// Retry without the fault: full success, replacement under the old
+	// name.
+	s.adoptLoadHook = nil
+	vt, err := s.AdoptTable("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vt.Len() != 3 {
+		t.Errorf("adopted %d tuples, want 3", vt.Len())
+	}
+	if _, err := d.TableOf("kv__adopting"); err == nil {
+		t.Error("temporary adoption table left behind after success")
+	}
+	sess := s.BeginSession()
+	defer sess.Close()
+	rows, err = sess.Query(`SELECT SUM(v) FROM kv`, nil)
+	if err != nil || rows.Tuples[0][0].Int() != 60 {
+		t.Fatalf("adopted query: %v %v", err, rows)
+	}
+	assertWatermark(t, s, vt)
+}

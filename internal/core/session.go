@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
@@ -13,15 +15,27 @@ import (
 // observe the same consistent database state. The session captures
 // sessionVN = currentVN when it begins and reads that version — without
 // placing any locks — until it is closed or expires.
+//
+// A Session is safe for concurrent use by multiple goroutines: the mutable
+// state (closed, expiredSeen) is atomic, and the steady-state query path
+// takes no mutex at all.
 type Session struct {
 	store    *Store
 	vn       VN
-	closed   bool
 	perTuple bool
+	// shard is the session-registry stripe this session registered in.
+	shard int
+	// closed flips once, via CompareAndSwap, so concurrent Close calls
+	// and in-flight queries race benignly.
+	closed atomic.Bool
 	// expiredSeen dedupes the expiry metric and trace event: a session is
 	// counted expired once, on the first failing check, however many
 	// queries observe the error afterwards.
-	expiredSeen bool
+	expiredSeen atomic.Bool
+	// midQueryHook, when non-nil, runs after execution and before the
+	// post-query expiration check (test seam: it lets tests advance the
+	// version mid-query deterministically).
+	midQueryHook func()
 }
 
 // BeginSession starts a reader session at the current database version. In
@@ -46,16 +60,43 @@ func (s *Store) BeginSessionPerTupleExpiry() *Session {
 }
 
 func (s *Store) beginSession(perTuple bool) *Session {
-	acquired := s.latchAcquire()
-	vn, _ := s.globalsLocked()
-	sess := &Session{store: s, vn: vn, perTuple: perTuple}
-	s.sessions[sess] = struct{}{}
-	active := len(s.sessions)
-	s.latchRelease(acquired)
+	sess := &Session{store: s, perTuple: perTuple}
+	sess.shard = int(s.sessions.next.Add(1) % sessionShards)
+	// Register at a version consistent with the published snapshot: if a
+	// publish (commit/rollback) raced between reading the globals and
+	// registering, the floor computations (GC, commit-when-quiet) could
+	// have missed this session at its stale version — re-read and retry.
+	// Publishes are rare (one per maintenance transaction), so the loop
+	// settles immediately in steady state. The retries are bounded: under
+	// pathological churn (a maintenance loop committing faster than a
+	// reader can register, which the stress harness produces on a single
+	// CPU) the optimistic loop would otherwise livelock, so after a few
+	// failed attempts the session registers under the latch, which
+	// excludes publishers entirely.
+	const optimisticRetries = 4
+	registered := false
+	for attempt := 0; attempt < optimisticRetries; attempt++ {
+		snap := s.snap.Load()
+		vn, _, _ := s.readGlobals()
+		sess.vn = vn
+		s.sessions.add(sess)
+		if s.snap.Load() == snap {
+			registered = true
+			break
+		}
+		s.sessions.remove(sess)
+	}
+	if !registered {
+		acquired := s.latchAcquire()
+		vn, _ := s.globalsLocked()
+		sess.vn = vn
+		s.sessions.add(sess)
+		s.latchRelease(acquired)
+	}
 	m := s.metrics
 	m.sessionsBegun.Inc()
-	m.activeSessions.Set(int64(active))
-	m.trace(TraceSessionBegin, vn, 0)
+	m.activeSessions.Add(1)
+	m.trace(TraceSessionBegin, sess.vn, 0)
 	return sess
 }
 
@@ -64,27 +105,23 @@ func (sess *Session) VN() VN { return sess.vn }
 
 // Close ends the session, releasing it from the store's registry (the
 // garbage collector and the commit-when-quiet policy consult that
-// registry). Closing twice is a no-op.
+// registry). Closing twice — or from several goroutines at once — is a
+// no-op after the first call.
 func (sess *Session) Close() {
-	if sess.closed {
+	if !sess.closed.CompareAndSwap(false, true) {
 		return
 	}
-	sess.closed = true
 	st := sess.store
-	acquired := st.latchAcquire()
-	delete(st.sessions, sess)
-	active := len(st.sessions)
-	st.latchRelease(acquired)
+	st.sessions.remove(sess)
 	st.metrics.sessionsClosed.Inc()
-	st.metrics.activeSessions.Set(int64(active))
+	st.metrics.activeSessions.Add(-1)
 	st.metrics.trace(TraceSessionClose, sess.vn, 0)
 }
 
 // markExpired records the session's expiry — once, however many queries
 // observe the error afterwards — and returns ErrSessionExpired.
 func (sess *Session) markExpired() error {
-	if !sess.expiredSeen {
-		sess.expiredSeen = true
+	if sess.expiredSeen.CompareAndSwap(false, true) {
 		sess.store.metrics.sessionsExpired.Inc()
 		sess.store.metrics.trace(TraceSessionExpired, sess.vn, 0)
 	}
@@ -99,16 +136,14 @@ func (sess *Session) markExpired() error {
 //	(sessionVN = currentVN−1 AND maintenanceActive = false)
 //
 // generalized for nVNL. It returns nil, ErrSessionExpired, or
-// ErrSessionClosed.
+// ErrSessionClosed. The check is lock-free: one atomic snapshot load
+// replaces the paper's latched read of the global variables.
 func (sess *Session) Check() error {
-	if sess.closed {
+	if sess.closed.Load() {
 		return ErrSessionClosed
 	}
 	st := sess.store
-	st.mu.Lock()
-	cur, active := st.globalsLocked()
-	floor := st.expireFloor
-	st.mu.Unlock()
+	cur, active, floor := st.readGlobals()
 	if sess.vn < floor {
 		// A logless rollback invalidated older sessions (see
 		// Maintenance.Rollback).
@@ -116,13 +151,10 @@ func (sess *Session) Check() error {
 	}
 	if sess.perTuple {
 		// Optimistic discipline: expired only if some table actually holds
-		// a tuple this session cannot reconstruct.
+		// a tuple this session cannot reconstruct. The probe reads each
+		// table's oldest-slot high-water mark — O(1) per table.
 		for _, vt := range st.Tables() {
-			bad, err := vt.hasUnreconstructible(sess.vn)
-			if err != nil {
-				return err
-			}
-			if bad {
+			if vt.hasUnreconstructible(sess.vn) {
 				return sess.markExpired()
 			}
 		}
@@ -158,7 +190,9 @@ func (sess *Session) Query(text string, params exec.Params) (*exec.Rows, error) 
 }
 
 // QueryStmt is Query over a pre-parsed statement. The input is not
-// mutated.
+// mutated. On the steady-state path this performs zero mutex
+// acquisitions: both checks load the published snapshot, and table
+// resolution is an atomic registry load.
 func (sess *Session) QueryStmt(sel *sql.SelectStmt, params exec.Params) (*exec.Rows, error) {
 	if sess.perTuple {
 		return sess.queryPerTuple(sel, params)
@@ -174,6 +208,9 @@ func (sess *Session) QueryStmt(sel *sql.SelectStmt, params exec.Params) (*exec.R
 	if err != nil {
 		return nil, err
 	}
+	if sess.midQueryHook != nil {
+		sess.midQueryHook()
+	}
 	if err := sess.Check(); err != nil {
 		return nil, err
 	}
@@ -186,12 +223,10 @@ func (sess *Session) QueryStmt(sel *sql.SelectStmt, params exec.Params) (*exec.R
 // (tuple version numbers only grow), so a clean probe after the query
 // implies the whole execution read reconstructible tuples.
 func (sess *Session) queryPerTuple(sel *sql.SelectStmt, params exec.Params) (*exec.Rows, error) {
-	if sess.closed {
+	if sess.closed.Load() {
 		return nil, ErrSessionClosed
 	}
-	sess.store.mu.Lock()
-	floor := sess.store.expireFloor
-	sess.store.mu.Unlock()
+	_, _, floor := sess.store.readGlobals()
 	if sess.vn < floor {
 		return nil, sess.markExpired()
 	}
@@ -203,16 +238,15 @@ func (sess *Session) queryPerTuple(sel *sql.SelectStmt, params exec.Params) (*ex
 	if err != nil {
 		return nil, err
 	}
+	if sess.midQueryHook != nil {
+		sess.midQueryHook()
+	}
 	for _, tr := range sel.From {
 		vt := sess.store.lookup(tr.Table)
 		if vt == nil {
 			continue
 		}
-		expired, err := vt.hasUnreconstructible(sess.vn)
-		if err != nil {
-			return nil, err
-		}
-		if expired {
+		if vt.hasUnreconstructible(sess.vn) {
 			return nil, sess.markExpired()
 		}
 	}
@@ -221,8 +255,17 @@ func (sess *Session) queryPerTuple(sel *sql.SelectStmt, params exec.Params) (*ex
 
 // hasUnreconstructible reports whether any tuple's oldest recorded
 // modification postdates what a session at vn can reconstruct:
-// tupleVN(n−1) > vn + 1 (unused slots hold 0 and never trigger).
-func (v *VTable) hasUnreconstructible(vn VN) (bool, error) {
+// tupleVN(n−1) > vn + 1 (unused slots hold 0 and never trigger). The probe
+// reads the table's maintained high-water mark — one atomic load — instead
+// of scanning; scanUnreconstructible below is the full-scan oracle the
+// equivalence tests pin it against.
+func (v *VTable) hasUnreconstructible(vn VN) bool {
+	return VN(v.oldestHW.Load()) > vn+1
+}
+
+// scanUnreconstructible is the original full-scan form of the per-tuple
+// expiration probe, kept as the oracle for oldestHW.
+func (v *VTable) scanUnreconstructible(vn VN) bool {
 	e := v.ext
 	oldest := e.L.N - 1
 	found := false
@@ -233,7 +276,7 @@ func (v *VTable) hasUnreconstructible(vn VN) (bool, error) {
 		}
 		return true
 	})
-	return found, nil
+	return found
 }
 
 // Rewrite returns the SQL text of the rewritten form of a query, as the
@@ -299,7 +342,19 @@ func (sess *Session) Get(table string, key catalog.Tuple) (t catalog.Tuple, visi
 	}
 	ext, err := vt.tbl.Get(rid)
 	if err != nil {
-		return nil, false, nil
+		if errors.Is(err, storage.ErrNoSuchTuple) {
+			if _, still := vt.tbl.SearchKey(key); !still {
+				// The tuple was physically reclaimed between the index
+				// probe and the heap read (GC or a net-effect delete
+				// racing this reader): the key is genuinely gone, not
+				// corrupt.
+				return nil, false, nil
+			}
+		}
+		// Anything else — including an index entry pointing at a missing
+		// tuple — is storage corruption or an I/O failure and must not be
+		// masked as "tuple not visible".
+		return nil, false, fmt.Errorf("core: reading %s key %v: %w", table, key, err)
 	}
 	t, visible, err = vt.ext.ReadAsOf(ext, sess.vn)
 	if err == ErrSessionExpired {

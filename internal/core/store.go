@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/db"
@@ -41,24 +42,23 @@ type Options struct {
 // version state (currentVN, maintenanceActive), the registry of versioned
 // tables, and the active reader sessions. One maintenance transaction may
 // run at a time; any number of reader sessions run concurrently with it,
-// lock-free.
+// lock-free: the steady-state read path (Check, table lookup, query
+// execution) performs no mutex acquisition at all — see ARCHITECTURE.md's
+// read-path memory model.
 type Store struct {
 	d    *db.Database
 	n    int
 	opts Options
 
-	// mu is the latch guarding the global variables and the session and
-	// table registries (§3: "we assume a simple latching mechanism is used
-	// to read and update these global variables"). The "guarded by mu"
-	// annotations below are enforced mechanically by vnlvet's guardedwrite
-	// analyzer.
+	// mu is the latch guarding the global variables (§3: "we assume a
+	// simple latching mechanism is used to read and update these global
+	// variables"). Only writers take it; readers consume the published
+	// snapshot below. The "guarded by mu" annotations are enforced
+	// mechanically by vnlvet's guardedwrite analyzer.
 	mu          sync.Mutex
-	currentVN   VN                    // guarded by mu
-	maintActive bool                  // guarded by mu
-	maint       *Maintenance          // guarded by mu
-	tables      map[string]*VTable    // guarded by mu; lower-cased base name
-	sessions    map[*Session]struct{} // guarded by mu
-	versionTbl  *db.Table             // non-nil in relation-backed mode
+	currentVN   VN           // guarded by mu
+	maintActive bool         // guarded by mu
+	maint       *Maintenance // guarded by mu
 	// expireFloor expires sessions older than it; a logless rollback
 	// raises it to currentVN because reverted tuples can no longer serve
 	// their pre-update versions. Guarded by mu.
@@ -66,6 +66,26 @@ type Store struct {
 	// journal, when non-nil, receives every physical change for
 	// durability (see Journal). Guarded by mu.
 	journal Journal
+
+	// snap is the immutable published copy of (currentVN, maintActive,
+	// expireFloor): the reader hot path loads it with one atomic
+	// operation and never touches mu. Published under mu.
+	snap atomic.Pointer[globalSnapshot]
+	// tables is the copy-on-write registry of versioned relations:
+	// lookup is an atomic load; mutators copy and swap. Published under
+	// mu.
+	tables atomic.Pointer[tableRegistry]
+
+	// sessions is the sharded registry of live reader sessions; it has
+	// its own fine-grained locks and is never touched under mu.
+	sessions sessionRegistry
+
+	versionTbl *db.Table // non-nil in relation-backed mode
+
+	// adoptLoadHook, when non-nil, runs before each tuple is loaded into
+	// the extended table during AdoptTable (test seam for mid-load
+	// failure injection).
+	adoptLoadHook func(i int) error
 
 	// reg and metrics are the store's observability surface (never nil;
 	// see Options.Metrics).
@@ -78,6 +98,13 @@ type VTable struct {
 	store *Store
 	ext   *ExtTable
 	tbl   *db.Table
+	// oldestHW is a high-water mark of the oldest version slot: the
+	// maximum tupleVN(n−1) over the table's physical tuples. The
+	// per-tuple expiration probe (§3.2's optimistic alternative) reads it
+	// instead of scanning; maintenance writes raise it, and the rare
+	// paths that can lower a tuple's slots (rollback, physical deletes,
+	// recovery) recompute it by scan.
+	oldestHW atomic.Int64
 }
 
 // Open attaches a 2VNL/nVNL store to a database. currentVN starts at 1
@@ -103,11 +130,16 @@ func Open(d *db.Database, opts Options) (*Store, error) {
 		n:         n,
 		opts:      opts,
 		currentVN: 1,
-		tables:    make(map[string]*VTable),
-		sessions:  make(map[*Session]struct{}),
 		reg:       reg,
 		metrics:   newStoreMetrics(reg, tracer),
 	}
+	// The store is not shared until Open returns, but the publish
+	// discipline is cheap enough to follow even here.
+	acquired := s.latchAcquire()
+	empty := make(tableRegistry)
+	s.tables.Store(&empty)
+	s.publishLocked()
+	s.latchRelease(acquired)
 	s.metrics.currentVN.Set(1)
 	d.Pool().Instrument(reg, "storage_pool")
 	if opts.VersionRelation {
@@ -133,40 +165,59 @@ func (s *Store) N() int { return s.n }
 // DB returns the underlying database.
 func (s *Store) DB() *db.Database { return s.d }
 
-// globals reads (currentVN, maintenanceActive). In relation-backed mode it
-// reads the Version relation through the engine, paying buffer-pool
-// traffic; otherwise it reads latched memory.
+// globals reads (currentVN, maintenanceActive) without the latch. In
+// relation-backed mode it reads the Version relation through the engine,
+// paying buffer-pool traffic; otherwise it reads the published snapshot.
 func (s *Store) globals() (VN, bool) {
-	acquired := s.latchAcquire()
-	vn, active := s.globalsLocked()
-	s.latchRelease(acquired)
+	vn, active, _ := s.readGlobals()
 	return vn, active
 }
 
 func (s *Store) globalsLocked() (VN, bool) {
 	if s.versionTbl != nil {
-		var vn VN
-		var active bool
-		s.versionTbl.Scan(func(_ storage.RID, t catalog.Tuple) bool {
-			vn = VN(t[0].Int())
-			active = t[1].Bool()
-			return false
-		})
-		return vn, active
+		return s.scanVersionRelation()
 	}
 	return s.currentVN, s.maintActive
 }
 
-func (s *Store) setGlobalsLocked(vn VN, active bool) {
-	s.currentVN, s.maintActive = vn, active
+// scanVersionRelation reads the single Version tuple. Page latches inside
+// the engine make the read safe without the store latch.
+func (s *Store) scanVersionRelation() (VN, bool) {
+	var vn VN
+	var active bool
+	s.versionTbl.Scan(func(_ storage.RID, t catalog.Tuple) bool {
+		vn = VN(t[0].Int())
+		active = t[1].Bool()
+		return false
+	})
+	return vn, active
+}
+
+// setGlobalsLocked installs (currentVN, maintenanceActive) and publishes
+// the new snapshot. In relation-backed mode the Version relation is
+// updated first: if that write fails nothing is installed, so latched
+// memory, the snapshot, and the relation never diverge — the caller
+// (commit, rollback, begin) sees the error with the transaction still in
+// its prior state.
+func (s *Store) setGlobalsLocked(vn VN, active bool) error {
 	if s.versionTbl != nil {
 		var rid storage.RID
+		found := false
 		s.versionTbl.Scan(func(r storage.RID, _ catalog.Tuple) bool {
 			rid = r
+			found = true
 			return false
 		})
-		_ = s.versionTbl.Update(rid, catalog.Tuple{catalog.NewInt(int64(vn)), catalog.NewBool(active)})
+		if !found {
+			return fmt.Errorf("core: Version relation holds no tuple")
+		}
+		if err := s.versionTbl.Update(rid, catalog.Tuple{catalog.NewInt(int64(vn)), catalog.NewBool(active)}); err != nil {
+			return fmt.Errorf("core: updating Version relation: %w", err)
+		}
 	}
+	s.currentVN, s.maintActive = vn, active
+	s.publishLocked()
+	return nil
 }
 
 // CurrentVN returns the committed database version number.
@@ -204,9 +255,20 @@ func (s *Store) CreateTable(base *catalog.Schema) (*VTable, error) {
 		j.LogCreate(base)
 	}
 	s.mu.Lock()
-	s.tables[strings.ToLower(base.Name)] = vt
+	s.registerTableLocked(base.Name, vt)
 	s.mu.Unlock()
 	return vt, nil
+}
+
+// registerTableLocked publishes a copy of the table registry with vt added.
+func (s *Store) registerTableLocked(name string, vt *VTable) {
+	old := *s.tables.Load()
+	next := make(tableRegistry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[strings.ToLower(name)] = vt
+	s.tables.Store(&next)
 }
 
 // CreateTableSQL parses a CREATE TABLE statement (with UPDATABLE column
@@ -222,7 +284,12 @@ func (s *Store) CreateTableSQL(text string) (*VTable, error) {
 // AdoptTable brings an existing unversioned table in the database under
 // 2VNL management: a new extended table replaces it, with every existing
 // tuple recorded as inserted at version 1 (pre-existing data is visible to
-// every possible session). The original table is dropped.
+// every possible session).
+//
+// The extended table is created under a temporary name and fully loaded
+// before anything is journaled or dropped; the original table is removed
+// only once the replacement is complete, so a create or mid-load failure
+// leaves the user's table exactly as it was and registers nothing.
 func (s *Store) AdoptTable(name string) (*VTable, error) {
 	old, err := s.d.TableOf(name)
 	if err != nil {
@@ -234,40 +301,66 @@ func (s *Store) AdoptTable(name string) (*VTable, error) {
 		tuples = append(tuples, t)
 		return true
 	})
-	if err := s.d.DropTable(name); err != nil {
-		return nil, err
-	}
-	vt, err := s.CreateTable(base)
+	ext, err := ExtendSchema(base, s.n)
 	if err != nil {
 		return nil, err
 	}
-	j := s.journalOrNil()
-	if j != nil {
-		j.LogBegin(0) // pseudo-transaction for the initial load
+	tmpSchema := ext.Ext.Clone()
+	tmpSchema.Name = base.Name + "__adopting"
+	tbl, err := s.d.CreateTable(tmpSchema)
+	if err != nil {
+		return nil, fmt.Errorf("core: adopting %s: %w", name, err)
 	}
-	for _, t := range tuples {
-		extTuple := vt.ext.NewExtTuple(t, 1)
-		rid, err := vt.tbl.Insert(extTuple)
+	vt := &VTable{store: s, ext: ext, tbl: tbl}
+	var extTuples []catalog.Tuple
+	var rids []storage.RID
+	for i, t := range tuples {
+		if s.adoptLoadHook != nil {
+			if err := s.adoptLoadHook(i); err != nil {
+				_ = s.d.DropTable(tmpSchema.Name)
+				return nil, fmt.Errorf("core: adopting %s: %w", name, err)
+			}
+		}
+		extTuple := ext.NewExtTuple(t, 1)
+		rid, err := tbl.Insert(extTuple)
 		if err != nil {
+			_ = s.d.DropTable(tmpSchema.Name)
 			return nil, fmt.Errorf("core: adopting %s: %w", name, err)
 		}
-		if j != nil {
-			j.LogInsert(base.Name, rid, extTuple)
-		}
+		vt.noteTupleWrite(extTuple)
+		extTuples = append(extTuples, extTuple)
+		rids = append(rids, rid)
 	}
-	if j != nil {
+	// The load succeeded: journal the adoption (create record plus a
+	// committed pseudo-transaction carrying the initial tuples), then make
+	// the swap visible.
+	if j := s.journalOrNil(); j != nil {
+		j.LogCreate(base)
+		j.LogBegin(0)
+		for i, extTuple := range extTuples {
+			j.LogInsert(base.Name, rids[i], extTuple)
+		}
 		if err := j.LogCommit(0); err != nil {
-			return nil, err
+			_ = s.d.DropTable(tmpSchema.Name)
+			return nil, fmt.Errorf("core: adopting %s: %w", name, err)
 		}
 	}
+	if err := s.d.DropTable(name); err != nil {
+		_ = s.d.DropTable(tmpSchema.Name)
+		return nil, err
+	}
+	if err := s.d.RenameTable(tmpSchema.Name, ext.Ext.Name); err != nil {
+		return nil, fmt.Errorf("core: adopting %s: %w", name, err)
+	}
+	s.mu.Lock()
+	s.registerTableLocked(base.Name, vt)
+	s.mu.Unlock()
 	return vt, nil
 }
 
 // Table returns the versioned relation registered under name.
 func (s *Store) Table(name string) (*VTable, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	vt := s.tables[strings.ToLower(name)]
+	vt := s.lookup(name)
 	if vt == nil {
 		return nil, fmt.Errorf("%w: %q", ErrNotRegistered, name)
 	}
@@ -276,20 +369,19 @@ func (s *Store) Table(name string) (*VTable, error) {
 
 // Tables lists the registered versioned relations.
 func (s *Store) Tables() []*VTable {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*VTable, 0, len(s.tables))
-	for _, vt := range s.tables {
+	reg := *s.tables.Load()
+	out := make([]*VTable, 0, len(reg))
+	for _, vt := range reg {
 		out = append(out, vt)
 	}
 	return out
 }
 
-// lookup returns the registered table for name without error wrapping.
+// lookup returns the registered table for name without error wrapping. It
+// is a single atomic load — the query path resolves every table reference
+// through here, lock-free.
 func (s *Store) lookup(name string) *VTable {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tables[strings.ToLower(name)]
+	return (*s.tables.Load())[strings.ToLower(name)]
 }
 
 // Base returns the relation's base (user-visible) schema.
@@ -309,28 +401,53 @@ func (v *VTable) Storage() *db.Table { return v.tbl }
 // ones awaiting garbage collection.
 func (v *VTable) Len() int { return v.tbl.Len() }
 
+// noteTupleWrite raises the oldest-slot high-water mark to cover a tuple
+// the maintenance path just wrote. Lock-free: concurrent raises converge on
+// the maximum.
+func (v *VTable) noteTupleWrite(ext catalog.Tuple) {
+	ovn := int64(v.ext.TupleVN(ext, v.ext.L.N-1))
+	for {
+		cur := v.oldestHW.Load()
+		if ovn <= cur || v.oldestHW.CompareAndSwap(cur, ovn) {
+			return
+		}
+	}
+}
+
+// noteTupleRemoved recomputes the high-water mark if the physically removed
+// tuple may have carried it.
+func (v *VTable) noteTupleRemoved(ext catalog.Tuple) {
+	if int64(v.ext.TupleVN(ext, v.ext.L.N-1)) >= v.oldestHW.Load() {
+		v.recomputeOldestHW()
+	}
+}
+
+// recomputeOldestHW rescans the table for the true maximum oldest-slot
+// tupleVN. It runs only on single-writer paths (rollback, GC, recovery),
+// where no concurrent maintenance write can race the scan.
+func (v *VTable) recomputeOldestHW() {
+	e := v.ext
+	oldest := e.L.N - 1
+	var max int64
+	v.tbl.Scan(func(_ storage.RID, t catalog.Tuple) bool {
+		if vn := int64(e.TupleVN(t, oldest)); vn > max {
+			max = vn
+		}
+		return true
+	})
+	v.oldestHW.Store(max)
+}
+
 // activeSessionFloor returns the smallest sessionVN among live sessions and
 // whether any session is live. The garbage collector and the
 // commit-when-quiet policy use it.
 func (s *Store) activeSessionFloor() (VN, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var minVN VN
-	any := false
-	for sess := range s.sessions {
-		if !any || sess.vn < minVN {
-			minVN = sess.vn
-			any = true
-		}
-	}
-	return minVN, any
+	return s.sessions.floor()
 }
 
 // ActiveSessions returns the number of live reader sessions.
 func (s *Store) ActiveSessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
+	return s.sessions.count()
 }
 
 // queryCatalog adapts the store for the executor: registered tables resolve

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/obs"
+	"repro/internal/sql"
+)
+
+// stressTuples and stressSum define the invariant the stress harness
+// checks: maintenance transactions only move value between keys, so every
+// consistent read of the table sums to stressSum.
+const (
+	stressTuples = 16
+	stressSum    = int64(stressTuples * 100)
+)
+
+// TestStressReadersDuringMaintenance is the concurrency proof for the
+// lock-free read path: many reader goroutines hammer pre-parsed queries
+// while one maintenance loop commits and rolls back transactions, across
+// both rollback modes and both global-variable backings. Run it under
+// -race (the CI stress job does); the invariant checks catch logical
+// races, the race detector catches memory ones.
+func TestStressReadersDuringMaintenance(t *testing.T) {
+	cases := []struct {
+		name     string
+		mode     RollbackMode
+		relation bool
+	}{
+		{"undolog-memory", RollbackUndoLog, false},
+		{"undolog-relation", RollbackUndoLog, true},
+		{"logless-memory", RollbackLogless, false},
+		{"logless-relation", RollbackLogless, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			runStress(t, tc.mode, tc.relation)
+		})
+	}
+}
+
+func runStress(t *testing.T, mode RollbackMode, relation bool) {
+	reg := obs.NewRegistry()
+	s := newStore(t, 2, func(o *Options) {
+		o.VersionRelation = relation
+		o.Metrics = reg
+	})
+	if _, err := s.CreateTable(kvSchema()); err != nil {
+		t.Fatal(err)
+	}
+	m := mustMaint(t, s)
+	for k := int64(0); k < stressTuples; k++ {
+		if err := m.Insert("kv", kvTuple(k, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit(t, m)
+
+	sel, err := sql.ParseSelect(`SELECT SUM(v), COUNT(*) FROM kv`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 4
+	iterations := 250
+	if testing.Short() {
+		iterations = 60
+	}
+
+	var wgReaders, wgWriter sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, readers+1)
+
+	// Writer: move value between key pairs; roll back every fifth
+	// transaction so both the commit and the rollback paths race readers.
+	wgWriter.Add(1)
+	go func() {
+		defer wgWriter.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m, err := s.BeginMaintenanceMode(mode, true)
+			if err != nil {
+				errCh <- fmt.Errorf("writer begin: %w", err)
+				return
+			}
+			a, b := int64(i%stressTuples), int64((i+7)%stressTuples)
+			for _, mv := range []struct{ k, d int64 }{{a, -10}, {b, +10}} {
+				mv := mv
+				if _, err := m.UpdateKey("kv", catalog.Tuple{catalog.NewInt(mv.k)},
+					func(c catalog.Tuple) catalog.Tuple {
+						c[1] = catalog.NewInt(c[1].Int() + mv.d)
+						return c
+					}); err != nil {
+					errCh <- fmt.Errorf("writer update: %w", err)
+					m.Rollback()
+					return
+				}
+			}
+			var fin error
+			if i%5 == 4 {
+				fin = m.Rollback()
+			} else {
+				fin = m.Commit()
+			}
+			if fin != nil {
+				errCh <- fmt.Errorf("writer finish: %w", fin)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wgReaders.Add(1)
+		go func() {
+			defer wgReaders.Done()
+			for i := 0; i < iterations; i++ {
+				sess := s.BeginSession()
+				for q := 0; q < 3; q++ {
+					rows, err := sess.QueryStmt(sel, nil)
+					if errors.Is(err, ErrSessionExpired) {
+						break // expected under churn; begin a fresh session
+					}
+					if err != nil {
+						errCh <- fmt.Errorf("reader query: %w", err)
+						sess.Close()
+						return
+					}
+					sum, count := rows.Tuples[0][0].Int(), rows.Tuples[0][1].Int()
+					if sum != stressSum || count != stressTuples {
+						errCh <- fmt.Errorf("reader observed inconsistent state: sum=%d count=%d (session VN %d)", sum, count, sess.VN())
+						sess.Close()
+						return
+					}
+					if err := sess.Check(); err != nil && !errors.Is(err, ErrSessionExpired) {
+						errCh <- fmt.Errorf("reader check: %w", err)
+						sess.Close()
+						return
+					}
+				}
+				sess.Close()
+			}
+		}()
+	}
+	wgReaders.Wait() // the writer churns the whole time readers run
+	close(stop)
+	wgWriter.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Quiesced: the invariant holds for a fresh session, every session is
+	// unregistered, and the Add-based gauge agrees with the registry.
+	sess := s.BeginSession()
+	rows, err := sess.QueryStmt(sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum := rows.Tuples[0][0].Int(); sum != stressSum {
+		t.Errorf("final sum = %d, want %d", sum, stressSum)
+	}
+	sess.Close()
+	if n := s.ActiveSessions(); n != 0 {
+		t.Errorf("ActiveSessions = %d after quiesce", n)
+	}
+	if g := reg.GaugeValue("core_sessions_active"); g != 0 {
+		t.Errorf("core_sessions_active gauge = %d after quiesce", g)
+	}
+	// Watermarks survived the churn (commits, rollbacks) exactly.
+	for _, vt := range s.Tables() {
+		assertWatermark(t, s, vt)
+	}
+}
+
+// TestSessionSharedAcrossGoroutines uses one Session from many goroutines
+// at once — queries, checks, gets — while maintenance advances the
+// version, then closes it from every goroutine concurrently. The session's
+// mutable state is atomic, so under -race this passes clean.
+func TestSessionSharedAcrossGoroutines(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newStore(t, 2, func(o *Options) { o.Metrics = reg })
+	if _, err := s.CreateTable(kvSchema()); err != nil {
+		t.Fatal(err)
+	}
+	m := mustMaint(t, s)
+	for k := int64(0); k < 8; k++ {
+		if err := m.Insert("kv", kvTuple(k, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit(t, m)
+
+	sel, err := sql.ParseSelect(`SELECT COUNT(*) FROM kv`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := s.BeginSession()
+
+	const users = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, users)
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := sess.QueryStmt(sel, nil); err != nil &&
+					!errors.Is(err, ErrSessionExpired) && !errors.Is(err, ErrSessionClosed) {
+					errCh <- err
+					return
+				}
+				if err := sess.Check(); err != nil &&
+					!errors.Is(err, ErrSessionExpired) && !errors.Is(err, ErrSessionClosed) {
+					errCh <- err
+					return
+				}
+				if _, _, err := sess.Get("kv", catalog.Tuple{catalog.NewInt(int64(i % 8))}); err != nil &&
+					!errors.Is(err, ErrSessionExpired) && !errors.Is(err, ErrSessionClosed) {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	// Advance the version underneath the shared session.
+	m = mustMaint(t, s)
+	if _, err := m.UpdateKey("kv", catalog.Tuple{catalog.NewInt(0)},
+		func(c catalog.Tuple) catalog.Tuple { c[1] = catalog.NewInt(2); return c }); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, m)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Concurrent Close: exactly one wins, the rest are no-ops.
+	var wgClose sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wgClose.Add(1)
+		go func() {
+			defer wgClose.Done()
+			sess.Close()
+		}()
+	}
+	wgClose.Wait()
+	if got := reg.CounterValue("core_sessions_closed_total"); got != 1 {
+		t.Errorf("sessions closed counter = %d, want 1", got)
+	}
+	if g := reg.GaugeValue("core_sessions_active"); g != 0 {
+		t.Errorf("core_sessions_active gauge = %d, want 0", g)
+	}
+	if err := sess.Check(); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("Check after concurrent Close = %v", err)
+	}
+}
+
+// TestMidQueryVersionAdvanceExpires pins the post-query half of the
+// expiration protocol: when the session silently expires between execution
+// and the result being returned (a second maintenance transaction began),
+// QueryStmt reports ErrSessionExpired instead of handing back a result the
+// session's version can no longer vouch for.
+func TestMidQueryVersionAdvanceExpires(t *testing.T) {
+	s := newStore(t, 2)
+	if _, err := s.CreateTable(kvSchema()); err != nil {
+		t.Fatal(err)
+	}
+	m := mustMaint(t, s)
+	if err := m.Insert("kv", kvTuple(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, m) // currentVN = 2
+
+	sel, err := sql.ParseSelect(`SELECT SUM(v) FROM kv`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := s.BeginSession() // VN 2
+	defer sess.Close()
+	var held *Maintenance
+	sess.midQueryHook = func() {
+		// Commit one transaction and begin another: with n = 2 the
+		// session's version is now more than n−1 transactions behind.
+		m := mustMaint(t, s)
+		commit(t, m) // currentVN = 3
+		held = mustMaint(t, s)
+	}
+	if _, err := sess.QueryStmt(sel, nil); !errors.Is(err, ErrSessionExpired) {
+		t.Fatalf("QueryStmt with mid-query version advance = %v, want ErrSessionExpired", err)
+	}
+	sess.midQueryHook = nil
+	commit(t, held)
+
+	// Per-tuple (optimistic) discipline: the session expires only when a
+	// tuple it could need becomes unreconstructible mid-query — here, the
+	// same key updated by two committed transactions while the query runs.
+	pt := s.BeginSessionPerTupleExpiry()
+	defer pt.Close()
+	bump := func() {
+		m := mustMaint(t, s)
+		if _, err := m.UpdateKey("kv", catalog.Tuple{catalog.NewInt(1)},
+			func(c catalog.Tuple) catalog.Tuple {
+				c[1] = catalog.NewInt(c[1].Int() + 1)
+				return c
+			}); err != nil {
+			t.Fatal(err)
+		}
+		commit(t, m)
+	}
+	pt.midQueryHook = func() { bump(); bump() }
+	if _, err := pt.QueryStmt(sel, nil); !errors.Is(err, ErrSessionExpired) {
+		t.Fatalf("per-tuple QueryStmt with mid-query overwrites = %v, want ErrSessionExpired", err)
+	}
+}
+
+// TestActiveSessionsGaugeTracksRegistry pins the Add-based gauge
+// accounting: the gauge moves with every begin/close (idempotently for
+// double closes) and always equals the sharded registry's count.
+func TestActiveSessionsGaugeTracksRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newStore(t, 2, func(o *Options) { o.Metrics = reg })
+	check := func(want int64) {
+		t.Helper()
+		if g := reg.GaugeValue("core_sessions_active"); g != want {
+			t.Errorf("gauge = %d, want %d", g, want)
+		}
+		if n := int64(s.ActiveSessions()); n != want {
+			t.Errorf("ActiveSessions = %d, want %d", n, want)
+		}
+	}
+	var sessions []*Session
+	for i := 0; i < 5; i++ {
+		sessions = append(sessions, s.BeginSession())
+	}
+	check(5)
+	sessions[0].Close()
+	sessions[0].Close() // idempotent: must not decrement twice
+	sessions[1].Close()
+	check(3)
+	for _, sess := range sessions[2:] {
+		sess.Close()
+	}
+	check(0)
+}

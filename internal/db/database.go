@@ -84,6 +84,28 @@ func (d *Database) DropTable(name string) error {
 	return nil
 }
 
+// RenameTable renames a catalog entry in place: the table keeps its heap,
+// indexes, and tuples. The new name must be free. Core's AdoptTable uses
+// this to swap a fully-loaded replacement table in under the original name.
+func (d *Database) RenameTable(oldName, newName string) error {
+	okey, nkey := strings.ToLower(oldName), strings.ToLower(newName)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.tables[okey]
+	if t == nil {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, oldName)
+	}
+	if okey != nkey {
+		if _, exists := d.tables[nkey]; exists {
+			return fmt.Errorf("db: table %q already exists", newName)
+		}
+		delete(d.tables, okey)
+		d.tables[nkey] = t
+	}
+	t.schema.Name = newName
+	return nil
+}
+
 // Table implements exec.Catalog.
 func (d *Database) Table(name string) (exec.Table, error) {
 	t, err := d.TableOf(name)

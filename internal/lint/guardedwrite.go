@@ -23,13 +23,27 @@ import (
 // field. Reads are not checked: the analyzer enforces the single-writer
 // half of the protocol that data-race detectors only catch when a race
 // actually fires under test.
+//
+// Fields annotated "published under mu" follow the snapshot-publish
+// pattern: an atomic.Pointer (or similar) whose readers load it lock-free
+// but whose writers must still hold the latch. For those fields the
+// mutating atomic methods — Store, Swap, CompareAndSwap — count as writes
+// and are checked the same way; Load is a read and is not.
 var GuardedWrite = &Analyzer{
 	Name: "guardedwrite",
-	Doc:  "check that fields annotated \"guarded by mu\" are only written under the latch (§3)",
+	Doc:  "check that fields annotated \"guarded by mu\" or \"published under mu\" are only written under the latch (§3)",
 	Run:  runGuardedWrite,
 }
 
-var guardedByRE = regexp.MustCompile(`(?i)\bguarded by\b`)
+var guardedByRE = regexp.MustCompile(`(?i)\b(guarded by|published under)\b`)
+
+// atomicPublishMethods are the mutating methods of the sync/atomic wrapper
+// types; calling one on an annotated field is a write to it.
+var atomicPublishMethods = map[string]bool{
+	"Store":          true,
+	"Swap":           true,
+	"CompareAndSwap": true,
+}
 
 func runGuardedWrite(pass *Pass) error {
 	guarded := guardedFields(pass)
@@ -126,6 +140,14 @@ func checkGuardedFunc(pass *Pass, owners map[*types.Named]bool, guarded map[*typ
 					if v := writtenGuardedField(pass.TypesInfo, guarded, c.Args[0]); v != nil {
 						report(c.Args[0].Pos(), v.Name())
 					}
+				}
+			}
+			// s.snap.Store(x) / Swap / CompareAndSwap publishes through an
+			// annotated atomic field: a write in the snapshot-publish
+			// pattern.
+			if sel, ok := c.Fun.(*ast.SelectorExpr); ok && atomicPublishMethods[sel.Sel.Name] {
+				if v := writtenGuardedField(pass.TypesInfo, guarded, sel.X); v != nil {
+					pass.Reportf(sel.Pos(), "atomic publish through latch-guarded field %q outside the latch; snapshots must be swapped under mu (§3)", v.Name())
 				}
 			}
 		},

@@ -1,0 +1,15 @@
+// Package db is a minimal fake of the repo's db package for the walerr
+// fixtures: a Table with the mutation methods whose errors the analyzer
+// tracks inside *Locked helpers.
+package db
+
+// Table mirrors db.Table's mutation surface.
+type Table struct{}
+
+// RID stands in for storage.RID.
+type RID struct{ Page, Slot int }
+
+func (t *Table) Insert(v []int) (RID, error)   { return RID{}, nil }
+func (t *Table) Update(r RID, v []int) error   { return nil }
+func (t *Table) Delete(r RID) error            { return nil }
+func (t *Table) Scan(fn func(RID, []int) bool) {}

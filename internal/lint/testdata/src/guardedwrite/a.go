@@ -4,8 +4,12 @@ package guardedwrite
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// snapshot stands in for the immutable published globals.
+type snapshot struct{ vn int64 }
 
 // Store mirrors core.Store's guarded-field annotations.
 type Store struct {
@@ -16,6 +20,12 @@ type Store struct {
 	maint     bool                 // guarded by mu
 	sessions  map[int]struct{}     // guarded by mu
 	tables    map[string]*struct{} // guarded by mu
+	// snap is the snapshot readers load lock-free. Published under mu.
+	snap atomic.Pointer[snapshot]
+	// reg is a copy-on-write registry. Published under mu.
+	reg atomic.Pointer[map[string]int]
+	// freeSnap is an unannotated atomic; stores anywhere are fine.
+	freeSnap atomic.Pointer[snapshot]
 	// free is not annotated; writes anywhere are fine.
 	free int64
 }
@@ -85,4 +95,44 @@ func (s *Store) badIncDec() {
 // badMultiAssign blanks both guarded fields in one statement.
 func (s *Store) badMultiAssign(vn int64) {
 	s.currentVN, s.maint = vn, true // want "write to latch-guarded field \"currentVN\" outside the latch" "write to latch-guarded field \"maint\" outside the latch"
+}
+
+// goodPublishUnderLatch swaps the snapshot while holding the latch: no
+// finding.
+func (s *Store) goodPublishUnderLatch(vn int64) {
+	acquired := s.latchAcquire()
+	s.snap.Store(&snapshot{vn: vn})
+	s.latchRelease(acquired)
+}
+
+// publishLocked is a *Locked helper: the caller holds the latch.
+func (s *Store) publishLocked(vn int64) {
+	s.snap.Store(&snapshot{vn: vn})
+}
+
+// goodLoadAnywhere reads the snapshot lock-free: loads are not writes.
+func (s *Store) goodLoadAnywhere() int64 {
+	return s.snap.Load().vn
+}
+
+// goodUnannotatedStore stores through an unannotated atomic: no finding.
+func (s *Store) goodUnannotatedStore(vn int64) {
+	s.freeSnap.Store(&snapshot{vn: vn})
+}
+
+// badBarePublish swaps the snapshot with no latch at all.
+func (s *Store) badBarePublish(vn int64) {
+	s.snap.Store(&snapshot{vn: vn}) // want "atomic publish through latch-guarded field \"snap\" outside the latch"
+}
+
+// badPublishAfterRelease swaps after dropping the latch.
+func (s *Store) badPublishAfterRelease(m map[string]int) {
+	acquired := s.latchAcquire()
+	s.latchRelease(acquired)
+	s.reg.Store(&m) // want "atomic publish through latch-guarded field \"reg\" outside the latch"
+}
+
+// badCompareAndSwapPublish mutates via CompareAndSwap without the latch.
+func (s *Store) badCompareAndSwapPublish(old, new *snapshot) {
+	s.snap.CompareAndSwap(old, new) // want "atomic publish through latch-guarded field \"snap\" outside the latch"
 }

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // WALErr enforces the durability half of §7: recovery replays only
@@ -21,6 +22,13 @@ import (
 //
 // Close errors may be blanked explicitly (the usual teardown idiom) but
 // not silently dropped.
+//
+// The analyzer also covers the latched-write half of the same invariant:
+// inside a function named "*Locked" — the convention for helpers running
+// under the §3 latch — an error from a db.Table mutation (Insert, Update,
+// Delete) may be neither dropped nor blanked. Those helpers keep latched
+// memory and an engine relation in step (e.g. the Version relation of §4);
+// a swallowed write error silently diverges the two.
 var WALErr = &Analyzer{
 	Name: "walerr",
 	Doc:  "check that WAL and journal errors are consumed; commit forces and recovery may not even be blanked (§7)",
@@ -39,38 +47,52 @@ var walCritical = map[string]bool{
 
 func runWALErr(pass *Pass) error {
 	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.ExprStmt:
-				if call, ok := n.X.(*ast.CallExpr); ok {
-					checkDropped(pass, call)
-				}
-			case *ast.DeferStmt:
-				checkDropped(pass, n.Call)
-			case *ast.GoStmt:
-				checkDropped(pass, n.Call)
-			case *ast.AssignStmt:
-				checkBlanked(pass, n)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
 			}
-			return true
-		})
+			inLocked := strings.HasSuffix(fn.Name.Name, "Locked")
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						checkDropped(pass, call, inLocked)
+					}
+				case *ast.DeferStmt:
+					checkDropped(pass, n.Call, inLocked)
+				case *ast.GoStmt:
+					checkDropped(pass, n.Call, inLocked)
+				case *ast.AssignStmt:
+					checkBlanked(pass, n, inLocked)
+				}
+				return true
+			})
+		}
 	}
 	return nil
 }
 
 // checkDropped reports a wal/journal call used as a statement, discarding
-// an error result.
-func checkDropped(pass *Pass, call *ast.CallExpr) {
-	name, ok := walCallWithError(pass.TypesInfo, call)
-	if !ok {
+// an error result — and, inside *Locked helpers, a db.Table mutation
+// treated the same way.
+func checkDropped(pass *Pass, call *ast.CallExpr, inLocked bool) {
+	if name, ok := walCallWithError(pass.TypesInfo, call); ok {
+		pass.Reportf(call.Pos(), "error from %s is silently dropped; the write-ahead rule is only as strong as its weakest ignored error (§7)", name)
 		return
 	}
-	pass.Reportf(call.Pos(), "error from %s is silently dropped; the write-ahead rule is only as strong as its weakest ignored error (§7)", name)
+	if !inLocked {
+		return
+	}
+	if name, ok := dbMutationWithError(pass.TypesInfo, call); ok {
+		pass.Reportf(call.Pos(), "error from %s is silently dropped inside a *Locked helper; latched memory and the relation must not diverge (§4)", name)
+	}
 }
 
 // checkBlanked reports `_ = <critical wal call>` and multi-assigns that
-// blank the error position of a critical call.
-func checkBlanked(pass *Pass, assign *ast.AssignStmt) {
+// blank the error position of a critical call; inside *Locked helpers,
+// blanked db.Table mutation errors are reported too.
+func checkBlanked(pass *Pass, assign *ast.AssignStmt, inLocked bool) {
 	if len(assign.Rhs) != 1 {
 		return
 	}
@@ -79,10 +101,29 @@ func checkBlanked(pass *Pass, assign *ast.AssignStmt) {
 		return
 	}
 	name, ok := walCallWithError(pass.TypesInfo, call)
-	if !ok || !walCritical[shortName(name)] {
+	if !ok {
+		if !inLocked {
+			return
+		}
+		dbName, isMut := dbMutationWithError(pass.TypesInfo, call)
+		if !isMut {
+			return
+		}
+		checkBlankedError(pass, assign, call, dbName,
+			"error from %s is blanked inside a *Locked helper; latched memory and the relation must not diverge (§4)")
 		return
 	}
-	// Locate the error result position(s) and test whether each is blanked.
+	if !walCritical[shortName(name)] {
+		return
+	}
+	checkBlankedError(pass, assign, call, name,
+		"error from %s is blanked; a failed force or replay must be handled, not discarded (§7)")
+}
+
+// checkBlankedError locates the call's error result position(s) and reports
+// format (with the call name) for each that is assigned to the blank
+// identifier.
+func checkBlankedError(pass *Pass, assign *ast.AssignStmt, call *ast.CallExpr, name, format string) {
 	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
 	if !ok {
 		return
@@ -90,7 +131,7 @@ func checkBlanked(pass *Pass, assign *ast.AssignStmt) {
 	results := sig.Results()
 	if results.Len() == 1 {
 		if isBlank(assign.Lhs[0]) {
-			pass.Reportf(assign.Pos(), "error from %s is blanked; a failed force or replay must be handled, not discarded (§7)", name)
+			pass.Reportf(assign.Pos(), format, name)
 		}
 		return
 	}
@@ -102,9 +143,43 @@ func checkBlanked(pass *Pass, assign *ast.AssignStmt) {
 			continue
 		}
 		if isBlank(assign.Lhs[i]) {
-			pass.Reportf(assign.Lhs[i].Pos(), "error from %s is blanked; a failed force or replay must be handled, not discarded (§7)", name)
+			pass.Reportf(assign.Lhs[i].Pos(), format, name)
 		}
 	}
+}
+
+// dbMutationNames are the db.Table mutators whose errors matter inside
+// latched helpers.
+var dbMutationNames = map[string]bool{
+	"Insert": true,
+	"Update": true,
+	"Delete": true,
+}
+
+// dbMutationWithError reports whether call is a mutation method on db.Table
+// returning an error, and names it.
+func dbMutationWithError(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "db" || !dbMutationNames[fn.Name()] {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !hasErrorResult(sig) || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Table" {
+		return "", false
+	}
+	return "db.Table." + fn.Name(), true
 }
 
 // walCallWithError reports whether call targets a wal-package function or

@@ -130,7 +130,9 @@ func Recover(path string, dbOpts db.Options, storeOpts core.Options) (*core.Stor
 		return nil, nil, stats, replayErr
 	}
 	if stats.HighestVN > 1 {
-		store.SetCurrentVN(stats.HighestVN)
+		if err := store.SetCurrentVN(stats.HighestVN); err != nil {
+			return nil, nil, stats, fmt.Errorf("wal: installing recovered version %d: %w", stats.HighestVN, err)
+		}
 	}
 	mRecoverRecords.Add(int64(stats.RecordsScanned))
 	mRecoverReplayed.Add(int64(stats.TuplesReplayed))
