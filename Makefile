@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race stress lint bench-smoke all
+.PHONY: build test race stress lint crash bench-smoke all
 
 all: build lint test
 
@@ -27,6 +27,13 @@ stress:
 # invariants (see ARCHITECTURE.md "Checked invariants").
 lint:
 	$(GO) run ./cmd/vnlvet ./...
+
+# crash runs the exhaustive crash-point sweep: the scripted 2VNL workload
+# is crashed before every persisting I/O boundary, recovered, and checked
+# against the scan oracle (see internal/crashtest and cmd/vnlcrash). The
+# random-fault rounds layer torn/short/failing writes under the same sweep.
+crash:
+	$(GO) run ./cmd/vnlcrash -faults 3 -artifact crash-fail-script.txt
 
 # bench-smoke runs every benchmark once, just to prove they still execute;
 # real measurement runs use cmd/bench.

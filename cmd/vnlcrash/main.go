@@ -1,0 +1,94 @@
+// Command vnlcrash runs the deterministic crash & fault-injection sweep
+// from internal/crashtest outside the test harness: a scripted 2VNL
+// maintenance workload is crashed before every persisting I/O boundary
+// (WAL append, fsync, heap write-back, checkpoint create/rename), recovered,
+// and checked against the scan oracle and the store's structural
+// invariants.
+//
+// Usage:
+//
+//	vnlcrash                     # fixed-seed sweep
+//	vnlcrash -seed 42 -n 3       # different workload tail, 3VNL
+//	vnlcrash -faults 5           # add 5 random-fault sweeps on top
+//	vnlcrash -script plan.txt    # replay a recorded fault script
+//	vnlcrash -artifact fail.txt  # write the failing script here on error
+//
+// Exit status 0 means every crash point recovered cleanly; 1 means an
+// invariant was violated (the exact fault script is printed and, with
+// -artifact, saved for replay); 2 means a usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/crashtest"
+	"repro/internal/vfs"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "workload seed (tail transactions)")
+		n        = flag.Int("n", 2, "version count (2 = 2VNL)")
+		pool     = flag.Int("pool", 2, "buffer-pool pages (small = frequent write-backs)")
+		faults   = flag.Int("faults", 0, "extra sweeps under random fault scripts")
+		faultSrc = flag.Int64("faultseed", 7, "seed for the random fault scripts")
+		script   = flag.String("script", "", "fault script file to replay (see internal/vfs ParseScript)")
+		artifact = flag.String("artifact", "", "write the failing fault script to this file")
+	)
+	flag.Parse()
+
+	cfg := crashtest.Config{Seed: *seed, N: *n, PoolPages: *pool}
+	if *script != "" {
+		text, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vnlcrash: %v\n", err)
+			os.Exit(2)
+		}
+		parsed, err := vfs.ParseScript(string(text))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vnlcrash: parsing %s: %v\n", *script, err)
+			os.Exit(2)
+		}
+		cfg.Script = parsed
+	}
+
+	rep, err := crashtest.Sweep(cfg)
+	report("sweep", rep, err, *artifact)
+	fmt.Printf("vnlcrash: seed %d: %d crash points, %d commits, %d fault stops\n",
+		*seed, rep.Points, rep.Commits, rep.FaultStops)
+
+	if *faults > 0 {
+		rng := rand.New(rand.NewSource(*faultSrc))
+		for round := 0; round < *faults; round++ {
+			fcfg := cfg
+			fcfg.Script = vfs.RandomScript(rng.Int63(), rep.PersistOps)
+			frep, ferr := crashtest.Sweep(fcfg)
+			report(fmt.Sprintf("fault round %d", round), frep, ferr, *artifact)
+			fmt.Printf("vnlcrash: fault round %d: %d crash points, %d fault stops\n",
+				round, frep.Points, frep.FaultStops)
+		}
+	}
+}
+
+// report prints a sweep failure (and saves its fault script) and exits 1.
+// A nil error is a no-op.
+func report(stage string, rep crashtest.Report, err error, artifact string) {
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "vnlcrash: %s: %v\n", stage, err)
+	if rep.FailScript != "" {
+		fmt.Fprintf(os.Stderr, "vnlcrash: failing fault script:\n%s\n", rep.FailScript)
+		if artifact != "" {
+			if werr := os.WriteFile(artifact, []byte(rep.FailScript+"\n"), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "vnlcrash: writing artifact: %v\n", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "vnlcrash: script saved to %s (replay with -script)\n", artifact)
+			}
+		}
+	}
+	os.Exit(1)
+}

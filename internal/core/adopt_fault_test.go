@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/db"
+	"repro/internal/storage"
+	"repro/internal/vfs"
+)
+
+// adoptFixture builds a plain (unversioned) 30-row table on a fresh
+// FaultFS driven by script, sized so the one-page pool must evict — and
+// write back — continuously while AdoptTable copies rows into the
+// versioned temp heap.
+func adoptFixture(t *testing.T, script *vfs.Script) (*vfs.FaultFS, *db.Database, *Store) {
+	t.Helper()
+	fs := vfs.NewFaultFS(script)
+	d := db.Open(db.Options{DataFS: fs, DataDir: "data", PoolPages: 1, PageSize: 256})
+	s, err := Open(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := catalog.MustSchema("plain", []catalog.Column{
+		{Name: "k", Type: catalog.TypeInt, Length: 8},
+		{Name: "v", Type: catalog.TypeInt, Length: 8, Updatable: true},
+	}, "k")
+	tbl, err := d.CreateTable(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(1); k <= 30; k++ {
+		if _, err := tbl.Insert(catalog.Tuple{catalog.NewInt(k), catalog.NewInt(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs, d, s
+}
+
+// TestAdoptTableHeapFaultMidLoad injects write failures on the versioned
+// temp heap's eviction write-backs while AdoptTable is mid-copy: the
+// adoption must fail cleanly — original table registered and fully
+// readable, no half-adopted versioned table, no leaked __adopting temp —
+// and the same adoption must succeed once the hardware heals.
+//
+// The failing op index is found by rehearsal, not hard-coded: a clean run
+// records the I/O trace, and the fault is aimed at the first write-back of
+// the __adopting heap. The workload is deterministic, so the index holds.
+func TestAdoptTableHeapFaultMidLoad(t *testing.T) {
+	// Rehearsal: clean adoption, to locate the temp heap's first
+	// write-back in the op stream.
+	rehearsalFS, _, rehearsalStore := adoptFixture(t, nil)
+	if _, err := rehearsalStore.AdoptTable("plain"); err != nil {
+		t.Fatalf("clean adoption failed: %v", err)
+	}
+	target := 0
+	for _, r := range rehearsalFS.Trace() {
+		if strings.HasPrefix(r.Site, "writeat data/plain__adopting.heap") {
+			target = r.Index
+			break
+		}
+	}
+	if target == 0 {
+		for _, r := range rehearsalFS.Trace() {
+			t.Logf("op %3d: %s", r.Index, r.Site)
+		}
+		t.Fatal("clean adoption performed no temp-heap write-backs; shrink the pool or grow the table")
+	}
+
+	// The real run: every heap write from the first temp write-back on
+	// fails (the range also covers the cleanup drop's I/O).
+	script := vfs.NewScript().AddFaultRange(target, target+200, vfs.FaultErr)
+	fs, d, s := adoptFixture(t, script)
+	if _, err := s.AdoptTable("plain"); err == nil {
+		t.Fatal("AdoptTable succeeded despite the temp heap's write-backs failing")
+	}
+
+	// The failure is clean: no versioned registration, no leaked temp
+	// table, and the original rows are all still readable.
+	if _, err := s.Table("plain"); err == nil {
+		t.Fatal("failed adoption left a versioned table registered")
+	}
+	if _, err := d.TableOf("plain__adopting"); err == nil {
+		t.Fatal("failed adoption leaked the __adopting temp table")
+	}
+	orig, err := d.TableOf("plain")
+	if err != nil {
+		t.Fatalf("original table lost after failed adoption: %v", err)
+	}
+	rows := 0
+	orig.Scan(func(_ storage.RID, _ catalog.Tuple) bool { rows++; return true })
+	if rows != 30 {
+		t.Fatalf("original table has %d readable rows after failed adoption, want 30", rows)
+	}
+
+	// Healthy hardware: the retry adopts all 30 rows.
+	fs.SetScript(nil)
+	vt, err := s.AdoptTable("plain")
+	if err != nil {
+		t.Fatalf("retry adoption: %v", err)
+	}
+	sess := s.BeginSession()
+	defer sess.Close()
+	rows = 0
+	if err := sess.Scan("plain", func(_ catalog.Tuple) bool { rows++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 30 {
+		t.Fatalf("adopted table scans %d rows, want 30", rows)
+	}
+	if vt.Base().Name != "plain" {
+		t.Fatalf("adopted table named %q, want plain", vt.Base().Name)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/db"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/vfs"
+)
+
+// TestCommitRetriesTransientInstallFailure: the version install fails once
+// (the Version relation's tuple is missing), the store's retry policy
+// repairs the world during the backoff — injected through the policy's
+// Sleep hook, standing in for a transient I/O hiccup clearing — and the
+// second attempt commits. The retry is observable on the injected
+// registry, and the latch was released during the backoff.
+func TestCommitRetriesTransientInstallFailure(t *testing.T) {
+	reg := obs.NewRegistry()
+	d := db.Open(db.Options{})
+
+	var s *Store
+	var stolen catalog.Tuple
+	repair := func(time.Duration) {
+		// Runs between attempts, with the latch released: restoring the
+		// Version tuple must itself be able to touch the relation.
+		if _, err := s.versionTbl.Insert(stolen); err != nil {
+			t.Errorf("repairing the Version relation: %v", err)
+		}
+	}
+	var err error
+	s, err = Open(d, Options{
+		VersionRelation: true,
+		Metrics:         reg,
+		CommitRetry:     vfs.RetryPolicy{Attempts: 3, Sleep: repair},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable(kvSchema()); err != nil {
+		t.Fatal(err)
+	}
+	m := mustMaint(t, s)
+	if err := m.Insert("kv", kvTuple(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Break the install's backing: steal the single Version tuple. The
+	// first setGlobalsLocked attempt fails to find it.
+	var rid storage.RID
+	s.versionTbl.Scan(func(r storage.RID, tu catalog.Tuple) bool {
+		rid, stolen = r, tu.Clone()
+		return false
+	})
+	stolen[1] = catalog.NewBool(true) // still active: the repair happens mid-commit
+	if err := s.versionTbl.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.Commit(); err != nil {
+		t.Fatalf("Commit did not survive a transient install failure: %v", err)
+	}
+	if got := reg.CounterValue("core_commit_retries_total"); got != 1 {
+		t.Errorf("core_commit_retries_total = %d, want 1", got)
+	}
+	if got := s.CurrentVN(); got != 2 {
+		t.Errorf("currentVN = %d after retried commit, want 2", got)
+	}
+	if s.MaintenanceActive() {
+		t.Error("maintenanceActive still set after retried commit")
+	}
+	// The store is not wedged: a follow-up transaction commits cleanly.
+	m2 := mustMaint(t, s)
+	if err := m2.Insert("kv", kvTuple(2, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue("core_commit_retries_total"); got != 1 {
+		t.Errorf("clean commit bumped core_commit_retries_total to %d", got)
+	}
+}
+
+// TestCommitRetryExhaustionLeavesTxnActive: with NoRetry and a persistent
+// failure, Commit surfaces the error, installs nothing, and leaves the
+// transaction active for the caller to repair and retry — the pre-retry
+// contract, now explicit.
+func TestCommitRetryExhaustionLeavesTxnActive(t *testing.T) {
+	reg := obs.NewRegistry()
+	d := db.Open(db.Options{})
+	s, err := Open(d, Options{
+		VersionRelation: true,
+		Metrics:         reg,
+		CommitRetry:     vfs.NoRetry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable(kvSchema()); err != nil {
+		t.Fatal(err)
+	}
+	m := mustMaint(t, s)
+	if err := m.Insert("kv", kvTuple(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	var rid storage.RID
+	var stolen catalog.Tuple
+	s.versionTbl.Scan(func(r storage.RID, tu catalog.Tuple) bool {
+		rid, stolen = r, tu.Clone()
+		return false
+	})
+	if err := s.versionTbl.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.Commit(); err == nil {
+		t.Fatal("Commit with NoRetry succeeded against a broken Version relation")
+	}
+	if got := reg.CounterValue("core_commit_retries_total"); got != 0 {
+		t.Errorf("NoRetry still recorded %d retries", got)
+	}
+	// Repair the relation (it is the authority for the globals, so it must
+	// be whole before reading CurrentVN), then confirm nothing installed.
+	stolen[1] = catalog.NewBool(true)
+	if _, err := s.versionTbl.Insert(stolen); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CurrentVN(); got != 1 {
+		t.Errorf("failed commit moved currentVN to %d", got)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatalf("retried Commit after repair: %v", err)
+	}
+	if got := s.CurrentVN(); got != 2 {
+		t.Errorf("currentVN = %d after repaired commit, want 2", got)
+	}
+}

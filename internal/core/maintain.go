@@ -736,18 +736,29 @@ func (m *Maintenance) Commit() error {
 			return fmt.Errorf("core: commit journal: %w", err)
 		}
 	}
-	acquired := s.latchAcquire()
-	if err := s.setGlobalsLocked(m.vn, false); err != nil {
+	// Install under the latch, retrying transient failures per the
+	// store's policy. The latch is released for every backoff — readers
+	// and the Version relation stay available while the install waits —
+	// and reacquired for the next attempt.
+	for attempt := 0; ; attempt++ {
+		acquired := s.latchAcquire()
+		err := s.setGlobalsLocked(m.vn, false)
+		if err == nil {
+			s.finishCommitLocked(m)
+			s.latchRelease(acquired)
+			break
+		}
 		s.latchRelease(acquired)
-		// Nothing was installed: the transaction stays active, so the
-		// caller can retry Commit or fall back to Rollback rather than
-		// run against a version state diverged from the relation.
-		return fmt.Errorf("core: installing version %d: %w", m.vn, err)
+		if attempt+1 >= s.commitRetry.Attempts {
+			// Nothing was installed: the transaction stays active, so
+			// the caller can retry Commit or fall back to Rollback
+			// rather than run against a version state diverged from the
+			// relation.
+			return fmt.Errorf("core: installing version %d: %w", m.vn, err)
+		}
+		s.metrics.commitRetries.Inc()
+		s.commitRetry.Wait(attempt)
 	}
-	m.done = true
-	m.undo = nil
-	s.maint = nil
-	s.latchRelease(acquired)
 	mm := s.metrics
 	mm.commitNS.ObserveSince(start)
 	mm.txnNS.ObserveSince(m.began)
@@ -759,6 +770,14 @@ func (m *Maintenance) Commit() error {
 	mm.trace(TraceMaintCommit, m.vn, phys)
 	mm.trace(TraceVNAdvance, m.vn, 0)
 	return nil
+}
+
+// finishCommitLocked retires the installed transaction's bookkeeping.
+// Caller holds the latch.
+func (s *Store) finishCommitLocked(m *Maintenance) {
+	m.done = true
+	m.undo = nil
+	s.maint = nil
 }
 
 // Rollback aborts the transaction and reverts every touched tuple to its

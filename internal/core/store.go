@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/storage"
+	"repro/internal/vfs"
 )
 
 // versionRelation is the name of the single-tuple relation that holds the
@@ -36,6 +38,14 @@ type Options struct {
 	// Tracer receives the store's state-transition events. Nil selects
 	// obs.DefaultTracer(), a ring buffer of recent events.
 	Tracer obs.Tracer
+	// CommitRetry bounds how Commit retries a transiently failing
+	// version-installation (the Version-relation update under the latch).
+	// The zero value selects the defaults (3 attempts, 1 ms backoff);
+	// vfs.NoRetry makes the first failure final. The latch is released
+	// between attempts, and on exhaustion the transaction stays active
+	// per the error-surfacing contract, so the caller can still retry or
+	// roll back.
+	CommitRetry vfs.RetryPolicy
 }
 
 // Store is the 2VNL/nVNL controller for one database: it owns the global
@@ -91,6 +101,9 @@ type Store struct {
 	// see Options.Metrics).
 	reg     *obs.Registry
 	metrics *storeMetrics
+
+	// commitRetry is Options.CommitRetry, normalized at Open.
+	commitRetry vfs.RetryPolicy
 }
 
 // VTable is a versioned relation managed by the store.
@@ -126,12 +139,13 @@ func Open(d *db.Database, opts Options) (*Store, error) {
 		tracer = obs.DefaultTracer()
 	}
 	s := &Store{
-		d:         d,
-		n:         n,
-		opts:      opts,
-		currentVN: 1,
-		reg:       reg,
-		metrics:   newStoreMetrics(reg, tracer),
+		d:           d,
+		n:           n,
+		opts:        opts,
+		currentVN:   1,
+		reg:         reg,
+		metrics:     newStoreMetrics(reg, tracer),
+		commitRetry: opts.CommitRetry.Normalize(),
 	}
 	// The store is not shared until Open returns, but the publish
 	// discipline is cheap enough to follow even here.
@@ -367,13 +381,19 @@ func (s *Store) Table(name string) (*VTable, error) {
 	return vt, nil
 }
 
-// Tables lists the registered versioned relations.
+// Tables lists the registered versioned relations, sorted by name. The
+// deterministic order matters beyond cosmetics: checkpoint and GC iterate
+// this list, and the crash harness replays their I/O by operation index,
+// which must not depend on map iteration order.
 func (s *Store) Tables() []*VTable {
 	reg := *s.tables.Load()
 	out := make([]*VTable, 0, len(reg))
 	for _, vt := range reg {
 		out = append(out, vt)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Base().Name < out[j].Base().Name
+	})
 	return out
 }
 

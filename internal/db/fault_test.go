@@ -1,0 +1,78 @@
+package db
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/vfs"
+)
+
+func faultKVSchema() *catalog.Schema {
+	return catalog.MustSchema("kv", []catalog.Column{
+		{Name: "k", Type: catalog.TypeInt, Length: 8},
+		{Name: "v", Type: catalog.TypeInt, Length: 8, Updatable: true},
+	}, "k")
+}
+
+// TestRenameTableBackingFaultLeavesCatalogIntact: the backing-file rename
+// is the first (and only) side effect of RenameTable, so an injected
+// failure there must leave the catalog untouched — old name resolvable,
+// new name absent, every row still readable — and a retry on healthy
+// hardware must succeed.
+func TestRenameTableBackingFaultLeavesCatalogIntact(t *testing.T) {
+	script := vfs.NewScript()
+	fs := vfs.NewFaultFS(script)
+	d := Open(Options{DataFS: fs, DataDir: "data", PoolPages: 2, PageSize: 256})
+	tbl, err := d.CreateTable(faultKVSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(1); k <= 20; k++ {
+		if _, err := tbl.Insert(catalog.Tuple{catalog.NewInt(k), catalog.NewInt(k * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The very next persisting op is the rename; make it fail.
+	script.AddFault(fs.PersistOps()+1, vfs.FaultErr, 0)
+	err = d.RenameTable("kv", "kv2")
+	if err == nil {
+		t.Fatal("RenameTable succeeded despite the injected rename fault")
+	}
+	if !strings.Contains(err.Error(), "renaming backing file") {
+		t.Fatalf("RenameTable error = %v, want the backing-file wrap", err)
+	}
+
+	// Catalog untouched: old name resolves, new name does not.
+	if _, err := d.TableOf("kv"); err != nil {
+		t.Fatalf("original table lost after failed rename: %v", err)
+	}
+	if _, err := d.TableOf("kv2"); err == nil {
+		t.Fatal("new name registered despite failed rename")
+	}
+	rows := 0
+	tbl.Scan(func(_ storage.RID, _ catalog.Tuple) bool { rows++; return true })
+	if rows != 20 {
+		t.Fatalf("original table has %d readable rows after failed rename, want 20", rows)
+	}
+
+	// Healthy hardware: the retry goes through and moves the file.
+	fs.SetScript(nil)
+	if err := d.RenameTable("kv", "kv2"); err != nil {
+		t.Fatalf("retry rename: %v", err)
+	}
+	if _, err := d.TableOf("kv2"); err != nil {
+		t.Fatalf("renamed table missing: %v", err)
+	}
+	if _, err := d.TableOf("kv"); err == nil {
+		t.Fatal("old name still registered after successful rename")
+	}
+	if _, err := fs.ReadFile("data/kv2.heap"); err != nil {
+		t.Fatalf("backing file not at the new path: %v", err)
+	}
+	if _, err := fs.ReadFile("data/kv.heap"); err == nil {
+		t.Fatal("backing file still at the old path")
+	}
+}

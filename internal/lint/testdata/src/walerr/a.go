@@ -27,10 +27,10 @@ func goodHandled(l *wal.Log, j Journal) error {
 	return l.Close()
 }
 
-// goodBlankedClose blanks a non-critical teardown error explicitly: the
-// usual idiom, allowed.
-func goodBlankedClose(l *wal.Log) {
-	_ = l.Close()
+// badBlankedClose blanks the teardown error: Close forces buffered
+// records to stable storage, so its error is durability-critical too.
+func badBlankedClose(l *wal.Log) {
+	_ = l.Close() // want "error from wal.Close is blanked"
 }
 
 // goodVoidAppend calls an error-free journal method: nothing to check.

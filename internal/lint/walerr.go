@@ -16,12 +16,12 @@ import (
 //   - a call whose error is not bound at all (a bare expression statement,
 //     including under defer or go) is reported;
 //   - for the durability-critical operations — LogCommit, Sync, Flush,
-//     Recover, Iterate, Checkpoint — even an explicit blank assignment
-//     (`_ = log.LogCommit(vn)`) is reported: a failed force or replay must
-//     change control flow, not just be visibly shrugged at.
-//
-// Close errors may be blanked explicitly (the usual teardown idiom) but
-// not silently dropped.
+//     Close, Recover, Iterate, Checkpoint — even an explicit blank
+//     assignment (`_ = log.LogCommit(vn)`) is reported: a failed force or
+//     replay must change control flow, not just be visibly shrugged at.
+//     Close is critical because Log.Close forces buffered records to
+//     stable storage: blanking it discards the last fsync of the log's
+//     lifetime.
 //
 // The analyzer also covers the latched-write half of the same invariant:
 // inside a function named "*Locked" — the convention for helpers running
@@ -40,6 +40,7 @@ var walCritical = map[string]bool{
 	"LogCommit":  true,
 	"Sync":       true,
 	"Flush":      true,
+	"Close":      true,
 	"Recover":    true,
 	"Iterate":    true,
 	"Checkpoint": true,

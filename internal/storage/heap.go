@@ -1,12 +1,14 @@
 package storage
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/catalog"
+	"repro/internal/vfs"
 )
 
 // RID is a record identifier: the physical address of a tuple within a heap.
@@ -48,13 +50,19 @@ type Heap struct {
 	fileID      int
 	pool        *BufferPool
 	rowBytes    int
+	pageBytes   int
 	slotsPerPag int
 
-	mu    sync.RWMutex // guards pages slice growth and freePages
+	mu    sync.RWMutex // guards pages slice growth, freePages, and backing
 	pages []*page
 	// freePages holds indexes of pages that had a free slot when last
 	// observed; it may contain stale entries, which Insert skips.
 	freePages []int
+	// backing, when set, mirrors dirty pages to a file on write-back: the
+	// pool's eviction/flush of this heap's pages calls writeBackPage. The
+	// mirror is redo state only — recovery rebuilds heaps from the WAL —
+	// but it makes every heap-flush a real I/O the crash harness can fault.
+	backing vfs.File
 
 	liveCount atomic.Int64
 }
@@ -82,8 +90,94 @@ func NewHeap(name string, rowBytes, pageSize int, pool *BufferPool) (*Heap, erro
 		fileID:      int(nextFileID.Add(1)),
 		pool:        pool,
 		rowBytes:    rowBytes,
+		pageBytes:   pageSize,
 		slotsPerPag: pageSize / rowBytes,
 	}, nil
+}
+
+// SetBacking attaches f as the heap's page mirror and registers the
+// write-back hook with the buffer pool: from now on evicting or flushing a
+// dirty page of this heap encodes it and writes it at a fixed per-page
+// offset in f. Call before the heap sees concurrent use.
+func (h *Heap) SetBacking(f vfs.File) {
+	h.mu.Lock()
+	h.backing = f
+	h.mu.Unlock()
+	h.pool.RegisterWriter(h.fileID, h.writeBackPage)
+}
+
+// CloseBacking unregisters the write-back hook and closes the mirror file,
+// returning its Close error. Safe to call when no backing is attached.
+func (h *Heap) CloseBacking() error {
+	h.mu.Lock()
+	f := h.backing
+	h.backing = nil
+	h.mu.Unlock()
+	h.pool.RegisterWriter(h.fileID, nil)
+	if f == nil {
+		return nil
+	}
+	return f.Close()
+}
+
+// pageImageCap is the fixed byte budget one encoded page image gets in the
+// backing file (length prefix included). Variable-width values can exceed
+// their declared column lengths, so the budget carries generous slack;
+// writeBackPage fails loudly if an image outgrows it.
+func (h *Heap) pageImageCap() int { return 4*h.pageBytes + 1024 }
+
+// writeBackPage persists one page image into the backing file. It runs
+// under the pool's mutex (eviction/flush), takes the page latch only to
+// snapshot the slots, and performs a single WriteAt — one faultable I/O
+// per heap-flush boundary.
+func (h *Heap) writeBackPage(pi int) error {
+	h.mu.RLock()
+	f := h.backing
+	var pg *page
+	if pi >= 0 && pi < len(h.pages) {
+		pg = h.pages[pi]
+	}
+	h.mu.RUnlock()
+	if f == nil || pg == nil {
+		return nil
+	}
+	pg.mu.RLock()
+	img := encodePage(pg.slots)
+	pg.mu.RUnlock()
+	capacity := h.pageImageCap()
+	if len(img)+4 > capacity {
+		return fmt.Errorf("storage: heap %q page %d image %dB exceeds its %dB budget", h.name, pi, len(img), capacity)
+	}
+	buf := make([]byte, 4, 4+len(img))
+	binary.LittleEndian.PutUint32(buf, uint32(len(img)))
+	buf = append(buf, img...)
+	if _, err := f.WriteAt(buf, int64(pi)*int64(capacity)); err != nil {
+		return fmt.Errorf("storage: heap %q page %d write-back: %w", h.name, pi, err)
+	}
+	return nil
+}
+
+// SyncBacking flushes this heap's dirty pages through the pool and fsyncs
+// the mirror file. No-op without a backing file.
+func (h *Heap) SyncBacking() error {
+	h.mu.RLock()
+	f := h.backing
+	h.mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	if err := h.pool.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// touchRead records a read access, deliberately blanking any eviction
+// write-back error: the mirror is not authoritative (the WAL is), and a
+// reader must keep working when the mirror's disk is failing. The error
+// stays observable via the pool's Err.
+func (h *Heap) touchRead(pi int) {
+	_ = h.pool.Touch(PageKey{h.fileID, pi}, false)
 }
 
 // Name returns the heap's name.
@@ -136,9 +230,8 @@ func (h *Heap) Insert(t catalog.Tuple) (RID, error) {
 				pg.slots[si] = slot{tuple: t, live: true}
 				pg.live++
 				pg.mu.Unlock()
-				h.pool.Touch(PageKey{h.fileID, pi}, true)
 				h.liveCount.Add(1)
-				return RID{Page: pi, Slot: si}, nil
+				return RID{Page: pi, Slot: si}, h.pool.Touch(PageKey{h.fileID, pi}, true)
 			}
 		}
 		if len(pg.slots) < h.slotsPerPag {
@@ -146,9 +239,8 @@ func (h *Heap) Insert(t catalog.Tuple) (RID, error) {
 			pg.live++
 			si := len(pg.slots) - 1
 			pg.mu.Unlock()
-			h.pool.Touch(PageKey{h.fileID, pi}, true)
 			h.liveCount.Add(1)
-			return RID{Page: pi, Slot: si}, nil
+			return RID{Page: pi, Slot: si}, h.pool.Touch(PageKey{h.fileID, pi}, true)
 		}
 		// Page filled up between pageWithSpace and the latch; retry.
 		pg.mu.Unlock()
@@ -211,12 +303,16 @@ func (h *Heap) Get(rid RID) (catalog.Tuple, error) {
 		return nil, fmt.Errorf("%w: %v in %s", ErrNoSuchTuple, rid, h.name)
 	}
 	pg.mu.RLock()
-	defer pg.mu.RUnlock()
 	if rid.Slot < 0 || rid.Slot >= len(pg.slots) || !pg.slots[rid.Slot].live {
+		pg.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %v in %s", ErrNoSuchTuple, rid, h.name)
 	}
-	h.pool.Touch(PageKey{h.fileID, rid.Page}, false)
-	return pg.slots[rid.Slot].tuple.Clone(), nil
+	t := pg.slots[rid.Slot].tuple.Clone()
+	pg.mu.RUnlock()
+	// Touch outside the page latch: the pool may write back an evicted
+	// victim, which takes that victim's page latch — never nest the two.
+	h.touchRead(rid.Page)
+	return t, nil
 }
 
 // Update replaces the tuple at rid in place — the same slot on the same
@@ -229,13 +325,13 @@ func (h *Heap) Update(rid RID, t catalog.Tuple) error {
 		return fmt.Errorf("%w: %v in %s", ErrNoSuchTuple, rid, h.name)
 	}
 	pg.mu.Lock()
-	defer pg.mu.Unlock()
 	if rid.Slot < 0 || rid.Slot >= len(pg.slots) || !pg.slots[rid.Slot].live {
+		pg.mu.Unlock()
 		return fmt.Errorf("%w: %v in %s", ErrNoSuchTuple, rid, h.name)
 	}
 	pg.slots[rid.Slot].tuple = t.Clone()
-	h.pool.Touch(PageKey{h.fileID, rid.Page}, true)
-	return nil
+	pg.mu.Unlock()
+	return h.pool.Touch(PageKey{h.fileID, rid.Page}, true)
 }
 
 // Delete removes the tuple at rid, freeing its slot for reuse.
@@ -252,10 +348,9 @@ func (h *Heap) Delete(rid RID) error {
 	pg.slots[rid.Slot] = slot{}
 	pg.live--
 	pg.mu.Unlock()
-	h.pool.Touch(PageKey{h.fileID, rid.Page}, true)
 	h.liveCount.Add(-1)
 	h.noteFree(rid.Page)
-	return nil
+	return h.pool.Touch(PageKey{h.fileID, rid.Page}, true)
 }
 
 // Scan calls fn for every live tuple. Each page's latch is held only while
@@ -277,8 +372,9 @@ func (h *Heap) Scan(fn func(RID, catalog.Tuple) bool) {
 		}
 		buf = buf[:0]
 		pg.mu.RLock()
+		touched := false
 		if pg.live > 0 {
-			h.pool.Touch(PageKey{h.fileID, pi}, false)
+			touched = true
 			for si := range pg.slots {
 				if pg.slots[si].live {
 					buf = append(buf, struct {
@@ -289,6 +385,9 @@ func (h *Heap) Scan(fn func(RID, catalog.Tuple) bool) {
 			}
 		}
 		pg.mu.RUnlock()
+		if touched {
+			h.touchRead(pi)
+		}
 		for _, e := range buf {
 			if !fn(e.rid, e.t) {
 				return
@@ -308,11 +407,11 @@ func (h *Heap) UpdateFunc(rid RID, fn func(catalog.Tuple) catalog.Tuple) error {
 		return fmt.Errorf("%w: %v in %s", ErrNoSuchTuple, rid, h.name)
 	}
 	pg.mu.Lock()
-	defer pg.mu.Unlock()
 	if rid.Slot < 0 || rid.Slot >= len(pg.slots) || !pg.slots[rid.Slot].live {
+		pg.mu.Unlock()
 		return fmt.Errorf("%w: %v in %s", ErrNoSuchTuple, rid, h.name)
 	}
-	h.pool.Touch(PageKey{h.fileID, rid.Page}, true)
 	pg.slots[rid.Slot].tuple = fn(pg.slots[rid.Slot].tuple.Clone()).Clone()
-	return nil
+	pg.mu.Unlock()
+	return h.pool.Touch(PageKey{h.fileID, rid.Page}, true)
 }

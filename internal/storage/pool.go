@@ -107,6 +107,13 @@ type BufferPool struct {
 	// cached entries and is only touched while mu is held.
 	mu   sync.Mutex
 	size int
+	// writers maps a file ID to the function that persists one of its
+	// pages. When a dirty page of a registered file is written back —
+	// eviction or Flush — the writer runs and its error surfaces to the
+	// caller (and stays readable via Err). Files without a writer keep the
+	// historical accounting-only behaviour.
+	writers map[int]func(page int) error
+	ioErr   error // first write-back error; cleared by Reset
 }
 
 // NewBufferPool returns a pool caching up to capacity pages. Capacity must
@@ -131,15 +138,41 @@ func (p *BufferPool) Instrument(reg *obs.Registry, prefix string) {
 	})
 }
 
-// Touch records an access to the page. A miss counts as a read I/O; evicting
-// a dirty page counts as a write I/O. When write is true the cached page is
-// marked dirty.
-func (p *BufferPool) Touch(key PageKey, write bool) {
-	if v, ok := p.index.Load(key); ok {
-		p.recordHit(v.(*poolEntry), write)
+// RegisterWriter installs fn as the persister for fileID's pages: dirty
+// write-backs of those pages call fn(page) and propagate its error. Pass
+// nil to unregister. Writers must not touch the pool re-entrantly.
+func (p *BufferPool) RegisterWriter(fileID int, fn func(page int) error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fn == nil {
+		delete(p.writers, fileID)
 		return
 	}
-	p.miss(key, write)
+	if p.writers == nil {
+		p.writers = map[int]func(page int) error{}
+	}
+	p.writers[fileID] = fn
+}
+
+// Err returns the first write-back error since the last Reset, if any.
+// Eviction can happen on any goroutine's miss, so an error may surface
+// here even when every directly-returned Touch error was checked.
+func (p *BufferPool) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ioErr
+}
+
+// Touch records an access to the page. A miss counts as a read I/O; evicting
+// a dirty page counts as a write I/O. When write is true the cached page is
+// marked dirty. The returned error is a write-back failure of some evicted
+// dirty page (not necessarily key's); the access itself is still recorded.
+func (p *BufferPool) Touch(key PageKey, write bool) error {
+	if v, ok := p.index.Load(key); ok {
+		p.recordHit(v.(*poolEntry), write)
+		return nil
+	}
+	return p.miss(key, write)
 }
 
 func (p *BufferPool) recordHit(e *poolEntry, write bool) {
@@ -154,33 +187,54 @@ func (p *BufferPool) recordHit(e *poolEntry, write bool) {
 }
 
 // miss inserts the page under the latch, evicting least-recently-stamped
-// pages to make room.
-func (p *BufferPool) miss(key PageKey, write bool) {
+// pages to make room. The returned error is the first dirty-eviction
+// write-back failure; the insert proceeds regardless.
+func (p *BufferPool) miss(key PageKey, write bool) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	// Another goroutine may have faulted the page in while we waited; its
 	// miss was counted, ours is now a hit.
 	if v, ok := p.index.Load(key); ok {
 		p.recordHit(v.(*poolEntry), write)
-		return
+		return nil
 	}
 	p.misses.Add(1)
 	if c := p.obsC.Load(); c != nil {
 		c.misses.Inc()
 	}
+	var firstErr error
 	for p.size >= p.capacity {
-		p.evictOldestLocked()
+		if err := p.evictOldestLocked(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	e := &poolEntry{key: key}
 	e.stamp.Store(p.clock.Add(1))
 	e.dirty.Store(write)
 	p.index.Store(key, e)
 	p.size++
+	return firstErr
+}
+
+// writeBackLocked persists one page through its file's registered writer
+// (if any), recording the first failure in ioErr. Callers hold mu.
+func (p *BufferPool) writeBackLocked(key PageKey) error {
+	fn := p.writers[key.File]
+	if fn == nil {
+		return nil
+	}
+	err := fn(key.Page)
+	if err != nil && p.ioErr == nil {
+		p.ioErr = err
+	}
+	return err
 }
 
 // evictOldestLocked removes the entry with the minimum recency stamp —
-// exactly the LRU victim. Callers hold mu.
-func (p *BufferPool) evictOldestLocked() {
+// exactly the LRU victim. A dirty victim is written back first; a
+// write-back failure still evicts (the WAL, not the mirror, is the
+// authority for durability) but surfaces the error. Callers hold mu.
+func (p *BufferPool) evictOldestLocked() error {
 	var victim *poolEntry
 	var minStamp int64
 	p.index.Range(func(_, v any) bool {
@@ -192,9 +246,11 @@ func (p *BufferPool) evictOldestLocked() {
 	})
 	if victim == nil {
 		p.size = 0
-		return
+		return nil
 	}
+	var err error
 	if victim.dirty.Load() {
+		err = p.writeBackLocked(victim.key)
 		p.wbacks.Add(1)
 		if c := p.obsC.Load(); c != nil {
 			c.writeBacks.Inc()
@@ -202,6 +258,7 @@ func (p *BufferPool) evictOldestLocked() {
 	}
 	p.index.Delete(victim.key)
 	p.size--
+	return err
 }
 
 // Stats returns a snapshot of the pool's counters.
@@ -226,16 +283,27 @@ func (p *BufferPool) Reset() {
 		return true
 	})
 	p.size = 0
+	p.ioErr = nil
 }
 
 // Flush write-backs every dirty cached page, counting one write I/O each,
-// and marks them clean. It models a checkpoint at transaction commit.
-func (p *BufferPool) Flush() {
+// and marks them clean. It models a checkpoint at transaction commit. A
+// page whose registered writer fails stays dirty (so a later Flush retries
+// it); the first such error is returned.
+func (p *BufferPool) Flush() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	var firstErr error
 	p.index.Range(func(_, v any) bool {
 		e := v.(*poolEntry)
 		if e.dirty.Swap(false) {
+			if err := p.writeBackLocked(e.key); err != nil {
+				e.dirty.Store(true)
+				if firstErr == nil {
+					firstErr = err
+				}
+				return true
+			}
 			p.wbacks.Add(1)
 			if c := p.obsC.Load(); c != nil {
 				c.writeBacks.Inc()
@@ -243,6 +311,7 @@ func (p *BufferPool) Flush() {
 		}
 		return true
 	})
+	return firstErr
 }
 
 // Capacity returns the pool's page capacity.

@@ -1,0 +1,411 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the base error every scripted fault wraps.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// CrashPoint is the panic value raised when a script's CrashAt operation
+// is reached: the simulated kernel panic / power button. The crash fires
+// *before* the operation executes, so crashing at op i leaves exactly the
+// effects of ops 1..i−1 in the page cache (and whatever honest syncs made
+// durable). The harness recovers it with Recovering.
+type CrashPoint struct {
+	Op   int    // the persisting-op index that did not execute
+	Site string // "write data/wal.log 37B"-style description
+}
+
+func (c *CrashPoint) Error() string {
+	return fmt.Sprintf("vfs: crash before persisting op %d (%s)", c.Op, c.Site)
+}
+
+// Recovering runs fn, converting a CrashPoint panic into a return value.
+// Other panics propagate.
+func Recovering(fn func() error) (crash *CrashPoint, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if cp, ok := p.(*CrashPoint); ok {
+				crash = cp
+				return
+			}
+			panic(p)
+		}
+	}()
+	err = fn()
+	return
+}
+
+// OpRecord traces one persisting operation, for failure reports: knowing
+// that op 37 was "sync data/wal.log" is what turns a failing crash index
+// into a debuggable scenario.
+type OpRecord struct {
+	Index int
+	Site  string
+}
+
+// FaultFS is the deterministic in-memory fault-injecting filesystem. Every
+// persisting operation (write, writeAt, truncate, sync, create, rename,
+// remove) increments a global 1-based counter consulted against the
+// Script: the scripted fault (if any) is applied, and reaching CrashAt
+// panics with *CrashPoint before the operation runs. Reads count on a
+// separate index for ReadErrs.
+//
+// Durability model: each file carries the written image (the OS page
+// cache) and a durable image advanced only by honest Syncs. PowerCut
+// resets every file to its durable image, plus Script.CutKeep extra
+// unsynced bytes — a torn tail. Path operations (create, rename, remove)
+// take effect durably at once, modelling a journalled filesystem that
+// syncs directory metadata; content durability is the interesting axis
+// for the WAL invariants.
+type FaultFS struct {
+	script *Script
+
+	mu      sync.Mutex
+	files   map[string]*memFile
+	pOps    int // persisting-op counter
+	rOps    int // read-op counter
+	crashed bool
+	trace   []OpRecord
+}
+
+// NewFaultFS returns a FaultFS driven by script (nil means fault-free,
+// which still gives deterministic op counting and PowerCut semantics).
+func NewFaultFS(script *Script) *FaultFS {
+	if script == nil {
+		script = NewScript()
+	}
+	return &FaultFS{script: script, files: map[string]*memFile{}}
+}
+
+// SetScript replaces the fault plan (nil installs an empty one). The crash
+// harness uses it after a simulated power cut: the scripted faults covered
+// the doomed run, and recovery is modelled as running on healthy hardware
+// — its correctness must not depend on the old script's leftover indexes.
+func (fs *FaultFS) SetScript(s *Script) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if s == nil {
+		s = NewScript()
+	}
+	fs.script = s
+}
+
+// PersistOps returns how many persisting operations have executed (or been
+// consumed by faults/crash) so far.
+func (fs *FaultFS) PersistOps() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.pOps
+}
+
+// Crashed reports whether the scripted crash point fired.
+func (fs *FaultFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// Trace returns the recorded persisting operations in order.
+func (fs *FaultFS) Trace() []OpRecord {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]OpRecord, len(fs.trace))
+	copy(out, fs.trace)
+	return out
+}
+
+// PowerCut simulates losing power: every file's content reverts to its
+// durable image plus any scripted CutKeep bytes of the unsynced tail.
+// Outstanding handles remain usable (they see the cut content), but the
+// intended use is to reopen files fresh, as recovery would.
+func (fs *FaultFS) PowerCut() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for path, f := range fs.files {
+		keep := len(f.durable)
+		if extra := fs.script.CutKeep[path]; extra > 0 {
+			keep += extra
+		}
+		if keep > len(f.data) {
+			keep = len(f.data)
+		}
+		f.data = append([]byte(nil), f.data[:keep]...)
+		f.durable = append([]byte(nil), f.data...)
+	}
+}
+
+// ReadFile returns a copy of the current (page-cache) content of path —
+// a test convenience.
+func (fs *FaultFS) ReadFile(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("vfs: %s: %w", path, os.ErrNotExist)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// DurableBytes returns a copy of the durable image of path.
+func (fs *FaultFS) DurableBytes(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("vfs: %s: %w", path, os.ErrNotExist)
+	}
+	return append([]byte(nil), f.durable...), nil
+}
+
+// persistOp advances the op counter under fs.mu, records the trace entry,
+// fires the crash point, and returns the scripted fault (if any).
+func (fs *FaultFS) persistOp(site string) (Fault, bool) {
+	fs.pOps++
+	op := fs.pOps
+	fs.trace = append(fs.trace, OpRecord{Index: op, Site: site})
+	if fs.script.CrashAt == op && !fs.crashed {
+		fs.crashed = true
+		// The caller's deferred fs.mu.Unlock releases the lock as the
+		// panic unwinds.
+		panic(&CrashPoint{Op: op, Site: site})
+	}
+	f, ok := fs.script.Faults[op]
+	return f, ok
+}
+
+func (fs *FaultFS) injected(site string, op int) error {
+	return fmt.Errorf("%w: op %d (%s)", ErrInjected, op, site)
+}
+
+func (fs *FaultFS) Create(path string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	site := "create " + path
+	if f, ok := fs.persistOp(site); ok && f.Kind == FaultErr {
+		return nil, fs.injected(site, fs.pOps)
+	}
+	mf := fs.files[path]
+	if mf == nil {
+		mf = &memFile{fs: fs, path: path}
+		fs.files[path] = mf
+	}
+	mf.data = nil
+	mf.durable = nil
+	return &handle{f: mf}, nil
+}
+
+func (fs *FaultFS) OpenAppend(path string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	mf := fs.files[path]
+	if mf == nil {
+		mf = &memFile{fs: fs, path: path}
+		fs.files[path] = mf
+	}
+	return &handle{f: mf, appendMode: true}, nil
+}
+
+func (fs *FaultFS) Open(path string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	mf := fs.files[path]
+	if mf == nil {
+		return nil, fmt.Errorf("vfs: %s: %w", path, os.ErrNotExist)
+	}
+	return &handle{f: mf, readOnly: true}, nil
+}
+
+func (fs *FaultFS) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	site := fmt.Sprintf("rename %s -> %s", oldPath, newPath)
+	if f, ok := fs.persistOp(site); ok && f.Kind == FaultErr {
+		return fs.injected(site, fs.pOps)
+	}
+	mf := fs.files[oldPath]
+	if mf == nil {
+		return fmt.Errorf("vfs: %s: %w", oldPath, os.ErrNotExist)
+	}
+	delete(fs.files, oldPath)
+	mf.path = newPath
+	fs.files[newPath] = mf
+	return nil
+}
+
+func (fs *FaultFS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	site := "remove " + path
+	if f, ok := fs.persistOp(site); ok && f.Kind == FaultErr {
+		return fs.injected(site, fs.pOps)
+	}
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("vfs: %s: %w", path, os.ErrNotExist)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+var _ FS = (*FaultFS)(nil)
+
+// memFile is the shared per-path state; handle is one open descriptor.
+// All fields are guarded by fs.mu.
+type memFile struct {
+	fs      *FaultFS
+	path    string
+	data    []byte // page-cache content
+	durable []byte // content surviving a power cut
+}
+
+type handle struct {
+	f          *memFile
+	appendMode bool
+	readOnly   bool
+	off        int64 // sequential-write position (non-append handles)
+	closed     bool
+}
+
+// writeAt applies p at off, honouring torn/short faults. Caller holds
+// fs.mu.
+func (h *handle) writeAt(p []byte, off int64, site string) (int, error) {
+	fs := h.f.fs
+	fault, ok := fs.persistOp(site)
+	n := len(p)
+	var ferr error
+	if ok {
+		switch fault.Kind {
+		case FaultErr:
+			return 0, fs.injected(site, fs.pOps)
+		case FaultTorn:
+			if fault.Keep < n {
+				n = fault.Keep
+			}
+			ferr = fs.injected(site+" (torn)", fs.pOps)
+		case FaultShort:
+			if fault.Keep < n {
+				n = fault.Keep
+			}
+			ferr = io.ErrShortWrite
+		case FaultSyncLie:
+			// Sync-only fault scripted on a write: ignore.
+		}
+	}
+	end := off + int64(n)
+	if grow := end - int64(len(h.f.data)); grow > 0 {
+		h.f.data = append(h.f.data, make([]byte, grow)...)
+	}
+	copy(h.f.data[off:end], p[:n])
+	if ferr == nil && n < len(p) {
+		ferr = io.ErrShortWrite
+	}
+	return n, ferr
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	fs := h.f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if h.closed || h.readOnly {
+		return 0, fmt.Errorf("vfs: %s: write on closed or read-only handle", h.f.path)
+	}
+	off := h.off
+	if h.appendMode {
+		off = int64(len(h.f.data))
+	}
+	site := fmt.Sprintf("write %s %dB", h.f.path, len(p))
+	n, err := h.writeAt(p, off, site)
+	if !h.appendMode {
+		h.off = off + int64(n)
+	}
+	return n, err
+}
+
+func (h *handle) WriteAt(p []byte, off int64) (int, error) {
+	fs := h.f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if h.closed || h.readOnly {
+		return 0, fmt.Errorf("vfs: %s: write on closed or read-only handle", h.f.path)
+	}
+	site := fmt.Sprintf("writeat %s %dB@%d", h.f.path, len(p), off)
+	return h.writeAt(p, off, site)
+}
+
+func (h *handle) ReadAt(p []byte, off int64) (int, error) {
+	fs := h.f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if h.closed {
+		return 0, fmt.Errorf("vfs: %s: read on closed handle", h.f.path)
+	}
+	fs.rOps++
+	if fs.script.ReadErrs[fs.rOps] {
+		return 0, fmt.Errorf("%w: read op %d (%s)", ErrInjected, fs.rOps, h.f.path)
+	}
+	if off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *handle) Sync() error {
+	fs := h.f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if h.closed {
+		return fmt.Errorf("vfs: %s: sync on closed handle", h.f.path)
+	}
+	site := "sync " + h.f.path
+	if f, ok := fs.persistOp(site); ok {
+		switch f.Kind {
+		case FaultErr:
+			return fs.injected(site, fs.pOps)
+		case FaultSyncLie:
+			return nil // reported durable; durable image untouched
+		case FaultTorn, FaultShort:
+			// Write-only faults scripted on a sync: ignore.
+		}
+	}
+	h.f.durable = append(h.f.durable[:0], h.f.data...)
+	return nil
+}
+
+func (h *handle) Truncate(size int64) error {
+	fs := h.f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if h.closed || h.readOnly {
+		return fmt.Errorf("vfs: %s: truncate on closed or read-only handle", h.f.path)
+	}
+	site := fmt.Sprintf("truncate %s %d", h.f.path, size)
+	if f, ok := fs.persistOp(site); ok && f.Kind == FaultErr {
+		return fs.injected(site, fs.pOps)
+	}
+	if size < 0 {
+		return fmt.Errorf("vfs: negative truncate")
+	}
+	if size <= int64(len(h.f.data)) {
+		h.f.data = h.f.data[:size]
+	} else {
+		h.f.data = append(h.f.data, make([]byte, size-int64(len(h.f.data)))...)
+	}
+	return nil
+}
+
+func (h *handle) Close() error {
+	fs := h.f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

@@ -1,0 +1,261 @@
+package vfs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FaultKind enumerates the injectable fault behaviours.
+type FaultKind int
+
+const (
+	// FaultErr fails the operation outright with ErrInjected. On a write
+	// nothing is applied; on a sync the durable image does not advance.
+	// A sync that should "fail once then succeed" is simply a FaultErr
+	// scripted at one sync's op index: the engine's retry performs a new
+	// operation with a new index, which the script leaves alone.
+	FaultErr FaultKind = iota
+	// FaultTorn applies only the first Keep bytes of a write, then fails
+	// with ErrInjected — the prefix of the record persists in the page
+	// cache. Write operations only.
+	FaultTorn
+	// FaultShort applies the first Keep bytes of a write and returns
+	// (Keep, io.ErrShortWrite) — the contractual partial-write signal a
+	// correct caller must resume from. Write operations only.
+	FaultShort
+	// FaultSyncLie reports the sync as successful without advancing the
+	// durable image: the classic lying-fsync drive. Sync operations only.
+	FaultSyncLie
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultErr:
+		return "err"
+	case FaultTorn:
+		return "torn"
+	case FaultShort:
+		return "short"
+	case FaultSyncLie:
+		return "synclie"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one scripted fault, keyed by the 1-based index of the
+// persisting operation (write, sync, truncate, rename, remove, create) it
+// fires at. Keep is the byte count for torn and short writes.
+type Fault struct {
+	Op   int
+	Kind FaultKind
+	Keep int
+}
+
+// Script is a deterministic fault plan for one FaultFS. It is valid to
+// share a Script between runs; the Script itself is never mutated by the
+// filesystem.
+type Script struct {
+	// CrashAt, when positive, panics with *CrashPoint immediately before
+	// the CrashAt-th persisting operation executes. Crashing before
+	// operation i is equivalent to crashing after operation i−1, so
+	// sweeping CrashAt over 1..total+1 covers every I/O boundary.
+	CrashAt int
+	// Faults are the per-operation faults, keyed by persisting-op index.
+	Faults map[int]Fault
+	// ReadErrs holds 1-based read-operation indexes that fail with
+	// ErrInjected.
+	ReadErrs map[int]bool
+	// CutKeep maps a path to the number of unsynced bytes that survive a
+	// power cut beyond the durable image — a torn tail materialized at
+	// crash time. Zero (or absent) keeps only what honest syncs covered.
+	CutKeep map[string]int
+}
+
+// NewScript returns an empty script.
+func NewScript() *Script {
+	return &Script{Faults: map[int]Fault{}, ReadErrs: map[int]bool{}, CutKeep: map[string]int{}}
+}
+
+// WithCrash returns a shallow copy of s with CrashAt set — the sweep's
+// per-point derivation. The fault maps are shared (never mutated).
+func (s *Script) WithCrash(at int) *Script {
+	c := *s
+	c.CrashAt = at
+	return &c
+}
+
+// AddFault registers a fault at the given persisting-op index.
+func (s *Script) AddFault(op int, kind FaultKind, keep int) *Script {
+	s.Faults[op] = Fault{Op: op, Kind: kind, Keep: keep}
+	return s
+}
+
+// AddFaultRange registers the same fault kind on every persisting op in
+// [from, to], inclusive.
+func (s *Script) AddFaultRange(from, to int, kind FaultKind) *Script {
+	for op := from; op <= to; op++ {
+		s.AddFault(op, kind, 0)
+	}
+	return s
+}
+
+// String renders the script in the line format Parse reads. The output is
+// stable (sorted), so a failing run's script can be checked in verbatim as
+// a regression pin or uploaded as a CI artifact.
+func (s *Script) String() string {
+	var b strings.Builder
+	if s.CrashAt > 0 {
+		fmt.Fprintf(&b, "crash %d\n", s.CrashAt)
+	}
+	ops := make([]int, 0, len(s.Faults))
+	for op := range s.Faults {
+		ops = append(ops, op)
+	}
+	sort.Ints(ops)
+	for _, op := range ops {
+		f := s.Faults[op]
+		switch f.Kind {
+		case FaultTorn, FaultShort:
+			fmt.Fprintf(&b, "fault %d %s %d\n", op, f.Kind, f.Keep)
+		default:
+			fmt.Fprintf(&b, "fault %d %s\n", op, f.Kind)
+		}
+	}
+	reads := make([]int, 0, len(s.ReadErrs))
+	for op := range s.ReadErrs {
+		reads = append(reads, op)
+	}
+	sort.Ints(reads)
+	for _, op := range reads {
+		fmt.Fprintf(&b, "readfault %d\n", op)
+	}
+	paths := make([]string, 0, len(s.CutKeep))
+	for p := range s.CutKeep {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fmt.Fprintf(&b, "cutkeep %s %d\n", p, s.CutKeep[p])
+	}
+	return b.String()
+}
+
+// ParseScript reads the format String writes: one directive per line,
+// blank lines and #-comments ignored.
+//
+//	crash N             panic before persisting op N
+//	fault N err         persisting op N fails
+//	fault N torn K      write op N applies K bytes, then fails
+//	fault N short K     write op N applies K bytes, returns io.ErrShortWrite
+//	fault N synclie     sync op N lies (success reported, nothing durable)
+//	readfault N         read op N fails
+//	cutkeep PATH K      power cut keeps K unsynced bytes of PATH
+func ParseScript(text string) (*Script, error) {
+	s := NewScript()
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func(why string) error {
+			return fmt.Errorf("vfs: script line %d (%q): %s", ln+1, line, why)
+		}
+		atoi := func(f string) (int, error) {
+			n, err := strconv.Atoi(f)
+			if err != nil || n < 0 {
+				return 0, bad("bad number " + f)
+			}
+			return n, nil
+		}
+		switch fields[0] {
+		case "crash":
+			if len(fields) != 2 {
+				return nil, bad("want: crash N")
+			}
+			n, err := atoi(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			s.CrashAt = n
+		case "fault":
+			if len(fields) < 3 {
+				return nil, bad("want: fault N KIND [KEEP]")
+			}
+			op, err := atoi(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			var kind FaultKind
+			keep := 0
+			switch fields[2] {
+			case "err":
+				kind = FaultErr
+			case "synclie":
+				kind = FaultSyncLie
+			case "torn", "short":
+				if fields[2] == "torn" {
+					kind = FaultTorn
+				} else {
+					kind = FaultShort
+				}
+				if len(fields) != 4 {
+					return nil, bad("torn/short need a KEEP byte count")
+				}
+				if keep, err = atoi(fields[3]); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, bad("unknown fault kind " + fields[2])
+			}
+			s.AddFault(op, kind, keep)
+		case "readfault":
+			if len(fields) != 2 {
+				return nil, bad("want: readfault N")
+			}
+			n, err := atoi(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			s.ReadErrs[n] = true
+		case "cutkeep":
+			if len(fields) != 3 {
+				return nil, bad("want: cutkeep PATH K")
+			}
+			n, err := atoi(fields[2])
+			if err != nil {
+				return nil, err
+			}
+			s.CutKeep[fields[1]] = n
+		default:
+			return nil, bad("unknown directive")
+		}
+	}
+	return s, nil
+}
+
+// RandomScript seeds a script with faults sprinkled over the first
+// maxOps persisting operations: a few transient errors, a torn and a
+// short write, and (rarely) a lying sync. Deterministic per seed; the
+// generated script prints with String for reproduction.
+func RandomScript(seed int64, maxOps int) *Script {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewScript()
+	if maxOps < 4 {
+		maxOps = 4
+	}
+	pick := func() int { return 1 + rng.Intn(maxOps) }
+	for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+		s.AddFault(pick(), FaultErr, 0)
+	}
+	s.AddFault(pick(), FaultTorn, 1+rng.Intn(24))
+	s.AddFault(pick(), FaultShort, 1+rng.Intn(24))
+	if rng.Intn(4) == 0 {
+		s.AddFault(pick(), FaultSyncLie, 0)
+	}
+	return s
+}

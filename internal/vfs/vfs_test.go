@@ -1,0 +1,308 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestScriptRoundTrip(t *testing.T) {
+	s := NewScript()
+	s.CrashAt = 7
+	s.AddFault(3, FaultTorn, 12)
+	s.AddFault(5, FaultErr, 0)
+	s.AddFault(9, FaultShort, 4)
+	s.AddFault(11, FaultSyncLie, 0)
+	s.ReadErrs[2] = true
+	s.CutKeep["wal.log"] = 12
+
+	text := s.String()
+	back, err := ParseScript(text)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	if back.String() != text {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", text, back.String())
+	}
+	if back.CrashAt != 7 || back.Faults[3].Keep != 12 || !back.ReadErrs[2] || back.CutKeep["wal.log"] != 12 {
+		t.Fatalf("parsed script lost fields: %+v", back)
+	}
+}
+
+func TestScriptParseComments(t *testing.T) {
+	s, err := ParseScript("# pinned regression\n\nfault 3 torn 12\ncrash 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CrashAt != 4 || s.Faults[3].Kind != FaultTorn {
+		t.Fatalf("bad parse: %+v", s)
+	}
+	if _, err := ParseScript("fault x err"); err == nil {
+		t.Fatal("want error for bad number")
+	}
+	if _, err := ParseScript("fault 3 torn"); err == nil {
+		t.Fatal("want error for torn without keep")
+	}
+	if _, err := ParseScript("wibble 1"); err == nil {
+		t.Fatal("want error for unknown directive")
+	}
+}
+
+func TestFaultFSDurability(t *testing.T) {
+	fs := NewFaultFS(nil)
+	f, err := fs.Create("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	// Unsynced tail is visible in the page cache...
+	got, err := fs.ReadFile("data")
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	// ...but a power cut keeps only the synced prefix.
+	fs.PowerCut()
+	got, _ = fs.ReadFile("data")
+	if string(got) != "hello " {
+		t.Fatalf("after power cut: %q", got)
+	}
+}
+
+func TestFaultFSCutKeep(t *testing.T) {
+	s := NewScript()
+	s.CutKeep["data"] = 3
+	fs := NewFaultFS(s)
+	f, _ := fs.Create("data")
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("defgh")); err != nil {
+		t.Fatal(err)
+	}
+	fs.PowerCut()
+	got, _ := fs.ReadFile("data")
+	if string(got) != "abcdef" {
+		t.Fatalf("cutkeep 3: got %q, want %q", got, "abcdef")
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	s := NewScript().AddFault(2, FaultTorn, 2)
+	fs := NewFaultFS(s)
+	f, _ := fs.Create("f") // op 1
+	n, err := f.Write([]byte("abcdef"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	got, _ := fs.ReadFile("f")
+	if string(got) != "ab" {
+		t.Fatalf("page cache after torn write: %q", got)
+	}
+	// The next write lands after the applied prefix (sequential handle).
+	if _, err := f.Write([]byte("XY")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.ReadFile("f")
+	if string(got) != "abXY" {
+		t.Fatalf("resume after tear: %q", got)
+	}
+}
+
+func TestFaultFSShortWrite(t *testing.T) {
+	s := NewScript().AddFault(2, FaultShort, 3)
+	fs := NewFaultFS(s)
+	f, _ := fs.Create("f")
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || err != io.ErrShortWrite {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+}
+
+func TestFaultFSSyncFailsOnce(t *testing.T) {
+	s := NewScript().AddFault(3, FaultErr, 0)
+	fs := NewFaultFS(s)
+	f, _ := fs.Create("f")                             // op 1
+	f.Write([]byte("abc"))                             // op 2
+	if err := f.Sync(); !errors.Is(err, ErrInjected) { // op 3
+		t.Fatalf("want injected sync error, got %v", err)
+	}
+	if err := f.Sync(); err != nil { // op 4: retry succeeds
+		t.Fatalf("retry sync: %v", err)
+	}
+	fs.PowerCut()
+	got, _ := fs.ReadFile("f")
+	if string(got) != "abc" {
+		t.Fatalf("durable after retried sync: %q", got)
+	}
+}
+
+func TestFaultFSSyncLie(t *testing.T) {
+	s := NewScript().AddFault(3, FaultSyncLie, 0)
+	fs := NewFaultFS(s)
+	f, _ := fs.Create("f")
+	f.Write([]byte("abc"))
+	if err := f.Sync(); err != nil { // lies
+		t.Fatalf("lying sync should report success, got %v", err)
+	}
+	fs.PowerCut()
+	got, _ := fs.ReadFile("f")
+	if string(got) != "" {
+		t.Fatalf("lying sync must not persist: %q", got)
+	}
+}
+
+func TestFaultFSCrashPoint(t *testing.T) {
+	s := NewScript()
+	s.CrashAt = 3
+	fs := NewFaultFS(s)
+	crash, err := Recovering(func() error {
+		f, err := fs.Create("f") // op 1
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("abc")); err != nil { // op 2
+			return err
+		}
+		if _, err := f.Write([]byte("def")); err != nil { // op 3: crash fires first
+			return err
+		}
+		return errors.New("unreachable: crash did not fire")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crash == nil || crash.Op != 3 {
+		t.Fatalf("want crash at op 3, got %+v", crash)
+	}
+	if !fs.Crashed() {
+		t.Fatal("Crashed() should report true")
+	}
+	// Op 3 did not execute: only "abc" is in the page cache.
+	got, _ := fs.ReadFile("f")
+	if string(got) != "abc" {
+		t.Fatalf("page cache at crash: %q", got)
+	}
+	// The FS stays usable after the crash for recovery I/O; the crash
+	// point fires at most once.
+	f, err := fs.OpenAppend("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ghi")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSReadErr(t *testing.T) {
+	s := NewScript()
+	s.ReadErrs[2] = true
+	fs := NewFaultFS(s)
+	f, _ := fs.Create("f")
+	f.Write([]byte("abcdef"))
+	buf := make([]byte, 3)
+	if _, err := f.ReadAt(buf, 0); err != nil { // read op 1
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(buf, 3); !errors.Is(err, ErrInjected) { // read op 2
+		t.Fatalf("want injected read error, got %v", err)
+	}
+	if _, err := f.ReadAt(buf, 3); err != nil { // read op 3 ok again
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSReadAtEOF(t *testing.T) {
+	fs := NewFaultFS(nil)
+	f, _ := fs.Create("f")
+	f.Write([]byte("abc"))
+	buf := make([]byte, 5)
+	n, err := f.ReadAt(buf, 0)
+	if n != 3 || err != io.EOF {
+		t.Fatalf("partial ReadAt: n=%d err=%v", n, err)
+	}
+	if _, err := f.ReadAt(buf, 10); err != io.EOF {
+		t.Fatalf("past-end ReadAt: %v", err)
+	}
+	// io.NewSectionReader over the handle must work for Iterate.
+	sr := io.NewSectionReader(f, 0, int64(1)<<62)
+	all, err := io.ReadAll(sr)
+	if err != nil || !bytes.Equal(all, []byte("abc")) {
+		t.Fatalf("section read: %q, %v", all, err)
+	}
+}
+
+func TestFaultFSRenameAndAppend(t *testing.T) {
+	fs := NewFaultFS(nil)
+	f, _ := fs.Create("a")
+	f.Write([]byte("one"))
+	f.Close()
+	if err := fs.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("a"); err == nil {
+		t.Fatal("old path should be gone")
+	}
+	g, err := fs.OpenAppend("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Write([]byte("two"))
+	got, _ := fs.ReadFile("b")
+	if string(got) != "onetwo" {
+		t.Fatalf("append after rename: %q", got)
+	}
+	if err := fs.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("b"); err == nil {
+		t.Fatal("removed path should be gone")
+	}
+}
+
+func TestRetryPolicyNormalize(t *testing.T) {
+	p := RetryPolicy{}.Normalize()
+	if p.Attempts != DefaultRetryAttempts || p.Backoff != DefaultRetryBackoff || p.Sleep == nil {
+		t.Fatalf("bad defaults: %+v", p)
+	}
+	var slept []time.Duration
+	p = RetryPolicy{Attempts: 5, Backoff: time.Millisecond, Sleep: func(d time.Duration) { slept = append(slept, d) }}.Normalize()
+	p.Wait(0)
+	p.Wait(1)
+	p.Wait(2)
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	for i, d := range want {
+		if slept[i] != d {
+			t.Fatalf("backoff %d = %v, want %v", i, slept[i], d)
+		}
+	}
+	if NoRetry.Attempts != 1 {
+		t.Fatal("NoRetry must be single-attempt")
+	}
+}
+
+func TestRandomScriptDeterministic(t *testing.T) {
+	a := RandomScript(42, 100).String()
+	b := RandomScript(42, 100).String()
+	if a != b {
+		t.Fatalf("RandomScript not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	if c := RandomScript(43, 100).String(); c == a {
+		t.Fatal("different seeds should (overwhelmingly) differ")
+	}
+	if _, err := ParseScript(a); err != nil {
+		t.Fatalf("random script must parse: %v", err)
+	}
+}

@@ -1,12 +1,13 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
-	"os"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/storage"
+	"repro/internal/vfs"
 )
 
 // Checkpoint writes a compact equivalent of the store's current state as a
@@ -23,11 +24,16 @@ import (
 // unaffected. After a successful checkpoint the caller typically reopens
 // the log with Append and reinstalls it as the store's journal.
 func Checkpoint(store *core.Store, path string) (Stats, error) {
+	return CheckpointFS(vfs.Disk(), store, path)
+}
+
+// CheckpointFS is Checkpoint over an explicit filesystem.
+func CheckpointFS(fsys vfs.FS, store *core.Store, path string) (Stats, error) {
 	if store.MaintenanceActive() {
 		return Stats{}, core.ErrMaintenanceActive
 	}
 	tmp := path + ".ckpt"
-	log, err := Create(tmp, PolicyRedoOnly)
+	log, err := CreateFS(fsys, tmp, PolicyRedoOnly)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -45,17 +51,20 @@ func Checkpoint(store *core.Store, path string) (Stats, error) {
 	// The commit record carries currentVN so recovery restores the version
 	// counter.
 	if err := log.LogCommit(store.CurrentVN()); err != nil {
-		_ = log.Close()
-		os.Remove(tmp)
+		// The Close error (itself a failed sync, most likely) rides along:
+		// blanking it here would hide exactly the durability failure the
+		// caller is being told about.
+		err = errors.Join(err, log.Close())
+		_ = fsys.Remove(tmp)
 		return Stats{}, err
 	}
 	stats := log.Stats()
 	if err := log.Close(); err != nil {
-		os.Remove(tmp)
+		_ = fsys.Remove(tmp)
 		return Stats{}, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
 		return Stats{}, fmt.Errorf("wal: installing checkpoint: %w", err)
 	}
 	return stats, nil

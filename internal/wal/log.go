@@ -7,13 +7,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"sync"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/storage"
+	"repro/internal/vfs"
 )
 
 // Kind identifies a log record type.
@@ -90,48 +90,81 @@ type Stats struct {
 	Bytes       int64
 	BeforeBytes int64 // bytes attributable to before-images
 	Syncs       int64
+	Retries     int64 // transient write/sync failures retried successfully or not
 }
+
+// flushThreshold is the buffered-byte count beyond which append flushes
+// opportunistically (commits force a flush regardless).
+const flushThreshold = 1 << 16
 
 // Log is an append-only record log on one file. It implements core.Journal,
 // so installing it on a Store journals every maintenance transaction.
+//
+// Writes are buffered in a plain byte slice rather than a bufio.Writer: on
+// a partial write the buffer advances by exactly the bytes the file
+// accepted, so a bounded retry (see SetRetry) resumes mid-record instead of
+// duplicating or dropping the torn prefix.
 type Log struct {
 	policy Policy
+	retry  vfs.RetryPolicy
 
 	mu    sync.Mutex
-	f     *os.File
-	w     *bufio.Writer
+	f     vfs.File
+	buf   []byte
 	stats Stats
-	err   error // first write error; subsequent appends are dropped
+	err   error // first unrecovered write error; subsequent appends are dropped
 }
 
-// Create creates (or truncates) a log file with the given policy.
+// Create creates (or truncates) a log file with the given policy on the
+// real filesystem.
 func Create(path string, policy Policy) (*Log, error) {
-	f, err := os.Create(path)
+	return CreateFS(vfs.Disk(), path, policy)
+}
+
+// CreateFS is Create over an explicit filesystem.
+func CreateFS(fsys vfs.FS, path string, policy Policy) (*Log, error) {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Log{policy: policy, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+	return &Log{policy: policy, retry: vfs.RetryPolicy{}.Normalize(), f: f}, nil
 }
 
-// Append opens an existing log for appending (after recovery). The caller
-// is responsible for having recovered from the log first; appended records
-// continue the history.
+// Append opens an existing log for appending (after recovery) on the real
+// filesystem. The caller is responsible for having recovered from the log
+// first; appended records continue the history.
 func Append(path string, policy Policy) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY|os.O_CREATE, 0o644)
+	return AppendFS(vfs.Disk(), path, policy)
+}
+
+// AppendFS is Append over an explicit filesystem.
+func AppendFS(fsys vfs.FS, path string, policy Policy) (*Log, error) {
+	f, err := fsys.OpenAppend(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Log{policy: policy, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+	return &Log{policy: policy, retry: vfs.RetryPolicy{}.Normalize(), f: f}, nil
 }
 
-// Close flushes and closes the file.
+// SetRetry replaces the bounded retry policy applied to transiently failing
+// writes and syncs. The default is vfs.RetryPolicy{}.Normalize(); pass
+// vfs.NoRetry to make the first failure final.
+func (l *Log) SetRetry(p vfs.RetryPolicy) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.retry = p.Normalize()
+}
+
+// Close forces buffered records to stable storage and closes the file. Both
+// the sync and the close error are surfaced: a WAL whose final force failed
+// has not discharged the write-ahead rule, and silently dropping that error
+// would let a caller treat an undurable log as durable.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.w.Flush(); err != nil {
-		return err
-	}
-	return l.f.Close()
+	syncErr := l.syncLocked()
+	closeErr := l.f.Close()
+	return errors.Join(syncErr, closeErr)
 }
 
 // Stats returns a snapshot of the counters.
@@ -150,7 +183,9 @@ func (l *Log) Err() error {
 	return l.err
 }
 
-// append frames and writes one record: [len u32][crc u32][payload].
+// append frames and buffers one record: [len u32][crc u32][payload].
+// Appending into the in-memory buffer cannot fail; file errors surface from
+// the opportunistic flush (sticky, reported by Err and at commit).
 func (l *Log) append(payload []byte, beforeBytes int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -160,37 +195,74 @@ func (l *Log) append(payload []byte, beforeBytes int) {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
-	if _, err := l.w.Write(hdr[:]); err != nil {
-		l.err = err
-		return
-	}
-	if _, err := l.w.Write(payload); err != nil {
-		l.err = err
-		return
-	}
+	l.buf = append(l.buf, hdr[:]...)
+	l.buf = append(l.buf, payload...)
 	l.stats.Records++
 	l.stats.Bytes += int64(len(hdr) + len(payload))
 	l.stats.BeforeBytes += int64(beforeBytes)
 	mAppends.Inc()
 	mBytes.Add(int64(len(hdr) + len(payload)))
 	mBeforeBytes.Add(int64(beforeBytes))
+	if len(l.buf) >= flushThreshold {
+		_ = l.flushLocked() // error is sticky; commit will surface it
+	}
 }
 
-// sync flushes buffered records and fsyncs the file.
-func (l *Log) sync() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+// flushLocked drains the buffer to the file with bounded retries. The
+// buffer advances by every byte the file accepts — including the prefix of
+// a torn write — so a retry resumes exactly where the tear happened. On
+// exhaustion the error becomes sticky and the unflushed suffix stays
+// buffered.
+func (l *Log) flushLocked() error {
 	if l.err != nil {
 		return l.err
 	}
-	start := time.Now()
-	if err := l.w.Flush(); err != nil {
-		l.err = err
+	failures := 0
+	for len(l.buf) > 0 {
+		n, err := l.f.Write(l.buf)
+		l.buf = l.buf[n:]
+		if err == nil {
+			continue
+		}
+		failures++
+		if failures >= l.retry.Attempts {
+			l.err = err
+			return err
+		}
+		l.stats.Retries++
+		mRetries.Inc()
+		l.retry.Wait(failures - 1)
+	}
+	l.buf = nil
+	return nil
+}
+
+// sync flushes buffered records and fsyncs the file, retrying transient
+// failures per the retry policy.
+func (l *Log) sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.flushLocked(); err != nil {
 		return err
 	}
-	if err := l.f.Sync(); err != nil {
-		l.err = err
-		return err
+	start := time.Now()
+	for failures := 0; ; {
+		err := l.f.Sync()
+		if err == nil {
+			break
+		}
+		failures++
+		if failures >= l.retry.Attempts {
+			l.err = err
+			return err
+		}
+		l.stats.Retries++
+		mRetries.Inc()
+		l.retry.Wait(failures - 1)
 	}
 	l.stats.Syncs++
 	mSyncs.Inc()
@@ -281,12 +353,17 @@ var ErrTornRecord = errors.New("wal: torn or corrupt record")
 // order. A torn or corrupted tail ends iteration silently (standard crash
 // semantics); corruption before the tail returns ErrTornRecord.
 func Iterate(path string, fn func(*Record) error) error {
-	f, err := os.Open(path)
+	return IterateFS(vfs.Disk(), path, fn)
+}
+
+// IterateFS is Iterate over an explicit filesystem.
+func IterateFS(fsys vfs.FS, path string, fn func(*Record) error) error {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<16)
+	r := bufio.NewReaderSize(io.NewSectionReader(f, 0, int64(1)<<62), 1<<16)
 	for {
 		var hdr [8]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {

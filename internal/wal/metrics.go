@@ -15,6 +15,8 @@ var (
 		"log bytes attributable to before-images (zero under redo-only, §7)")
 	mSyncs = obs.Default().Counter("wal_fsyncs_total",
 		"log forces (flush + fsync) at commit")
+	mRetries = obs.Default().Counter("wal_retries_total",
+		"transient log write/sync failures retried under the bounded policy")
 	mSyncNS = obs.Default().Histogram("wal_fsync_ns",
 		"latency of one log force", obs.DurationBuckets)
 	mRecoverRecords = obs.Default().Counter("wal_recover_records_total",

@@ -1,11 +1,14 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/db"
 	"repro/internal/storage"
+	"repro/internal/vfs"
 )
 
 // RecoverStats summarizes a recovery pass.
@@ -32,6 +35,13 @@ type RecoverStats struct {
 // The returned store has currentVN equal to the highest committed
 // maintenance VN and no active transaction.
 func Recover(path string, dbOpts db.Options, storeOpts core.Options) (*core.Store, *db.Database, RecoverStats, error) {
+	return RecoverFS(vfs.Disk(), path, dbOpts, storeOpts)
+}
+
+// RecoverFS is Recover over an explicit filesystem. When dbOpts carries a
+// DataFS, the rebuilt heaps mirror their pages onto it as they are
+// replayed, so post-recovery state is itself crash-recoverable.
+func RecoverFS(fsys vfs.FS, path string, dbOpts db.Options, storeOpts core.Options) (*core.Store, *db.Database, RecoverStats, error) {
 	var stats RecoverStats
 	// Pass 1: which transaction *instances* committed? Version numbers are
 	// not unique across the log — an aborted transaction's VN is reused by
@@ -39,7 +49,18 @@ func Recover(path string, dbOpts db.Options, storeOpts core.Options) (*core.Stor
 	// position (Begin count).
 	committed := map[int]bool{}
 	instance := -1
-	if err := Iterate(path, func(r *Record) error {
+	if f, err := fsys.Open(path); errors.Is(err, os.ErrNotExist) {
+		// A log that was never created is an empty history: a crash before
+		// the first durable write recovers to a fresh, empty store.
+		engine := db.Open(dbOpts)
+		store, serr := core.Open(engine, storeOpts)
+		return store, engine, stats, serr
+	} else if err != nil {
+		return nil, nil, stats, err
+	} else if cerr := f.Close(); cerr != nil {
+		return nil, nil, stats, cerr
+	}
+	if err := IterateFS(fsys, path, func(r *Record) error {
 		stats.RecordsScanned++
 		switch r.Kind {
 		case KindBegin:
@@ -73,7 +94,7 @@ func Recover(path string, dbOpts db.Options, storeOpts core.Options) (*core.Stor
 	remap := map[addr]storage.RID{}
 	inCommitted := false
 	instance = -1
-	replayErr := Iterate(path, func(r *Record) error {
+	replayErr := IterateFS(fsys, path, func(r *Record) error {
 		switch r.Kind {
 		case KindCreate:
 			if _, err := store.CreateTable(r.Schema); err != nil {

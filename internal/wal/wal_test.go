@@ -308,7 +308,9 @@ func TestPolicyLogVolume(t *testing.T) {
 			}
 		})
 		runs[p] = log.Stats()
-		log.Close()
+		if err := log.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	redo, full := runs[PolicyRedoOnly], runs[PolicyFullImages]
 	if redo.Records != full.Records {
@@ -337,7 +339,9 @@ func TestFullImagesRecovery(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	log.Close()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
 	rec, _, _, err := Recover(path, db.Options{}, core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -383,7 +387,9 @@ func TestAdoptTableJournaled(t *testing.T) {
 	if _, err := store.AdoptTable("kv"); err != nil {
 		t.Fatal(err)
 	}
-	log.Close()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
 	rec, _, _, err := Recover(path, db.Options{}, core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -417,7 +423,9 @@ func TestGCJournaledAndRecoverable(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	log.Close()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
 	rec, _, _, err := Recover(path, db.Options{}, core.Options{})
 	if err != nil {
 		t.Fatalf("Recover after GC: %v", err)
@@ -454,7 +462,9 @@ func TestRIDRemap(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	log.Close()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
 	rec, _, _, err := Recover(path, db.Options{}, core.Options{})
 	if err != nil {
 		t.Fatal(err)
