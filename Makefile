@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race stress lint crash bench-smoke all
+.PHONY: build test race stress lint crash fuzz bench-smoke all
 
 all: build lint test
 
@@ -34,6 +34,14 @@ lint:
 # random-fault rounds layer torn/short/failing writes under the same sweep.
 crash:
 	$(GO) run ./cmd/vnlcrash -faults 3 -artifact crash-fail-script.txt
+	$(GO) run ./cmd/vnlcrash -parallel -faults 1 -artifact crash-fail-script.txt
+
+# fuzz runs the WAL decode fuzzer (FuzzWALDecode: raw record payloads and
+# whole log-file images) for a bounded session. CI runs the same target as a
+# smoke test; override FUZZTIME for longer local sessions.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME) -run '^$$' ./internal/wal/
 
 # bench-smoke runs every benchmark once, just to prove they still execute;
 # real measurement runs use cmd/bench.

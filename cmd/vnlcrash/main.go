@@ -9,6 +9,7 @@
 //
 //	vnlcrash                     # fixed-seed sweep
 //	vnlcrash -seed 42 -n 3       # different workload tail, 3VNL
+//	vnlcrash -parallel           # batched tail on a worker pool + group commit
 //	vnlcrash -faults 5           # add 5 random-fault sweeps on top
 //	vnlcrash -script plan.txt    # replay a recorded fault script
 //	vnlcrash -artifact fail.txt  # write the failing script here on error
@@ -37,10 +38,12 @@ func main() {
 		faultSrc = flag.Int64("faultseed", 7, "seed for the random fault scripts")
 		script   = flag.String("script", "", "fault script file to replay (see internal/vfs ParseScript)")
 		artifact = flag.String("artifact", "", "write the failing fault script to this file")
+		parallel = flag.Bool("parallel", false, "batched tail transaction on a worker pool with WAL group commit")
+		workers  = flag.Int("workers", 0, "parallel batch fan-out (0 = 4); only with -parallel")
 	)
 	flag.Parse()
 
-	cfg := crashtest.Config{Seed: *seed, N: *n, PoolPages: *pool}
+	cfg := crashtest.Config{Seed: *seed, N: *n, PoolPages: *pool, Parallel: *parallel, Workers: *workers}
 	if *script != "" {
 		text, err := os.ReadFile(*script)
 		if err != nil {

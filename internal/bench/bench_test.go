@@ -158,7 +158,7 @@ func TestE1ShapeHolds(t *testing.T) {
 }
 
 func TestFindAndAll(t *testing.T) {
-	if len(All()) != 22 {
+	if len(All()) != 23 {
 		t.Errorf("experiment count = %d", len(All()))
 	}
 	if _, ok := Find("e3"); !ok {

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/db"
+	"repro/internal/storage"
+)
+
+// applier is one goroutine's sink for the Tables 2–4 physical rewrite: it
+// owns the per-goroutine transaction state — operation counters, undo
+// records, deferred watermark recomputes — while sharing the Maintenance
+// identity (VN, rollback mode, net-effect switch). The sequential write
+// path runs on the transaction's root applier; ApplyBatch gives each
+// worker pool goroutine a private applier and merges them after the join,
+// so an applier is never shared between goroutines.
+type applier struct {
+	m *Maintenance
+	// par marks a parallel-batch worker. Parallel appliers journal
+	// physical deletes *before* freeing the heap slot (a concurrent
+	// worker's insert may reuse the RID, and recovery replays records in
+	// log order, so the delete record must precede the reusing insert's)
+	// and defer oldest-slot watermark recomputes to the post-join merge
+	// (recomputeOldestHW's scan-and-store is only safe single-writer).
+	par bool
+	// j is the journal captured once at batch start for parallel workers,
+	// so the pool does not hammer the store latch once per operation. The
+	// sequential root resolves the store's journal per operation, keeping
+	// the seed behavior that a journal installed mid-transaction takes
+	// effect immediately.
+	j     Journal
+	stats MaintStats
+	undo  []undoRec
+	// hwDeferred collects tables whose oldestHW needs a recompute after
+	// the worker join (parallel physical deletes only).
+	hwDeferred map[*VTable]struct{}
+}
+
+// met returns the store's metrics (never nil).
+func (a *applier) met() *storeMetrics { return a.m.store.metrics }
+
+func (a *applier) journal() Journal {
+	if a.par {
+		return a.j
+	}
+	return a.m.store.journalOrNil()
+}
+
+// snapshot records a tuple's pre-touch state for rollback, once per tuple.
+func (a *applier) snapshot(vt *VTable, rid storage.RID, ext catalog.Tuple, inserted bool) {
+	if a.m.mode != RollbackUndoLog && !inserted {
+		return
+	}
+	// Physical inserts must be undone in both modes (logless rollback can
+	// also see op=insert in the tuple and delete it, but recording keeps
+	// the undo path uniform and handles keyless tables).
+	for _, u := range a.undo {
+		if u.vt == vt && u.rid == rid {
+			return
+		}
+	}
+	rec := undoRec{vt: vt, rid: rid, inserted: inserted}
+	if !inserted {
+		rec.image = ext.Clone()
+	}
+	a.undo = append(a.undo, rec)
+}
+
+// dropUndo removes the undo record for a tuple this transaction inserted
+// and then physically deleted (insert + delete nets to nothing). Same-key
+// operations always land on the same applier, so the record to drop is
+// always in a.undo.
+func (a *applier) dropUndo(vt *VTable, rid storage.RID) {
+	for i, u := range a.undo {
+		if u.vt == vt && u.rid == rid && u.inserted {
+			a.undo = append(a.undo[:i], a.undo[i+1:]...)
+			return
+		}
+	}
+}
+
+// noteTupleLowered maintains the oldest-slot watermark after a rewrite
+// that lowered a tuple's slots (the Table 4 row-2 pop cell): sequentially
+// it recomputes at once if the pre-image may have carried the mark;
+// parallel workers defer to the post-join merge, where recomputeOldestHW's
+// scan-and-store is single-writer again.
+func (a *applier) noteTupleLowered(vt *VTable, before catalog.Tuple) {
+	if a.par {
+		a.hwDeferred[vt] = struct{}{}
+		return
+	}
+	vt.noteTupleRemoved(before)
+}
+
+// physInsert performs and journals a physical tuple insert.
+func (a *applier) physInsert(vt *VTable, ext catalog.Tuple) (storage.RID, error) {
+	rid, err := vt.tbl.Insert(ext)
+	if err != nil {
+		return rid, err
+	}
+	if j := a.journal(); j != nil {
+		j.LogInsert(vt.ext.Base.Name, rid, ext)
+	}
+	vt.noteTupleWrite(ext)
+	a.stats.PhysicalInserts++
+	a.met().physIns.Inc()
+	return rid, nil
+}
+
+// physUpdate performs and journals an in-place physical update.
+func (a *applier) physUpdate(vt *VTable, rid storage.RID, before, after catalog.Tuple) error {
+	if err := vt.tbl.Update(rid, after); err != nil {
+		return err
+	}
+	if j := a.journal(); j != nil {
+		j.LogUpdate(vt.ext.Base.Name, rid, before, after)
+	}
+	vt.noteTupleWrite(after)
+	a.stats.PhysicalUpdates++
+	a.met().physUpd.Inc()
+	return nil
+}
+
+// physDelete performs and journals a physical delete.
+//
+// The parallel path journals before freeing the slot: once the heap slot
+// is free, a concurrent worker's insert may reuse the RID and append its
+// insert record, and recovery's (table, RID) remap requires the delete
+// record of the old tuple to precede the insert record of the new one. If
+// the physical delete then fails, the journal carries a record for an
+// operation that never happened — ApplyBatch poisons the transaction on
+// any worker error, forcing a Rollback whose abort record makes recovery
+// skip the transaction wholesale.
+func (a *applier) physDelete(vt *VTable, rid storage.RID, before catalog.Tuple) error {
+	if a.par {
+		if j := a.journal(); j != nil {
+			j.LogDelete(vt.ext.Base.Name, rid, before)
+		}
+		if err := vt.tbl.Delete(rid); err != nil {
+			return err
+		}
+		a.hwDeferred[vt] = struct{}{}
+	} else {
+		if err := vt.tbl.Delete(rid); err != nil {
+			return err
+		}
+		if j := a.journal(); j != nil {
+			j.LogDelete(vt.ext.Base.Name, rid, before)
+		}
+		vt.noteTupleRemoved(before)
+	}
+	a.stats.PhysicalDeletes++
+	a.met().physDel.Inc()
+	return nil
+}
+
+// insert performs a logical insert of a base-schema tuple, implementing
+// Table 2 (see Maintenance.Insert for the API contract).
+func (a *applier) insert(vt *VTable, base catalog.Tuple) error {
+	base, err := vt.ext.Base.Validate(base)
+	if err != nil {
+		return err
+	}
+	a.stats.LogicalInserts++
+	a.met().logicalIns.Inc()
+	e := vt.ext
+	if e.Base.HasKey() {
+		key := e.KeyOfBase(base)
+		if rid, ok := vt.tbl.SearchKey(key); ok {
+			ext, err := vt.tbl.Get(rid)
+			if err == nil {
+				return a.insertOnConflict(vt, rid, ext, base)
+			}
+		}
+	}
+	// Table 2, row 3: no conflicting tuple.
+	ext := e.NewExtTuple(base, a.m.vn)
+	rid, err := a.physInsert(vt, ext)
+	if err != nil {
+		if errors.Is(err, db.ErrDuplicateKey) {
+			return fmt.Errorf("%w: insert of live key %v into %s", ErrInvalidMaintenanceOp, e.KeyOfBase(base), e.Base.Name)
+		}
+		return err
+	}
+	a.snapshot(vt, rid, nil, true)
+	a.met().cellT2R3.Inc()
+	return nil
+}
+
+// insertOnConflict handles Table 2 rows one and two: the key exists
+// physically. Valid only when the existing tuple is logically deleted.
+func (a *applier) insertOnConflict(vt *VTable, rid storage.RID, ext catalog.Tuple, base catalog.Tuple) error {
+	e := vt.ext
+	prevOp := e.OpAt(ext, 1)
+	tvn := e.TupleVN(ext, 1)
+	if prevOp != OpDelete {
+		return fmt.Errorf("%w: insert of live key %v into %s (previous operation %s)",
+			ErrInvalidMaintenanceOp, e.KeyOfBase(base), e.Base.Name, prevOp)
+	}
+	a.snapshot(vt, rid, ext, false)
+	t := ext.Clone()
+	if tvn < a.m.vn {
+		// Row 1: tuple deleted by an earlier transaction. Push the delete
+		// back a slot (nVNL), record this slot as an insert with NULL
+		// pre-update attributes, and install the new values.
+		e.PushBack(t)
+		e.SetSlot(t, 1, a.m.vn, OpInsert)
+		e.SetPreValues(t, 1, e.NullPre())
+		e.SetBaseValues(t, base)
+	} else {
+		// Row 2: deleted by this same transaction. Net effect of delete
+		// then insert is an update (§3.3); the pre-update attributes
+		// already hold the pre-transaction values.
+		e.SetBaseValues(t, base)
+		op := OpUpdate
+		if !a.m.netEffect {
+			op = OpInsert // ablation: record the raw operation
+		}
+		e.SetSlot(t, 1, a.m.vn, op)
+		a.stats.NetEffectFolds++
+		a.met().netFolds.Inc()
+	}
+	if err := a.physUpdate(vt, rid, ext, t); err != nil {
+		return err
+	}
+	if tvn < a.m.vn {
+		a.met().cellT2R1.Inc()
+	} else {
+		a.met().cellT2R2.Inc()
+	}
+	return nil
+}
+
+// applyUpdate folds a logical update of one tuple (Table 3). newBase must
+// differ from the current values only in updatable attributes.
+func (a *applier) applyUpdate(vt *VTable, rid storage.RID, ext catalog.Tuple, newBase catalog.Tuple) error {
+	e := vt.ext
+	if e.OpAt(ext, 1) == OpDelete {
+		return fmt.Errorf("%w: update of logically-deleted tuple in %s", ErrInvalidMaintenanceOp, e.Base.Name)
+	}
+	newBase, err := e.Base.Validate(newBase)
+	if err != nil {
+		return err
+	}
+	cur := e.BaseValues(ext)
+	for i := range cur {
+		if _, upd := e.IsUpdatable(i); !upd && !catalog.Equal(cur[i], newBase[i]) {
+			return fmt.Errorf("core: update changes non-updatable column %q of %s",
+				e.Base.Columns[i].Name, e.Base.Name)
+		}
+	}
+	a.stats.LogicalUpdates++
+	a.met().logicalUpd.Inc()
+	a.snapshot(vt, rid, ext, false)
+	t := ext.Clone()
+	if e.TupleVN(ext, 1) < a.m.vn {
+		// Row 1: first touch by this transaction — preserve the current
+		// values as the new slot-1 pre-update version.
+		e.PushBack(t)
+		e.SetPreValues(t, 1, e.CurrentUpd(t))
+		e.SetSlot(t, 1, a.m.vn, OpUpdate)
+		e.SetBaseValues(t, newBase)
+	} else {
+		// Row 2: already modified by this transaction — overwrite the
+		// current values only; the recorded operation keeps its net
+		// effect (insert stays insert).
+		e.SetBaseValues(t, newBase)
+		if !a.m.netEffect {
+			e.SetSlot(t, 1, a.m.vn, OpUpdate) // ablation: clobber the net effect
+		}
+		a.stats.NetEffectFolds++
+		a.met().netFolds.Inc()
+	}
+	if err := a.physUpdate(vt, rid, ext, t); err != nil {
+		return err
+	}
+	if e.TupleVN(ext, 1) < a.m.vn {
+		a.met().cellT3R1.Inc()
+	} else {
+		a.met().cellT3R2.Inc()
+	}
+	return nil
+}
+
+// applyDelete folds a logical delete of one tuple (Table 4).
+func (a *applier) applyDelete(vt *VTable, rid storage.RID, ext catalog.Tuple) error {
+	e := vt.ext
+	if e.OpAt(ext, 1) == OpDelete {
+		return fmt.Errorf("%w: delete of logically-deleted tuple in %s", ErrInvalidMaintenanceOp, e.Base.Name)
+	}
+	a.stats.LogicalDeletes++
+	a.met().logicalDel.Inc()
+	if e.TupleVN(ext, 1) < a.m.vn {
+		// Row 1: preserve the current values as the pre-update version and
+		// mark the tuple logically deleted. The physical operation is an
+		// update — the tuple stays for readers (§3.3).
+		a.snapshot(vt, rid, ext, false)
+		t := ext.Clone()
+		e.PushBack(t)
+		e.SetPreValues(t, 1, e.CurrentUpd(t))
+		e.SetSlot(t, 1, a.m.vn, OpDelete)
+		if err := a.physUpdate(vt, rid, ext, t); err != nil {
+			return err
+		}
+		a.met().cellT4R1.Inc()
+		return nil
+	}
+	// Row 2: modified earlier by this same transaction. The net effect
+	// depends on which operation this transaction already recorded — the
+	// switch mirrors Table 4's row-2 cells and is checked for coverage by
+	// vnlvet's tableexhaustive analyzer.
+	switch e.OpAt(ext, 1) {
+	case OpInsert:
+		if e.L.N > 2 && e.TupleVN(ext, 2) > 0 {
+			// The "insert" was a re-insert over an earlier delete (Table 2
+			// row 1) that pushed older history back. Insert+delete nets to
+			// nothing, so pop the slots to restore that history instead of
+			// physically deleting — nVNL readers may still need it. (The
+			// restored slot-1 operation is necessarily the earlier delete,
+			// so the stale current values are never read.)
+			a.snapshot(vt, rid, ext, false)
+			t := ext.Clone()
+			e.PopFront(t)
+			if err := a.physUpdate(vt, rid, ext, t); err != nil {
+				return err
+			}
+			// Popping lowered this tuple's oldest slot; if it carried the
+			// high-water mark, the mark is now stale-high and would falsely
+			// expire sessions. (physUpdate's noteTupleWrite only raises.)
+			a.noteTupleLowered(vt, ext)
+			a.stats.NetEffectFolds++
+			a.met().netFolds.Inc()
+			a.met().cellT4R2InsPop.Inc()
+			return nil
+		}
+		// A fresh physical insert (or 2VNL, where no concurrent session
+		// can see a version older than the pre-insert delete): insert then
+		// delete nets to nothing — physically delete.
+		if err := a.physDelete(vt, rid, ext); err != nil {
+			return err
+		}
+		a.stats.NetEffectFolds++
+		a.met().netFolds.Inc()
+		a.met().cellT4R2InsDelete.Inc()
+		a.dropUndo(vt, rid)
+		return nil
+	case OpUpdate:
+		// Previously updated by this transaction: net effect is delete.
+		a.snapshot(vt, rid, ext, false)
+		t := ext.Clone()
+		e.SetSlot(t, 1, a.m.vn, OpDelete)
+		if err := a.physUpdate(vt, rid, ext, t); err != nil {
+			return err
+		}
+		a.stats.NetEffectFolds++
+		a.met().netFolds.Inc()
+		a.met().cellT4R2Update.Inc()
+		return nil
+	default:
+		// OpDelete is rejected on entry and OpNone never carries
+		// tupleVN == maintenanceVN; reaching here is a bookkeeping bug.
+		return fmt.Errorf("%w: delete of %s tuple with unexpected slot-1 operation %s",
+			ErrInvalidMaintenanceOp, e.Base.Name, e.OpAt(ext, 1))
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// Deterministic-schedule tests: the batchPartStart/batchPartDone seams
+// force specific worker interleavings — partition A entirely before B, and
+// the reverse — and pin that commit-point atomicity (§3: readers never see
+// uncommitted maintenance writes) and the latch discipline (workers never
+// hold the global-variable latch) hold under every ordering.
+
+// schedBatch builds a batch guaranteed to put at least minPer deltas in
+// each of two partitions, returning the batch and the per-partition counts.
+func schedBatch(t *testing.T, s *Store, minPer int) []Delta {
+	t.Helper()
+	vt, err := s.Table("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := [2]int{}
+	var deltas []Delta
+	for k := int64(100); counts[0] < minPer || counts[1] < minPer; k++ {
+		d := Delta{Table: "kv", Op: DeltaInsert, Row: kvTuple(k, k*10)}
+		p, err := partitionOf(vt, d, len(deltas), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counts[p] >= minPer {
+			continue
+		}
+		counts[p]++
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// runSchedule applies the batch on two workers with partition `first`
+// forced to finish before partition 1-first starts. While the second
+// partition is still gated, the mid hook runs on the test goroutine: it
+// checks commit-point atomicity (pre-batch session and a fresh session both
+// see the untouched state) and that the §3 latch is free.
+func runSchedule(t *testing.T, first int, preRows int) []string {
+	t.Helper()
+	s, _ := diffStore(t, 2)
+	deltas := schedBatch(t, s, 3)
+	old := s.BeginSession()
+	defer old.Close()
+
+	m := mustMaint(t, s)
+	second := 1 - first
+	gate := make(chan struct{})
+	mid := make(chan struct{})
+	release := make(chan struct{})
+	m.batchPartStart = func(p int) {
+		if p == second {
+			<-gate
+		}
+	}
+	m.batchPartDone = func(p int) {
+		if p == first {
+			close(mid)
+			<-release
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.ApplyBatchWorkers(deltas, 2)
+		done <- err
+	}()
+	<-mid
+	// Partition `first` has fully applied; partition `second` has not
+	// started. Readers must be unaffected: the batch is uncommitted, so
+	// both the spanning session and a brand-new one see the pre-batch
+	// state.
+	if got := len(dumpSession(t, old)); got != preRows {
+		t.Fatalf("first=%d: mid-batch spanning session sees %d rows, want pre-batch %d", first, got, preRows)
+	}
+	fresh := s.BeginSession()
+	if got := len(dumpSession(t, fresh)); got != preRows {
+		t.Fatalf("first=%d: mid-batch fresh session sees %d rows, want pre-batch %d", first, got, preRows)
+	}
+	fresh.Close()
+	// §3 latch discipline: no worker holds the global-variable latch while
+	// applying — the latch must be immediately acquirable mid-batch.
+	if !s.mu.TryLock() {
+		t.Fatalf("first=%d: global-variable latch held by a batch worker", first)
+	}
+	s.mu.Unlock()
+	close(gate)
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("first=%d: ApplyBatchWorkers: %v", first, err)
+	}
+	commit(t, m)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("first=%d: %v", first, err)
+	}
+	return dumpPhysical(t, s)
+}
+
+func TestBatchScheduleBothOrderings(t *testing.T) {
+	s, _ := diffStore(t, 2)
+	pre := s.BeginSession()
+	preRows := len(dumpSession(t, pre))
+	pre.Close()
+
+	aFirst := runSchedule(t, 0, preRows)
+	bFirst := runSchedule(t, 1, preRows)
+	compareDump(t, "physical tuples across orderings", aFirst, bFirst)
+
+	// And both orderings must match the sequential oracle.
+	s2, _ := diffStore(t, 2)
+	deltas := schedBatch(t, s2, 3)
+	m := mustMaint(t, s2)
+	if _, err := m.ApplyBatchSeq(deltas); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, m)
+	compareDump(t, "physical tuples vs oracle", dumpPhysical(t, s2), aFirst)
+}
+
+// TestBatchErrorPoisonsTransaction: a failing delta in a parallel batch
+// must poison the transaction — Commit refuses, further batches refuse —
+// and Rollback must restore the exact pre-batch state even though other
+// partitions kept applying concurrently.
+func TestBatchErrorPoisonsTransaction(t *testing.T) {
+	s, _ := diffStore(t, 2)
+	before := dumpPhysical(t, s)
+
+	m := mustMaint(t, s)
+	deltas := schedBatch(t, s, 4)
+	// Insert of a live key is the one illegal batch operation; plant it
+	// mid-batch so workers are mid-flight when it fires.
+	deltas[len(deltas)/2] = Delta{Table: "kv", Op: DeltaInsert, Row: kvTuple(0, 999)}
+	if _, err := m.ApplyBatchWorkers(deltas, 2); !errors.Is(err, ErrInvalidMaintenanceOp) {
+		t.Fatalf("poisoning batch: err = %v, want ErrInvalidMaintenanceOp", err)
+	}
+	if err := m.Commit(); err == nil || !errors.Is(err, ErrInvalidMaintenanceOp) {
+		t.Fatalf("Commit after poisoned batch: err = %v, want refusal wrapping ErrInvalidMaintenanceOp", err)
+	}
+	if _, err := m.ApplyBatch(nil); err == nil {
+		t.Fatal("ApplyBatch after poisoned batch succeeded")
+	}
+	if err := m.Rollback(); err != nil {
+		t.Fatalf("Rollback after poisoned batch: %v", err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	compareDump(t, "physical tuples after poisoned rollback", before, dumpPhysical(t, s))
+	// The store must be fully usable again.
+	m2 := mustMaint(t, s)
+	if _, err := m2.ApplyBatchWorkers(schedBatch(t, s, 2), 2); err != nil {
+		t.Fatalf("batch after recovery from poison: %v", err)
+	}
+	commit(t, m2)
+}
+
+// TestBatchWorkerPanicPropagates: a panic on a worker goroutine (the fault
+// harness's crash points unwind this way) must resurface on the caller's
+// goroutine with the original value, after every worker has joined.
+func TestBatchWorkerPanicPropagates(t *testing.T) {
+	s, _ := diffStore(t, 2)
+	m := mustMaint(t, s)
+	sentinel := fmt.Errorf("injected crash")
+	m.batchPartStart = func(p int) {
+		if p == 1 {
+			panic(sentinel)
+		}
+	}
+	deltas := schedBatch(t, s, 2)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic did not propagate to the caller")
+		}
+		if r != sentinel {
+			t.Fatalf("panic value = %v, want the original sentinel", r)
+		}
+		// The pool joined before re-panicking, so the transaction is still
+		// coherent and can roll back.
+		if err := m.Rollback(); err != nil {
+			t.Fatalf("Rollback after worker panic: %v", err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	_, _ = m.ApplyBatchWorkers(deltas, 2)
+}
+
+// TestBatchKeylessRules: keyless tables accept batched inserts (spread
+// round-robin) but reject batched updates/deletes, which have no key to
+// route by.
+func TestBatchKeylessRules(t *testing.T) {
+	s := newStore(t, 2)
+	schema := catalog.MustSchema("plain", []catalog.Column{
+		{Name: "a", Type: catalog.TypeInt, Length: 8},
+		{Name: "b", Type: catalog.TypeInt, Length: 8, Updatable: true},
+	})
+	if _, err := s.CreateTable(schema); err != nil {
+		t.Fatal(err)
+	}
+	m := mustMaint(t, s)
+	var deltas []Delta
+	for i := int64(0); i < 16; i++ {
+		deltas = append(deltas, Delta{Table: "plain", Op: DeltaInsert, Row: kvTuple(i, i)})
+	}
+	st, err := m.ApplyBatchWorkers(deltas, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 16 {
+		t.Fatalf("applied %d keyless inserts, want 16", st.Applied)
+	}
+	if _, err := m.ApplyBatchWorkers([]Delta{{Table: "plain", Op: DeltaDelete, Key: kvTuple(1, 1)}}, 2); err == nil {
+		t.Fatal("batched delete of keyless table succeeded")
+	}
+	// The routing rejection happens before any application: the
+	// transaction is not poisoned.
+	commit(t, m)
+	vt, _ := s.Table("plain")
+	if vt.Len() != 16 {
+		t.Fatalf("keyless table has %d tuples, want 16", vt.Len())
+	}
+}

@@ -1,12 +1,10 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/catalog"
-	"repro/internal/db"
 	"repro/internal/exec"
 	"repro/internal/sql"
 	"repro/internal/storage"
@@ -65,12 +63,24 @@ type Maintenance struct {
 	vn    VN
 	mode  RollbackMode
 	done  bool
-	undo  []undoRec
 	// netEffect disables the second-row net-effect folding when false —
 	// an ablation switch used to demonstrate why the folding matters.
 	netEffect bool
-	stats     MaintStats
 	began     time.Time
+	// ap is the root applier: the sequential write path runs on it, and
+	// ApplyBatch merges its workers' counters and undo records into it, so
+	// Stats, Commit, and Rollback always see the whole transaction here.
+	ap *applier
+	// broken poisons the transaction after a failed parallel batch left
+	// the journal and the heap potentially divergent: Commit refuses and
+	// the caller must Rollback (whose abort record makes recovery skip the
+	// transaction). Never set by the sequential path.
+	broken error
+	// batchPartStart/batchPartDone, when non-nil, run on the worker
+	// goroutine around each partition of a parallel batch (test seam for
+	// forcing deterministic worker interleavings).
+	batchPartStart func(part int)
+	batchPartDone  func(part int)
 }
 
 // met returns the store's metrics (never nil).
@@ -100,6 +110,7 @@ func (s *Store) beginMaintenance(mode RollbackMode, netEffect bool) (*Maintenanc
 		return nil, ErrMaintenanceActive
 	}
 	m := &Maintenance{store: s, vn: cur + 1, mode: mode, netEffect: netEffect, began: time.Now()}
+	m.ap = &applier{m: m}
 	j := s.journal
 	if err := s.setGlobalsLocked(cur, true); err != nil {
 		s.latchRelease(acquired)
@@ -126,7 +137,7 @@ func (s *Store) beginMaintenance(mode RollbackMode, netEffect bool) (*Maintenanc
 func (m *Maintenance) VN() VN { return m.vn }
 
 // Stats returns the operation counters so far.
-func (m *Maintenance) Stats() MaintStats { return m.stats }
+func (m *Maintenance) Stats() MaintStats { return m.ap.stats }
 
 func (m *Maintenance) checkActive() error {
 	if m.done {
@@ -140,74 +151,13 @@ func (m *Maintenance) table(name string) (*VTable, error) {
 	return m.store.Table(name)
 }
 
-// snapshot records a tuple's pre-touch state for rollback, once per tuple.
-func (m *Maintenance) snapshot(vt *VTable, rid storage.RID, ext catalog.Tuple, inserted bool) {
-	if m.mode != RollbackUndoLog && !inserted {
-		return
-	}
-	// Physical inserts must be undone in both modes (logless rollback can
-	// also see op=insert in the tuple and delete it, but recording keeps
-	// the undo path uniform and handles keyless tables).
-	for _, u := range m.undo {
-		if u.vt == vt && u.rid == rid {
-			return
-		}
-	}
-	rec := undoRec{vt: vt, rid: rid, inserted: inserted}
-	if !inserted {
-		rec.image = ext.Clone()
-	}
-	m.undo = append(m.undo, rec)
-}
-
-// physInsert performs and journals a physical tuple insert.
-func (m *Maintenance) physInsert(vt *VTable, ext catalog.Tuple) (storage.RID, error) {
-	rid, err := vt.tbl.Insert(ext)
-	if err != nil {
-		return rid, err
-	}
-	if j := m.store.journalOrNil(); j != nil {
-		j.LogInsert(vt.ext.Base.Name, rid, ext)
-	}
-	vt.noteTupleWrite(ext)
-	m.stats.PhysicalInserts++
-	m.met().physIns.Inc()
-	return rid, nil
-}
-
-// physUpdate performs and journals an in-place physical update.
-func (m *Maintenance) physUpdate(vt *VTable, rid storage.RID, before, after catalog.Tuple) error {
-	if err := vt.tbl.Update(rid, after); err != nil {
-		return err
-	}
-	if j := m.store.journalOrNil(); j != nil {
-		j.LogUpdate(vt.ext.Base.Name, rid, before, after)
-	}
-	vt.noteTupleWrite(after)
-	m.stats.PhysicalUpdates++
-	m.met().physUpd.Inc()
-	return nil
-}
-
-// physDelete performs and journals a physical delete.
-func (m *Maintenance) physDelete(vt *VTable, rid storage.RID, before catalog.Tuple) error {
-	if err := vt.tbl.Delete(rid); err != nil {
-		return err
-	}
-	if j := m.store.journalOrNil(); j != nil {
-		j.LogDelete(vt.ext.Base.Name, rid, before)
-	}
-	vt.noteTupleRemoved(before)
-	m.stats.PhysicalDeletes++
-	m.met().physDel.Inc()
-	return nil
-}
-
 // Insert performs a logical insert of a base-schema tuple, implementing
 // Table 2. For relations with a unique key, a key conflict with a
 // logically-deleted tuple converts the insert into a physical update (rows
 // one and two); a conflict with a live tuple is impossible in a valid
-// transaction and returns ErrInvalidMaintenanceOp.
+// transaction and returns ErrInvalidMaintenanceOp. The Tables 2–4 folding
+// itself lives on the applier (apply.go), shared with the parallel batch
+// path.
 func (m *Maintenance) Insert(tableName string, base catalog.Tuple) error {
 	if err := m.checkActive(); err != nil {
 		return err
@@ -216,218 +166,7 @@ func (m *Maintenance) Insert(tableName string, base catalog.Tuple) error {
 	if err != nil {
 		return err
 	}
-	base, err = vt.ext.Base.Validate(base)
-	if err != nil {
-		return err
-	}
-	m.stats.LogicalInserts++
-	m.met().logicalIns.Inc()
-	e := vt.ext
-	if e.Base.HasKey() {
-		key := e.KeyOfBase(base)
-		if rid, ok := vt.tbl.SearchKey(key); ok {
-			ext, err := vt.tbl.Get(rid)
-			if err == nil {
-				return m.insertOnConflict(vt, rid, ext, base)
-			}
-		}
-	}
-	// Table 2, row 3: no conflicting tuple.
-	ext := e.NewExtTuple(base, m.vn)
-	rid, err := m.physInsert(vt, ext)
-	if err != nil {
-		if errors.Is(err, db.ErrDuplicateKey) {
-			return fmt.Errorf("%w: insert of live key %v into %s", ErrInvalidMaintenanceOp, e.KeyOfBase(base), tableName)
-		}
-		return err
-	}
-	m.snapshot(vt, rid, nil, true)
-	m.met().cellT2R3.Inc()
-	return nil
-}
-
-// insertOnConflict handles Table 2 rows one and two: the key exists
-// physically. Valid only when the existing tuple is logically deleted.
-func (m *Maintenance) insertOnConflict(vt *VTable, rid storage.RID, ext catalog.Tuple, base catalog.Tuple) error {
-	e := vt.ext
-	prevOp := e.OpAt(ext, 1)
-	tvn := e.TupleVN(ext, 1)
-	if prevOp != OpDelete {
-		return fmt.Errorf("%w: insert of live key %v into %s (previous operation %s)",
-			ErrInvalidMaintenanceOp, e.KeyOfBase(base), e.Base.Name, prevOp)
-	}
-	m.snapshot(vt, rid, ext, false)
-	t := ext.Clone()
-	if tvn < m.vn {
-		// Row 1: tuple deleted by an earlier transaction. Push the delete
-		// back a slot (nVNL), record this slot as an insert with NULL
-		// pre-update attributes, and install the new values.
-		e.PushBack(t)
-		e.SetSlot(t, 1, m.vn, OpInsert)
-		e.SetPreValues(t, 1, e.NullPre())
-		e.SetBaseValues(t, base)
-	} else {
-		// Row 2: deleted by this same transaction. Net effect of delete
-		// then insert is an update (§3.3); the pre-update attributes
-		// already hold the pre-transaction values.
-		e.SetBaseValues(t, base)
-		op := OpUpdate
-		if !m.netEffect {
-			op = OpInsert // ablation: record the raw operation
-		}
-		e.SetSlot(t, 1, m.vn, op)
-		m.stats.NetEffectFolds++
-		m.met().netFolds.Inc()
-	}
-	if err := m.physUpdate(vt, rid, ext, t); err != nil {
-		return err
-	}
-	if tvn < m.vn {
-		m.met().cellT2R1.Inc()
-	} else {
-		m.met().cellT2R2.Inc()
-	}
-	return nil
-}
-
-// applyUpdate folds a logical update of one tuple (Table 3). newBase must
-// differ from the current values only in updatable attributes.
-func (m *Maintenance) applyUpdate(vt *VTable, rid storage.RID, ext catalog.Tuple, newBase catalog.Tuple) error {
-	e := vt.ext
-	if e.OpAt(ext, 1) == OpDelete {
-		return fmt.Errorf("%w: update of logically-deleted tuple in %s", ErrInvalidMaintenanceOp, e.Base.Name)
-	}
-	newBase, err := e.Base.Validate(newBase)
-	if err != nil {
-		return err
-	}
-	cur := e.BaseValues(ext)
-	for i := range cur {
-		if _, upd := e.IsUpdatable(i); !upd && !catalog.Equal(cur[i], newBase[i]) {
-			return fmt.Errorf("core: update changes non-updatable column %q of %s",
-				e.Base.Columns[i].Name, e.Base.Name)
-		}
-	}
-	m.stats.LogicalUpdates++
-	m.met().logicalUpd.Inc()
-	m.snapshot(vt, rid, ext, false)
-	t := ext.Clone()
-	if e.TupleVN(ext, 1) < m.vn {
-		// Row 1: first touch by this transaction — preserve the current
-		// values as the new slot-1 pre-update version.
-		e.PushBack(t)
-		e.SetPreValues(t, 1, e.CurrentUpd(t))
-		e.SetSlot(t, 1, m.vn, OpUpdate)
-		e.SetBaseValues(t, newBase)
-	} else {
-		// Row 2: already modified by this transaction — overwrite the
-		// current values only; the recorded operation keeps its net
-		// effect (insert stays insert).
-		e.SetBaseValues(t, newBase)
-		if !m.netEffect {
-			e.SetSlot(t, 1, m.vn, OpUpdate) // ablation: clobber the net effect
-		}
-		m.stats.NetEffectFolds++
-		m.met().netFolds.Inc()
-	}
-	if err := m.physUpdate(vt, rid, ext, t); err != nil {
-		return err
-	}
-	if e.TupleVN(ext, 1) < m.vn {
-		m.met().cellT3R1.Inc()
-	} else {
-		m.met().cellT3R2.Inc()
-	}
-	return nil
-}
-
-// applyDelete folds a logical delete of one tuple (Table 4).
-func (m *Maintenance) applyDelete(vt *VTable, rid storage.RID, ext catalog.Tuple) error {
-	e := vt.ext
-	if e.OpAt(ext, 1) == OpDelete {
-		return fmt.Errorf("%w: delete of logically-deleted tuple in %s", ErrInvalidMaintenanceOp, e.Base.Name)
-	}
-	m.stats.LogicalDeletes++
-	m.met().logicalDel.Inc()
-	if e.TupleVN(ext, 1) < m.vn {
-		// Row 1: preserve the current values as the pre-update version and
-		// mark the tuple logically deleted. The physical operation is an
-		// update — the tuple stays for readers (§3.3).
-		m.snapshot(vt, rid, ext, false)
-		t := ext.Clone()
-		e.PushBack(t)
-		e.SetPreValues(t, 1, e.CurrentUpd(t))
-		e.SetSlot(t, 1, m.vn, OpDelete)
-		if err := m.physUpdate(vt, rid, ext, t); err != nil {
-			return err
-		}
-		m.met().cellT4R1.Inc()
-		return nil
-	}
-	// Row 2: modified earlier by this same transaction. The net effect
-	// depends on which operation this transaction already recorded — the
-	// switch mirrors Table 4's row-2 cells and is checked for coverage by
-	// vnlvet's tableexhaustive analyzer.
-	switch e.OpAt(ext, 1) {
-	case OpInsert:
-		if e.L.N > 2 && e.TupleVN(ext, 2) > 0 {
-			// The "insert" was a re-insert over an earlier delete (Table 2
-			// row 1) that pushed older history back. Insert+delete nets to
-			// nothing, so pop the slots to restore that history instead of
-			// physically deleting — nVNL readers may still need it. (The
-			// restored slot-1 operation is necessarily the earlier delete,
-			// so the stale current values are never read.)
-			m.snapshot(vt, rid, ext, false)
-			t := ext.Clone()
-			e.PopFront(t)
-			if err := m.physUpdate(vt, rid, ext, t); err != nil {
-				return err
-			}
-			m.stats.NetEffectFolds++
-			m.met().netFolds.Inc()
-			m.met().cellT4R2InsPop.Inc()
-			return nil
-		}
-		// A fresh physical insert (or 2VNL, where no concurrent session
-		// can see a version older than the pre-insert delete): insert then
-		// delete nets to nothing — physically delete.
-		if err := m.physDelete(vt, rid, ext); err != nil {
-			return err
-		}
-		m.stats.NetEffectFolds++
-		m.met().netFolds.Inc()
-		m.met().cellT4R2InsDelete.Inc()
-		m.dropUndo(vt, rid)
-		return nil
-	case OpUpdate:
-		// Previously updated by this transaction: net effect is delete.
-		m.snapshot(vt, rid, ext, false)
-		t := ext.Clone()
-		e.SetSlot(t, 1, m.vn, OpDelete)
-		if err := m.physUpdate(vt, rid, ext, t); err != nil {
-			return err
-		}
-		m.stats.NetEffectFolds++
-		m.met().netFolds.Inc()
-		m.met().cellT4R2Update.Inc()
-		return nil
-	default:
-		// OpDelete is rejected on entry and OpNone never carries
-		// tupleVN == maintenanceVN; reaching here is a bookkeeping bug.
-		return fmt.Errorf("%w: delete of %s tuple with unexpected slot-1 operation %s",
-			ErrInvalidMaintenanceOp, e.Base.Name, e.OpAt(ext, 1))
-	}
-}
-
-// dropUndo removes the undo record for a tuple this transaction inserted
-// and then physically deleted (insert + delete nets to nothing).
-func (m *Maintenance) dropUndo(vt *VTable, rid storage.RID) {
-	for i, u := range m.undo {
-		if u.vt == vt && u.rid == rid && u.inserted {
-			m.undo = append(m.undo[:i], m.undo[i+1:]...)
-			return
-		}
-	}
+	return m.ap.insert(vt, base)
 }
 
 // UpdateWhere applies a logical update to every current-version tuple
@@ -453,7 +192,7 @@ func (m *Maintenance) UpdateWhere(tableName string, pred func(catalog.Tuple) boo
 		if !visible || (pred != nil && !pred(cur)) {
 			continue
 		}
-		if err := m.applyUpdate(vt, rid, ext, set(cur.Clone())); err != nil {
+		if err := m.ap.applyUpdate(vt, rid, ext, set(cur.Clone())); err != nil {
 			return n, err
 		}
 		n++
@@ -482,7 +221,7 @@ func (m *Maintenance) DeleteWhere(tableName string, pred func(catalog.Tuple) boo
 		if !visible || (pred != nil && !pred(cur)) {
 			continue
 		}
-		if err := m.applyDelete(vt, rid, ext); err != nil {
+		if err := m.ap.applyDelete(vt, rid, ext); err != nil {
 			return n, err
 		}
 		n++
@@ -512,7 +251,7 @@ func (m *Maintenance) UpdateKey(tableName string, key catalog.Tuple, set func(ca
 	if !visible {
 		return false, nil
 	}
-	return true, m.applyUpdate(vt, rid, ext, set(cur.Clone()))
+	return true, m.ap.applyUpdate(vt, rid, ext, set(cur.Clone()))
 }
 
 // DeleteKey logically deletes the tuple with the given unique key. It
@@ -536,7 +275,7 @@ func (m *Maintenance) DeleteKey(tableName string, key catalog.Tuple) (bool, erro
 	if _, visible := vt.ext.CurrentVersion(ext); !visible {
 		return false, nil
 	}
-	return true, m.applyDelete(vt, rid, ext)
+	return true, m.ap.applyDelete(vt, rid, ext)
 }
 
 // GetCurrent returns the current version of the tuple with the given key,
@@ -727,6 +466,9 @@ func (m *Maintenance) Commit() error {
 	if err := m.checkActive(); err != nil {
 		return err
 	}
+	if m.broken != nil {
+		return fmt.Errorf("core: commit refused after failed parallel batch: %w", m.broken)
+	}
 	start := time.Now()
 	s := m.store
 	if j := s.journalOrNil(); j != nil {
@@ -766,7 +508,7 @@ func (m *Maintenance) Commit() error {
 	mm.vnAdvances.Inc()
 	mm.currentVN.Set(int64(m.vn))
 	mm.maintActive.Set(0)
-	phys := int64(m.stats.PhysicalInserts + m.stats.PhysicalUpdates + m.stats.PhysicalDeletes)
+	phys := int64(m.ap.stats.PhysicalInserts + m.ap.stats.PhysicalUpdates + m.ap.stats.PhysicalDeletes)
 	mm.trace(TraceMaintCommit, m.vn, phys)
 	mm.trace(TraceVNAdvance, m.vn, 0)
 	return nil
@@ -776,7 +518,7 @@ func (m *Maintenance) Commit() error {
 // Caller holds the latch.
 func (s *Store) finishCommitLocked(m *Maintenance) {
 	m.done = true
-	m.undo = nil
+	m.ap.undo = nil
 	s.maint = nil
 }
 
@@ -808,8 +550,8 @@ func (m *Maintenance) Rollback() error {
 		// Reverse order restores first-touch images last, which is
 		// correct because there is at most one record per tuple.
 		touched := make(map[*VTable]bool)
-		for i := len(m.undo) - 1; i >= 0; i-- {
-			u := m.undo[i]
+		for i := len(m.ap.undo) - 1; i >= 0; i-- {
+			u := m.ap.undo[i]
 			touched[u.vt] = true
 			if u.inserted {
 				_ = u.vt.tbl.Delete(u.rid)
@@ -842,9 +584,9 @@ func (m *Maintenance) Rollback() error {
 		// Physically-inserted tuples are simply deleted (their records are
 		// kept in both modes); everything else reverts from in-tuple
 		// version information.
-		for i := len(m.undo) - 1; i >= 0; i-- {
-			if m.undo[i].inserted {
-				_ = m.undo[i].vt.tbl.Delete(m.undo[i].rid)
+		for i := len(m.ap.undo) - 1; i >= 0; i-- {
+			if m.ap.undo[i].inserted {
+				_ = m.ap.undo[i].vt.tbl.Delete(m.ap.undo[i].rid)
 			}
 		}
 		for _, vt := range s.Tables() {
@@ -861,7 +603,7 @@ func (m *Maintenance) Rollback() error {
 		return fmt.Errorf("core: clearing maintenanceActive: %w", err)
 	}
 	m.done = true
-	m.undo = nil
+	m.ap.undo = nil
 	s.maint = nil
 	s.latchRelease(acquired)
 	mm := s.metrics

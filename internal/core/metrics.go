@@ -69,6 +69,11 @@ type storeMetrics struct {
 	cellT4R2InsDelete *obs.Counter // delete after same-txn fresh insert → physical delete
 	cellT4R2InsPop    *obs.Counter // delete after same-txn re-insert → pop restored history (nVNL)
 
+	// Parallel batch apply (ApplyBatch).
+	batchApplies *obs.Counter
+	batchDeltas  *obs.Counter
+	batchNS      *obs.Histogram
+
 	gcPasses  *obs.Counter
 	gcScanned *obs.Counter
 	gcRemoved *obs.Counter
@@ -119,6 +124,10 @@ func newStoreMetrics(reg *obs.Registry, tracer obs.Tracer) *storeMetrics {
 		cellT4R2Update:    c("core_maint_table4_row2_update_total", "delete after same-txn update: net effect delete"),
 		cellT4R2InsDelete: c("core_maint_table4_row2_insert_total", "delete after same-txn insert: physical delete"),
 		cellT4R2InsPop:    c("core_maint_table4_row2_insert_pop_total", "delete after same-txn re-insert: history popped (nVNL)"),
+
+		batchApplies: c("core_maint_batches_total", "ApplyBatch calls (parallel Tables 2–4 apply)"),
+		batchDeltas:  c("core_maint_batch_deltas_total", "logical deltas applied through ApplyBatch"),
+		batchNS:      h("core_maint_batch_apply_ns", "latency of one ApplyBatch call, partition to join"),
 
 		gcPasses:  c("core_gc_passes_total", "garbage-collection passes"),
 		gcScanned: c("core_gc_scanned_total", "physical tuples examined by GC"),

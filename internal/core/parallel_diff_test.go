@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// The differential suite: the parallel batch apply must be observationally
+// identical to the sequential oracle on the same batch — equal physical
+// tuples, equal per-cell Tables 2–4 counters, and equal reader-visible
+// states at both the pre-batch sessionVN and the new currentVN. Batches are
+// seeded-random with deliberate same-key multi-touch so the second rows of
+// Tables 2–4 (the net-effect folds, the cells that reorder under a naive
+// parallelization) are exercised on every seed.
+
+// maintCellSeries are the registry series the suite compares one-for-one.
+var maintCellSeries = []string{
+	"core_maint_logical_inserts_total",
+	"core_maint_logical_updates_total",
+	"core_maint_logical_deletes_total",
+	"core_maint_physical_inserts_total",
+	"core_maint_physical_updates_total",
+	"core_maint_physical_deletes_total",
+	"core_maint_net_effect_folds_total",
+	"core_maint_table2_row1_total",
+	"core_maint_table2_row2_total",
+	"core_maint_table2_row3_total",
+	"core_maint_table3_row1_total",
+	"core_maint_table3_row2_total",
+	"core_maint_table4_row1_total",
+	"core_maint_table4_row2_update_total",
+	"core_maint_table4_row2_insert_total",
+	"core_maint_table4_row2_insert_pop_total",
+	"core_maint_batch_deltas_total",
+}
+
+const (
+	diffLiveKeys = 12 // preloaded live
+	diffDeadKeys = 6  // preloaded then logically deleted (Table 2 row 1 bait)
+	diffKeySpace = 24 // live + dead + never-seen
+)
+
+// diffStore builds a store on a private registry with the fixed preload:
+// keys 0..17 inserted at VN 2, keys 12..17 logically deleted at VN 3.
+// currentVN is 3 afterwards; the batch under test runs at VN 4.
+func diffStore(t *testing.T, n int) (*Store, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s := newStore(t, n, func(o *Options) { o.Metrics = reg })
+	if _, err := s.CreateTable(kvSchema()); err != nil {
+		t.Fatal(err)
+	}
+	m := mustMaint(t, s)
+	for k := int64(0); k < diffLiveKeys+diffDeadKeys; k++ {
+		if err := m.Insert("kv", kvTuple(k, 100+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit(t, m)
+	m = mustMaint(t, s)
+	for k := int64(diffLiveKeys); k < diffLiveKeys+diffDeadKeys; k++ {
+		if _, err := m.DeleteKey("kv", catalog.Tuple{catalog.NewInt(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit(t, m)
+	return s, reg
+}
+
+// genDiffBatch produces a seeded batch of deltas that is legal to apply to
+// the diffStore preload in submission order: the only illegal operation —
+// insert of a live key — is avoided by tracking liveness as the batch
+// folds. Updates and deletes of missing keys are legal skips and are
+// generated on purpose. Every fourth draw emits a same-key pair so
+// multi-touch (the Tables 2–4 second rows) occurs on every seed.
+func genDiffBatch(rng *rand.Rand, ops int) []Delta {
+	live := make(map[int64]bool)
+	for k := int64(0); k < diffLiveKeys; k++ {
+		live[k] = true
+	}
+	var out []Delta
+	emit := func(k int64) {
+		row := kvTuple(k, rng.Int63n(1_000_000))
+		key := catalog.Tuple{catalog.NewInt(k)}
+		if !live[k] {
+			switch rng.Intn(4) {
+			case 0, 1:
+				out = append(out, Delta{Table: "kv", Op: DeltaInsert, Row: row})
+				live[k] = true
+			case 2:
+				out = append(out, Delta{Table: "kv", Op: DeltaUpdate, Row: row, Key: key})
+			default:
+				out = append(out, Delta{Table: "kv", Op: DeltaDelete, Key: key})
+			}
+			return
+		}
+		switch rng.Intn(3) {
+		case 0:
+			out = append(out, Delta{Table: "kv", Op: DeltaUpdate, Row: row, Key: key})
+		default:
+			out = append(out, Delta{Table: "kv", Op: DeltaDelete, Key: key})
+			live[k] = false
+		}
+	}
+	for len(out) < ops {
+		k := rng.Int63n(diffKeySpace)
+		emit(k)
+		if rng.Intn(4) == 0 {
+			emit(k) // deliberate same-key multi-touch
+		}
+	}
+	return out
+}
+
+// dumpPhysical renders the table's extended tuples, sorted, RID-free: the
+// parallel path may place tuples at different slots, but the tuple contents
+// must match exactly.
+func dumpPhysical(t *testing.T, s *Store) []string {
+	t.Helper()
+	vt, err := s.Table("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	vt.Storage().Scan(func(_ storage.RID, tu catalog.Tuple) bool {
+		out = append(out, tupleString(tu))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+func tupleString(tu catalog.Tuple) string {
+	parts := make([]string, len(tu))
+	for i, v := range tu {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+// dumpSession renders a session's reader-visible kv state, sorted.
+func dumpSession(t *testing.T, sess *Session) []string {
+	t.Helper()
+	var out []string
+	if err := sess.Scan("kv", func(tu catalog.Tuple) bool {
+		out = append(out, tupleString(tu))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func dumpCells(reg *obs.Registry) map[string]int64 {
+	out := make(map[string]int64, len(maintCellSeries))
+	for _, name := range maintCellSeries {
+		out[name] = reg.CounterValue(name)
+	}
+	return out
+}
+
+// diffRun applies the batch with the given worker count on a fresh store
+// and returns every observable the suite compares.
+type diffRun struct {
+	phys    []string
+	oldScan []string
+	newScan []string
+	cells   map[string]int64
+	bstats  BatchStats
+	mstats  MaintStats
+}
+
+func runDiff(t *testing.T, n int, deltas []Delta, workers int) diffRun {
+	t.Helper()
+	s, reg := diffStore(t, n)
+	old := s.BeginSession() // sessionVN = 3, spans the batch commit
+	defer old.Close()
+	m := mustMaint(t, s)
+	bstats, err := m.ApplyBatchWorkers(deltas, workers)
+	if err != nil {
+		t.Fatalf("ApplyBatchWorkers(%d): %v", workers, err)
+	}
+	mstats := m.Stats()
+	commit(t, m)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after workers=%d: %v", workers, err)
+	}
+	now := s.BeginSession() // sessionVN = 4, the batch's result
+	defer now.Close()
+	return diffRun{
+		phys:    dumpPhysical(t, s),
+		oldScan: dumpSession(t, old),
+		newScan: dumpSession(t, now),
+		cells:   dumpCells(reg),
+		bstats:  bstats,
+		mstats:  mstats,
+	}
+}
+
+func compareDiffRuns(t *testing.T, seq, par diffRun, workers int) {
+	t.Helper()
+	if seq.bstats.Applied != par.bstats.Applied || seq.bstats.Missing != par.bstats.Missing {
+		t.Errorf("BatchStats diverge: seq applied=%d missing=%d, par(workers=%d) applied=%d missing=%d",
+			seq.bstats.Applied, seq.bstats.Missing, workers, par.bstats.Applied, par.bstats.Missing)
+	}
+	if seq.mstats != par.mstats {
+		t.Errorf("MaintStats diverge:\nseq %+v\npar %+v", seq.mstats, par.mstats)
+	}
+	for _, name := range maintCellSeries {
+		if seq.cells[name] != par.cells[name] {
+			t.Errorf("counter %s diverges: seq %d par %d", name, seq.cells[name], par.cells[name])
+		}
+	}
+	compareDump(t, "physical tuples", seq.phys, par.phys)
+	compareDump(t, "pre-batch session scan", seq.oldScan, par.oldScan)
+	compareDump(t, "post-batch session scan", seq.newScan, par.newScan)
+}
+
+func compareDump(t *testing.T, what string, a, b []string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Errorf("%s diverge: %d vs %d rows", what, len(a), len(b))
+		return
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("%s diverge at row %d:\nseq: %s\npar: %s", what, i, a[i], b[i])
+			return
+		}
+	}
+}
+
+// TestParallelBatchMatchesSequentialOracle is the differential property
+// test: 200 seeds per version depth, each batch applied via the sequential
+// oracle and via the parallel path with a seed-dependent worker count.
+func TestParallelBatchMatchesSequentialOracle(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 25
+	}
+	for _, n := range []int{2, 3} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			for seed := 0; seed < seeds; seed++ {
+				rng := rand.New(rand.NewSource(int64(n)*10_000 + int64(seed)))
+				deltas := genDiffBatch(rng, 50)
+				workers := 2 + seed%7
+				seq := runDiff(t, n, deltas, 1)
+				par := runDiff(t, n, deltas, workers)
+				if t.Failed() {
+					t.Fatalf("seed %d diverged before comparison", seed)
+				}
+				compareDiffRuns(t, seq, par, workers)
+				if t.Failed() {
+					t.Fatalf("seed %d (workers=%d) diverged", seed, workers)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBatchLargeKeyspace stresses partition balance with a larger
+// batch over a wider key range, checking the same equivalence plus that the
+// parallel path actually fanned out.
+func TestParallelBatchLargeKeyspace(t *testing.T) {
+	s, _ := diffStore(t, 2)
+	rng := rand.New(rand.NewSource(7))
+	var deltas []Delta
+	for k := int64(100); k < 1100; k++ {
+		deltas = append(deltas, Delta{Table: "kv", Op: DeltaInsert, Row: kvTuple(k, rng.Int63n(1000))})
+	}
+	for i := 0; i < 500; i++ {
+		k := 100 + rng.Int63n(1000)
+		if rng.Intn(2) == 0 {
+			deltas = append(deltas, Delta{Table: "kv", Op: DeltaUpdate, Row: kvTuple(k, rng.Int63n(1000)), Key: catalog.Tuple{catalog.NewInt(k)}})
+		} else {
+			// Delete then re-insert in one batch: forces the same-partition
+			// ordering to matter for 500 random keys.
+			deltas = append(deltas, Delta{Table: "kv", Op: DeltaDelete, Key: catalog.Tuple{catalog.NewInt(k)}})
+			deltas = append(deltas, Delta{Table: "kv", Op: DeltaInsert, Row: kvTuple(k, rng.Int63n(1000))})
+		}
+	}
+	m := mustMaint(t, s)
+	st, err := m.ApplyBatchWorkers(deltas, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 4 || st.Partitions != 4 {
+		t.Fatalf("expected 4 workers/partitions, got %+v", st)
+	}
+	commit(t, m)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Oracle comparison on a second store.
+	s2, _ := diffStore(t, 2)
+	m2 := mustMaint(t, s2)
+	st2, err := m2.ApplyBatchSeq(deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, m2)
+	if st.Applied != st2.Applied || st.Missing != st2.Missing {
+		t.Fatalf("batch stats diverge: par %+v seq %+v", st, st2)
+	}
+	compareDump(t, "physical tuples", dumpPhysical(t, s2), dumpPhysical(t, s))
+}

@@ -46,6 +46,11 @@ type Options struct {
 	// per the error-surfacing contract, so the caller can still retry or
 	// roll back.
 	CommitRetry vfs.RetryPolicy
+	// ApplyWorkers is the default worker count for Maintenance.ApplyBatch:
+	// the number of goroutines that apply hash-partitioned logical
+	// operations concurrently. 0 selects GOMAXPROCS at batch time; 1 forces
+	// the sequential path. Per-call override: ApplyBatchWorkers.
+	ApplyWorkers int
 }
 
 // Store is the 2VNL/nVNL controller for one database: it owns the global
@@ -104,6 +109,8 @@ type Store struct {
 
 	// commitRetry is Options.CommitRetry, normalized at Open.
 	commitRetry vfs.RetryPolicy
+	// applyWorkers is Options.ApplyWorkers (see there).
+	applyWorkers int
 }
 
 // VTable is a versioned relation managed by the store.
@@ -139,13 +146,14 @@ func Open(d *db.Database, opts Options) (*Store, error) {
 		tracer = obs.DefaultTracer()
 	}
 	s := &Store{
-		d:           d,
-		n:           n,
-		opts:        opts,
-		currentVN:   1,
-		reg:         reg,
-		metrics:     newStoreMetrics(reg, tracer),
-		commitRetry: opts.CommitRetry.Normalize(),
+		d:            d,
+		n:            n,
+		opts:         opts,
+		currentVN:    1,
+		reg:          reg,
+		metrics:      newStoreMetrics(reg, tracer),
+		commitRetry:  opts.CommitRetry.Normalize(),
+		applyWorkers: opts.ApplyWorkers,
 	}
 	// The store is not shared until Open returns, but the publish
 	// discipline is cheap enough to follow even here.

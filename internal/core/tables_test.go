@@ -252,10 +252,10 @@ func TestTable3And4Cells(t *testing.T) {
 	// the low-level error path directly.
 	rid, _ := vt.Storage().SearchKey(key)
 	ext, _ := vt.Storage().Get(rid)
-	if err := m.applyUpdate(vt, rid, ext, kvTuple(1, 99)); !errors.Is(err, ErrInvalidMaintenanceOp) {
+	if err := m.ap.applyUpdate(vt, rid, ext, kvTuple(1, 99)); !errors.Is(err, ErrInvalidMaintenanceOp) {
 		t.Errorf("update of deleted tuple: %v", err)
 	}
-	if err := m.applyDelete(vt, rid, ext); !errors.Is(err, ErrInvalidMaintenanceOp) {
+	if err := m.ap.applyDelete(vt, rid, ext); !errors.Is(err, ErrInvalidMaintenanceOp) {
 		t.Errorf("delete of deleted tuple: %v", err)
 	}
 	// UpdateKey/DeleteKey on the deleted tuple report "not found".

@@ -49,6 +49,17 @@ type Config struct {
 	// Script is the base fault plan applied to every run (the sweep adds
 	// the crash point). Nil means fault-free.
 	Script *vfs.Script
+	// Parallel appends a batched tail transaction applied through
+	// Maintenance.ApplyBatchWorkers on a worker pool, with WAL group commit
+	// enabled on the journal. Worker scheduling makes the I/O *order*
+	// nondeterministic across runs, but every run is internally consistent:
+	// the sweep crashes run k at its own k-th persisting op and validates
+	// that run against its own oracle, so the durability invariants bind
+	// exactly as in the sequential workload.
+	Parallel bool
+	// Workers is the parallel batch fan-out. 0 selects 4. Only meaningful
+	// with Parallel.
+	Workers int
 }
 
 func (c Config) normalize() Config {
@@ -60,6 +71,9 @@ func (c Config) normalize() Config {
 	}
 	if c.Script == nil {
 		c.Script = vfs.NewScript()
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
 	}
 	return c
 }
@@ -229,6 +243,9 @@ func run(cfg Config, fs *vfs.FaultFS, st *runState) error {
 		return w.stop(err)
 	}
 	log.SetRetry(vfs.RetryPolicy{Sleep: func(time.Duration) {}}.Normalize())
+	if cfg.Parallel {
+		log.SetGroupCommit(wal.GroupCommit{Enabled: true})
+	}
 	w.log = log
 	store.SetJournal(log)
 	if _, err := store.CreateTable(dimSchema()); err != nil {
@@ -374,6 +391,9 @@ func run(cfg Config, fs *vfs.FaultFS, st *runState) error {
 		return w.stop(err)
 	}
 	log2.SetRetry(vfs.RetryPolicy{Sleep: func(time.Duration) {}}.Normalize())
+	if cfg.Parallel {
+		log2.SetGroupCommit(wal.GroupCommit{Enabled: true})
+	}
 	w.log = log2
 	w.store.SetJournal(log2)
 
@@ -424,6 +444,47 @@ func run(cfg Config, fs *vfs.FaultFS, st *runState) error {
 		return nil
 	}); err != nil {
 		return err
+	}
+
+	// VN 6 (Parallel only): a batched tail applied on a worker pool through
+	// the same journal — parallel heap writes, concurrently journaled
+	// records, and a group-committed WAL tail all become faultable
+	// boundaries. The batch is built against the pending model so it is
+	// legal in submission order (no insert of a live key); updates and
+	// deletes of missing keys are deliberate legal skips.
+	if cfg.Parallel {
+		if err := w.txn(func(m *core.Maintenance, pend model) error {
+			var deltas []core.Delta
+			for i, n := 0, 14+w.rng.Intn(6); i < n; i++ {
+				k := int64(20 + w.rng.Intn(10))
+				switch _, exists := pend["dim"][k]; {
+				case !exists:
+					row := dimRow(k, k*7, "p")
+					deltas = append(deltas, core.Delta{Table: "dim", Op: core.DeltaInsert, Row: row})
+					pend.put("dim", row)
+				case w.rng.Intn(3) == 0:
+					deltas = append(deltas, core.Delta{Table: "dim", Op: core.DeltaDelete, Key: intKey(k)})
+					pend.delete("dim", k)
+				default:
+					row := pend["dim"][k].Clone()
+					row[1] = catalog.NewInt(w.rng.Int63n(1000))
+					deltas = append(deltas, core.Delta{Table: "dim", Op: core.DeltaUpdate, Row: row, Key: intKey(k)})
+					pend.put("dim", row)
+				}
+			}
+			// Cross-table routing plus a guaranteed missing-key skip.
+			if cur, ok := pend["fact"][2]; ok {
+				row := cur.Clone()
+				row[1] = catalog.NewInt(77)
+				deltas = append(deltas, core.Delta{Table: "fact", Op: core.DeltaUpdate, Row: row, Key: intKey(2)})
+				pend.put("fact", row)
+			}
+			deltas = append(deltas, core.Delta{Table: "fact", Op: core.DeltaDelete, Key: intKey(999)})
+			_, err := m.ApplyBatchWorkers(deltas, cfg.Workers)
+			return err
+		}); err != nil {
+			return err
+		}
 	}
 
 	return nil

@@ -131,3 +131,60 @@ func (s *Store) goodBlockingOutsideLatch() {
 	s.latchRelease(acquired)
 	time.Sleep(time.Duration(vn))
 }
+
+// --- worker-pool helpers (parallel batch apply) -------------------------
+
+// badPoolJoinUnderLatch joins a worker pool while holding the latch: every
+// worker that needs the latch would deadlock against the join.
+func (s *Store) badPoolJoinUnderLatch(parts [][]int) {
+	var wg sync.WaitGroup
+	acquired := s.latchAcquire()
+	for range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait() // want "call to sync Wait while the global-variable latch is held"
+	s.latchRelease(acquired)
+}
+
+// badCondWaitUnderLatch parks on a condition variable while holding the
+// latch (the group-commit follower wait must use the log's own mutex, never
+// the store latch).
+func (s *Store) badCondWaitUnderLatch(c *sync.Cond) {
+	s.mu.Lock()
+	c.Wait() // want "call to sync Wait while the global-variable latch is held"
+	s.mu.Unlock()
+}
+
+// badRangeChannelUnderLatch drains a worker result channel under the latch:
+// a receive blocks until workers produce, and workers may need the latch.
+func (s *Store) badRangeChannelUnderLatch(results chan int) {
+	acquired := s.latchAcquire()
+	for r := range results { // want "channel operation while the global-variable latch is held"
+		s.currentVN += int64(r)
+	}
+	s.latchRelease(acquired)
+}
+
+// goodPoolJoinOutsideLatch is the sanctioned shape: capture what the
+// workers need under the latch, release, run and join the pool, then
+// reacquire to install results.
+func (s *Store) goodPoolJoinOutsideLatch(parts [][]int) {
+	acquired := s.latchAcquire()
+	vn := s.currentVN
+	s.latchRelease(acquired)
+	var wg sync.WaitGroup
+	for range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = vn
+		}()
+	}
+	wg.Wait()
+	acquired = s.latchAcquire()
+	s.currentVN = vn + 1
+	s.latchRelease(acquired)
+}

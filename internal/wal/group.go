@@ -1,0 +1,122 @@
+package wal
+
+import (
+	"sync"
+	"time"
+)
+
+// GroupCommit configures commit batching: instead of one fsync per
+// LogCommit, concurrently-arriving committers elect a leader that issues a
+// single fsync covering every record buffered so far, and the rest wait to
+// be covered. Durability is unchanged — LogCommit still returns only after
+// the commit record is on stable storage — the trade is per-commit latency
+// (bounded by MaxDelay plus one fsync) for fsync count.
+type GroupCommit struct {
+	Enabled bool
+	// MaxDelay is a bounded linger the group leader waits before forcing
+	// the log, widening the window in which concurrent committers can join
+	// the group. Zero means the leader forces immediately; followers that
+	// arrive during its fsync still coalesce onto the next group.
+	MaxDelay time.Duration
+	// sleep replaces time.Sleep for the linger in tests.
+	sleep func(time.Duration)
+}
+
+// SetGroupCommit installs a group-commit configuration. Safe to call at any
+// time; in-flight groups complete under the old configuration.
+func (l *Log) SetGroupCommit(g GroupCommit) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.group = g
+	if l.gcond == nil {
+		l.gcond = sync.NewCond(&l.mu)
+	}
+}
+
+// groupSyncLocked is the group-commit force. Called and returns with l.mu
+// held.
+//
+// The caller's records are those appended before entry, so it needs
+// l.synced to reach the l.seq observed here. If a leader is already
+// flushing, wait: either that group's flush covers our records, or it
+// completes and we take leadership for the next group. The leader flushes
+// the buffer under mu, then releases mu for the fsync itself so appends
+// (and new followers) keep flowing during the disk wait — the inner
+// function's deferred Lock reacquires mu even if the fsync panics (the
+// fault harness unwinds through here), and the outer defer then hands
+// leadership off and wakes every waiter so none stay stranded.
+func (l *Log) groupSyncLocked() error {
+	target := l.seq
+	for l.syncing {
+		if l.synced >= target {
+			return nil // the in-flight group already covered us
+		}
+		l.waiters++
+		l.gcond.Wait()
+		l.waiters--
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.synced >= target {
+		return nil
+	}
+	// Become the leader for the next group.
+	l.syncing = true
+	defer func() {
+		l.syncing = false
+		l.gcond.Broadcast()
+	}()
+	if d := l.group.MaxDelay; d > 0 {
+		// Linger with mu released so joining committers can run append and
+		// enter the wait above. syncing is already true, so none of them
+		// elects a second leader.
+		sleep := l.group.sleep
+		if sleep == nil {
+			sleep = time.Sleep
+		}
+		l.mu.Unlock()
+		sleep(d)
+		l.mu.Lock()
+	}
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	covered := l.seq
+	size := int64(1 + l.waiters)
+	retry := l.retry
+	start := time.Now()
+	var syncErr error
+	retries := 0
+	func() {
+		l.mu.Unlock()
+		defer l.mu.Lock()
+		for failures := 0; ; {
+			syncErr = l.f.Sync()
+			if syncErr == nil {
+				return
+			}
+			failures++
+			if failures >= retry.Attempts {
+				return
+			}
+			retries++
+			retry.Wait(failures - 1)
+		}
+	}()
+	l.stats.Retries += int64(retries)
+	mRetries.Add(int64(retries))
+	if syncErr != nil {
+		l.err = syncErr
+		return syncErr
+	}
+	if covered > l.synced {
+		l.synced = covered
+	}
+	l.stats.Syncs++
+	mSyncs.Inc()
+	mSyncNS.ObserveSince(start)
+	mGroupCommits.Inc()
+	mGroupSize.Observe(size)
+	return nil
+}

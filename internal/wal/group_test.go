@@ -1,0 +1,242 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/vfs"
+)
+
+// TestGroupCommitCoalesces pins the headline property: n committers racing
+// into LogCommit are covered by one fsync when the leader's linger waits
+// for all of them, and every record is durable.
+func TestGroupCommitCoalesces(t *testing.T) {
+	const n = 8
+	fs := vfs.NewFaultFS(nil)
+	l, err := CreateFS(fs, "wal.log", PolicyRedoOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupsBefore := obs.Default().CounterValue("wal_group_commits_total")
+	// The test linger parks the leader until every other committer is
+	// waiting on the group, making the grouping deterministic.
+	deadline := time.Now().Add(5 * time.Second)
+	l.SetGroupCommit(GroupCommit{
+		Enabled:  true,
+		MaxDelay: time.Millisecond,
+		sleep: func(time.Duration) {
+			for time.Now().Before(deadline) {
+				l.mu.Lock()
+				w := l.waiters
+				l.mu.Unlock()
+				if w == n-1 {
+					return
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		},
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.LogBegin(core.VN(i + 2))
+			errs[i] = l.LogCommit(core.VN(i + 2))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("committer %d: %v", i, err)
+		}
+	}
+	st := l.Stats()
+	if st.Syncs != 1 {
+		t.Fatalf("got %d fsyncs for %d concurrent commits, want 1", st.Syncs, n)
+	}
+	if got := obs.Default().CounterValue("wal_group_commits_total") - groupsBefore; got != 1 {
+		t.Fatalf("wal_group_commits_total advanced by %d, want 1", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var begins, commits int
+	if err := IterateFS(fs, "wal.log", func(r *Record) error {
+		switch r.Kind {
+		case KindBegin:
+			begins++
+		case KindCommit:
+			commits++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if begins != n || commits != n {
+		t.Fatalf("recovered %d begins / %d commits, want %d / %d", begins, commits, n, n)
+	}
+}
+
+// TestGroupCommitSingleThreaded checks the degenerate group of one: with no
+// concurrency the grouped log performs the same flush+fsync per commit as
+// the plain path and yields an identical record sequence.
+func TestGroupCommitSingleThreaded(t *testing.T) {
+	fs := vfs.NewFaultFS(nil)
+	write := func(path string, grouped bool) Stats {
+		l, err := CreateFS(fs, path, PolicyRedoOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grouped {
+			l.SetGroupCommit(GroupCommit{Enabled: true})
+		}
+		for vn := core.VN(2); vn <= 4; vn++ {
+			l.LogBegin(vn)
+			l.LogInsert("t", storage.RID{Page: int(vn), Slot: 0}, catalog.Tuple{catalog.NewInt(int64(vn))})
+			if err := l.LogCommit(vn); err != nil {
+				t.Fatalf("commit vn=%d: %v", vn, err)
+			}
+		}
+		st := l.Stats()
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	plain := write("plain.log", false)
+	grouped := write("grouped.log", true)
+	if plain.Syncs != grouped.Syncs || plain.Records != grouped.Records || plain.Bytes != grouped.Bytes {
+		t.Fatalf("grouped single-threaded stats diverge: plain %+v grouped %+v", plain, grouped)
+	}
+	read := func(path string) []string {
+		var out []string
+		if err := IterateFS(fs, path, func(r *Record) error {
+			out = append(out, fmt.Sprintf("%s %d %s %v %v", r.Kind, r.VN, r.Table, r.RID, r.After))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := read("plain.log"), read("grouped.log")
+	if len(a) != len(b) {
+		t.Fatalf("record count diverges: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d diverges:\nplain:   %s\ngrouped: %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestGroupCommitSyncErrorPropagates: a failing group fsync must surface to
+// the committer and stick, exactly like the plain path.
+func TestGroupCommitSyncErrorPropagates(t *testing.T) {
+	script, err := vfs.ParseScript("fault 3 err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := vfs.NewFaultFS(script) // op 1 create, op 2 flush write, op 3 fsync
+	l, err := CreateFS(fs, "wal.log", PolicyRedoOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetRetry(vfs.NoRetry)
+	l.SetGroupCommit(GroupCommit{Enabled: true})
+	l.LogBegin(2)
+	if err := l.LogCommit(2); err == nil {
+		t.Fatal("LogCommit succeeded through a failing fsync")
+	}
+	if l.Err() == nil {
+		t.Fatal("failed group fsync did not stick")
+	}
+	if err := l.LogCommit(3); err == nil {
+		t.Fatal("LogCommit after sticky error reported success")
+	}
+}
+
+// TestGroupCommitSyncRetried: the bounded retry policy applies to the group
+// fsync as it does to the plain one.
+func TestGroupCommitSyncRetried(t *testing.T) {
+	script, err := vfs.ParseScript("fault 3 err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := vfs.NewFaultFS(script)
+	l, err := CreateFS(fs, "wal.log", PolicyRedoOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetGroupCommit(GroupCommit{Enabled: true})
+	l.LogBegin(2)
+	if err := l.LogCommit(2); err != nil {
+		t.Fatalf("LogCommit with default retry: %v", err)
+	}
+	st := l.Stats()
+	if st.Retries == 0 {
+		t.Fatal("transient fsync failure was not counted as a retry")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitFollowerFailure: committers waiting on a group whose fsync
+// fails must all see the error, not hang and not report false durability.
+func TestGroupCommitFollowerFailure(t *testing.T) {
+	const n = 4
+	script, err := vfs.ParseScript("fault 3 err\nfault 4 err\nfault 5 err\nfault 6 err\nfault 7 err\nfault 8 err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := vfs.NewFaultFS(script)
+	l, err := CreateFS(fs, "wal.log", PolicyRedoOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetRetry(vfs.NoRetry)
+	deadline := time.Now().Add(5 * time.Second)
+	l.SetGroupCommit(GroupCommit{
+		Enabled:  true,
+		MaxDelay: time.Millisecond,
+		sleep: func(time.Duration) {
+			for time.Now().Before(deadline) {
+				l.mu.Lock()
+				w := l.waiters
+				l.mu.Unlock()
+				if w == n-1 {
+					return
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		},
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.LogBegin(core.VN(i + 2))
+			errs[i] = l.LogCommit(core.VN(i + 2))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("committer %d reported durability through a failing fsync", i)
+		}
+		if !errors.Is(err, l.Err()) && l.Err() == nil {
+			t.Fatalf("committer %d error %v but log has no sticky error", i, err)
+		}
+	}
+}

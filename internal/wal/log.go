@@ -113,6 +113,15 @@ type Log struct {
 	buf   []byte
 	stats Stats
 	err   error // first unrecovered write error; subsequent appends are dropped
+
+	// Group commit state (see group.go), protected by mu like the fields
+	// above; gcond waits on mu itself.
+	group   GroupCommit
+	gcond   *sync.Cond
+	seq     int64 // records accepted into the buffer
+	synced  int64 // highest seq known durable
+	syncing bool  // a group leader is flushing
+	waiters int   // committers waiting to be covered by the in-flight group
 }
 
 // Create creates (or truncates) a log file with the given policy on the
@@ -197,6 +206,7 @@ func (l *Log) append(payload []byte, beforeBytes int) {
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
 	l.buf = append(l.buf, hdr[:]...)
 	l.buf = append(l.buf, payload...)
+	l.seq++
 	l.stats.Records++
 	l.stats.Bytes += int64(len(hdr) + len(payload))
 	l.stats.BeforeBytes += int64(beforeBytes)
@@ -238,10 +248,15 @@ func (l *Log) flushLocked() error {
 }
 
 // sync flushes buffered records and fsyncs the file, retrying transient
-// failures per the retry policy.
+// failures per the retry policy. With group commit enabled, concurrent
+// callers coalesce onto one fsync (group.go); otherwise each call forces
+// individually, byte-for-byte as before.
 func (l *Log) sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.group.Enabled {
+		return l.groupSyncLocked()
+	}
 	return l.syncLocked()
 }
 

@@ -15,7 +15,7 @@ import (
 // begin, insert, update, delete, commit, abort — by driving a real store
 // over a FaultFS (the engine journals *extended* tuples, so hand-built
 // records would not replay), and returns the raw bytes.
-func writeAllKindsLog(t *testing.T) []byte {
+func writeAllKindsLog(t testing.TB) []byte {
 	t.Helper()
 	fs := vfs.NewFaultFS(nil)
 	log, err := CreateFS(fs, "wal.log", PolicyFullImages)
@@ -89,7 +89,7 @@ type frame struct {
 
 // parseFrames walks the framing layer ([len u32][crc u32][payload]) and
 // returns every frame boundary. The payload's first byte is the kind.
-func parseFrames(t *testing.T, raw []byte) []frame {
+func parseFrames(t testing.TB, raw []byte) []frame {
 	t.Helper()
 	var frames []frame
 	off := 0

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"repro/internal/catalog"
+	"repro/internal/core"
 	"repro/internal/warehouse"
 )
 
@@ -53,6 +54,8 @@ type Generator struct {
 	day int64 // days since 1996-10-01
 	// sold tracks previously emitted facts available for retraction.
 	sold []warehouse.Fact
+	// fresh is the next never-used key DeltaBatch may insert.
+	fresh int64
 }
 
 // New returns a generator with the given seed, starting at 1996-10-01 (the
@@ -129,6 +132,43 @@ func (g *Generator) NextDay() { g.day++ }
 // truth for warehouse.CheckViews.
 func (g *Generator) Sold() []warehouse.Fact {
 	return append([]warehouse.Fact(nil), g.sold...)
+}
+
+// DeltaBatch generates one batch for the parallel maintenance pipeline
+// (core.Maintenance.ApplyBatch): updates skewed onto hot keys in [0, live),
+// deletes over the same range, and inserts of fresh never-used keys, shuffled
+// into one submission sequence. The batch is legal in any interleaving the
+// generator emits: inserts only ever name fresh keys (tracked across calls),
+// and updates or deletes of keys another batch already removed are legal
+// skips. Hot-key repetition gives the same-key multi-touch the Tables 2–4
+// second rows fold.
+func (g *Generator) DeltaBatch(table string, live, updates, inserts, deletes int) []core.Delta {
+	if g.fresh < int64(live) {
+		g.fresh = int64(live)
+	}
+	deltas := make([]core.Delta, 0, updates+inserts+deletes)
+	kv := func(k, v int64) catalog.Tuple {
+		return catalog.Tuple{catalog.NewInt(k), catalog.NewInt(v)}
+	}
+	for i := 0; i < updates; i++ {
+		k := int64(g.skewIndex(live))
+		deltas = append(deltas, core.Delta{Table: table, Op: core.DeltaUpdate,
+			Row: kv(k, int64(g.rng.Intn(100000))),
+			Key: catalog.Tuple{catalog.NewInt(k)}})
+	}
+	for i := 0; i < deletes; i++ {
+		k := int64(g.skewIndex(live))
+		deltas = append(deltas, core.Delta{Table: table, Op: core.DeltaDelete,
+			Key: catalog.Tuple{catalog.NewInt(k)}})
+	}
+	for i := 0; i < inserts; i++ {
+		k := g.fresh
+		g.fresh++
+		deltas = append(deltas, core.Delta{Table: table, Op: core.DeltaInsert,
+			Row: kv(k, int64(g.rng.Intn(100000)))})
+	}
+	g.rng.Shuffle(len(deltas), func(i, j int) { deltas[i], deltas[j] = deltas[j], deltas[i] })
+	return deltas
 }
 
 // KVBatch generates a key-value batch for the mvcc scheme benchmarks:
