@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race stress lint crash fuzz bench-smoke all
+.PHONY: build test race stress lint crash fuzz fuzz-proto server-smoke bench-smoke all
 
 all: build lint test
 
@@ -42,6 +42,16 @@ crash:
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME) -run '^$$' ./internal/wal/
+
+# fuzz-proto runs the wire-protocol fuzzer (FuzzFrameDecode: framing plus
+# every message decoder; malformed input must error, never panic).
+fuzz-proto:
+	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=$(FUZZTIME) -run '^$$' ./internal/server/
+
+# server-smoke starts a real vnlserver, drives a vnlload burst over the
+# wire, snapshots /metrics, and requires a clean SIGTERM drain (exit 0).
+server-smoke:
+	bash scripts/server_smoke.sh
 
 # bench-smoke runs every benchmark once, just to prove they still execute;
 # real measurement runs use cmd/bench.

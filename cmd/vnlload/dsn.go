@@ -1,0 +1,205 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+	"repro/pkg/vnlclient"
+)
+
+// runDSN drives a remote vnlserver over the binary protocol instead of an
+// embedded store: it seeds the kv benchmark table (the server must be
+// started with -kv), streams maintenance delta batches through ApplyBatch
+// while a concurrent reader session audits version stability, replays every
+// delta into a client-side oracle map, and finishes by checking the server's
+// COUNT/SUM against the oracle. The -days/-facts flags keep their meaning:
+// one batch per day, sized by facts.
+func runDSN(dsn string, days, facts int, seed int64, report time.Duration) error {
+	c, err := vnlclient.Dial(dsn, vnlclient.Options{ClientName: "vnlload"})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	// The oracle replays the exact sequential skip semantics of ApplyBatch:
+	// updates and deletes of absent keys are legal no-ops.
+	oracle := make(map[int64]int64)
+	apply := func(deltas []core.Delta) ([]vnlclient.Delta, int) {
+		wire := make([]vnlclient.Delta, len(deltas))
+		missing := 0
+		for i, d := range deltas {
+			w := vnlclient.Delta{Table: d.Table, Row: d.Row, Key: d.Key}
+			switch d.Op {
+			case core.DeltaInsert:
+				w.Op = vnlclient.DeltaInsert
+				oracle[d.Row[0].Int()] = d.Row[1].Int()
+			case core.DeltaUpdate:
+				w.Op = vnlclient.DeltaUpdate
+				if _, ok := oracle[d.Key[0].Int()]; ok {
+					oracle[d.Key[0].Int()] = d.Row[1].Int()
+				} else {
+					missing++
+				}
+			case core.DeltaDelete:
+				w.Op = vnlclient.DeltaDelete
+				if _, ok := oracle[d.Key[0].Int()]; ok {
+					delete(oracle, d.Key[0].Int())
+				} else {
+					missing++
+				}
+			}
+			wire[i] = w
+		}
+		return wire, missing
+	}
+
+	gen := workload.New(seed)
+	live := facts
+
+	// Seed the live key range in one batch of inserts.
+	seedWire, _ := apply(gen.DeltaBatch("kv", 0, 0, live, 0))
+	res, err := c.ApplyBatch(seedWire)
+	if err != nil {
+		return fmt.Errorf("seeding %d keys: %w", live, err)
+	}
+	fmt.Printf("dsn %s: seeded %d keys -> VN %d\n", dsn, res.Applied, res.VN)
+
+	// A concurrent reader keeps a session open across maintenance commits
+	// and checks that its view never moves: the count it sees must stay
+	// whatever it was at session begin until the session expires, at which
+	// point it reopens at the new version.
+	var (
+		logicalOps atomic.Int64
+		stop       = make(chan struct{})
+		readerErr  = make(chan error, 1)
+		expiries   atomic.Int64
+		reads      atomic.Int64
+	)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess, err := c.Begin()
+		if err != nil {
+			readerErr <- err
+			return
+		}
+		defer func() { _ = sess.Close() }()
+		baseline := int64(-1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rows, err := sess.Query(`SELECT COUNT(*) FROM kv`, nil)
+			if code, ok := vnlclient.ErrorCode(err); ok && code == vnlclient.CodeSessionExpired {
+				// Overlapped n-1 maintenance transactions; the paper says
+				// the session must move on. Reopen at the current version.
+				expiries.Add(1)
+				_ = sess.Close()
+				if sess, err = c.Begin(); err != nil {
+					readerErr <- err
+					return
+				}
+				baseline = -1
+				continue
+			}
+			if err != nil {
+				readerErr <- err
+				return
+			}
+			got := rows.Tuples[0][0].Int()
+			if baseline < 0 {
+				baseline = got
+			} else if got != baseline {
+				readerErr <- fmt.Errorf("session at VN %d saw count move %d -> %d mid-session", sess.VN(), baseline, got)
+				return
+			}
+			reads.Add(1)
+		}
+	}()
+
+	done := make(chan struct{})
+	if report > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(report)
+			defer tick.Stop()
+			start := time.Now()
+			last := int64(0)
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					now := logicalOps.Load()
+					fmt.Printf("t+%s: %.0f logical ops/s over last %v (%d total, %d session reads)\n",
+						time.Since(start).Round(time.Second), float64(now-last)/report.Seconds(),
+						report, now, reads.Load())
+					last = now
+				}
+			}
+		}()
+	}
+
+	loadStart := time.Now()
+	totalMissing := 0
+	var lastVN uint64
+	for day := 0; day < days; day++ {
+		deltas := gen.DeltaBatch("kv", live, facts, facts/10+1, facts/20+1)
+		wire, wantMissing := apply(deltas)
+		res, err := c.ApplyBatch(wire)
+		if err != nil {
+			return fmt.Errorf("batch %d: %w", day+1, err)
+		}
+		if int(res.Missing) != wantMissing {
+			return fmt.Errorf("batch %d: server skipped %d absent keys, oracle expected %d", day+1, res.Missing, wantMissing)
+		}
+		logicalOps.Add(int64(len(deltas)))
+		totalMissing += wantMissing
+		lastVN = res.VN
+	}
+	elapsed := time.Since(loadStart)
+	close(done)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-readerErr:
+		return fmt.Errorf("concurrent reader: %w", err)
+	default:
+	}
+
+	secs := elapsed.Seconds()
+	if secs > 0 {
+		fmt.Printf("throughput: %.0f logical ops/s (%d ops over %v, %d batches, %d legal skips)\n",
+			float64(logicalOps.Load())/secs, logicalOps.Load(), elapsed.Round(time.Millisecond),
+			days, totalMissing)
+	}
+	fmt.Printf("reader: %d stable reads, %d session expiries (reopened each time)\n",
+		reads.Load(), expiries.Load())
+
+	// Final audit: the server's current version must agree exactly with the
+	// client-side oracle replay.
+	var wantSum int64
+	for _, v := range oracle {
+		wantSum += v
+	}
+	rows, err := c.Query(`SELECT COUNT(*), SUM(v) FROM kv`, nil)
+	if err != nil {
+		return err
+	}
+	gotCount, gotSum := rows.Tuples[0][0].Int(), rows.Tuples[0][1].Int()
+	if gotCount != int64(len(oracle)) || gotSum != wantSum {
+		return fmt.Errorf("audit failed at VN %d: server count=%d sum=%d, oracle count=%d sum=%d",
+			lastVN, gotCount, gotSum, len(oracle), wantSum)
+	}
+	fmt.Printf("audit: server matches oracle exactly (%d keys, sum %d, VN %d)\n",
+		len(oracle), wantSum, lastVN)
+	return nil
+}

@@ -6,6 +6,13 @@
 //
 //	vnlload -days 5 -facts 2000 -retract 5 -n 2 -seed 1
 //	vnlload -wal warehouse.wal -group-commit    # one fsync per commit group
+//	vnlload -dsn 127.0.0.1:7432 -days 20        # drive a remote vnlserver
+//
+// With -dsn the load runs over the wire against a vnlserver started with
+// -kv: delta batches stream through the protocol's ApplyBatch while a
+// concurrent reader session checks version stability, and a client-side
+// oracle audits the final state. -report prints interval throughput while
+// the load runs (both modes), instead of only the exit summary.
 package main
 
 import (
@@ -34,19 +41,28 @@ func main() {
 		group   = flag.Bool("group-commit", false, "batch WAL commits: one fsync per group (needs -wal)")
 		delay   = flag.Duration("group-delay", 0, "bounded linger the group-commit leader waits for joiners")
 		metrics = flag.Bool("metrics", false, "print the full metrics snapshot at the end")
+		dsn     = flag.String("dsn", "", "drive a remote vnlserver at this address instead of an embedded store")
+		report  = flag.Duration("report", 0, "print interval throughput this often while loading (0 = only the exit summary)")
 	)
 	flag.Parse()
 	if *group && *walPath == "" {
 		fmt.Fprintln(os.Stderr, "vnlload: -group-commit needs -wal")
 		os.Exit(2)
 	}
-	if err := run(*days, *facts, *retract, *n, *seed, *gc, *walPath, *group, *delay, *metrics); err != nil {
+	if *dsn != "" {
+		if err := runDSN(*dsn, *days, *facts, *seed, *report); err != nil {
+			fmt.Fprintln(os.Stderr, "vnlload:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*days, *facts, *retract, *n, *seed, *gc, *walPath, *group, *delay, *metrics, *report); err != nil {
 		fmt.Fprintln(os.Stderr, "vnlload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(days, facts, retract, n int, seed int64, gc bool, walPath string, group bool, groupDelay time.Duration, metrics bool) error {
+func run(days, facts, retract, n int, seed int64, gc bool, walPath string, group bool, groupDelay time.Duration, metrics bool, report time.Duration) error {
 	d := db.Open(db.Options{})
 	store, err := core.Open(d, core.Options{N: n})
 	if err != nil {
@@ -87,6 +103,10 @@ func run(days, facts, retract, n int, seed int64, gc bool, walPath string, group
 	reg := store.Metrics()
 	before := reg.Snapshot()
 	loadStart := time.Now()
+	if report > 0 {
+		stopReport := startReporter(reg, report)
+		defer stopReport()
+	}
 
 	gen := workload.New(seed)
 	// A long-running analyst session opened before loading: it must keep a
@@ -170,4 +190,38 @@ func run(days, facts, retract, n int, seed int64, gc bool, walPath string, group
 		}
 	}
 	return nil
+}
+
+// startReporter prints interval throughput from the store's logical-op
+// counters every report period until the returned stop function is called.
+// Earlier versions only printed the exit summary, which made a stalled or
+// slow load indistinguishable from a fast one until it finished.
+func startReporter(reg *obs.Registry, report time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(report)
+		defer tick.Stop()
+		start := time.Now()
+		logical := func(s obs.Snapshot) int64 {
+			return s.Counters["core_maint_logical_inserts_total"] +
+				s.Counters["core_maint_logical_updates_total"] +
+				s.Counters["core_maint_logical_deletes_total"]
+		}
+		last := logical(reg.Snapshot())
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				now := logical(reg.Snapshot())
+				fmt.Printf("t+%s: %.0f logical ops/s over last %v (%d total)\n",
+					time.Since(start).Round(time.Second),
+					float64(now-last)/report.Seconds(), report, now)
+				last = now
+			}
+		}
+	}()
+	return func() { close(done); <-finished }
 }

@@ -1,0 +1,199 @@
+// Command vnlserver fronts the 2VNL/nVNL store with a TCP server speaking
+// the length-prefixed protocol of PROTOCOL.md, plus an HTTP observability
+// sidecar (/metrics, /healthz, /readyz). Reader sessions opened over the
+// wire run on the store's lock-free snapshot path, so on-line maintenance
+// never blocks them; maintenance delta batches arrive over the same wire
+// and route into the parallel ApplyBatch pipeline.
+//
+//	vnlserver -addr :7432 -http :7433 -kv
+//	vnlserver -n 3 -wal server.wal -group-commit
+//	vnlserver -init schema.sql -drain-timeout 30s
+//
+// On SIGTERM or SIGINT the server drains gracefully: the listener closes,
+// /readyz flips to 503, in-flight queries complete, and open sessions get
+// until -drain-timeout to finish; a clean drain exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/server"
+	"repro/internal/wal"
+	"repro/internal/warehouse"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7432", "TCP listen address for the binary protocol")
+		httpA   = flag.String("http", "", "HTTP sidecar listen address for /metrics, /healthz, /readyz (empty = off)")
+		n       = flag.Int("n", 2, "versions (2 = 2VNL)")
+		workers = flag.Int("apply-workers", 0, "worker count for batch apply (0 = GOMAXPROCS)")
+		walPath = flag.String("wal", "", "journal maintenance to this write-ahead log")
+		group   = flag.Bool("group-commit", false, "batch WAL commits: one fsync per group (needs -wal)")
+		delay   = flag.Duration("group-delay", 0, "bounded linger the group-commit leader waits for joiners")
+		maxConn = flag.Int("max-conns", 256, "connection limit; excess dials are answered too_busy")
+		idleTO  = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle this long (0 = never)")
+		reqTO   = flag.Duration("request-timeout", 30*time.Second, "sever connections whose in-flight request exceeds this (0 = never)")
+		drainTO = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM")
+		kv      = flag.Bool("kv", false, "create the kv benchmark table (what vnlload -dsn drives)")
+		demo    = flag.Bool("demo", false, "preload the sporting-goods warehouse demo (3 summary views, 2 days of feed)")
+		initSQL = flag.String("init", "", "file of semicolon-separated CREATE TABLE statements run at startup")
+	)
+	flag.Parse()
+	if *group && *walPath == "" {
+		fmt.Fprintln(os.Stderr, "vnlserver: -group-commit needs -wal")
+		os.Exit(2)
+	}
+	if err := run(*addr, *httpA, *n, *workers, *walPath, *group, *delay,
+		*maxConn, *idleTO, *reqTO, *drainTO, *kv, *demo, *initSQL); err != nil {
+		fmt.Fprintln(os.Stderr, "vnlserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, httpAddr string, n, workers int, walPath string, group bool, groupDelay time.Duration,
+	maxConns int, idleTO, reqTO, drainTO time.Duration, kv, demo bool, initSQL string) error {
+	d := db.Open(db.Options{})
+	store, err := core.Open(d, core.Options{N: n, ApplyWorkers: workers})
+	if err != nil {
+		return err
+	}
+	var journal *wal.Log
+	if walPath != "" {
+		journal, err = wal.Create(walPath, wal.PolicyRedoOnly)
+		if err != nil {
+			return err
+		}
+		if group {
+			journal.SetGroupCommit(wal.GroupCommit{Enabled: true, MaxDelay: groupDelay})
+		}
+		store.SetJournal(journal)
+	}
+	if kv {
+		if _, err := store.CreateTableSQL(`CREATE TABLE kv (k INT(8), v INT(8) UPDATABLE, UNIQUE KEY(k))`); err != nil {
+			return err
+		}
+		log.Printf("vnlserver: created kv table")
+	}
+	if demo {
+		if err := loadDemo(store); err != nil {
+			return err
+		}
+	}
+	if initSQL != "" {
+		if err := runInitSQL(store, initSQL); err != nil {
+			return err
+		}
+	}
+
+	srv := server.New(server.Config{
+		Addr:           addr,
+		Store:          store,
+		MaxConns:       maxConns,
+		IdleTimeout:    idleTO,
+		RequestTimeout: reqTO,
+		DrainTimeout:   drainTO,
+		Logf:           log.Printf,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+
+	var hs *http.Server
+	if httpAddr != "" {
+		hs = &http.Server{Addr: httpAddr, Handler: srv.HTTPHandler()}
+		go func() {
+			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("vnlserver: http sidecar: %v", err)
+			}
+		}()
+		log.Printf("vnlserver: http sidecar on %s (/metrics /healthz /readyz)", httpAddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	log.Printf("vnlserver: %v received; draining (deadline %v)", got, drainTO)
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTO)
+	defer cancel()
+	drainErr := srv.Shutdown(ctx)
+	if hs != nil {
+		hctx, hcancel := context.WithTimeout(context.Background(), time.Second)
+		defer hcancel()
+		_ = hs.Shutdown(hctx)
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			return fmt.Errorf("closing wal: %w", err)
+		}
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	log.Printf("vnlserver: drained cleanly")
+	return nil
+}
+
+// loadDemo materializes the sporting-goods summary views and streams two
+// days of feed, so a fresh server answers the README's example queries.
+func loadDemo(store *core.Store) error {
+	wh := warehouse.New(store)
+	views := []warehouse.ViewDef{
+		{Name: "DailySales", GroupBy: []string{"city", "state", "product_line", "date"},
+			Aggregates: []warehouse.Aggregate{{Func: "sum", Source: "amount", As: "total_sales"}}},
+		{Name: "StateSales", GroupBy: []string{"state"},
+			Aggregates: []warehouse.Aggregate{
+				{Func: "sum", Source: "amount", As: "total_sales"},
+				{Func: "count", As: "num_sales"}}},
+		{Name: "LineSales", GroupBy: []string{"product_line"},
+			Aggregates: []warehouse.Aggregate{{Func: "sum", Source: "quantity", As: "qty"}}},
+	}
+	for _, def := range views {
+		if _, err := wh.Materialize(def); err != nil {
+			return err
+		}
+	}
+	gen := workload.New(1)
+	for day := 0; day < 2; day++ {
+		if err := wh.RefreshBatch(gen.Batch(500, 5)); err != nil {
+			return err
+		}
+		gen.NextDay()
+	}
+	log.Printf("vnlserver: demo warehouse loaded (%d views, 2 days of feed, VN %d)",
+		len(views), store.CurrentVN())
+	return nil
+}
+
+// runInitSQL executes semicolon-separated CREATE TABLE statements from a
+// file.
+func runInitSQL(store *core.Store, path string) error {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range strings.Split(string(text), ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if _, err := store.CreateTableSQL(stmt); err != nil {
+			return fmt.Errorf("init %s: %w", path, err)
+		}
+	}
+	log.Printf("vnlserver: ran init statements from %s", path)
+	return nil
+}

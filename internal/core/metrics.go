@@ -74,6 +74,10 @@ type storeMetrics struct {
 	batchDeltas  *obs.Counter
 	batchNS      *obs.Histogram
 
+	// Prepared-statement rewrite cache (Prepare/QueryPrepared).
+	preparedHits   *obs.Counter
+	preparedMisses *obs.Counter
+
 	gcPasses  *obs.Counter
 	gcScanned *obs.Counter
 	gcRemoved *obs.Counter
@@ -128,6 +132,9 @@ func newStoreMetrics(reg *obs.Registry, tracer obs.Tracer) *storeMetrics {
 		batchApplies: c("core_maint_batches_total", "ApplyBatch calls (parallel Tables 2–4 apply)"),
 		batchDeltas:  c("core_maint_batch_deltas_total", "logical deltas applied through ApplyBatch"),
 		batchNS:      h("core_maint_batch_apply_ns", "latency of one ApplyBatch call, partition to join"),
+
+		preparedHits:   c("core_prepared_rewrite_hits_total", "prepared executions served from the cached §4.1 rewrite"),
+		preparedMisses: c("core_prepared_rewrite_misses_total", "prepared executions that re-derived the §4.1 rewrite"),
 
 		gcPasses:  c("core_gc_passes_total", "garbage-collection passes"),
 		gcScanned: c("core_gc_scanned_total", "physical tuples examined by GC"),

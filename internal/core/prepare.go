@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/exec"
+	"repro/internal/sql"
+)
+
+// Prepared is a SELECT that has been parsed once and whose §4.1 rewrite is
+// cached: executing it through Session.QueryPrepared skips both the parse
+// and — on the steady-state path — the rewrite derivation that Session.Query
+// performs per call.
+//
+// The rewrite depends only on the set of registered versioned relations and
+// their schemas, never on the session's version (the rewrite binds
+// :sessionVN as a parameter at execution time), so one rewritten form is
+// valid until the table registry changes. The cache is therefore keyed on
+// the identity of the store's copy-on-write table registry: CreateTable and
+// AdoptTable publish a fresh registry, which invalidates every cached plan
+// with a single pointer comparison and no shootdown protocol. A Prepared is
+// safe for concurrent use by any number of sessions.
+type Prepared struct {
+	store *Store
+	src   *sql.SelectStmt
+	plan  atomic.Pointer[preparedPlan]
+}
+
+// preparedPlan is one immutable cached rewrite, valid for exactly the table
+// registry it was derived against.
+type preparedPlan struct {
+	reg *tableRegistry
+	rw  *sql.SelectStmt
+}
+
+// Prepare parses a SELECT and returns its prepared form.
+func (s *Store) Prepare(text string) (*Prepared, error) {
+	sel, err := sql.ParseSelect(text)
+	if err != nil {
+		return nil, err
+	}
+	return s.PrepareStmt(sel), nil
+}
+
+// PrepareStmt prepares an already-parsed SELECT. The input is cloned, so
+// later mutations by the caller do not affect the prepared statement.
+func (s *Store) PrepareStmt(sel *sql.SelectStmt) *Prepared {
+	return &Prepared{store: s, src: sql.CloneSelect(sel)}
+}
+
+// SQL returns the canonical printed form of the prepared statement — the
+// normalization key callers use to deduplicate preparations.
+func (p *Prepared) SQL() string { return sql.Print(p.src) }
+
+// rewritten returns the cached rewrite when the table registry is unchanged,
+// deriving and caching a fresh one otherwise. Concurrent misses may race to
+// derive; each derivation is correct for the registry it loaded, and the
+// losing Store is harmless (last writer wins, both plans valid for their
+// registries).
+func (p *Prepared) rewritten() (*sql.SelectStmt, error) {
+	reg := p.store.tables.Load()
+	if pl := p.plan.Load(); pl != nil && pl.reg == reg {
+		p.store.metrics.preparedHits.Inc()
+		return pl.rw, nil
+	}
+	rw, err := RewriteSelect(p.store, p.src)
+	if err != nil {
+		return nil, err
+	}
+	p.store.metrics.preparedMisses.Inc()
+	p.plan.Store(&preparedPlan{reg: reg, rw: rw})
+	return rw, nil
+}
+
+// QueryPrepared executes a prepared SELECT at the session's version,
+// following the same expiration discipline as QueryStmt (global pessimistic
+// check before and after, or the per-tuple probe for optimistic sessions).
+// On a cache hit the steady-state path performs no parsing, no rewrite, and
+// no mutex acquisition.
+func (sess *Session) QueryPrepared(p *Prepared, params exec.Params) (*exec.Rows, error) {
+	if p.store != sess.store {
+		return nil, fmt.Errorf("core: prepared statement belongs to a different store")
+	}
+	if sess.perTuple {
+		return sess.queryPreparedPerTuple(p, params)
+	}
+	if err := sess.Check(); err != nil {
+		return nil, err
+	}
+	rw, err := p.rewritten()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Select(queryCatalog{sess.store}, rw, withSessionVN(params, sess.vn))
+	if err != nil {
+		return nil, err
+	}
+	if sess.midQueryHook != nil {
+		sess.midQueryHook()
+	}
+	if err := sess.Check(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// queryPreparedPerTuple is QueryPrepared under §3.2's optimistic expiration
+// alternative, mirroring queryPerTuple: execute, then probe each versioned
+// table in FROM for tuples the session can no longer reconstruct.
+func (sess *Session) queryPreparedPerTuple(p *Prepared, params exec.Params) (*exec.Rows, error) {
+	if sess.closed.Load() {
+		return nil, ErrSessionClosed
+	}
+	_, _, floor := sess.store.readGlobals()
+	if sess.vn < floor {
+		return nil, sess.markExpired()
+	}
+	rw, err := p.rewritten()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Select(queryCatalog{sess.store}, rw, withSessionVN(params, sess.vn))
+	if err != nil {
+		return nil, err
+	}
+	if sess.midQueryHook != nil {
+		sess.midQueryHook()
+	}
+	for _, tr := range p.src.From {
+		vt := sess.store.lookup(tr.Table)
+		if vt == nil {
+			continue
+		}
+		if vt.hasUnreconstructible(sess.vn) {
+			return nil, sess.markExpired()
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,23 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/obs"
+)
+
+// testServer builds an unstarted Server over a fresh store with the kv
+// table, on a private registry.
+func testServer(t *testing.T) (*Server, *core.Store) {
+	t.Helper()
+	store, err := core.Open(db.Open(db.Options{}), core.Options{N: 2, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.CreateTableSQL(`CREATE TABLE kv (k INT(8), v INT(8) UPDATABLE, UNIQUE KEY(k))`); err != nil {
+		t.Fatal(err)
+	}
+	return New(Config{Addr: "127.0.0.1:0", Store: store, Metrics: obs.NewRegistry()}), store
+}

@@ -1,0 +1,47 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// HTTPHandler returns the observability sidecar's handler:
+//
+//	/metrics  — the obs registry snapshot, text by default,
+//	            ?format=json for the JSON export
+//	/healthz  — 200 while the process is up (liveness)
+//	/readyz   — 200 while accepting connections, 503 once draining
+//	            or closed (readiness; load balancers stop routing here
+//	            first, which is what makes SIGTERM drains invisible)
+//
+// The sidecar is plain HTTP on a separate listener so operators can scrape
+// and probe without speaking the binary protocol; cmd/vnlserver wires it to
+// the -http flag.
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := snap.WriteJSON(w); err != nil {
+				s.logf("metrics export: %v", err)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := snap.WriteText(w); err != nil {
+			s.logf("metrics export: %v", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	return mux
+}

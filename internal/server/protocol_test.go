@@ -1,0 +1,202 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// Every message type round-trips through its encoder and DecodeAny.
+func TestMessageRoundTrips(t *testing.T) {
+	tuple := catalog.Tuple{
+		catalog.NewInt(-42), catalog.NewFloat(3.5), catalog.NewString("Palo Alto"),
+		catalog.NewBool(true), catalog.NewDate(9785), catalog.Null,
+	}
+	params := map[string]catalog.Value{"state": catalog.NewString("CA"), "min": catalog.NewInt(10)}
+	cases := []struct {
+		t    MsgType
+		msg  interface{ Encode() []byte }
+		want any
+	}{
+		{MsgHello, Hello{ClientName: "vnlload"}, Hello{ClientName: "vnlload"}},
+		{MsgWelcome, Welcome{Server: ServerVersion, N: 3, VN: 17}, Welcome{Server: ServerVersion, N: 3, VN: 17}},
+		{MsgQuery, Query{SID: 7, SQL: "SELECT 1", Params: params}, Query{SID: 7, SQL: "SELECT 1", Params: params}},
+		{MsgRows, Rows{Columns: []string{"k", "v"}, Tuples: []catalog.Tuple{tuple, nil}},
+			Rows{Columns: []string{"k", "v"}, Tuples: []catalog.Tuple{tuple, nil}}},
+		{MsgSession, Session{SID: 3, VN: 99}, Session{SID: 3, VN: 99}},
+		{MsgEndSession, EndSession{SID: 3}, EndSession{SID: 3}},
+		{MsgPrepare, Prepare{SQL: "SELECT COUNT(*) FROM kv"}, Prepare{SQL: "SELECT COUNT(*) FROM kv"}},
+		{MsgPrepared, Prepared{StmtID: 12}, Prepared{StmtID: 12}},
+		{MsgExecStmt, ExecStmt{SID: 1, StmtID: 12, Params: params}, ExecStmt{SID: 1, StmtID: 12, Params: params}},
+		{MsgApplyBatch, ApplyBatch{Deltas: []Delta{
+			{Table: "kv", Op: DeltaInsert, Row: catalog.Tuple{catalog.NewInt(1), catalog.NewInt(2)}},
+			{Table: "kv", Op: DeltaDelete, Key: catalog.Tuple{catalog.NewInt(1)}},
+		}}, ApplyBatch{Deltas: []Delta{
+			{Table: "kv", Op: DeltaInsert, Row: catalog.Tuple{catalog.NewInt(1), catalog.NewInt(2)}},
+			{Table: "kv", Op: DeltaDelete, Key: catalog.Tuple{catalog.NewInt(1)}},
+		}}},
+		{MsgBatchDone, BatchDone{VN: 5, Applied: 100, Missing: 3}, BatchDone{VN: 5, Applied: 100, Missing: 3}},
+		{MsgErr, ErrMsg{Code: CodeTooBusy, Msg: "connection limit 256 reached"},
+			ErrMsg{Code: CodeTooBusy, Msg: "connection limit 256 reached"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.t.String(), func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, tc.t, tc.msg.Encode()); err != nil {
+				t.Fatal(err)
+			}
+			rt, body, err := ReadFrame(bufio.NewReader(&buf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rt != tc.t {
+				t.Fatalf("type %v, want %v", rt, tc.t)
+			}
+			got, err := DecodeAny(rt, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("decoded %#v, want %#v", got, tc.want)
+			}
+		})
+	}
+}
+
+// Float values round-trip bit-exactly (the encoding is raw IEEE bits, not
+// decimal text).
+func TestValueFloatBits(t *testing.T) {
+	for _, f := range []float64{0, -0.0, 1.0 / 3.0, 1e300, -1e-300} {
+		buf := appendValue(nil, catalog.NewFloat(f))
+		r := wireReader{buf}
+		v, err := r.value()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Float() != f && !(f != f && v.Float() != v.Float()) {
+			t.Fatalf("float %v round-tripped to %v", f, v.Float())
+		}
+	}
+}
+
+// Malformed frames error without panicking, with the right classification.
+func TestFrameErrors(t *testing.T) {
+	frame := func(parts ...[]byte) []byte { return bytes.Join(parts, nil) }
+	u32 := func(n uint32) []byte {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], n)
+		return b[:]
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want string
+	}{
+		{"empty", nil, "EOF"},
+		{"short header", []byte{0, 0}, "EOF"},
+		{"length below minimum", u32(1), "below minimum"},
+		{"length above MaxFrame", u32(MaxFrame + 1), "exceeds MaxFrame"},
+		{"truncated payload", frame(u32(10), []byte{ProtocolVersion, byte(MsgPing)}), "truncated frame"},
+		{"foreign version", frame(u32(2), []byte{99, byte(MsgPing)}), "protocol version 99"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(tc.in)))
+			if err == nil {
+				t.Fatal("ReadFrame accepted a malformed frame")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// Malformed bodies error without panicking; in particular a forged element
+// count larger than the remaining bytes is rejected before allocation.
+func TestDecodeErrors(t *testing.T) {
+	huge := binary.AppendUvarint(nil, 1<<40)
+	cases := []struct {
+		name string
+		t    MsgType
+		body []byte
+	}{
+		{"truncated hello", MsgHello, binary.AppendUvarint(nil, 50)},
+		{"ping with body", MsgPing, []byte{1}},
+		{"rows forged column count", MsgRows, huge},
+		{"batch forged delta count", MsgApplyBatch, huge},
+		{"batch bad op", MsgApplyBatch, frameBatchBadOp()},
+		{"query trailing bytes", MsgQuery, append(Query{SQL: "SELECT 1"}.Encode(), 0xEE)},
+		{"unknown kind in tuple", MsgRows, frameRowsBadKind()},
+		{"unknown type", MsgType(0x70), nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeAny(tc.t, tc.body); err == nil {
+				t.Fatalf("DecodeAny(%v) accepted a malformed body", tc.t)
+			}
+		})
+	}
+}
+
+func frameBatchBadOp() []byte {
+	buf := binary.AppendUvarint(nil, 1)
+	buf = appendString(buf, "kv")
+	return append(buf, 0x7f) // op byte out of range
+}
+
+func frameRowsBadKind() []byte {
+	buf := binary.AppendUvarint(nil, 0) // no columns
+	buf = binary.AppendUvarint(buf, 1)  // one tuple
+	buf = binary.AppendUvarint(buf, 1)  // one value
+	return append(buf, 0xEE)            // unknown value kind
+}
+
+// A frame body at exactly MaxFrame is accepted; one byte more is refused by
+// the writer.
+func TestWriteFrameBound(t *testing.T) {
+	if err := WriteFrame(&bytes.Buffer{}, MsgPing, make([]byte, MaxFrame-2)); err != nil {
+		t.Fatalf("frame at MaxFrame rejected: %v", err)
+	}
+	if err := WriteFrame(&bytes.Buffer{}, MsgPing, make([]byte, MaxFrame-1)); err == nil {
+		t.Fatal("frame above MaxFrame accepted")
+	}
+}
+
+// Statement-cache ids are stable across formatting variants of one query:
+// the key is the canonical printed form.
+func TestPrepareNormalization(t *testing.T) {
+	s, _ := testServer(t)
+	id1, err := s.prepare("SELECT k, v FROM kv WHERE k < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.prepare("select   k,v from kv where k<5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("formatting variants got distinct ids %d and %d", id1, id2)
+	}
+	id3, err := s.prepare("SELECT k, v FROM kv WHERE k < 6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 == id1 {
+		t.Fatalf("distinct queries share id %d", id1)
+	}
+	if got := s.stmt(id1); got == nil {
+		t.Fatal("stmt lookup failed for a granted id")
+	}
+	if got := s.stmt(id3 + 1); got != nil {
+		t.Fatal("stmt lookup succeeded for an ungranted id")
+	}
+	if got := s.stmt(0); got != nil {
+		t.Fatal("stmt lookup succeeded for id 0")
+	}
+}

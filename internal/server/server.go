@@ -1,0 +1,745 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/obs"
+)
+
+// ServerVersion is the software version string sent in Welcome.
+const ServerVersion = "vnlserver/1"
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address; ":0" selects an ephemeral port
+	// (tests read the bound address back from Server.Addr).
+	Addr string
+	// Store is the 2VNL/nVNL store the server fronts.
+	Store *core.Store
+	// MaxConns bounds concurrently open connections; further dials are
+	// answered with MsgErr{CodeTooBusy} and closed (deterministic
+	// backpressure, rather than an opaque SYN-queue stall). 0 means 256.
+	MaxConns int
+	// IdleTimeout closes a connection that sends no request for this
+	// long. 0 disables the idle timer.
+	IdleTimeout time.Duration
+	// RequestTimeout force-closes a connection whose in-flight request
+	// exceeds it (the engine cannot interrupt a running query, so the
+	// socket is severed to free the client side). 0 disables the watchdog.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds Shutdown when its context has no deadline.
+	// 0 means 10s.
+	DrainTimeout time.Duration
+	// Metrics receives the server's instrumentation; nil selects
+	// obs.Default().
+	Metrics *obs.Registry
+	// Logf, when non-nil, receives connection-lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+// serverMetrics is the server's observability surface.
+type serverMetrics struct {
+	connsAccepted *obs.Counter
+	connsRejected *obs.Counter
+	connsActive   *obs.Gauge
+	requests      *obs.Counter
+	requestErrs   *obs.Counter
+	requestNS     *obs.Histogram
+	queries       *obs.Counter
+	batches       *obs.Counter
+	wireSessions  *obs.Gauge
+	drains        *obs.Counter
+	reqTimeouts   *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	c := reg.Counter
+	return &serverMetrics{
+		connsAccepted: c("server_conns_accepted_total", "TCP connections accepted"),
+		connsRejected: c("server_conns_rejected_total", "TCP connections rejected (max-conns backpressure or draining)"),
+		connsActive:   reg.Gauge("server_conns_active", "currently open TCP connections"),
+		requests:      c("server_requests_total", "protocol requests handled"),
+		requestErrs:   c("server_request_errors_total", "protocol requests answered with MsgErr"),
+		requestNS:     reg.Histogram("server_request_ns", "request handling latency", obs.DurationBuckets),
+		queries:       c("server_queries_total", "SELECTs executed over the wire (Query + ExecStmt)"),
+		batches:       c("server_batches_total", "maintenance delta batches applied over the wire"),
+		wireSessions:  reg.Gauge("server_sessions_open", "reader sessions currently open over the wire"),
+		drains:        c("server_drains_total", "graceful drains initiated"),
+		reqTimeouts:   c("server_request_timeouts_total", "connections severed by the in-flight request watchdog"),
+	}
+}
+
+// Server is the TCP front end. One Server owns one listener, an accept
+// loop, and the per-connection goroutine pairs; queries run on the store's
+// lock-free reader path, and maintenance batches serialize on a server-side
+// mutex in front of core's single-writer rule.
+type Server struct {
+	cfg     Config
+	metrics *serverMetrics
+	reg     *obs.Registry
+
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns map[*conn]struct{}
+
+	// wg tracks every per-connection goroutine (reader and writer).
+	wg sync.WaitGroup
+	// acceptDone closes when the accept loop exits.
+	acceptDone chan struct{}
+	// watchStop stops the request-timeout watchdog.
+	watchStop chan struct{}
+
+	started    atomic.Bool
+	draining   atomic.Bool
+	closed     atomic.Bool
+	drainUntil atomic.Int64 // UnixNano drain deadline, set by Shutdown
+
+	// maintMu serializes wire maintenance batches: core allows one
+	// maintenance transaction at a time, so concurrent MsgApplyBatch
+	// requests queue here instead of erroring.
+	maintMu sync.Mutex
+
+	// stmts is the server-global prepared-statement cache, keyed on
+	// normalized SQL; ids are dense and valid on every connection.
+	stmts struct {
+		sync.RWMutex
+		ids  map[string]uint32
+		list []*core.Prepared
+	}
+}
+
+// New builds a Server; call Start to listen.
+func New(cfg Config) *Server {
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = 256
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	s := &Server{
+		cfg:        cfg,
+		reg:        reg,
+		metrics:    newServerMetrics(reg),
+		conns:      make(map[*conn]struct{}),
+		acceptDone: make(chan struct{}),
+		watchStop:  make(chan struct{}),
+	}
+	s.stmts.ids = make(map[string]uint32)
+	return s
+}
+
+// Start binds the listener and launches the accept loop.
+func (s *Server) Start() error {
+	if !s.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("server: already started")
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.logf("listening on %s", ln.Addr())
+	go s.acceptLoop()
+	if s.cfg.RequestTimeout > 0 {
+		go s.watchdog()
+	}
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Ready reports whether the server is accepting new connections — the
+// /readyz condition.
+func (s *Server) Ready() bool {
+	return s.started.Load() && !s.draining.Load() && !s.closed.Load()
+}
+
+// Metrics returns the registry the server's instrumentation writes to.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("vnlserver: "+format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.acceptDone)
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			// Listener closed by Shutdown/Close, or a transient accept
+			// failure; either way, if we are stopping, exit quietly.
+			if s.draining.Load() || s.closed.Load() {
+				return
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			s.logf("accept: %v", err)
+			return
+		}
+		if s.draining.Load() {
+			s.reject(nc, CodeDraining, "server is draining")
+			continue
+		}
+		s.mu.Lock()
+		over := len(s.conns) >= s.cfg.MaxConns
+		s.mu.Unlock()
+		if over {
+			s.reject(nc, CodeTooBusy, fmt.Sprintf("connection limit %d reached", s.cfg.MaxConns))
+			continue
+		}
+		s.startConn(nc)
+	}
+}
+
+// reject answers a connection the server will not serve with a single
+// MsgErr frame, then closes it. The client's handshake frame is consumed
+// first: closing a socket with unread inbound data raises RST on common
+// stacks, which would destroy the queued error frame before the client
+// reads it.
+func (s *Server) reject(nc net.Conn, code ErrCode, msg string) {
+	s.metrics.connsRejected.Inc()
+	go func() {
+		_ = nc.SetDeadline(time.Now().Add(time.Second))
+		_, _, _ = ReadFrame(bufio.NewReader(nc))
+		_ = WriteFrame(nc, MsgErr, ErrMsg{Code: code, Msg: msg}.Encode())
+		_ = nc.Close()
+	}()
+}
+
+func (s *Server) startConn(nc net.Conn) {
+	c := &conn{
+		srv:      s,
+		nc:       nc,
+		out:      make(chan outFrame, 16),
+		sessions: make(map[uint32]*core.Session),
+	}
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	s.metrics.connsAccepted.Inc()
+	s.metrics.connsActive.Add(1)
+	s.wg.Add(2)
+	go c.readLoop()
+	go c.writeLoop()
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	_, present := s.conns[c]
+	delete(s.conns, c)
+	s.mu.Unlock()
+	if present {
+		s.metrics.connsActive.Add(-1)
+	}
+}
+
+// watchdog severs connections whose in-flight request has exceeded
+// RequestTimeout. The engine cannot interrupt a running query, but closing
+// the socket unblocks the client and lets the drain account for the
+// connection.
+func (s *Server) watchdog() {
+	tick := time.NewTicker(s.cfg.RequestTimeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.watchStop:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-s.cfg.RequestTimeout).UnixNano()
+		s.mu.Lock()
+		var stuck []*conn
+		for c := range s.conns {
+			if since := c.inflightSince.Load(); since != 0 && since < cutoff {
+				stuck = append(stuck, c)
+			}
+		}
+		s.mu.Unlock()
+		for _, c := range stuck {
+			s.metrics.reqTimeouts.Inc()
+			s.logf("request exceeded %v on %s; severing", s.cfg.RequestTimeout, c.nc.RemoteAddr())
+			c.forceClose()
+		}
+	}
+}
+
+// Shutdown drains the server: the listener closes, new connections and new
+// sessions are refused, and existing connections are given until the
+// deadline (the context's, or DrainTimeout) to finish in-flight requests
+// and close their sessions. A connection closes as soon as it is idle with
+// no open sessions. Shutdown returns nil when every connection drained in
+// time; if the deadline passes, the stragglers are force-closed and an
+// error reports how many.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		s.metrics.drains.Inc()
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Now().Add(s.cfg.DrainTimeout)
+	}
+	s.drainUntil.Store(deadline.UnixNano())
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	close(s.watchStopOnce())
+	// Nudge every blocked reader: it wakes with a timeout error, sees the
+	// drain flag, and either exits (no open sessions) or extends its
+	// deadline to the drain deadline and keeps serving.
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case <-done:
+		s.logf("drain complete")
+		return nil
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	n := len(s.conns)
+	for c := range s.conns {
+		c.forceClose()
+	}
+	s.mu.Unlock()
+	<-done
+	if n == 0 {
+		return nil
+	}
+	return fmt.Errorf("server: drain deadline exceeded; %d connections force-closed", n)
+}
+
+// watchStopOnce returns watchStop exactly once; later calls get a fresh
+// dead channel so double Shutdown does not double-close.
+func (s *Server) watchStopOnce() chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.watchStop
+	s.watchStop = make(chan struct{})
+	return ch
+}
+
+// Close hard-stops the server: listener and every connection close
+// immediately, without drain.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	s.draining.Store(true)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	close(s.watchStopOnce())
+	s.mu.Lock()
+	for c := range s.conns {
+		c.forceClose()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if errors.Is(err, net.ErrClosed) {
+		err = nil
+	}
+	return err
+}
+
+// prepare returns the server-global statement id for the SQL text,
+// preparing and caching it on first sight. The cache key is the canonical
+// printed form, so formatting variants of one query share an entry.
+func (s *Server) prepare(text string) (uint32, error) {
+	p, err := s.cfg.Store.Prepare(text)
+	if err != nil {
+		return 0, err
+	}
+	key := p.SQL()
+	s.stmts.RLock()
+	id, ok := s.stmts.ids[key]
+	s.stmts.RUnlock()
+	if ok {
+		return id, nil
+	}
+	s.stmts.Lock()
+	defer s.stmts.Unlock()
+	if id, ok = s.stmts.ids[key]; ok {
+		return id, nil
+	}
+	s.stmts.list = append(s.stmts.list, p)
+	id = uint32(len(s.stmts.list)) // ids start at 1; 0 is never granted
+	s.stmts.ids[key] = id
+	return id, nil
+}
+
+// stmt resolves a prepared-statement id.
+func (s *Server) stmt(id uint32) *core.Prepared {
+	s.stmts.RLock()
+	defer s.stmts.RUnlock()
+	if id == 0 || int(id) > len(s.stmts.list) {
+		return nil
+	}
+	return s.stmts.list[id-1]
+}
+
+// applyBatch runs one maintenance transaction over the wire deltas:
+// begin, ApplyBatch, commit; any failure rolls back and reports.
+func (s *Server) applyBatch(deltas []Delta) (BatchDone, error) {
+	cd := make([]core.Delta, len(deltas))
+	for i, d := range deltas {
+		var op core.DeltaOp
+		switch d.Op {
+		case DeltaInsert:
+			op = core.DeltaInsert
+		case DeltaUpdate:
+			op = core.DeltaUpdate
+		case DeltaDelete:
+			op = core.DeltaDelete
+		default:
+			return BatchDone{}, fmt.Errorf("unknown delta op 0x%02x", d.Op)
+		}
+		cd[i] = core.Delta{Table: d.Table, Op: op, Row: d.Row, Key: d.Key}
+	}
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	m, err := s.cfg.Store.BeginMaintenance()
+	if err != nil {
+		return BatchDone{}, err
+	}
+	stats, err := m.ApplyBatch(cd)
+	if err != nil {
+		if rbErr := m.Rollback(); rbErr != nil {
+			return BatchDone{}, fmt.Errorf("batch failed (%v) and rollback failed: %w", err, rbErr)
+		}
+		return BatchDone{}, fmt.Errorf("batch rolled back: %w", err)
+	}
+	if err := m.Commit(); err != nil {
+		if rbErr := m.Rollback(); rbErr != nil {
+			return BatchDone{}, fmt.Errorf("commit failed (%v) and rollback failed: %w", err, rbErr)
+		}
+		return BatchDone{}, fmt.Errorf("commit failed, batch rolled back: %w", err)
+	}
+	s.metrics.batches.Inc()
+	return BatchDone{
+		VN:      uint64(s.cfg.Store.CurrentVN()),
+		Applied: uint32(stats.Applied),
+		Missing: uint32(stats.Missing),
+	}, nil
+}
+
+// outFrame is one response queued to a connection's writer goroutine.
+type outFrame struct {
+	t    MsgType
+	body []byte
+}
+
+// conn is one client connection: a reader goroutine that decodes and
+// handles requests in order, and a writer goroutine that owns the buffered
+// socket writer. Sessions live in the reader goroutine's map; the atomic
+// counter mirrors the count for Shutdown's cross-goroutine inspection.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	out chan outFrame
+
+	// sessions maps wire session ids to live reader sessions. Owned by
+	// the reader goroutine; no lock needed.
+	sessions map[uint32]*core.Session
+	nextSID  uint32
+
+	// nSessions mirrors len(sessions) for Shutdown and the drain check.
+	nSessions atomic.Int64
+	// inflightSince is the UnixNano start of the request being handled,
+	// 0 when idle; the request watchdog reads it.
+	inflightSince atomic.Int64
+
+	closeOnce sync.Once
+}
+
+// forceClose severs the socket; both goroutines unwind on the resulting
+// I/O errors.
+func (c *conn) forceClose() {
+	c.closeOnce.Do(func() { _ = c.nc.Close() })
+}
+
+func (c *conn) draining() bool { return c.srv.draining.Load() }
+
+func (c *conn) readLoop() {
+	defer c.srv.wg.Done()
+	defer func() {
+		// Close any sessions the client left open; their registry entries
+		// would otherwise pin the GC floor forever.
+		for _, sess := range c.sessions {
+			sess.Close()
+		}
+		c.srv.metrics.wireSessions.Add(-c.nSessions.Load())
+		c.nSessions.Store(0)
+		c.srv.removeConn(c)
+		close(c.out) // writer flushes queued responses, then closes the socket
+	}()
+	br := bufio.NewReader(c.nc)
+	for {
+		if d := c.srv.cfg.IdleTimeout; d > 0 && !c.draining() {
+			_ = c.nc.SetReadDeadline(time.Now().Add(d))
+		}
+		t, body, err := ReadFrame(br)
+		if err != nil {
+			if c.handleReadErr(err) {
+				continue
+			}
+			return
+		}
+		c.inflightSince.Store(time.Now().UnixNano())
+		rt, rbody := c.handle(t, body)
+		c.inflightSince.Store(0)
+		c.out <- outFrame{t: rt, body: rbody}
+		if c.draining() && c.nSessions.Load() == 0 {
+			// Drained: the in-flight request was answered (the writer
+			// flushes the queue before closing) and no sessions remain.
+			return
+		}
+	}
+}
+
+// handleReadErr classifies a read failure. It returns true when the reader
+// should continue (a drain nudge woke a connection that still has open
+// sessions), false to close the connection — after sending a BadFrame
+// error for protocol-level garbage.
+func (c *conn) handleReadErr(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if !c.draining() {
+			c.srv.logf("idle timeout on %s", c.nc.RemoteAddr())
+			return false
+		}
+		if c.nSessions.Load() > 0 {
+			// Woken by Shutdown's nudge mid-drain with sessions still
+			// open: keep serving until the drain deadline.
+			_ = c.nc.SetReadDeadline(time.Unix(0, c.srv.drainUntil.Load()))
+			return true
+		}
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	// Frame-level garbage (bad length prefix, foreign version): tell the
+	// client why before closing.
+	c.out <- outFrame{t: MsgErr, body: ErrMsg{Code: CodeBadFrame, Msg: err.Error()}.Encode()}
+	return false
+}
+
+func (c *conn) writeLoop() {
+	defer c.srv.wg.Done()
+	bw := bufio.NewWriter(c.nc)
+	dead := false
+	for f := range c.out {
+		if dead {
+			continue // drain the queue so the reader never blocks on send
+		}
+		if err := WriteFrame(bw, f.t, f.body); err != nil {
+			dead = true
+			c.forceClose()
+			continue
+		}
+		if len(c.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				dead = true
+				c.forceClose()
+			}
+		}
+	}
+	if !dead {
+		if err := bw.Flush(); err != nil {
+			c.srv.logf("final flush on %s: %v", c.nc.RemoteAddr(), err)
+		}
+	}
+	c.forceClose()
+}
+
+// errResp builds a MsgErr response and counts it.
+func (c *conn) errResp(code ErrCode, format string, args ...any) (MsgType, []byte) {
+	c.srv.metrics.requestErrs.Inc()
+	return MsgErr, ErrMsg{Code: code, Msg: fmt.Sprintf(format, args...)}.Encode()
+}
+
+// queryErr maps an execution error to its wire code.
+func queryErrCode(err error) ErrCode {
+	switch {
+	case errors.Is(err, core.ErrSessionExpired):
+		return CodeSessionExpired
+	case errors.Is(err, core.ErrSessionClosed):
+		return CodeSessionClosed
+	default:
+		return CodeExec
+	}
+}
+
+// handle dispatches one request and returns its response frame. It runs on
+// the reader goroutine, so per-connection state needs no locking; queries
+// execute on the store's lock-free reader path.
+func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
+	s := c.srv
+	s.metrics.requests.Inc()
+	start := time.Now()
+	defer s.metrics.requestNS.ObserveSince(start)
+
+	switch t {
+	case MsgHello:
+		h, err := DecodeHello(body)
+		if err != nil {
+			return c.errResp(CodeBadFrame, "%v", err)
+		}
+		s.logf("hello from %s (%q)", c.nc.RemoteAddr(), h.ClientName)
+		return MsgWelcome, Welcome{
+			Server: ServerVersion,
+			N:      uint32(s.cfg.Store.N()),
+			VN:     uint64(s.cfg.Store.CurrentVN()),
+		}.Encode()
+
+	case MsgPing:
+		return MsgOK, nil
+
+	case MsgBeginSession:
+		if c.draining() {
+			return c.errResp(CodeDraining, "server is draining; no new sessions")
+		}
+		sess := s.cfg.Store.BeginSession()
+		c.nextSID++
+		sid := c.nextSID
+		c.sessions[sid] = sess
+		c.nSessions.Add(1)
+		s.metrics.wireSessions.Add(1)
+		return MsgSession, Session{SID: sid, VN: uint64(sess.VN())}.Encode()
+
+	case MsgEndSession:
+		m, err := DecodeEndSession(body)
+		if err != nil {
+			return c.errResp(CodeBadFrame, "%v", err)
+		}
+		sess, ok := c.sessions[m.SID]
+		if !ok {
+			return c.errResp(CodeNoSession, "no session %d on this connection", m.SID)
+		}
+		sess.Close()
+		delete(c.sessions, m.SID)
+		c.nSessions.Add(-1)
+		s.metrics.wireSessions.Add(-1)
+		return MsgOK, nil
+
+	case MsgQuery:
+		q, err := DecodeQuery(body)
+		if err != nil {
+			return c.errResp(CodeBadFrame, "%v", err)
+		}
+		return c.runQuery(q.SID, func(sess *core.Session) (*exec.Rows, error) {
+			return sess.Query(q.SQL, q.Params)
+		})
+
+	case MsgPrepare:
+		p, err := DecodePrepare(body)
+		if err != nil {
+			return c.errResp(CodeBadFrame, "%v", err)
+		}
+		id, err := s.prepare(p.SQL)
+		if err != nil {
+			return c.errResp(CodeParse, "%v", err)
+		}
+		return MsgPrepared, Prepared{StmtID: id}.Encode()
+
+	case MsgExecStmt:
+		e, err := DecodeExecStmt(body)
+		if err != nil {
+			return c.errResp(CodeBadFrame, "%v", err)
+		}
+		p := s.stmt(e.StmtID)
+		if p == nil {
+			return c.errResp(CodeNoStatement, "no prepared statement %d", e.StmtID)
+		}
+		return c.runQuery(e.SID, func(sess *core.Session) (*exec.Rows, error) {
+			return sess.QueryPrepared(p, e.Params)
+		})
+
+	case MsgApplyBatch:
+		b, err := DecodeApplyBatch(body)
+		if err != nil {
+			return c.errResp(CodeBadFrame, "%v", err)
+		}
+		done, err := s.applyBatch(b.Deltas)
+		if err != nil {
+			return c.errResp(CodeBatch, "%v", err)
+		}
+		return MsgBatchDone, done.Encode()
+
+	default:
+		return c.errResp(CodeBadFrame, "unexpected message type %v", t)
+	}
+}
+
+// runQuery resolves the session (0 = one-shot) and executes fn in it. The
+// paper's reader guarantee carries through unchanged: the session's version
+// pins the snapshot, and neither path takes the §3 latch.
+func (c *conn) runQuery(sid uint32, fn func(*core.Session) (*exec.Rows, error)) (MsgType, []byte) {
+	var sess *core.Session
+	if sid == 0 {
+		sess = c.srv.cfg.Store.BeginSession()
+		defer sess.Close()
+	} else {
+		var ok bool
+		if sess, ok = c.sessions[sid]; !ok {
+			return c.errResp(CodeNoSession, "no session %d on this connection", sid)
+		}
+	}
+	c.srv.metrics.queries.Inc()
+	rows, err := fn(sess)
+	if err != nil {
+		code := queryErrCode(err)
+		if code == CodeExec {
+			// A parse failure surfaces here too (Session.Query parses);
+			// classify by attempting to distinguish is overkill — the
+			// message carries the detail either way.
+			if _, perr := parseProbe(err); perr {
+				code = CodeParse
+			}
+		}
+		return c.errResp(code, "%v", err)
+	}
+	resp := Rows{Columns: rows.Columns}
+	resp.Tuples = rows.Tuples
+	return MsgRows, resp.Encode()
+}
+
+// parseProbe reports whether err is a SQL parse/lex error by its package
+// prefix (the sql package wraps all its errors with "sql:").
+func parseProbe(err error) (string, bool) {
+	msg := err.Error()
+	const p = "sql:"
+	if len(msg) >= len(p) && msg[:len(p)] == p {
+		return msg, true
+	}
+	return msg, false
+}

@@ -1,0 +1,463 @@
+// Package vnlclient is the Go client for vnlserver's binary protocol (see
+// PROTOCOL.md): connection pooling with retry on transient dial failures,
+// one-shot and session-pinned queries, server-side prepared statements, and
+// maintenance delta batches.
+//
+// The client is safe for concurrent use. One-shot calls (Query, Prepare,
+// Stmt.Query, Ping) borrow a pooled connection per call; Begin pins a
+// connection to the returned Session until Close, because server-side
+// reader sessions are connection-scoped. Prepared-statement ids are
+// server-global, so a Stmt works on every connection and inside every
+// Session of its Client.
+package vnlclient
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/server"
+)
+
+// Wire types shared with the server package: the protocol structs are the
+// client's vocabulary too.
+type (
+	// Rows is a query result: column names and tuples.
+	Rows = server.Rows
+	// Delta is one logical maintenance operation of a batch.
+	Delta = server.Delta
+	// BatchResult reports a committed maintenance batch.
+	BatchResult = server.BatchDone
+	// Error is a server-reported failure, carrying its wire error code.
+	Error = server.WireError
+	// Code classifies an Error.
+	Code = server.ErrCode
+)
+
+// Params carries named query parameters.
+type Params = map[string]catalog.Value
+
+// Delta op codes.
+const (
+	DeltaInsert = server.DeltaInsert
+	DeltaUpdate = server.DeltaUpdate
+	DeltaDelete = server.DeltaDelete
+)
+
+// Error codes a caller is likely to branch on.
+const (
+	CodeSessionExpired = server.CodeSessionExpired
+	CodeDraining       = server.CodeDraining
+	CodeTooBusy        = server.CodeTooBusy
+	CodeParse          = server.CodeParse
+	CodeExec           = server.CodeExec
+)
+
+// ErrClosed is returned by operations on a closed Client or Session.
+var ErrClosed = errors.New("vnlclient: closed")
+
+// ErrorCode extracts the wire code from a server-reported error.
+func ErrorCode(err error) (Code, bool) {
+	var we *Error
+	if errors.As(err, &we) {
+		return we.Code, true
+	}
+	return 0, false
+}
+
+// Options tunes a Client. The zero value selects the defaults.
+type Options struct {
+	// DialTimeout bounds each TCP dial attempt. Default 5s.
+	DialTimeout time.Duration
+	// DialAttempts is the number of dial attempts before giving up; dial
+	// failures (including a server answering too-busy or draining during
+	// the handshake) are retried with backoff. Default 3.
+	DialAttempts int
+	// RetryBackoff is the initial inter-attempt backoff, doubling per
+	// attempt. Default 50ms.
+	RetryBackoff time.Duration
+	// MaxIdle bounds pooled idle connections. Default 2.
+	MaxIdle int
+	// ClientName is sent in the handshake and appears in server logs.
+	ClientName string
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.DialAttempts == 0 {
+		o.DialAttempts = 3
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.MaxIdle == 0 {
+		o.MaxIdle = 2
+	}
+	if o.ClientName == "" {
+		o.ClientName = "vnlclient"
+	}
+	return o
+}
+
+// Client is a pooled connection to one vnlserver.
+type Client struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	idle   []*wireConn
+	closed bool
+}
+
+// Dial connects to a vnlserver, validating the handshake before returning.
+func Dial(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
+	wc, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.put(wc)
+	return c, nil
+}
+
+// Close closes the client and its pooled connections. Sessions begun from
+// this client hold their own connections and must be closed separately.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, wc := range idle {
+		wc.close()
+	}
+	return nil
+}
+
+// dial opens and handshakes one connection, retrying transient failures
+// (refused/timeout dials, and busy/draining handshake rejections) with
+// exponential backoff.
+func (c *Client) dial() (*wireConn, error) {
+	var lastErr error
+	backoff := c.opts.RetryBackoff
+	for attempt := 0; attempt < c.opts.DialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		wc := newWireConn(nc)
+		w, err := wc.handshake(c.opts.ClientName)
+		if err != nil {
+			wc.close()
+			lastErr = err
+			// Busy/draining rejections and raw I/O failures are worth
+			// another attempt; a protocol-level rejection of any other
+			// kind will not improve with retries.
+			if code, ok := ErrorCode(err); ok && code != CodeTooBusy && code != CodeDraining {
+				return nil, err
+			}
+			continue
+		}
+		wc.welcome = w
+		return wc, nil
+	}
+	return nil, fmt.Errorf("vnlclient: dialing %s: %w", c.addr, lastErr)
+}
+
+// get returns a pooled connection when one is idle, dialing otherwise.
+// reused reports whether the connection served earlier traffic (a stale
+// pooled connection may have been closed server-side, so its first failure
+// is retried on a fresh one).
+func (c *Client) get() (wc *wireConn, reused bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		wc = c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return wc, true, nil
+	}
+	c.mu.Unlock()
+	wc, err = c.dial()
+	return wc, false, err
+}
+
+// put returns a healthy connection to the pool.
+func (c *Client) put(wc *wireConn) {
+	if wc.broken {
+		wc.close()
+		return
+	}
+	c.mu.Lock()
+	if c.closed || len(c.idle) >= c.opts.MaxIdle {
+		c.mu.Unlock()
+		wc.close()
+		return
+	}
+	c.idle = append(c.idle, wc)
+	c.mu.Unlock()
+}
+
+// do runs one request/response exchange on a pooled connection. When
+// retryReused is true and the exchange fails on its first I/O against a
+// pooled (previously used) connection, the request is replayed once on a
+// fresh connection — the standard cure for pool members the server closed
+// while idle (e.g. across a drain).
+func (c *Client) do(t server.MsgType, body []byte, retryReused bool) (server.MsgType, []byte, error) {
+	wc, reused, err := c.get()
+	if err != nil {
+		return 0, nil, err
+	}
+	rt, rbody, err := wc.roundTrip(t, body)
+	if err != nil {
+		wc.close()
+		if !(reused && retryReused) {
+			return 0, nil, err
+		}
+		if wc, err = c.dial(); err != nil {
+			return 0, nil, err
+		}
+		if rt, rbody, err = wc.roundTrip(t, body); err != nil {
+			wc.close()
+			return 0, nil, err
+		}
+	}
+	if rt == server.MsgErr {
+		e, derr := server.DecodeErrMsg(rbody)
+		c.put(wc)
+		if derr != nil {
+			return 0, nil, derr
+		}
+		return 0, nil, &Error{Code: e.Code, Msg: e.Msg}
+	}
+	c.put(wc)
+	return rt, rbody, nil
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	rt, _, err := c.do(server.MsgPing, nil, true)
+	if err != nil {
+		return err
+	}
+	if rt != server.MsgOK {
+		return fmt.Errorf("vnlclient: ping answered with %v", rt)
+	}
+	return nil
+}
+
+// Query runs one SELECT in a one-shot server-side session.
+func (c *Client) Query(sqlText string, params Params) (*Rows, error) {
+	body := server.Query{SQL: sqlText, Params: params}.Encode()
+	rt, rbody, err := c.do(server.MsgQuery, body, true)
+	if err != nil {
+		return nil, err
+	}
+	return decodeRows(rt, rbody)
+}
+
+// Prepare parses a SELECT into the server's shared statement cache and
+// returns a handle valid on every connection of this client.
+func (c *Client) Prepare(sqlText string) (*Stmt, error) {
+	rt, rbody, err := c.do(server.MsgPrepare, server.Prepare{SQL: sqlText}.Encode(), true)
+	if err != nil {
+		return nil, err
+	}
+	if rt != server.MsgPrepared {
+		return nil, fmt.Errorf("vnlclient: prepare answered with %v", rt)
+	}
+	p, err := server.DecodePrepared(rbody)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, id: p.StmtID, sql: sqlText}, nil
+}
+
+// ApplyBatch submits one maintenance transaction. It is not retried on
+// connection failure — the server may have committed before the link died;
+// the caller decides how to reconcile.
+func (c *Client) ApplyBatch(deltas []Delta) (BatchResult, error) {
+	body := server.ApplyBatch{Deltas: deltas}.Encode()
+	rt, rbody, err := c.do(server.MsgApplyBatch, body, false)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	if rt != server.MsgBatchDone {
+		return BatchResult{}, fmt.Errorf("vnlclient: batch answered with %v", rt)
+	}
+	return server.DecodeBatchDone(rbody)
+}
+
+// Stmt is a server-side prepared SELECT.
+type Stmt struct {
+	c   *Client
+	id  uint32
+	sql string
+}
+
+// SQL returns the statement's original text.
+func (st *Stmt) SQL() string { return st.sql }
+
+// Query executes the statement in a one-shot session.
+func (st *Stmt) Query(params Params) (*Rows, error) {
+	body := server.ExecStmt{StmtID: st.id, Params: params}.Encode()
+	rt, rbody, err := st.c.do(server.MsgExecStmt, body, true)
+	if err != nil {
+		return nil, err
+	}
+	return decodeRows(rt, rbody)
+}
+
+// Session is a reader session pinned to one connection: every query it runs
+// observes the database version captured at Begin, per the paper's session
+// consistency guarantee, until Close or expiry (ErrorCode ==
+// CodeSessionExpired).
+type Session struct {
+	c  *Client
+	mu sync.Mutex
+	wc *wireConn
+	// sid is the connection-scoped session id; vn the pinned version.
+	sid    uint32
+	vn     uint64
+	closed bool
+}
+
+// Begin opens a reader session at the server's current version.
+func (c *Client) Begin() (*Session, error) {
+	wc, reused, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	rt, rbody, err := wc.roundTrip(server.MsgBeginSession, nil)
+	if err != nil {
+		wc.close()
+		if !reused {
+			return nil, err
+		}
+		// The pooled connection was stale; one fresh attempt.
+		if wc, err = c.dial(); err != nil {
+			return nil, err
+		}
+		if rt, rbody, err = wc.roundTrip(server.MsgBeginSession, nil); err != nil {
+			wc.close()
+			return nil, err
+		}
+	}
+	if rt == server.MsgErr {
+		e, derr := server.DecodeErrMsg(rbody)
+		c.put(wc)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, &Error{Code: e.Code, Msg: e.Msg}
+	}
+	if rt != server.MsgSession {
+		wc.close()
+		return nil, fmt.Errorf("vnlclient: begin answered with %v", rt)
+	}
+	sm, err := server.DecodeSession(rbody)
+	if err != nil {
+		wc.close()
+		return nil, err
+	}
+	return &Session{c: c, wc: wc, sid: sm.SID, vn: sm.VN}, nil
+}
+
+// VN returns the database version the session reads.
+func (s *Session) VN() uint64 { return s.vn }
+
+// do runs one exchange on the session's pinned connection.
+func (s *Session) do(t server.MsgType, body []byte) (server.MsgType, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, nil, ErrClosed
+	}
+	rt, rbody, err := s.wc.roundTrip(t, body)
+	if err != nil {
+		// The pinned connection is gone and the server-side session with
+		// it; there is nothing to retry onto.
+		s.closed = true
+		s.wc.close()
+		return 0, nil, err
+	}
+	if rt == server.MsgErr {
+		e, derr := server.DecodeErrMsg(rbody)
+		if derr != nil {
+			return 0, nil, derr
+		}
+		return 0, nil, &Error{Code: e.Code, Msg: e.Msg}
+	}
+	return rt, rbody, nil
+}
+
+// Query runs a SELECT at the session's version.
+func (s *Session) Query(sqlText string, params Params) (*Rows, error) {
+	rt, rbody, err := s.do(server.MsgQuery, server.Query{SID: s.sid, SQL: sqlText, Params: params}.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return decodeRows(rt, rbody)
+}
+
+// QueryStmt runs a prepared SELECT at the session's version.
+func (s *Session) QueryStmt(st *Stmt, params Params) (*Rows, error) {
+	if st.c != s.c {
+		return nil, fmt.Errorf("vnlclient: statement prepared on a different client")
+	}
+	rt, rbody, err := s.do(server.MsgExecStmt, server.ExecStmt{SID: s.sid, StmtID: st.id, Params: params}.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return decodeRows(rt, rbody)
+}
+
+// Close ends the session and returns its connection to the pool. Closing a
+// closed session is a no-op.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	rt, rbody, err := s.wc.roundTrip(server.MsgEndSession, server.EndSession{SID: s.sid}.Encode())
+	if err != nil {
+		s.wc.close()
+		return err
+	}
+	if rt == server.MsgErr {
+		s.c.put(s.wc)
+		e, derr := server.DecodeErrMsg(rbody)
+		if derr != nil {
+			return derr
+		}
+		return &Error{Code: e.Code, Msg: e.Msg}
+	}
+	s.c.put(s.wc)
+	return nil
+}
+
+func decodeRows(rt server.MsgType, body []byte) (*Rows, error) {
+	if rt != server.MsgRows {
+		return nil, fmt.Errorf("vnlclient: query answered with %v", rt)
+	}
+	r, err := server.DecodeRows(body)
+	if err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

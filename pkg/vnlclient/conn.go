@@ -1,0 +1,76 @@
+package vnlclient
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"repro/internal/server"
+)
+
+// wireConn is one framed TCP connection. It is not safe for concurrent
+// use; the Client pool and the Session mutex serialize access.
+type wireConn struct {
+	nc      net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	welcome server.Welcome
+	// broken marks a connection that failed mid-exchange; the pool drops
+	// it instead of recycling.
+	broken bool
+}
+
+func newWireConn(nc net.Conn) *wireConn {
+	return &wireConn{
+		nc: nc,
+		br: bufio.NewReader(nc),
+		bw: bufio.NewWriter(nc),
+	}
+}
+
+// roundTrip writes one request frame and reads the matched response. The
+// protocol is strictly request/response per connection, so the next frame
+// is always the answer.
+func (w *wireConn) roundTrip(t server.MsgType, body []byte) (server.MsgType, []byte, error) {
+	if err := server.WriteFrame(w.bw, t, body); err != nil {
+		w.broken = true
+		return 0, nil, err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.broken = true
+		return 0, nil, err
+	}
+	rt, rbody, err := server.ReadFrame(w.br)
+	if err != nil {
+		w.broken = true
+		return 0, nil, err
+	}
+	return rt, rbody, nil
+}
+
+// handshake sends Hello and validates the Welcome. A server that answers
+// with MsgErr (draining, too busy) surfaces that error so the dialer can
+// decide whether to retry.
+func (w *wireConn) handshake(clientName string) (server.Welcome, error) {
+	rt, body, err := w.roundTrip(server.MsgHello, server.Hello{ClientName: clientName}.Encode())
+	if err != nil {
+		return server.Welcome{}, err
+	}
+	switch rt {
+	case server.MsgWelcome:
+		return server.DecodeWelcome(body)
+	case server.MsgErr:
+		e, derr := server.DecodeErrMsg(body)
+		if derr != nil {
+			return server.Welcome{}, derr
+		}
+		return server.Welcome{}, &Error{Code: e.Code, Msg: e.Msg}
+	default:
+		return server.Welcome{}, fmt.Errorf("vnlclient: handshake answered with %v", rt)
+	}
+}
+
+func (w *wireConn) close() {
+	w.broken = true
+	_ = w.nc.Close()
+}
