@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race stress lint crash fuzz fuzz-proto server-smoke bench-smoke all
+.PHONY: build test race stress lint crash fuzz fuzz-proto server-smoke bench-smoke bench-snapshot all
 
 all: build lint test
 
@@ -22,11 +22,15 @@ race:
 stress:
 	$(GO) test -race -timeout 10m -run 'TestStress|TestSessionSharedAcrossGoroutines|TestMidQueryVersionAdvance|TestConcurrentReadersDuringMaintenance' -count=2 ./internal/core/
 
-# lint runs vnlvet, the in-repo analyzer suite that enforces the paper's
-# latch, guarded-write, decision-table, metric-registry, and WAL-error
-# invariants (see ARCHITECTURE.md "Checked invariants").
+# lint runs vnlvet, the in-repo analyzer suite: the paper's latch,
+# guarded-write, decision-table, metric-registry, and WAL-error invariants,
+# plus the serving stack's goroutine-join, wire-deadline, frame-bound,
+# message-exhaustiveness, and error-leak contracts (see ARCHITECTURE.md
+# "Checked invariants"). All ten analyzers share one `go list` load. On
+# findings the diagnostics also land in vnlvet-findings.txt, which CI
+# uploads as an artifact.
 lint:
-	$(GO) run ./cmd/vnlvet ./...
+	$(GO) run ./cmd/vnlvet -artifact vnlvet-findings.txt ./...
 
 # crash runs the exhaustive crash-point sweep: the scripted 2VNL workload
 # is crashed before every persisting I/O boundary, recovered, and checked
@@ -54,6 +58,12 @@ server-smoke:
 	bash scripts/server_smoke.sh
 
 # bench-smoke runs every benchmark once, just to prove they still execute;
-# real measurement runs use cmd/bench.
+# real measurement runs use cmd/vnlbench.
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+# bench-snapshot runs the tracked benchmark set (reader scaling, maintain
+# batch, vnlserver wire latency) and writes machine-readable BENCH_*.json
+# snapshots next to the raw bench output; CI uploads them as artifacts.
+bench-snapshot:
+	bash scripts/bench_snapshot.sh

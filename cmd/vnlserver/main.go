@@ -46,6 +46,7 @@ func main() {
 		maxConn = flag.Int("max-conns", 256, "connection limit; excess dials are answered too_busy")
 		idleTO  = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle this long (0 = never)")
 		reqTO   = flag.Duration("request-timeout", 30*time.Second, "sever connections whose in-flight request exceeds this (0 = never)")
+		writeTO = flag.Duration("write-timeout", 30*time.Second, "deadline on each response frame write (0 = never)")
 		drainTO = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM")
 		kv      = flag.Bool("kv", false, "create the kv benchmark table (what vnlload -dsn drives)")
 		demo    = flag.Bool("demo", false, "preload the sporting-goods warehouse demo (3 summary views, 2 days of feed)")
@@ -57,14 +58,14 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*addr, *httpA, *n, *workers, *walPath, *group, *delay,
-		*maxConn, *idleTO, *reqTO, *drainTO, *kv, *demo, *initSQL); err != nil {
+		*maxConn, *idleTO, *reqTO, *writeTO, *drainTO, *kv, *demo, *initSQL); err != nil {
 		fmt.Fprintln(os.Stderr, "vnlserver:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, httpAddr string, n, workers int, walPath string, group bool, groupDelay time.Duration,
-	maxConns int, idleTO, reqTO, drainTO time.Duration, kv, demo bool, initSQL string) error {
+	maxConns int, idleTO, reqTO, writeTO, drainTO time.Duration, kv, demo bool, initSQL string) error {
 	d := db.Open(db.Options{})
 	store, err := core.Open(d, core.Options{N: n, ApplyWorkers: workers})
 	if err != nil {
@@ -104,6 +105,7 @@ func run(addr, httpAddr string, n, workers int, walPath string, group bool, grou
 		MaxConns:       maxConns,
 		IdleTimeout:    idleTO,
 		RequestTimeout: reqTO,
+		WriteTimeout:   writeTO,
 		DrainTimeout:   drainTO,
 		Logf:           log.Printf,
 	})

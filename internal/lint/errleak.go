@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrLeak enforces the wire error contract (PROTOCOL.md §"Errors"):
+// every error a client sees is an (ErrCode, message) pair produced by the
+// server's declared error-code mapping — a function marked with a
+// `//vnlvet:errmap` directive — never an ad-hoc `ErrMsg{...}` or a raw
+// `err.Error()` string. The rule is twofold:
+//
+//   - information leak: internal error strings carry file paths, SQL
+//     internals, and invariant names that do not belong on a socket;
+//   - protocol stability: clients dispatch on codes, and a bypassed
+//     mapping is how "the message said X" becomes load-bearing.
+//
+// Two patterns are reported outside errmap functions: constructing the
+// wire ErrMsg message directly, and calling .Error() on an error value
+// (the string it yields has nowhere legitimate to go on the serving path
+// except into the mapping). Decoders (func Decode*) are exempt — parsing
+// an ErrMsg off the wire is the inbound direction.
+var ErrLeak = &Analyzer{
+	Name: "errleak",
+	Doc:  "check that wire errors pass through a //vnlvet:errmap mapping function, never ad-hoc ErrMsg or raw err.Error()",
+	Run:  runErrLeak,
+}
+
+func runErrLeak(pass *Pass) error {
+	if !inServingScope(pass, "repro/internal/server") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, fd := range fileFuncs(file) {
+			if funcHasDirective(fd, "vnlvet:errmap") || strings.HasPrefix(fd.Name.Name, "Decode") {
+				continue
+			}
+			checkErrLeaks(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkErrLeaks(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if isPkgType(info.TypeOf(n), pass.Pkg.Path(), "ErrMsg") || wireErrMsgType(info, n) {
+				pass.Reportf(n.Pos(), "wire error constructed outside the error-code mapping; build it through a //vnlvet:errmap function so codes stay stable and internal detail stays out of the frame")
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Error" || len(n.Args) != 0 {
+				return true
+			}
+			if t := info.TypeOf(sel.X); t != nil && isErrorType(t) {
+				pass.Reportf(n.Pos(), "raw err.Error() on the serving path; map the error through a //vnlvet:errmap function instead of exposing the internal string")
+			}
+		}
+		return true
+	})
+}
+
+// wireErrMsgType reports whether the composite literal builds the ErrMsg
+// type of a package named server (the cross-package spelling
+// server.ErrMsg{...}; fixtures use a fake server package the same way).
+func wireErrMsgType(info *types.Info, lit *ast.CompositeLit) bool {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Name() == "server" && obj.Name() == "ErrMsg"
+}

@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// FrameBounds enforces the decoder property PROTOCOL.md states and
+// FuzzFrameDecode can only sample: every length or count decoded from the
+// wire must be compared against a bound (the 16 MiB frame cap, the bytes
+// remaining, or a declared per-field limit) before it reaches `make` or
+// slice indexing. A forged length that drives an allocation is the
+// classic remote memory-exhaustion bug; a forged index is a panic in a
+// connection goroutine.
+//
+// The analysis is a per-function taint simulation processed in source
+// order. Taint sources are the encoding/binary decode functions
+// (Uvarint/Varint/ReadUvarint/ReadVarint and the ByteOrder
+// Uint16/Uint32/Uint64 methods) plus same-package functions that return a
+// decoded value unbounded — found by iterating function summaries to a
+// fixpoint, so `wireReader.uvarint` taints its callers while the
+// self-bounding `wireReader.count` does not. A comparison (<, >, <=, >=)
+// mentioning a tainted variable cleanses it; `make` sizes and index/slice
+// bounds are sinks. A `// bound: <why>` comment on the sink's line
+// declares an out-of-band bound (e.g. a value proven small by
+// construction) and suppresses the finding.
+var FrameBounds = &Analyzer{
+	Name: "framebounds",
+	Doc:  "check that wire-decoded lengths are bounds-checked before reaching make or slice indexing",
+	Run:  runFrameBounds,
+}
+
+// binaryDecodeFuncs are the encoding/binary functions and ByteOrder
+// methods whose results carry attacker-controlled integers.
+var binaryDecodeFuncs = map[string]bool{
+	"Uvarint": true, "Varint": true, "ReadUvarint": true, "ReadVarint": true,
+	"Uint16": true, "Uint32": true, "Uint64": true,
+}
+
+func runFrameBounds(pass *Pass) error {
+	if !inServingScope(pass,
+		"repro/internal/server",
+		"repro/pkg/vnlclient",
+	) {
+		return nil
+	}
+	// Fixpoint over function summaries: a function joins the source set
+	// when it returns a tainted value unbounded. Three passes close any
+	// chain the wire stack plausibly builds (decode → helper → caller).
+	sources := make(map[*types.Func]bool)
+	for i := 0; i < 3; i++ {
+		changed := false
+		for _, file := range pass.Files {
+			for _, fd := range fileFuncs(file) {
+				fn, _ := pass.TypesInfo.ObjectOf(fd.Name).(*types.Func)
+				if fn == nil || sources[fn] {
+					continue
+				}
+				sim := simulateTaint(pass, nil, fd, sources)
+				if sim.returnsTaint {
+					sources[fn] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Reporting pass with the closed source set.
+	for _, file := range pass.Files {
+		for _, fd := range fileFuncs(file) {
+			simulateTaint(pass, file, fd, sources)
+		}
+	}
+	return nil
+}
+
+// taintEvent is one source-ordered step of the simulation.
+type taintEvent struct {
+	pos  token.Pos
+	kind int // 0 assign, 1 cleanse, 2 sink, 3 return
+	lhs  []types.Object
+	rhs  []ast.Expr
+	what string // sink description
+}
+
+type taintResult struct {
+	returnsTaint bool
+}
+
+// simulateTaint runs the source-ordered taint simulation over one
+// function. With file non-nil it reports tainted sinks (the final pass);
+// with file nil it only computes the return summary (the fixpoint pass).
+func simulateTaint(pass *Pass, file *ast.File, fd *ast.FuncDecl, sources map[*types.Func]bool) taintResult {
+	info := pass.TypesInfo
+	var events []taintEvent
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			events = append(events, taintEvent{
+				pos: n.Pos(), kind: 0,
+				lhs: assignTargets(info, n.Lhs), rhs: n.Rhs,
+			})
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				var lhs []types.Object
+				for _, name := range vs.Names {
+					lhs = append(lhs, info.ObjectOf(name))
+				}
+				events = append(events, taintEvent{pos: vs.Pos(), kind: 0, lhs: lhs, rhs: vs.Values})
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				events = append(events, taintEvent{pos: n.Pos(), kind: 1, rhs: []ast.Expr{n.X, n.Y}})
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "make" && len(n.Args) > 1 {
+				events = append(events, taintEvent{pos: n.Pos(), kind: 2, rhs: n.Args[1:], what: "make size"})
+			}
+		case *ast.IndexExpr:
+			events = append(events, taintEvent{pos: n.Pos(), kind: 2, rhs: []ast.Expr{n.Index}, what: "index"})
+		case *ast.SliceExpr:
+			var bounds []ast.Expr
+			for _, e := range []ast.Expr{n.Low, n.High, n.Max} {
+				if e != nil {
+					bounds = append(bounds, e)
+				}
+			}
+			if len(bounds) > 0 {
+				events = append(events, taintEvent{pos: n.Pos(), kind: 2, rhs: bounds, what: "slice bound"})
+			}
+		case *ast.ReturnStmt:
+			events = append(events, taintEvent{pos: n.Pos(), kind: 3, rhs: n.Results})
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	tainted := make(map[types.Object]bool)
+	exprTainted := func(e ast.Expr) bool { return taintedExpr(info, e, tainted, sources) }
+	var res taintResult
+	for _, ev := range events {
+		switch ev.kind {
+		case 0: // assignment: propagate or clear
+			t := false
+			for _, r := range ev.rhs {
+				if exprTainted(r) {
+					t = true
+					break
+				}
+			}
+			for _, obj := range ev.lhs {
+				if obj == nil {
+					continue
+				}
+				// Only integers carry length taint; errors, strings, and
+				// decoded structs assigned alongside them do not.
+				if t && isIntegerish(obj.Type()) {
+					tainted[obj] = true
+				} else {
+					delete(tainted, obj)
+				}
+			}
+		case 1: // comparison cleanses every variable it mentions
+			for _, r := range ev.rhs {
+				for _, obj := range mentionedObjects(info, r) {
+					delete(tainted, obj)
+				}
+			}
+		case 2: // sink
+			if file == nil {
+				continue
+			}
+			hit := false
+			for _, r := range ev.rhs {
+				if exprTainted(r) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			line := pass.Fset.Position(ev.pos).Line
+			if commentOnLine(pass.Fset, file, line, "bound:") {
+				continue
+			}
+			pass.Reportf(ev.pos, "wire-decoded length reaches %s without a bound check: compare it against MaxFrame, the remaining bytes, or a declared bound first (or justify with // bound:)", ev.what)
+		case 3:
+			for _, r := range ev.rhs {
+				if exprTainted(r) && isIntegerish(info.TypeOf(r)) {
+					res.returnsTaint = true
+				}
+			}
+		}
+	}
+	return res
+}
+
+// isIntegerish reports whether t is an integer type (named or not) — the
+// only kind of value that can carry a length into a sink.
+func isIntegerish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// assignTargets extracts the trackable (identifier or field selector)
+// targets of an assignment.
+func assignTargets(info *types.Info, lhs []ast.Expr) []types.Object {
+	out := make([]types.Object, len(lhs))
+	for i, e := range lhs {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			out[i] = info.ObjectOf(e)
+		case *ast.SelectorExpr:
+			out[i] = info.ObjectOf(e.Sel)
+		}
+	}
+	return out
+}
+
+// taintedExpr reports whether the expression carries taint: it calls a
+// decode source (encoding/binary or a fixpoint-identified same-package
+// source) or mentions an already-tainted variable.
+func taintedExpr(info *types.Info, e ast.Expr, tainted map[types.Object]bool, sources map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeOf(info, n); fn != nil {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary" && binaryDecodeFuncs[fn.Name()] {
+					found = true
+					return false
+				}
+				if sources[fn] {
+					found = true
+					return false
+				}
+			}
+		case *ast.Ident:
+			if obj := info.ObjectOf(n); obj != nil && tainted[obj] {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if obj := info.ObjectOf(n.Sel); obj != nil && tainted[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionedObjects lists every variable or field the expression names.
+func mentionedObjects(info *types.Info, e ast.Expr) []types.Object {
+	var out []types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := info.ObjectOf(n); obj != nil {
+				out = append(out, obj)
+			}
+		case *ast.SelectorExpr:
+			if obj := info.ObjectOf(n.Sel); obj != nil {
+				out = append(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}

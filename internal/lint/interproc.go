@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file holds the lightweight interprocedural machinery shared by the
+// serving-stack analyzers (goroutinelifecycle, deadlinebound, framebounds):
+// a package-local function-body index, call-target resolution, a lexical
+// domination test, and directive/justification comment lookup.
+//
+// The domination model is deliberately lexical, not CFG-based: a call A
+// "dominates" a statement B when A appears earlier in the same function's
+// source. That over-approximates real domination (an A inside one branch
+// still counts), trading a class of false negatives for zero false
+// positives on the configuration-gated patterns the serving stack uses
+// ("if timeout > 0 { SetReadDeadline }" guarding a read loop). The paper's
+// invariants are enforced by the presence of the guarding call on the
+// path's source; whether a particular configuration disables it is a
+// runtime decision the analyzer cannot (and should not) second-guess.
+
+// funcIndex maps a package's declared functions and methods to their
+// bodies, so analyzers can follow one level of call (go s.acceptLoop() →
+// acceptLoop's body) without a whole-program callgraph.
+type funcIndex map[*types.Func]*ast.FuncDecl
+
+// indexFuncs builds the package's function-body index.
+func indexFuncs(pass *Pass) funcIndex {
+	idx := make(funcIndex)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.ObjectOf(fd.Name).(*types.Func); ok {
+				idx[fn] = fd
+			}
+		}
+	}
+	return idx
+}
+
+// calleeOf resolves a call expression's static target, or nil for calls
+// through function values, builtins, and conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// enclosingFuncs returns every function declaration in the file, paired
+// with its body, in source order.
+func fileFuncs(file *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// callBefore reports whether some call matching pred occurs lexically
+// before pos within body (the shared "is the op dominated by a guard"
+// test — see the file comment for why lexical order is the right
+// approximation here).
+func callBefore(info *types.Info, body *ast.BlockStmt, pos token.Pos, pred func(*ast.CallExpr) bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		if pred(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// bodyContainsCall reports whether body (searched transitively through
+// same-package callees up to depth levels) contains a call matching pred.
+func bodyContainsCall(info *types.Info, idx funcIndex, body *ast.BlockStmt, depth int, pred func(*ast.CallExpr) bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pred(call) {
+			found = true
+			return false
+		}
+		if depth > 0 {
+			if fn := calleeOf(info, call); fn != nil {
+				if fd, ok := idx[fn]; ok && bodyContainsCall(info, idx, fd.Body, depth-1, pred) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// receiverIsType reports whether a method call's receiver has the named
+// type (or a pointer to it) declared in the package with the given path.
+func receiverIsType(info *types.Info, call *ast.CallExpr, pkgPath, typeName string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return isPkgType(info.TypeOf(sel.X), pkgPath, typeName)
+}
+
+// isPkgType reports whether t (possibly behind a pointer) is the named
+// type declared in the package with the given import path.
+func isPkgType(t types.Type, pkgPath, typeName string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == typeName
+}
+
+// wirePackages lists the serving-stack packages the new analyzers target.
+// Fixture packages (anything outside the repro module) are always in
+// scope, so the linttest harness exercises the analyzers directly.
+func inServingScope(pass *Pass, paths ...string) bool {
+	p := pass.Pkg.Path()
+	if !strings.HasPrefix(p, "repro/") {
+		return true
+	}
+	for _, s := range paths {
+		if p == s {
+			return true
+		}
+	}
+	return false
+}
+
+// commentOnLine reports whether a comment whose text contains marker sits
+// on the given line (trailing) or the line above (leading) in file.
+func commentOnLine(fset *token.FileSet, file *ast.File, line int, marker string) bool {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			cl := fset.Position(c.Pos()).Line
+			if (cl == line || cl == line-1) && strings.Contains(c.Text, marker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// groupContains reports whether any raw comment in the group mentions the
+// marker. CommentGroup.Text() strips //x:y directive comments, so this
+// scans the raw list.
+func groupContains(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcHasDirective reports whether the function's doc comment contains the
+// given vnlvet directive (e.g. "vnlvet:errmap").
+func funcHasDirective(fd *ast.FuncDecl, directive string) bool {
+	return fd != nil && groupContains(fd.Doc, directive)
+}
+
+// typeHasDirective reports whether the named type's declaration in this
+// package carries the given vnlvet directive in its doc or line comment.
+func typeHasDirective(pass *Pass, named *types.Named, directive string) bool {
+	obj := named.Obj()
+	if obj.Pkg() != pass.Pkg {
+		return false
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != obj.Name() {
+					continue
+				}
+				for _, cg := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+					if groupContains(cg, directive) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,6 +1,7 @@
-// Package lint is vnlvet's analysis suite: five custom analyzers that
+// Package lint is vnlvet's analysis suite: ten custom analyzers that
 // mechanically enforce the invariants 2VNL's correctness rests on but the
-// compiler cannot see (§3 of the paper):
+// compiler cannot see — the §3 latch/table discipline of the core engine,
+// and the wire/concurrency contract of the serving stack (PROTOCOL.md):
 //
 //   - latchsafety: every latch acquisition is released on all paths, never
 //     nested, and no blocking call (WAL append/fsync, channel operation,
@@ -18,11 +19,26 @@
 //     silently dropped decision cell.
 //   - obsregistry: metrics are registered with stable snake_case names
 //     under the subsystem prefixes (core_, wal_, txn_, storage_, mvcc_,
-//     bench_), a non-empty help string, and no conflicting duplicate
-//     registration within a package.
+//     bench_, server_), a non-empty help string, and no conflicting
+//     duplicate registration within a package.
 //   - walerr: errors from WAL and journal operations are consumed. The
 //     write-ahead rule is only as strong as the weakest ignored fsync
 //     error; LogCommit/Sync/Recover results may not even be blanked.
+//   - goroutinelifecycle: every `go` statement in the serving stack has a
+//     reachable join (WaitGroup, channel the owner receives, ctx-done) or
+//     a `// detached:` justification — graceful drain depends on it.
+//   - deadlinebound: blocking conn/bufio wire ops are dominated by a
+//     SetReadDeadline/SetWriteDeadline/SetDeadline or a context with a
+//     timeout, so a stalled peer cannot wedge a goroutine.
+//   - framebounds: wire-decoded lengths are bounds-checked against the
+//     16 MiB frame cap (or a declared bound) before reaching make or
+//     slice indexing — the property FuzzFrameDecode can only sample.
+//   - msgexhaustive: switches over wire message/error-code enums name
+//     every declared constant even when a default exists; adding a
+//     message kind without a handler is a lint error, not a runtime one.
+//   - errleak: wire errors pass through a `//vnlvet:errmap` mapping
+//     function — never an ad-hoc ErrMsg literal or raw err.Error() —
+//     keeping codes stable and internal strings off the socket.
 //
 // The package has no dependency outside the standard library: it carries a
 // minimal re-implementation of the x/tools go/analysis surface (Analyzer,
@@ -83,7 +99,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order: the five core-engine
+// analyzers of PR 2, then the five serving-stack analyzers (goroutine
+// joins, wire deadlines, frame bounds, wire-enum exhaustiveness, error
+// leaks) added when internal/server and pkg/vnlclient grew past what the
+// core checks could see.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		LatchSafety,
@@ -91,6 +111,11 @@ func Analyzers() []*Analyzer {
 		TableExhaustive,
 		ObsRegistry,
 		WALErr,
+		GoroutineLifecycle,
+		DeadlineBound,
+		FrameBounds,
+		MsgExhaustive,
+		ErrLeak,
 	}
 }
 

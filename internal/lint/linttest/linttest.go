@@ -25,9 +25,26 @@ import (
 	"repro/internal/lint"
 )
 
+// TB is the subset of testing.TB the harness needs. Analyzer tests pass
+// *testing.T through Run; the harness's own meta-tests substitute a
+// recording implementation to assert which failures the harness reports.
+// Implementations of Fatalf must not return (testing.T's stops the
+// goroutine via runtime.Goexit; a recorder should do the same).
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+	Errorf(format string, args ...any)
+}
+
 // Run loads testdata/src/<pkgPath> under dir, runs the analyzer, and
 // checks its diagnostics against the fixture's want comments.
 func Run(t *testing.T, dir string, a *lint.Analyzer, pkgPath string) {
+	t.Helper()
+	RunTB(t, dir, a, pkgPath)
+}
+
+// RunTB is Run against the TB interface, for testing the harness itself.
+func RunTB(t TB, dir string, a *lint.Analyzer, pkgPath string) {
 	t.Helper()
 	fset := token.NewFileSet()
 	imp := &testdataImporter{
@@ -39,10 +56,12 @@ func Run(t *testing.T, dir string, a *lint.Analyzer, pkgPath string) {
 	pkg, err := loadFixture(fset, imp, imp.root, pkgPath)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		return
 	}
 	diags, err := lint.Run(pkg, []*lint.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
+		return
 	}
 	checkWants(t, pkg, diags)
 }
@@ -119,7 +138,7 @@ type expectation struct {
 
 // checkWants compares diagnostics with the fixture's want comments, both
 // keyed by (file, line).
-func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+func checkWants(t TB, pkg *lint.Package, diags []lint.Diagnostic) {
 	t.Helper()
 	var wants []*expectation
 	for _, f := range pkg.Syntax {
@@ -127,6 +146,7 @@ func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
 		src, err := os.ReadFile(tokFile.Name())
 		if err != nil {
 			t.Fatalf("reading fixture: %v", err)
+			return
 		}
 		for i, line := range strings.Split(string(src), "\n") {
 			m := wantRE.FindStringSubmatch(line)
@@ -137,10 +157,12 @@ func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
 				pat, err := strconv.Unquote(q)
 				if err != nil {
 					t.Fatalf("%s:%d: bad want pattern %s: %v", tokFile.Name(), i+1, q, err)
+					return
 				}
 				re, err := regexp.Compile(pat)
 				if err != nil {
 					t.Fatalf("%s:%d: bad want regexp %q: %v", tokFile.Name(), i+1, pat, err)
+					return
 				}
 				wants = append(wants, &expectation{file: tokFile.Name(), line: i + 1, re: re, raw: pat})
 			}

@@ -1,0 +1,116 @@
+package linttest_test
+
+import (
+	"fmt"
+	"go/ast"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// badFuncs is a deliberately trivial analyzer for exercising the harness:
+// it flags every function whose name starts with "bad", reporting at the
+// function name so position checks have a precise anchor.
+var badFuncs = &lint.Analyzer{
+	Name: "badfuncs",
+	Doc:  "reports every function whose name starts with bad",
+	Run: func(p *lint.Pass) error {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "bad") {
+					p.Reportf(fd.Name.Pos(), "bad function %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// recordingTB captures harness failures instead of failing the real test.
+// Fatalf mirrors testing.T by stopping the goroutine, so the harness's
+// control flow under a recorder matches its control flow under testing.
+type recordingTB struct {
+	failures []string
+	fatal    bool
+}
+
+func (r *recordingTB) Helper() {}
+
+func (r *recordingTB) Errorf(format string, args ...any) {
+	r.failures = append(r.failures, fmt.Sprintf(format, args...))
+}
+
+func (r *recordingTB) Fatalf(format string, args ...any) {
+	r.fatal = true
+	r.failures = append(r.failures, fmt.Sprintf(format, args...))
+	runtime.Goexit()
+}
+
+// runRecorded runs the harness on its own goroutine (so a recorded Fatalf
+// can Goexit without killing the test) and returns what it reported.
+func runRecorded(a *lint.Analyzer, pkgPath string) *recordingTB {
+	rec := &recordingTB{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		linttest.RunTB(rec, "testdata", a, pkgPath)
+	}()
+	<-done
+	return rec
+}
+
+// A fixture whose want comments exactly match the analyzer's output passes
+// with no recorded failures.
+func TestHarnessAcceptsMatchingWants(t *testing.T) {
+	rec := runRecorded(badFuncs, "meta_good")
+	if len(rec.failures) != 0 {
+		t.Fatalf("harness reported failures on a correct fixture: %q", rec.failures)
+	}
+}
+
+// A stale want comment — an expectation the analyzer never satisfies —
+// must fail, and the failure must carry the fixture position of the
+// comment so the author can find it.
+func TestHarnessRejectsStaleWant(t *testing.T) {
+	rec := runRecorded(badFuncs, "meta_stale")
+	if len(rec.failures) != 1 {
+		t.Fatalf("want exactly one failure for the stale want, got %q", rec.failures)
+	}
+	msg := rec.failures[0]
+	if !strings.Contains(msg, "no diagnostic matching") {
+		t.Errorf("failure does not name the stale expectation: %q", msg)
+	}
+	if !strings.Contains(msg, "meta_stale") || !strings.Contains(msg, "a.go:6") {
+		t.Errorf("failure does not carry the fixture position meta_stale/a.go:6: %q", msg)
+	}
+}
+
+// A diagnostic with no matching want comment must fail, and the reported
+// position must be inside the fixture file at the offending line.
+func TestHarnessRejectsUnexpectedDiagnostic(t *testing.T) {
+	rec := runRecorded(badFuncs, "meta_unexpected")
+	if len(rec.failures) != 1 {
+		t.Fatalf("want exactly one failure for the unexpected diagnostic, got %q", rec.failures)
+	}
+	msg := rec.failures[0]
+	if !strings.Contains(msg, "unexpected diagnostic") {
+		t.Errorf("failure does not flag the unexpected diagnostic: %q", msg)
+	}
+	if !strings.Contains(msg, "meta_unexpected") || !strings.Contains(msg, "a.go:6:6") {
+		t.Errorf("failure does not carry the fixture position meta_unexpected/a.go:6:6: %q", msg)
+	}
+	if !strings.Contains(msg, "bad function badTwo") {
+		t.Errorf("failure does not include the diagnostic message: %q", msg)
+	}
+}
+
+// A missing fixture is a fatal harness error, not a silent pass.
+func TestHarnessFatalOnMissingFixture(t *testing.T) {
+	rec := runRecorded(badFuncs, "no_such_fixture")
+	if !rec.fatal {
+		t.Fatalf("harness did not Fatalf on a missing fixture: %q", rec.failures)
+	}
+}

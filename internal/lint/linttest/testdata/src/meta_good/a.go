@@ -1,0 +1,9 @@
+// Package meta_good is a harness meta-test fixture where every want
+// comment matches exactly one diagnostic of the badfuncs test analyzer.
+package meta_good
+
+func goodOne() {}
+
+func badOne() {} // want "bad function badOne"
+
+func badAlso() {} // want "bad function badAlso"

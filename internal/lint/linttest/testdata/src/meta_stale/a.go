@@ -1,0 +1,6 @@
+// Package meta_stale is a harness meta-test fixture holding a stale want
+// comment: the expectation names a diagnostic the analyzer never emits,
+// which the harness must report as a failure.
+package meta_stale
+
+func goodOnly() {} // want "bad function goodOnly"

@@ -1,0 +1,6 @@
+// Package meta_unexpected is a harness meta-test fixture that triggers a
+// diagnostic with no matching want comment; the harness must fail and the
+// reported position must point into this file.
+package meta_unexpected
+
+func badTwo() {}

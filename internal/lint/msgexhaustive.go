@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MsgExhaustive extends tableexhaustive's decision-table rule to the wire
+// enums of PROTOCOL.md (message types, error codes): a switch over a wire
+// enum must name every declared constant, and — unlike tableexhaustive —
+// a default clause does not excuse a missing one. The default is the
+// right place for values a *peer* invents (future protocol versions,
+// garbage); it must not also absorb constants this build already declares,
+// or adding a message kind compiles cleanly with no handler and fails
+// only when a client sends it. An empty case body is the explicit
+// "consciously unhandled here" acknowledgment.
+//
+// Wire enums are named types whose declaration carries a
+// `vnlvet:wire-enum` directive, plus — because directives on an imported
+// type's source are not visible from the importing package — the MsgType
+// and ErrCode types of any package named server (the real
+// internal/server, or a fixture fake).
+var MsgExhaustive = &Analyzer{
+	Name: "msgexhaustive",
+	Doc:  "check that switches over wire message/error-code enums name every declared constant, even when a default exists",
+	Run:  runMsgExhaustive,
+}
+
+func runMsgExhaustive(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkWireSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkWireSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	named := wireEnumType(pass.TypesInfo.TypeOf(sw.Tag))
+	if named == nil || !isWireEnum(pass, named) {
+		return
+	}
+	consts := enumConsts(named)
+	if len(consts) == 0 {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok || cc.List == nil {
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch over wire enum %s misses %s; every declared constant needs an explicit case (an empty body marks it consciously unhandled) — a default only covers values this build does not know", typeName(named), strings.Join(missing, ", "))
+	}
+}
+
+// wireEnumType returns the named basic type behind t, with none of
+// enumType's module-path restriction: wire enums may live in any imported
+// package (isWireEnum narrows by directive or by the server package).
+func wireEnumType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsBoolean != 0 || named.Obj().Pkg() == nil {
+		return nil
+	}
+	return named
+}
+
+// isWireEnum reports whether the named type is a PROTOCOL.md wire enum.
+func isWireEnum(pass *Pass, named *types.Named) bool {
+	if typeHasDirective(pass, named, "vnlvet:wire-enum") {
+		return true
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "server" {
+		return false
+	}
+	return obj.Name() == "MsgType" || obj.Name() == "ErrCode"
+}

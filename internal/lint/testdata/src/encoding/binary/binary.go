@@ -1,0 +1,37 @@
+// Package binary is a minimal fake of encoding/binary for the lint
+// fixtures: the decode surface the framebounds analyzer treats as taint
+// sources, without pulling the real package's reflect dependency through
+// the source importer.
+package binary
+
+// Uvarint decodes a uint64 from buf and returns that value and the
+// number of bytes read.
+func Uvarint(buf []byte) (uint64, int) {
+	if len(buf) == 0 {
+		return 0, 0
+	}
+	return uint64(buf[0]), 1
+}
+
+// Varint decodes an int64 from buf.
+func Varint(buf []byte) (int64, int) {
+	if len(buf) == 0 {
+		return 0, 0
+	}
+	return int64(buf[0]), 1
+}
+
+type bigEndian struct{}
+
+// BigEndian is the big-endian implementation of ByteOrder.
+var BigEndian bigEndian
+
+func (bigEndian) Uint16(b []byte) uint16 { return uint16(b[1]) | uint16(b[0])<<8 }
+
+func (bigEndian) Uint32(b []byte) uint32 {
+	return uint32(b[3]) | uint32(b[2])<<8 | uint32(b[1])<<16 | uint32(b[0])<<24
+}
+
+func (bigEndian) Uint64(b []byte) uint64 {
+	return uint64(BigEndian.Uint32(b[4:])) | uint64(BigEndian.Uint32(b))<<32
+}

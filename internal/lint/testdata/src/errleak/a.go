@@ -1,0 +1,67 @@
+// Package errleak holds known-bad and known-good wire error paths for
+// the errleak analyzer.
+package errleak
+
+import (
+	"errors"
+	"fmt"
+
+	"server"
+)
+
+// ErrMsg mirrors the in-package wire error body (the shape internal/server
+// declares in protocol.go).
+type ErrMsg struct {
+	Code uint16
+	Msg  string
+}
+
+var errNotFound = errors.New("row not found in storage heap 0x7f3a")
+
+// badAdHoc builds the wire error inline, bypassing the mapping: finding.
+func badAdHoc(sid uint32) ErrMsg {
+	return ErrMsg{Code: 5, Msg: fmt.Sprintf("no session %d", sid)} // want "outside the error-code mapping"
+}
+
+// badImportedLit does the same through the imported server package.
+func badImportedLit() server.ErrMsg {
+	return server.ErrMsg{Code: server.CodeInternal, Msg: "boom"} // want "outside the error-code mapping"
+}
+
+// badRawError puts an internal error string on the serving path: finding.
+func badRawError() string {
+	err := errNotFound
+	return err.Error() // want "raw err.Error"
+}
+
+// wireErr is the declared mapping: the one place internal errors become
+// wire errors, so the directive exempts both patterns.
+//
+//vnlvet:errmap
+func wireErr(code uint16, err error) ErrMsg {
+	msg := err.Error()
+	if code == 12 {
+		msg = "internal server error"
+	}
+	return ErrMsg{Code: code, Msg: msg}
+}
+
+// goodMapped routes through the mapping.
+func goodMapped() ErrMsg {
+	return wireErr(4, errNotFound)
+}
+
+// DecodeErrMsg is the inbound direction: parsing a wire error off the
+// frame constructs ErrMsg legitimately.
+func DecodeErrMsg(b []byte) (ErrMsg, error) {
+	if len(b) < 2 {
+		return ErrMsg{}, errors.New("truncated")
+	}
+	return ErrMsg{Code: uint16(b[0]), Msg: string(b[2:])}, nil
+}
+
+// goodWrapped wraps and returns the error as an error — no string
+// extraction, nothing leaks.
+func goodWrapped(err error) error {
+	return fmt.Errorf("apply batch: %w", err)
+}

@@ -1,0 +1,117 @@
+// Package framebounds holds known-bad and known-good decoded-length
+// flows for the framebounds analyzer.
+package framebounds
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// MaxFrame mirrors the 16 MiB wire cap.
+const MaxFrame = 16 << 20
+
+// badMake allocates straight from a wire length: finding.
+func badMake(hdr []byte) []byte {
+	n := binary.BigEndian.Uint32(hdr)
+	return make([]byte, n) // want "without a bound check"
+}
+
+// badIndex indexes with an unbounded decoded value: finding.
+func badIndex(b []byte) byte {
+	v, _ := binary.Uvarint(b)
+	return b[v] // want "without a bound check"
+}
+
+// badSlice slices with an unbounded decoded value: finding.
+func badSlice(b []byte) []byte {
+	v, _ := binary.Uvarint(b)
+	return b[:v] // want "without a bound check"
+}
+
+// badArith propagates taint through arithmetic before the sink: finding.
+func badArith(hdr []byte) []byte {
+	n := binary.BigEndian.Uint32(hdr)
+	total := n * 8
+	return make([]byte, total) // want "without a bound check"
+}
+
+// reader mirrors wireReader: uvarint returns the decoded value unbounded
+// (a taint source the fixpoint must discover), count bounds it before
+// returning (not a source).
+type reader struct {
+	b []byte
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, errors.New("bad uvarint")
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *reader) count() (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(len(r.b)) {
+		return 0, errors.New("count exceeds remaining")
+	}
+	return int(n), nil
+}
+
+// badViaHelper taints through the same-package source function: finding.
+func badViaHelper(r *reader) ([]string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	return make([]string, n), nil // want "without a bound check"
+}
+
+// goodCompared bounds the length before allocating.
+func goodCompared(hdr []byte) ([]byte, error) {
+	n := binary.BigEndian.Uint32(hdr)
+	if n > MaxFrame {
+		return nil, errors.New("frame too large")
+	}
+	return make([]byte, n), nil
+}
+
+// goodViaCount allocates from the self-bounding helper.
+func goodViaCount(r *reader) ([]string, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	return make([]string, n), nil
+}
+
+// goodRemaining bounds against the bytes left in the body.
+func goodRemaining(r *reader) (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.b)) {
+		return "", errors.New("string length exceeds remaining")
+	}
+	return string(r.b[:n]), nil
+}
+
+// goodDeclaredBound carries an out-of-band justification.
+func goodDeclaredBound(hdr []byte) []byte {
+	n := binary.BigEndian.Uint16(hdr)
+	return make([]byte, n) // bound: uint16 length is capped at 64 KiB, far under MaxFrame
+}
+
+// goodLiteralIndex uses constant indices and untainted loop counters.
+func goodLiteralIndex(b []byte, items []int) int {
+	sum := int(b[0])
+	for i := range items {
+		sum += items[i]
+	}
+	return sum
+}

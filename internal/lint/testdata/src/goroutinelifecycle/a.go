@@ -1,0 +1,125 @@
+// Package goroutinelifecycle holds known-bad and known-good goroutine
+// ownership shapes for the goroutinelifecycle analyzer.
+package goroutinelifecycle
+
+import (
+	"context"
+	"sync"
+)
+
+// Server mirrors the internal/server connection-owner shape: a WaitGroup
+// tracking handler goroutines and stop channels the owner drains.
+type Server struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	errs chan error
+}
+
+// badLeak spawns with no join anywhere: finding.
+func (s *Server) badLeak() {
+	go s.loop() // want "no reachable join"
+}
+
+// badAddAfter records the Add only after the spawn, so the join is not
+// visible where ownership is taken: finding.
+func (s *Server) badAddAfter() {
+	go func() { // want "no reachable join"
+		s.wg.Done()
+	}()
+	s.wg.Add(1)
+}
+
+// badLitNoJoin spawns a literal that neither signals nor is waited on.
+func badLitNoJoin() {
+	go func() { // want "no reachable join"
+		_ = 1 + 1
+	}()
+}
+
+// badDynamic spawns through a function value with no WaitGroup slot
+// reserved first; the analyzer cannot see the body, so it requires the
+// visible Add half.
+func badDynamic(fn func()) {
+	go fn() // want "no reachable join"
+}
+
+// goodWaitGroupLit is the canonical shape: Add before the spawn, Done in
+// the body.
+func (s *Server) goodWaitGroupLit() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.loop()
+	}()
+}
+
+// goodWaitGroupMethod joins through a spawned method whose body carries
+// the Done (one call level deep).
+func (s *Server) goodWaitGroupMethod() {
+	s.wg.Add(1)
+	go s.tracked()
+}
+
+func (s *Server) tracked() {
+	defer s.wg.Done()
+	s.loop()
+}
+
+// goodDynamicAdd reserves the WaitGroup slot before a dynamic spawn; the
+// visible half of the contract is present.
+func (s *Server) goodDynamicAdd(fn func()) {
+	s.wg.Add(1)
+	go fn()
+}
+
+// goodChannelClose joins through a channel the package receives from.
+func (s *Server) goodChannelClose() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.loop()
+	}()
+	<-done
+}
+
+// goodChannelSend sends its result on a field channel drained elsewhere
+// in the package (drainErrs below).
+func (s *Server) goodChannelSend() {
+	go func() {
+		s.errs <- nil
+	}()
+}
+
+func (s *Server) drainErrs() error {
+	return <-s.errs
+}
+
+// goodCtxBound ties the goroutine's lifetime to a cancellation the owner
+// controls.
+func goodCtxBound(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// goodDetached is fire-and-forget by design, and says so.
+func (s *Server) goodDetached() {
+	go s.loop() // detached: best-effort metrics flush, bounded by process exit
+}
+
+// goodDetachedAbove carries the justification on the preceding line.
+func (s *Server) goodDetachedAbove() {
+	// detached: reject path writes one frame then closes the conn
+	go s.loop()
+}
+
+func (s *Server) loop() {
+	for range s.stop {
+	}
+}

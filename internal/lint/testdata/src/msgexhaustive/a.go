@@ -1,0 +1,94 @@
+// Package msgexhaustive holds known-bad and known-good wire-enum
+// switches for the msgexhaustive analyzer.
+package msgexhaustive
+
+import "server"
+
+// Kind is a local wire enum, marked as such.
+//
+//vnlvet:wire-enum
+type Kind byte
+
+const (
+	KindPing  Kind = 1
+	KindQuery Kind = 2
+	KindBatch Kind = 3
+)
+
+// Priority is an ordinary enum with no wire directive: tableexhaustive's
+// territory, not msgexhaustive's — no finding here even though the switch
+// below is partial.
+type Priority int
+
+const (
+	PrioLow  Priority = 1
+	PrioHigh Priority = 2
+)
+
+// badLocalDefault hides a declared constant behind a default: the default
+// is for values this build does not know, not for KindBatch. Finding.
+func badLocalDefault(k Kind) string {
+	switch k { // want "misses KindBatch"
+	case KindPing:
+		return "ping"
+	case KindQuery:
+		return "query"
+	default:
+		return "unknown"
+	}
+}
+
+// badImported misses most of the imported wire enum: finding.
+func badImported(t server.MsgType) bool {
+	switch t { // want "misses MsgWelcome, MsgErr"
+	case server.MsgHello:
+		return true
+	}
+	return false
+}
+
+// goodLocal names every constant; the default only catches foreign values.
+func goodLocal(k Kind) string {
+	switch k {
+	case KindPing:
+		return "ping"
+	case KindQuery:
+		return "query"
+	case KindBatch:
+		return "batch"
+	default:
+		return "unknown"
+	}
+}
+
+// goodIgnored acknowledges the unhandled constants with an empty case.
+func goodIgnored(k Kind) string {
+	switch k {
+	case KindPing:
+		return "ping"
+	case KindQuery, KindBatch:
+	}
+	return ""
+}
+
+// goodImportedCodes covers the imported error-code enum.
+func goodImportedCodes(c server.ErrCode) string {
+	switch c {
+	case server.CodeBadFrame:
+		return "bad_frame"
+	case server.CodeInternal:
+		return "internal"
+	}
+	return ""
+}
+
+// notWire is outside msgexhaustive's domain: partial coverage of an
+// undirected enum is tableexhaustive's call.
+func notWire(p Priority) bool {
+	switch p {
+	case PrioHigh:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,17 @@
+// Package net is a minimal fake of the standard library's net package for
+// the lint fixtures: just enough surface (the Conn interface) for the
+// deadlinebound analyzer to type-match against, without dragging the real
+// net package's platform dependencies through the source importer.
+package net
+
+import "time"
+
+// Conn mirrors net.Conn's deadline-bearing surface.
+type Conn interface {
+	Read(b []byte) (n int, err error)
+	Write(b []byte) (n int, err error)
+	Close() error
+	SetDeadline(t time.Time) error
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}

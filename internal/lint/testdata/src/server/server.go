@@ -1,0 +1,32 @@
+// Package server is a minimal fake of internal/server's wire surface for
+// the lint fixtures: the MsgType/ErrCode enums the msgexhaustive analyzer
+// recognizes cross-package, and the ErrMsg body the errleak analyzer
+// guards.
+package server
+
+// MsgType identifies a wire message.
+//
+//vnlvet:wire-enum
+type MsgType byte
+
+const (
+	MsgHello   MsgType = 0x01
+	MsgWelcome MsgType = 0x81
+	MsgErr     MsgType = 0xff
+)
+
+// ErrCode classifies a MsgErr.
+//
+//vnlvet:wire-enum
+type ErrCode uint16
+
+const (
+	CodeBadFrame ErrCode = 1
+	CodeInternal ErrCode = 2
+)
+
+// ErrMsg is the body of MsgErr.
+type ErrMsg struct {
+	Code ErrCode
+	Msg  string
+}

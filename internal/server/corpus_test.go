@@ -1,0 +1,82 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// frameCorpusEntries are the checked-in FuzzFrameDecode seeds: every
+// malformed-frame fixture from TestFrameErrors and every malformed-body
+// fixture from TestDecodeErrors (the latter wrapped in a well-formed frame
+// so they exercise the full ReadFrame→DecodeAny path). Checking them in
+// means a fresh `go test -fuzz` run starts from each hand-written attack
+// instead of rediscovering it.
+func frameCorpusEntries() map[string][]byte {
+	u32 := func(n uint32) []byte {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], n)
+		return b[:]
+	}
+	frame := func(t MsgType, body []byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, t, body); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	}
+	huge := binary.AppendUvarint(nil, 1<<40)
+	return map[string][]byte{
+		"empty":              {},
+		"short-header":       {0, 0},
+		"len-below-min":      u32(1),
+		"len-above-max":      u32(MaxFrame + 1),
+		"truncated-payload":  append(u32(10), ProtocolVersion, byte(MsgPing)),
+		"foreign-version":    append(u32(2), 99, byte(MsgPing)),
+		"truncated-hello":    frame(MsgHello, binary.AppendUvarint(nil, 50)),
+		"ping-with-body":     frame(MsgPing, []byte{1}),
+		"rows-forged-count":  frame(MsgRows, huge),
+		"batch-forged-count": frame(MsgApplyBatch, huge),
+		"batch-bad-op":       frame(MsgApplyBatch, frameBatchBadOp()),
+		"query-trailing":     frame(MsgQuery, append(Query{SQL: "SELECT 1"}.Encode(), 0xEE)),
+		"rows-bad-kind":      frame(MsgRows, frameRowsBadKind()),
+		"unknown-type":       frame(MsgType(0x70), nil),
+	}
+}
+
+// corpusEntry renders data in the `go test fuzz v1` corpus file format.
+func corpusEntry(data []byte) string {
+	return fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+}
+
+// TestSeedFrameCorpus keeps the checked-in corpus in sync with
+// frameCorpusEntries. By default it verifies every entry exists with the
+// expected bytes; with VNL_SEED_CORPUS=1 it rewrites the files instead.
+func TestSeedFrameCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzFrameDecode")
+	entries := frameCorpusEntries()
+	if os.Getenv("VNL_SEED_CORPUS") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range entries {
+			path := filepath.Join(dir, "seed-"+name)
+			if err := os.WriteFile(path, []byte(corpusEntry(data)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	for name, data := range entries {
+		got, err := os.ReadFile(filepath.Join(dir, "seed-"+name))
+		if err != nil {
+			t.Fatalf("corpus entry missing (regenerate with VNL_SEED_CORPUS=1 go test -run TestSeedFrameCorpus): %v", err)
+		}
+		if string(got) != corpusEntry(data) {
+			t.Errorf("corpus entry seed-%s is stale; regenerate with VNL_SEED_CORPUS=1", name)
+		}
+	}
+}

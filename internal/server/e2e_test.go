@@ -21,7 +21,7 @@ import (
 
 // startServer runs an in-process vnlserver on an ephemeral port over a fresh
 // store with the kv table, and registers cleanup.
-func startServer(t *testing.T, opts ...func(*server.Config)) (*server.Server, *core.Store) {
+func startServer(t testing.TB, opts ...func(*server.Config)) (*server.Server, *core.Store) {
 	t.Helper()
 	store, err := core.Open(db.Open(db.Options{}), core.Options{N: 2, Metrics: obs.NewRegistry()})
 	if err != nil {
@@ -42,7 +42,7 @@ func startServer(t *testing.T, opts ...func(*server.Config)) (*server.Server, *c
 	return srv, store
 }
 
-func dialServer(t *testing.T, srv *server.Server, opts vnlclient.Options) *vnlclient.Client {
+func dialServer(t testing.TB, srv *server.Server, opts vnlclient.Options) *vnlclient.Client {
 	t.Helper()
 	c, err := vnlclient.Dial(srv.Addr().String(), opts)
 	if err != nil {

@@ -33,7 +33,12 @@ const ProtocolVersion byte = 1
 const MaxFrame = 16 << 20
 
 // MsgType identifies a message. Requests (client → server) occupy 0x01..0x7f;
-// responses (server → client) occupy 0x80..0xff.
+// responses (server → client) occupy 0x80..0xff. The wire-enum directive
+// makes vnlvet's msgexhaustive analyzer require every switch over MsgType to
+// name all declared constants — adding a message kind without touching every
+// dispatch point is a lint error, not a runtime surprise.
+//
+//vnlvet:wire-enum
 type MsgType byte
 
 const (
@@ -96,7 +101,10 @@ func (t MsgType) String() string {
 }
 
 // ErrCode classifies a MsgErr. Codes are stable wire values; add new codes
-// at the end.
+// at the end. Like MsgType, the wire-enum directive holds every switch over
+// ErrCode to full coverage.
+//
+//vnlvet:wire-enum
 type ErrCode uint16
 
 const (

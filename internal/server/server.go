@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,10 @@ type Config struct {
 	// exceeds it (the engine cannot interrupt a running query, so the
 	// socket is severed to free the client side). 0 disables the watchdog.
 	RequestTimeout time.Duration
+	// WriteTimeout bounds each response write and flush, so a client that
+	// stops reading cannot wedge a writer goroutine on a full socket
+	// buffer. 0 disables it.
+	WriteTimeout time.Duration
 	// DrainTimeout bounds Shutdown when its context has no deadline.
 	// 0 means 10s.
 	DrainTimeout time.Duration
@@ -93,10 +98,11 @@ type Server struct {
 	mu    sync.Mutex
 	conns map[*conn]struct{}
 
-	// wg tracks every per-connection goroutine (reader and writer).
+	// wg tracks every goroutine the server spawns: the accept loop, the
+	// watchdog, reject writers, and the per-connection reader/writer
+	// pairs. Shutdown and Close wait on it, so "drained" provably means
+	// "no server goroutine is still running".
 	wg sync.WaitGroup
-	// acceptDone closes when the accept loop exits.
-	acceptDone chan struct{}
 	// watchStop stops the request-timeout watchdog.
 	watchStop chan struct{}
 
@@ -132,12 +138,11 @@ func New(cfg Config) *Server {
 		reg = obs.Default()
 	}
 	s := &Server{
-		cfg:        cfg,
-		reg:        reg,
-		metrics:    newServerMetrics(reg),
-		conns:      make(map[*conn]struct{}),
-		acceptDone: make(chan struct{}),
-		watchStop:  make(chan struct{}),
+		cfg:       cfg,
+		reg:       reg,
+		metrics:   newServerMetrics(reg),
+		conns:     make(map[*conn]struct{}),
+		watchStop: make(chan struct{}),
 	}
 	s.stmts.ids = make(map[string]uint32)
 	return s
@@ -154,8 +159,10 @@ func (s *Server) Start() error {
 	}
 	s.ln = ln
 	s.logf("listening on %s", ln.Addr())
+	s.wg.Add(1)
 	go s.acceptLoop()
 	if s.cfg.RequestTimeout > 0 {
+		s.wg.Add(1)
 		go s.watchdog()
 	}
 	return nil
@@ -180,7 +187,7 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 func (s *Server) acceptLoop() {
-	defer close(s.acceptDone)
+	defer s.wg.Done()
 	for {
 		nc, err := s.ln.Accept()
 		if err != nil {
@@ -196,31 +203,37 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		if s.draining.Load() {
-			s.reject(nc, CodeDraining, "server is draining")
+			s.reject(nc, CodeDraining, errDraining)
 			continue
 		}
 		s.mu.Lock()
 		over := len(s.conns) >= s.cfg.MaxConns
 		s.mu.Unlock()
 		if over {
-			s.reject(nc, CodeTooBusy, fmt.Sprintf("connection limit %d reached", s.cfg.MaxConns))
+			s.reject(nc, CodeTooBusy, fmt.Errorf("connection limit %d reached", s.cfg.MaxConns))
 			continue
 		}
 		s.startConn(nc)
 	}
 }
 
+// errDraining is the backpressure error every drained-away dial sees.
+var errDraining = errors.New("server is draining")
+
 // reject answers a connection the server will not serve with a single
 // MsgErr frame, then closes it. The client's handshake frame is consumed
 // first: closing a socket with unread inbound data raises RST on common
 // stacks, which would destroy the queued error frame before the client
-// reads it.
-func (s *Server) reject(nc net.Conn, code ErrCode, msg string) {
+// reads it. The writer joins s.wg so Shutdown/Close also wait for
+// rejections in flight (each is bounded by its one-second deadline).
+func (s *Server) reject(nc net.Conn, code ErrCode, err error) {
 	s.metrics.connsRejected.Inc()
+	s.wg.Add(1)
 	go func() {
+		defer s.wg.Done()
 		_ = nc.SetDeadline(time.Now().Add(time.Second))
 		_, _, _ = ReadFrame(bufio.NewReader(nc))
-		_ = WriteFrame(nc, MsgErr, ErrMsg{Code: code, Msg: msg}.Encode())
+		_ = WriteFrame(nc, MsgErr, wireErr(code, err))
 		_ = nc.Close()
 	}()
 }
@@ -257,6 +270,7 @@ func (s *Server) removeConn(c *conn) {
 // the socket unblocks the client and lets the drain account for the
 // connection.
 func (s *Server) watchdog() {
+	defer s.wg.Done()
 	tick := time.NewTicker(s.cfg.RequestTimeout / 4)
 	defer tick.Stop()
 	for {
@@ -549,7 +563,7 @@ func (c *conn) handleReadErr(err error) bool {
 	}
 	// Frame-level garbage (bad length prefix, foreign version): tell the
 	// client why before closing.
-	c.out <- outFrame{t: MsgErr, body: ErrMsg{Code: CodeBadFrame, Msg: err.Error()}.Encode()}
+	c.out <- outFrame{t: MsgErr, body: wireErr(CodeBadFrame, err)}
 	return false
 }
 
@@ -560,6 +574,9 @@ func (c *conn) writeLoop() {
 	for f := range c.out {
 		if dead {
 			continue // drain the queue so the reader never blocks on send
+		}
+		if d := c.srv.cfg.WriteTimeout; d > 0 {
+			_ = c.nc.SetWriteDeadline(time.Now().Add(d))
 		}
 		if err := WriteFrame(bw, f.t, f.body); err != nil {
 			dead = true
@@ -581,22 +598,52 @@ func (c *conn) writeLoop() {
 	c.forceClose()
 }
 
-// errResp builds a MsgErr response and counts it.
-func (c *conn) errResp(code ErrCode, format string, args ...any) (MsgType, []byte) {
-	c.srv.metrics.requestErrs.Inc()
-	return MsgErr, ErrMsg{Code: code, Msg: fmt.Sprintf(format, args...)}.Encode()
+// wireErr renders the MsgErr body for an error: the one place an internal
+// error becomes wire bytes. The code is the stable contract clients
+// dispatch on; the message is advisory detail. CodeInternal redacts the
+// message — unexpected server-side failures carry paths and invariant
+// names that belong in logs, not on a socket.
+//
+//vnlvet:errmap
+func wireErr(code ErrCode, err error) []byte {
+	msg := err.Error()
+	if code == CodeInternal {
+		msg = "internal server error"
+	}
+	return ErrMsg{Code: code, Msg: msg}.Encode()
 }
 
-// queryErr maps an execution error to its wire code.
-func queryErrCode(err error) ErrCode {
+// wireCode maps an execution error to its stable wire code. The sql
+// package wraps every parse/lex error with "sql:", which is how a parse
+// failure surfacing through Session.Query (it parses too) is told apart
+// from an execution failure.
+//
+//vnlvet:errmap
+func wireCode(err error) ErrCode {
 	switch {
 	case errors.Is(err, core.ErrSessionExpired):
 		return CodeSessionExpired
 	case errors.Is(err, core.ErrSessionClosed):
 		return CodeSessionClosed
-	default:
-		return CodeExec
 	}
+	if strings.HasPrefix(err.Error(), "sql:") {
+		return CodeParse
+	}
+	return CodeExec
+}
+
+// errResp builds a MsgErr response through the error-code mapping and
+// counts it.
+func (c *conn) errResp(code ErrCode, err error) (MsgType, []byte) {
+	c.srv.metrics.requestErrs.Inc()
+	return MsgErr, wireErr(code, err)
+}
+
+// errRespf is errResp for failures born on the serving path itself (an
+// unknown session id, a wrong-direction message) — there is no internal
+// error to leak, just a message to compose.
+func (c *conn) errRespf(code ErrCode, format string, args ...any) (MsgType, []byte) {
+	return c.errResp(code, fmt.Errorf(format, args...))
 }
 
 // handle dispatches one request and returns its response frame. It runs on
@@ -612,7 +659,7 @@ func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
 	case MsgHello:
 		h, err := DecodeHello(body)
 		if err != nil {
-			return c.errResp(CodeBadFrame, "%v", err)
+			return c.errResp(CodeBadFrame, err)
 		}
 		s.logf("hello from %s (%q)", c.nc.RemoteAddr(), h.ClientName)
 		return MsgWelcome, Welcome{
@@ -626,7 +673,7 @@ func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
 
 	case MsgBeginSession:
 		if c.draining() {
-			return c.errResp(CodeDraining, "server is draining; no new sessions")
+			return c.errRespf(CodeDraining, "server is draining; no new sessions")
 		}
 		sess := s.cfg.Store.BeginSession()
 		c.nextSID++
@@ -639,11 +686,11 @@ func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
 	case MsgEndSession:
 		m, err := DecodeEndSession(body)
 		if err != nil {
-			return c.errResp(CodeBadFrame, "%v", err)
+			return c.errResp(CodeBadFrame, err)
 		}
 		sess, ok := c.sessions[m.SID]
 		if !ok {
-			return c.errResp(CodeNoSession, "no session %d on this connection", m.SID)
+			return c.errRespf(CodeNoSession, "no session %d on this connection", m.SID)
 		}
 		sess.Close()
 		delete(c.sessions, m.SID)
@@ -654,7 +701,7 @@ func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
 	case MsgQuery:
 		q, err := DecodeQuery(body)
 		if err != nil {
-			return c.errResp(CodeBadFrame, "%v", err)
+			return c.errResp(CodeBadFrame, err)
 		}
 		return c.runQuery(q.SID, func(sess *core.Session) (*exec.Rows, error) {
 			return sess.Query(q.SQL, q.Params)
@@ -663,22 +710,22 @@ func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
 	case MsgPrepare:
 		p, err := DecodePrepare(body)
 		if err != nil {
-			return c.errResp(CodeBadFrame, "%v", err)
+			return c.errResp(CodeBadFrame, err)
 		}
 		id, err := s.prepare(p.SQL)
 		if err != nil {
-			return c.errResp(CodeParse, "%v", err)
+			return c.errResp(CodeParse, err)
 		}
 		return MsgPrepared, Prepared{StmtID: id}.Encode()
 
 	case MsgExecStmt:
 		e, err := DecodeExecStmt(body)
 		if err != nil {
-			return c.errResp(CodeBadFrame, "%v", err)
+			return c.errResp(CodeBadFrame, err)
 		}
 		p := s.stmt(e.StmtID)
 		if p == nil {
-			return c.errResp(CodeNoStatement, "no prepared statement %d", e.StmtID)
+			return c.errRespf(CodeNoStatement, "no prepared statement %d", e.StmtID)
 		}
 		return c.runQuery(e.SID, func(sess *core.Session) (*exec.Rows, error) {
 			return sess.QueryPrepared(p, e.Params)
@@ -687,16 +734,21 @@ func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
 	case MsgApplyBatch:
 		b, err := DecodeApplyBatch(body)
 		if err != nil {
-			return c.errResp(CodeBadFrame, "%v", err)
+			return c.errResp(CodeBadFrame, err)
 		}
 		done, err := s.applyBatch(b.Deltas)
 		if err != nil {
-			return c.errResp(CodeBatch, "%v", err)
+			return c.errResp(CodeBatch, err)
 		}
 		return MsgBatchDone, done.Encode()
 
+	case MsgWelcome, MsgOK, MsgRows, MsgSession, MsgPrepared, MsgBatchDone, MsgErr:
+		// Response types arriving at a server are a peer speaking the wrong
+		// direction; answer them like any other malformed request.
+		return c.errRespf(CodeBadFrame, "unexpected message type %v", t)
+
 	default:
-		return c.errResp(CodeBadFrame, "unexpected message type %v", t)
+		return c.errRespf(CodeBadFrame, "unexpected message type %v", t)
 	}
 }
 
@@ -711,35 +763,15 @@ func (c *conn) runQuery(sid uint32, fn func(*core.Session) (*exec.Rows, error)) 
 	} else {
 		var ok bool
 		if sess, ok = c.sessions[sid]; !ok {
-			return c.errResp(CodeNoSession, "no session %d on this connection", sid)
+			return c.errRespf(CodeNoSession, "no session %d on this connection", sid)
 		}
 	}
 	c.srv.metrics.queries.Inc()
 	rows, err := fn(sess)
 	if err != nil {
-		code := queryErrCode(err)
-		if code == CodeExec {
-			// A parse failure surfaces here too (Session.Query parses);
-			// classify by attempting to distinguish is overkill — the
-			// message carries the detail either way.
-			if _, perr := parseProbe(err); perr {
-				code = CodeParse
-			}
-		}
-		return c.errResp(code, "%v", err)
+		return c.errResp(wireCode(err), err)
 	}
 	resp := Rows{Columns: rows.Columns}
 	resp.Tuples = rows.Tuples
 	return MsgRows, resp.Encode()
-}
-
-// parseProbe reports whether err is a SQL parse/lex error by its package
-// prefix (the sql package wraps all its errors with "sql:").
-func parseProbe(err error) (string, bool) {
-	msg := err.Error()
-	const p = "sql:"
-	if len(msg) >= len(p) && msg[:len(p)] == p {
-		return msg, true
-	}
-	return msg, false
 }

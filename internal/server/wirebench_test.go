@@ -1,0 +1,45 @@
+package server_test
+
+import (
+	"testing"
+
+	"repro/pkg/vnlclient"
+)
+
+// BenchmarkWirePing measures one framed round trip over a real loopback
+// TCP connection — the floor every wire operation pays for the protocol
+// stack (frame encode, bufio flush, server dispatch, frame decode) before
+// any engine work. scripts/bench_snapshot.sh records it as the serving
+// stack's wire-latency number.
+func BenchmarkWirePing(b *testing.B) {
+	srv, _ := startServer(b)
+	c := dialServer(b, srv, vnlclient.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Ping(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireQuery measures a small rewritten SELECT over the wire:
+// the ping floor plus parse, rewrite, versioned scan, and row encoding.
+func BenchmarkWireQuery(b *testing.B) {
+	srv, _ := startServer(b)
+	c := dialServer(b, srv, vnlclient.Options{})
+	if _, err := c.ApplyBatch([]vnlclient.Delta{kvInsert(1, 10), kvInsert(2, 20)}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := c.Query("SELECT k, v FROM kv", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows.Tuples) != 2 {
+			b.Fatalf("query returned %d rows, want 2", len(rows.Tuples))
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+// walCorpusEntries are the checked-in FuzzWALDecode seeds: torn payloads,
+// framing garbage, CRC mismatches, and forged lengths — the shapes crash
+// recovery must survive. Each is malformed in exactly one way so a fuzz
+// regression bisects cleanly.
+func walCorpusEntries() map[string][]byte {
+	schema := catalog.MustSchema("dim", []catalog.Column{
+		{Name: "k", Type: catalog.TypeInt, Length: 8},
+		{Name: "v", Type: catalog.TypeFloat, Length: 8, Updatable: true},
+	}, "k")
+	row := catalog.Tuple{catalog.NewInt(1), catalog.NewFloat(2.5)}
+	insert := encodeRecord(&Record{Kind: KindInsert, Table: "dim",
+		RID: storage.RID{Page: 1, Slot: 2}, After: row})
+	create := appendSchema([]byte{byte(KindCreate)}, schema)
+	commit := binary.AppendVarint([]byte{byte(KindCommit)}, 2)
+
+	badCRC := frameRecord(commit)
+	badCRC[len(badCRC)-1] ^= 0xff // payload no longer matches the CRC
+
+	forged := frameRecord(insert)
+	binary.LittleEndian.PutUint32(forged[0:], 1<<20) // length far past the data
+
+	return map[string][]byte{
+		"empty":              {},
+		"unknown-kind":       {0x63, 1, 2, 3},
+		"torn-insert":        insert[:len(insert)/2],
+		"torn-create":        create[:len(create)/2],
+		"bare-commit-kind":   {byte(KindCommit)},
+		"bad-crc":            badCRC,
+		"forged-length":      forged,
+		"frame-plus-garbage": append(frameRecord(commit), 0xde, 0xad),
+	}
+}
+
+// corpusEntry renders data in the `go test fuzz v1` corpus file format.
+func corpusEntry(data []byte) string {
+	return fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+}
+
+// TestSeedWALCorpus keeps the checked-in corpus in sync with
+// walCorpusEntries. By default it verifies every entry exists with the
+// expected bytes; with VNL_SEED_CORPUS=1 it rewrites the files instead.
+func TestSeedWALCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzWALDecode")
+	entries := walCorpusEntries()
+	if os.Getenv("VNL_SEED_CORPUS") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range entries {
+			path := filepath.Join(dir, "seed-"+name)
+			if err := os.WriteFile(path, []byte(corpusEntry(data)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	for name, data := range entries {
+		got, err := os.ReadFile(filepath.Join(dir, "seed-"+name))
+		if err != nil {
+			t.Fatalf("corpus entry missing (regenerate with VNL_SEED_CORPUS=1 go test -run TestSeedWALCorpus): %v", err)
+		}
+		if string(got) != corpusEntry(data) {
+			t.Errorf("corpus entry seed-%s is stale; regenerate with VNL_SEED_CORPUS=1", name)
+		}
+	}
+}

@@ -81,6 +81,11 @@ type Options struct {
 	RetryBackoff time.Duration
 	// MaxIdle bounds pooled idle connections. Default 2.
 	MaxIdle int
+	// OpTimeout bounds each request/response round trip on a connection
+	// (armed as the conn deadline before every exchange). Default 30s; a
+	// negative value disables the deadline for callers that genuinely
+	// want to wait forever.
+	OpTimeout time.Duration
 	// ClientName is sent in the handshake and appears in server logs.
 	ClientName string
 }
@@ -97,6 +102,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxIdle == 0 {
 		o.MaxIdle = 2
+	}
+	switch {
+	case o.OpTimeout == 0:
+		o.OpTimeout = 30 * time.Second
+	case o.OpTimeout < 0:
+		o.OpTimeout = 0
 	}
 	if o.ClientName == "" {
 		o.ClientName = "vnlclient"
@@ -155,7 +166,7 @@ func (c *Client) dial() (*wireConn, error) {
 			lastErr = err
 			continue
 		}
-		wc := newWireConn(nc)
+		wc := newWireConn(nc, c.opts.OpTimeout)
 		w, err := wc.handshake(c.opts.ClientName)
 		if err != nil {
 			wc.close()

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"time"
 
 	"repro/internal/server"
 )
@@ -15,23 +16,31 @@ type wireConn struct {
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	welcome server.Welcome
+	// opTimeout bounds each round trip (Options.OpTimeout, resolved).
+	opTimeout time.Duration
 	// broken marks a connection that failed mid-exchange; the pool drops
 	// it instead of recycling.
 	broken bool
 }
 
-func newWireConn(nc net.Conn) *wireConn {
+func newWireConn(nc net.Conn, opTimeout time.Duration) *wireConn {
 	return &wireConn{
-		nc: nc,
-		br: bufio.NewReader(nc),
-		bw: bufio.NewWriter(nc),
+		nc:        nc,
+		br:        bufio.NewReader(nc),
+		bw:        bufio.NewWriter(nc),
+		opTimeout: opTimeout,
 	}
 }
 
 // roundTrip writes one request frame and reads the matched response. The
 // protocol is strictly request/response per connection, so the next frame
-// is always the answer.
+// is always the answer. Each round trip arms the connection deadline
+// first, so a stalled or vanished server surfaces as a timeout error
+// instead of wedging the caller (and its pool slot) forever.
 func (w *wireConn) roundTrip(t server.MsgType, body []byte) (server.MsgType, []byte, error) {
+	if w.opTimeout > 0 {
+		_ = w.nc.SetDeadline(time.Now().Add(w.opTimeout))
+	}
 	if err := server.WriteFrame(w.bw, t, body); err != nil {
 		w.broken = true
 		return 0, nil, err
@@ -65,6 +74,13 @@ func (w *wireConn) handshake(clientName string) (server.Welcome, error) {
 			return server.Welcome{}, derr
 		}
 		return server.Welcome{}, &Error{Code: e.Code, Msg: e.Msg}
+	case server.MsgHello, server.MsgPing, server.MsgQuery, server.MsgBeginSession,
+		server.MsgEndSession, server.MsgPrepare, server.MsgExecStmt, server.MsgApplyBatch,
+		server.MsgOK, server.MsgRows, server.MsgSession, server.MsgPrepared, server.MsgBatchDone:
+		// Known types that are never a legal handshake answer: same failure
+		// as an unknown future type, listed so msgexhaustive proves every
+		// kind was considered.
+		return server.Welcome{}, fmt.Errorf("vnlclient: handshake answered with %v", rt)
 	default:
 		return server.Welcome{}, fmt.Errorf("vnlclient: handshake answered with %v", rt)
 	}
