@@ -63,7 +63,8 @@ bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 # bench-snapshot runs the tracked benchmark set (reader scaling, maintain
-# batch, vnlserver wire latency) and writes machine-readable BENCH_*.json
-# snapshots next to the raw bench output; CI uploads them as artifacts.
+# batch, vnlserver wire latency, single-thread query latency) and writes
+# machine-readable BENCH_*.json snapshots next to the raw bench output; CI
+# uploads them as artifacts.
 bench-snapshot:
 	bash scripts/bench_snapshot.sh

@@ -1,0 +1,95 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/exec"
+	"repro/internal/obs"
+)
+
+// BenchmarkQueryLatency measures single-thread ad-hoc query latency through
+// the three read paths the plan cache distinguishes:
+//
+//	adhoc_cached    Session.Query with the store-level plan cache on — the
+//	                steady state skips parse, rewrite, and compilation, and
+//	                runs the vectorized batch executor
+//	adhoc_uncached  the same query with the cache disabled (PlanCacheSize
+//	                -1): parse + §4.1 rewrite + tree-walking execution per
+//	                call, the pre-cache behaviour
+//	prepared        Store.Prepare + Session.QueryPrepared, the explicit
+//	                statement-handle path the cache brings ad-hoc text up to
+//
+// The cached ad-hoc path beating the uncached one is an acceptance criterion
+// of the plan-cache change; scripts/bench_snapshot.sh snapshots this
+// benchmark into BENCH_query_latency.json.
+func BenchmarkQueryLatency(b *testing.B) {
+	const query = `SELECT k, v FROM kv WHERE v >= 100 AND k < 192`
+
+	open := func(b *testing.B, opts core.Options) *core.Store {
+		b.Helper()
+		opts.Metrics = obs.NewRegistry()
+		s, err := core.Open(db.Open(db.Options{}), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.CreateTableSQL(`CREATE TABLE kv (k INT(8), v INT(8) UPDATABLE, UNIQUE KEY(k))`); err != nil {
+			b.Fatal(err)
+		}
+		m, err := s.BeginMaintenance()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := int64(0); k < 256; k++ {
+			if err := m.Insert("kv", catalog.Tuple{catalog.NewInt(k), catalog.NewInt(k * 10)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := m.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+
+	runQueries := func(b *testing.B, sess *core.Session, each func() (*exec.Rows, error)) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err := each()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rows.Len() != 182 {
+				b.Fatalf("rows = %d, want 182", rows.Len())
+			}
+		}
+	}
+
+	b.Run("adhoc_cached", func(b *testing.B) {
+		s := open(b, core.Options{N: 2})
+		sess := s.BeginSession()
+		defer sess.Close()
+		runQueries(b, sess, func() (*exec.Rows, error) { return sess.Query(query, nil) })
+	})
+
+	b.Run("adhoc_uncached", func(b *testing.B) {
+		s := open(b, core.Options{N: 2, PlanCacheSize: -1})
+		sess := s.BeginSession()
+		defer sess.Close()
+		runQueries(b, sess, func() (*exec.Rows, error) { return sess.Query(query, nil) })
+	})
+
+	b.Run("prepared", func(b *testing.B) {
+		s := open(b, core.Options{N: 2})
+		p, err := s.Prepare(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess := s.BeginSession()
+		defer sess.Close()
+		runQueries(b, sess, func() (*exec.Rows, error) { return sess.QueryPrepared(p, nil) })
+	})
+}

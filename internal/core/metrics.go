@@ -78,6 +78,10 @@ type storeMetrics struct {
 	preparedHits   *obs.Counter
 	preparedMisses *obs.Counter
 
+	// Ad-hoc rewrite/plan cache (Session.Query / QueryStmt / server MsgQuery).
+	planHits   *obs.Counter
+	planMisses *obs.Counter
+
 	gcPasses  *obs.Counter
 	gcScanned *obs.Counter
 	gcRemoved *obs.Counter
@@ -135,6 +139,9 @@ func newStoreMetrics(reg *obs.Registry, tracer obs.Tracer) *storeMetrics {
 
 		preparedHits:   c("core_prepared_rewrite_hits_total", "prepared executions served from the cached §4.1 rewrite"),
 		preparedMisses: c("core_prepared_rewrite_misses_total", "prepared executions that re-derived the §4.1 rewrite"),
+
+		planHits:   c("core_plan_cache_hits_total", "ad-hoc queries served from the cached rewrite/compiled plan"),
+		planMisses: c("core_plan_cache_misses_total", "ad-hoc queries that parsed, rewrote, and compiled a fresh plan"),
 
 		gcPasses:  c("core_gc_passes_total", "garbage-collection passes"),
 		gcScanned: c("core_gc_scanned_total", "physical tuples examined by GC"),

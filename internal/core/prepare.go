@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -27,11 +28,12 @@ type Prepared struct {
 	plan  atomic.Pointer[preparedPlan]
 }
 
-// preparedPlan is one immutable cached rewrite, valid for exactly the table
-// registry it was derived against.
+// preparedPlan is one immutable cached rewrite — and its compiled form —
+// valid for exactly the table registry it was derived against.
 type preparedPlan struct {
-	reg *tableRegistry
-	rw  *sql.SelectStmt
+	reg  *tableRegistry
+	rw   *sql.SelectStmt
+	plan *exec.Plan
 }
 
 // Prepare parses a SELECT and returns its prepared form.
@@ -53,24 +55,38 @@ func (s *Store) PrepareStmt(sel *sql.SelectStmt) *Prepared {
 // normalization key callers use to deduplicate preparations.
 func (p *Prepared) SQL() string { return sql.Print(p.src) }
 
-// rewritten returns the cached rewrite when the table registry is unchanged,
-// deriving and caching a fresh one otherwise. Concurrent misses may race to
-// derive; each derivation is correct for the registry it loaded, and the
-// losing Store is harmless (last writer wins, both plans valid for their
-// registries).
-func (p *Prepared) rewritten() (*sql.SelectStmt, error) {
+// compiled returns the cached rewrite-plus-plan when the table registry is
+// unchanged, deriving and caching a fresh one otherwise. Concurrent misses
+// may race to derive; each derivation is correct for the registry it loaded,
+// and the losing Store is harmless (last writer wins, both plans valid for
+// their registries).
+func (p *Prepared) compiled() (*preparedPlan, error) {
 	reg := p.store.tables.Load()
 	if pl := p.plan.Load(); pl != nil && pl.reg == reg {
 		p.store.metrics.preparedHits.Inc()
-		return pl.rw, nil
+		return pl, nil
 	}
 	rw, err := RewriteSelect(p.store, p.src)
 	if err != nil {
 		return nil, err
 	}
+	plan, err := exec.CompileSelect(queryCatalog{p.store}, rw, p.store.fastOptions(p.src))
+	if err != nil {
+		return nil, err
+	}
 	p.store.metrics.preparedMisses.Inc()
-	p.plan.Store(&preparedPlan{reg: reg, rw: rw})
-	return rw, nil
+	pl := &preparedPlan{reg: reg, rw: rw, plan: plan}
+	p.plan.Store(pl)
+	return pl, nil
+}
+
+// rewritten returns the §4.1 rewritten form, from cache when valid.
+func (p *Prepared) rewritten() (*sql.SelectStmt, error) {
+	pl, err := p.compiled()
+	if err != nil {
+		return nil, err
+	}
+	return pl.rw, nil
 }
 
 // QueryPrepared executes a prepared SELECT at the session's version,
@@ -88,11 +104,11 @@ func (sess *Session) QueryPrepared(p *Prepared, params exec.Params) (*exec.Rows,
 	if err := sess.Check(); err != nil {
 		return nil, err
 	}
-	rw, err := p.rewritten()
+	pl, err := p.compiled()
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Select(queryCatalog{sess.store}, rw, withSessionVN(params, sess.vn))
+	rows, err := sess.executePrepared(pl, withSessionVN(params, sess.vn))
 	if err != nil {
 		return nil, err
 	}
@@ -103,6 +119,19 @@ func (sess *Session) QueryPrepared(p *Prepared, params exec.Params) (*exec.Rows,
 		return nil, err
 	}
 	return rows, nil
+}
+
+// executePrepared runs a prepared plan, falling back to the tree-walking
+// executor over the cached rewrite if the table registry flipped between
+// cache validation and execution (the same stale-plan recovery as the
+// ad-hoc path; the tree-walker resolves tables at execution time, which is
+// exactly what the pre-compilation code did).
+func (sess *Session) executePrepared(pl *preparedPlan, params exec.Params) (*exec.Rows, error) {
+	rows, err := pl.plan.Execute(queryCatalog{sess.store}, params)
+	if err != nil && errors.Is(err, exec.ErrPlanStale) {
+		return exec.Select(queryCatalog{sess.store}, pl.rw, params)
+	}
+	return rows, err
 }
 
 // queryPreparedPerTuple is QueryPrepared under §3.2's optimistic expiration
@@ -116,11 +145,11 @@ func (sess *Session) queryPreparedPerTuple(p *Prepared, params exec.Params) (*ex
 	if sess.vn < floor {
 		return nil, sess.markExpired()
 	}
-	rw, err := p.rewritten()
+	pl, err := p.compiled()
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Select(queryCatalog{sess.store}, rw, withSessionVN(params, sess.vn))
+	rows, err := sess.executePrepared(pl, withSessionVN(params, sess.vn))
 	if err != nil {
 		return nil, err
 	}

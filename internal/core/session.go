@@ -181,30 +181,58 @@ func (sess *Session) Expired() bool { return sess.Check() != nil }
 // after execution, so a session that silently expired mid-query (a second
 // maintenance transaction began) reports ErrSessionExpired rather than
 // returning an inconsistent result.
+//
+// When the store's plan cache is enabled (the default), a repeated query
+// text skips the parser, the rewrite derivation, and expression compilation
+// entirely: the cache is probed with the raw text before anything else, and
+// validity is one table-registry pointer comparison.
 func (sess *Session) Query(text string, params exec.Params) (*exec.Rows, error) {
+	st := sess.store
+	if st.plans != nil {
+		if e := st.plans.get(text, st.tables.Load()); e != nil {
+			st.metrics.planHits.Inc()
+			return sess.queryEntry(e, params)
+		}
+	}
 	sel, err := sql.ParseSelect(text)
 	if err != nil {
 		return nil, err
 	}
-	return sess.QueryStmt(sel, params)
+	return sess.queryKeyed(sel, text, params)
 }
 
 // QueryStmt is Query over a pre-parsed statement. The input is not
 // mutated. On the steady-state path this performs zero mutex
-// acquisitions: both checks load the published snapshot, and table
-// resolution is an atomic registry load.
+// acquisitions: both checks load the published snapshot, table resolution
+// is an atomic registry load, and the plan cache (keyed here by the
+// statement's canonical printed form) is a read-locked map probe.
 func (sess *Session) QueryStmt(sel *sql.SelectStmt, params exec.Params) (*exec.Rows, error) {
+	return sess.queryKeyed(sel, "", params)
+}
+
+// queryKeyed executes sel through the plan cache when enabled (raw, when
+// non-empty, is the original text and becomes a second cache key), else
+// through the per-call rewrite path.
+func (sess *Session) queryKeyed(sel *sql.SelectStmt, raw string, params exec.Params) (*exec.Rows, error) {
+	st := sess.store
+	if st.plans != nil {
+		e, err := st.selectPlan(sel, raw)
+		if err != nil {
+			return nil, err
+		}
+		return sess.queryEntry(e, params)
+	}
 	if sess.perTuple {
 		return sess.queryPerTuple(sel, params)
 	}
 	if err := sess.Check(); err != nil {
 		return nil, err
 	}
-	rw, err := RewriteSelect(sess.store, sel)
+	rw, err := RewriteSelect(st, sel)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Select(queryCatalog{sess.store}, rw, withSessionVN(params, sess.vn))
+	rows, err := exec.Select(queryCatalog{st}, rw, withSessionVN(params, sess.vn))
 	if err != nil {
 		return nil, err
 	}
@@ -213,6 +241,77 @@ func (sess *Session) QueryStmt(sel *sql.SelectStmt, params exec.Params) (*exec.R
 	}
 	if err := sess.Check(); err != nil {
 		return nil, err
+	}
+	return rows, nil
+}
+
+// queryEntry runs a cached plan under the session's expiration discipline —
+// the same check-execute-check (or execute-probe) shape as the uncached
+// paths.
+func (sess *Session) queryEntry(e *planEntry, params exec.Params) (*exec.Rows, error) {
+	if sess.perTuple {
+		return sess.queryEntryPerTuple(e, params)
+	}
+	if err := sess.Check(); err != nil {
+		return nil, err
+	}
+	rows, err := sess.executePlan(e, withSessionVN(params, sess.vn))
+	if err != nil {
+		return nil, err
+	}
+	if sess.midQueryHook != nil {
+		sess.midQueryHook()
+	}
+	if err := sess.Check(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// executePlan runs a cached plan, recovering from the rare stale-plan race:
+// the table registry can flip between cache validation and execution (e.g.
+// AdoptTable replacing the table mid-flight), which the plan detects by
+// schema-pointer comparison. Recovery re-derives against the current
+// registry instead of failing the query; the stale cache entry dies on its
+// next lookup.
+func (sess *Session) executePlan(e *planEntry, params exec.Params) (*exec.Rows, error) {
+	st := sess.store
+	rows, err := e.plan.Execute(queryCatalog{st}, params)
+	if err != nil && errors.Is(err, exec.ErrPlanStale) {
+		rw, rerr := RewriteSelect(st, e.src)
+		if rerr != nil {
+			return nil, rerr
+		}
+		return exec.Select(queryCatalog{st}, rw, params)
+	}
+	return rows, err
+}
+
+// queryEntryPerTuple is queryEntry under §3.2's optimistic expiration
+// alternative, mirroring queryPerTuple.
+func (sess *Session) queryEntryPerTuple(e *planEntry, params exec.Params) (*exec.Rows, error) {
+	if sess.closed.Load() {
+		return nil, ErrSessionClosed
+	}
+	_, _, floor := sess.store.readGlobals()
+	if sess.vn < floor {
+		return nil, sess.markExpired()
+	}
+	rows, err := sess.executePlan(e, withSessionVN(params, sess.vn))
+	if err != nil {
+		return nil, err
+	}
+	if sess.midQueryHook != nil {
+		sess.midQueryHook()
+	}
+	for _, tr := range e.src.From {
+		vt := sess.store.lookup(tr.Table)
+		if vt == nil {
+			continue
+		}
+		if vt.hasUnreconstructible(sess.vn) {
+			return nil, sess.markExpired()
+		}
 	}
 	return rows, nil
 }

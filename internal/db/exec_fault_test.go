@@ -1,0 +1,142 @@
+package db
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/sql"
+	"repro/internal/vfs"
+)
+
+// faultDB opens a database over a FaultFS with a one-page buffer pool, so
+// touching a second page must evict (and write back) the first — the channel
+// through which injected I/O faults reach statement execution — and loads
+// rows rows spanning several pages.
+func faultDB(t *testing.T, rows int64) (*Database, *vfs.FaultFS, *vfs.Script) {
+	t.Helper()
+	script := vfs.NewScript()
+	fs := vfs.NewFaultFS(script)
+	d := Open(Options{DataFS: fs, DataDir: "data", PoolPages: 1, PageSize: 256})
+	tbl, err := d.CreateTable(faultKVSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < rows; k++ {
+		if _, err := tbl.Insert(catalog.Tuple{catalog.NewInt(k), catalog.NewInt(k * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Pool().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return d, fs, script
+}
+
+// A write-back fault during DELETE must fail the statement with the partial
+// count, not report success over fewer rows than matched. Before the typed
+// not-found discipline, exec.Delete swallowed every tbl.Delete error with a
+// bare continue: this exact scenario returned (n < matched, nil) — silent
+// row loss.
+func TestExecDeleteWriteBackFaultFailsStatement(t *testing.T) {
+	d, fs, script := faultDB(t, 60)
+	countRows := func() int {
+		tbl, err := d.TableOf("kv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.Len()
+	}
+	total := countRows()
+	if total != 60 {
+		t.Fatalf("seeded %d rows", total)
+	}
+
+	// Every page is clean; the next persisting op is the first dirty-page
+	// write-back the delete loop forces.
+	script.AddFault(fs.PersistOps()+1, vfs.FaultErr, 0)
+	stmt, err := sql.Parse(`DELETE FROM kv WHERE v >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := exec.Delete(d, stmt.(*sql.DeleteStmt), nil)
+	if err == nil {
+		t.Fatalf("DELETE reported success (%d rows) despite the injected write-back fault", n)
+	}
+	if n >= total {
+		t.Fatalf("DELETE claims %d rows deleted of %d with a fault injected", n, total)
+	}
+
+	// Healthy hardware again: the retry deletes everything that remains.
+	fs.SetScript(nil)
+	n2, err := exec.Delete(d, stmt.(*sql.DeleteStmt), nil)
+	if err != nil {
+		t.Fatalf("retry DELETE: %v", err)
+	}
+	if got := countRows(); got != 0 {
+		t.Fatalf("%d rows remain after retry (first pass %d, retry %d)", got, n, n2)
+	}
+}
+
+// A write-back fault surfacing from the indexed Get inside SELECT must fail
+// the query, not shrink its result set (pre-fix accessPath skipped every
+// failing Get).
+func TestExecSelectIndexedGetFaultFailsQuery(t *testing.T) {
+	d, fs, script := faultDB(t, 60)
+	tbl, err := d.TableOf("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty a page so the index probe's heap read must evict it first.
+	if _, err := exec.Update(d, mustParse(t, `UPDATE kv SET v = 1 WHERE k = 0`).(*sql.UpdateStmt), nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = tbl
+
+	script.AddFault(fs.PersistOps()+1, vfs.FaultErr, 0)
+	sel, err := sql.ParseSelect(`SELECT v FROM kv WHERE k = 55`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Select(d, sel, nil); err == nil {
+		t.Fatal("indexed SELECT returned a result despite the injected fault")
+	}
+
+	// And the same query answers once the fault clears.
+	fs.SetScript(nil)
+	rows, err := exec.Select(d, sel, nil)
+	if err != nil {
+		t.Fatalf("retry SELECT: %v", err)
+	}
+	if rows.Len() != 1 {
+		t.Fatalf("retry returned %d rows, want 1", rows.Len())
+	}
+}
+
+// A write-back fault during UPDATE's re-read or write must fail the
+// statement with the partial count.
+func TestExecUpdateWriteBackFaultFailsStatement(t *testing.T) {
+	d, fs, script := faultDB(t, 60)
+	script.AddFault(fs.PersistOps()+1, vfs.FaultErr, 0)
+	stmt := mustParse(t, `UPDATE kv SET v = v + 1 WHERE v >= 0`).(*sql.UpdateStmt)
+	n, err := exec.Update(d, stmt, nil)
+	if err == nil {
+		t.Fatalf("UPDATE reported success (%d rows) despite the injected fault", n)
+	}
+	if n >= 60 {
+		t.Fatalf("UPDATE claims %d of 60 rows with a fault injected", n)
+	}
+	fs.SetScript(nil)
+	if _, err := exec.Update(d, stmt, nil); err != nil {
+		t.Fatalf("retry UPDATE: %v", err)
+	}
+}
+
+func mustParse(t *testing.T, text string) sql.Statement {
+	t.Helper()
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return stmt
+}

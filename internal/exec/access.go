@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 
 	"repro/internal/catalog"
@@ -110,19 +112,26 @@ func accessRIDs(tbl Table, binding string, where sql.Expr, params Params) ([]sto
 	return it.LookupEqual(cols, vals)
 }
 
-// accessPath is accessRIDs materialized to candidate tuples.
-func accessPath(tbl Table, binding string, where sql.Expr, params Params) ([]catalog.Tuple, bool) {
+// accessPath is accessRIDs materialized to candidate tuples. An index entry
+// whose tuple is gone (storage.ErrNotFound: the slot was concurrently freed
+// between the index probe and the heap read) is legally skipped; any other
+// Get failure is an I/O fault or corruption and fails the query — it must
+// not silently shrink the result set.
+func accessPath(tbl Table, binding string, where sql.Expr, params Params) ([]catalog.Tuple, bool, error) {
 	rids, ok := accessRIDs(tbl, binding, where, params)
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	rows := make([]catalog.Tuple, 0, len(rids))
 	for _, rid := range rids {
 		t, err := tbl.Get(rid)
 		if err != nil {
-			continue
+			if errors.Is(err, storage.ErrNotFound) {
+				continue
+			}
+			return nil, true, fmt.Errorf("exec: indexed read of %v: %w", rid, err)
 		}
 		rows = append(rows, t)
 	}
-	return rows, true
+	return rows, true, nil
 }

@@ -1,0 +1,576 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// This file implements the compiled-closure expression evaluator: an
+// sql.Expr is compiled once — column references resolved to row offsets,
+// parameter references resolved to slots in a per-execution binding array,
+// operators specialized — into a closure evaluated per row with no tree
+// walking and no string comparisons. Cached plans (see plan.go and
+// core's plan cache) compile their filter and projection expressions once
+// and amortize the compilation over every execution.
+//
+// Semantics are pinned to the tree-walking env.eval by the differential
+// suite: SQL three-valued logic, NULL propagation, lazy unbound-parameter
+// errors (a parameter in a CASE arm that is never taken must not fail the
+// query), and the date/string comparison coercion.
+
+// compiledExpr evaluates one expression over a row within an execution
+// context (parameter bindings).
+type compiledExpr func(ctx *evalCtx, row catalog.Tuple) (catalog.Value, error)
+
+// evalCtx is the per-execution state shared by every compiled closure of
+// one plan: the parameter values, bound into slots assigned at compile
+// time. It is cheap to build (one small slice) and never escapes an
+// execution, so concurrent executions of one shared plan each get their
+// own.
+type evalCtx struct {
+	params []catalog.Value
+	bound  []bool
+}
+
+// compiler compiles expressions against a fixed set of range-variable
+// bindings, interning parameter names into slots as it encounters them.
+type compiler struct {
+	bindings  []binding
+	paramSlot map[string]int
+	// paramNames, parallel to the slots, names each slot for binding and
+	// error messages.
+	paramNames []string
+}
+
+func newCompiler(bindings []binding) *compiler {
+	return &compiler{bindings: bindings, paramSlot: make(map[string]int)}
+}
+
+// slot returns the parameter slot for name, creating one on first use.
+func (c *compiler) slot(name string) int {
+	if s, ok := c.paramSlot[name]; ok {
+		return s
+	}
+	s := len(c.paramNames)
+	c.paramSlot[name] = s
+	c.paramNames = append(c.paramNames, name)
+	return s
+}
+
+// newCtx binds a Params map into an execution context. Unbound parameters
+// are detected lazily, when (and only when) their slot is read, mirroring
+// the tree-walking evaluator.
+func (c *compiler) newCtx(params Params) *evalCtx {
+	ctx := &evalCtx{
+		params: make([]catalog.Value, len(c.paramNames)),
+		bound:  make([]bool, len(c.paramNames)),
+	}
+	for i, name := range c.paramNames {
+		if v, ok := params[name]; ok {
+			ctx.params[i] = v
+			ctx.bound[i] = true
+		}
+	}
+	return ctx
+}
+
+// resolve finds the row offset for a (possibly qualified) column reference,
+// with the same ambiguity and unknown-column rules as env.resolve.
+func (c *compiler) resolve(ref *sql.ColumnRef) (int, error) {
+	found := -1
+	for _, b := range c.bindings {
+		if ref.Table != "" && !strings.EqualFold(ref.Table, b.name) {
+			continue
+		}
+		if idx := b.schema.ColIndex(ref.Name); idx >= 0 {
+			if found >= 0 {
+				return 0, fmt.Errorf("exec: ambiguous column %q", ref.Name)
+			}
+			found = b.offset + idx
+		}
+	}
+	if found < 0 {
+		if ref.Table != "" {
+			return 0, fmt.Errorf("exec: unknown column %s.%s", ref.Table, ref.Name)
+		}
+		return 0, fmt.Errorf("exec: unknown column %q", ref.Name)
+	}
+	return found, nil
+}
+
+// compile builds the closure for e. A compile error means the expression
+// cannot be resolved against the bindings (or uses an unsupported form);
+// callers fall back to the tree-walking path, which reports the same error
+// at evaluation time.
+func (c *compiler) compile(e sql.Expr) (compiledExpr, error) {
+	switch x := e.(type) {
+	case *sql.Literal:
+		v := x.Value
+		return func(*evalCtx, catalog.Tuple) (catalog.Value, error) { return v, nil }, nil
+
+	case *sql.Param:
+		slot := c.slot(x.Name)
+		name := x.Name
+		return func(ctx *evalCtx, _ catalog.Tuple) (catalog.Value, error) {
+			if !ctx.bound[slot] {
+				return catalog.Null, fmt.Errorf("%w: :%s", ErrUnboundParam, name)
+			}
+			return ctx.params[slot], nil
+		}, nil
+
+	case *sql.ColumnRef:
+		idx, err := c.resolve(x)
+		if err != nil {
+			return nil, err
+		}
+		name := x.Name
+		return func(_ *evalCtx, row catalog.Tuple) (catalog.Value, error) {
+			if idx >= len(row) {
+				return catalog.Null, fmt.Errorf("exec: column %q out of range", name)
+			}
+			return row[idx], nil
+		}, nil
+
+	case *sql.UnaryExpr:
+		inner, err := c.compile(x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "NOT":
+			return func(ctx *evalCtx, row catalog.Tuple) (catalog.Value, error) {
+				v, err := inner(ctx, row)
+				if err != nil {
+					return catalog.Null, err
+				}
+				if v.IsNull() {
+					return catalog.Null, nil
+				}
+				if v.Kind() != catalog.TypeBool {
+					return catalog.Null, fmt.Errorf("exec: NOT applied to %v", v.Kind())
+				}
+				return catalog.NewBool(!v.Bool()), nil
+			}, nil
+		case "-":
+			return func(ctx *evalCtx, row catalog.Tuple) (catalog.Value, error) {
+				v, err := inner(ctx, row)
+				if err != nil {
+					return catalog.Null, err
+				}
+				if v.IsNull() {
+					return catalog.Null, nil
+				}
+				switch v.Kind() {
+				case catalog.TypeInt:
+					return catalog.NewInt(-v.Int()), nil
+				case catalog.TypeFloat:
+					return catalog.NewFloat(-v.Float()), nil
+				default:
+					return catalog.Null, fmt.Errorf("exec: unary minus on %v", v.Kind())
+				}
+			}, nil
+		}
+		return nil, fmt.Errorf("exec: unknown unary operator %q", x.Op)
+
+	case *sql.BinaryExpr:
+		return c.compileBinary(x)
+
+	case *sql.CaseExpr:
+		type arm struct{ cond, result compiledExpr }
+		arms := make([]arm, len(x.Whens))
+		for i, w := range x.Whens {
+			cond, err := c.compile(w.Cond)
+			if err != nil {
+				return nil, err
+			}
+			result, err := c.compile(w.Result)
+			if err != nil {
+				return nil, err
+			}
+			arms[i] = arm{cond, result}
+		}
+		var elseFn compiledExpr
+		if x.Else != nil {
+			var err error
+			elseFn, err = c.compile(x.Else)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return func(ctx *evalCtx, row catalog.Tuple) (catalog.Value, error) {
+			for _, a := range arms {
+				cv, err := a.cond(ctx, row)
+				if err != nil {
+					return catalog.Null, err
+				}
+				if !cv.IsNull() && cv.Kind() == catalog.TypeBool && cv.Bool() {
+					return a.result(ctx, row)
+				}
+			}
+			if elseFn != nil {
+				return elseFn(ctx, row)
+			}
+			return catalog.Null, nil
+		}, nil
+
+	case *sql.IsNullExpr:
+		inner, err := c.compile(x.X)
+		if err != nil {
+			return nil, err
+		}
+		not := x.Not
+		return func(ctx *evalCtx, row catalog.Tuple) (catalog.Value, error) {
+			v, err := inner(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			return catalog.NewBool(v.IsNull() != not), nil
+		}, nil
+
+	case *sql.InExpr:
+		inner, err := c.compile(x.X)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]compiledExpr, len(x.List))
+		for i, item := range x.List {
+			ci, err := c.compile(item)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = ci
+		}
+		not := x.Not
+		return func(ctx *evalCtx, row catalog.Tuple) (catalog.Value, error) {
+			v, err := inner(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			if v.IsNull() {
+				return catalog.Null, nil
+			}
+			sawNull := false
+			for _, item := range items {
+				iv, err := item(ctx, row)
+				if err != nil {
+					return catalog.Null, err
+				}
+				if iv.IsNull() {
+					sawNull = true
+					continue
+				}
+				cmp, err := compare(v, iv)
+				if err != nil {
+					return catalog.Null, err
+				}
+				if cmp == 0 {
+					return catalog.NewBool(!not), nil
+				}
+			}
+			if sawNull {
+				return catalog.Null, nil
+			}
+			return catalog.NewBool(not), nil
+		}, nil
+
+	case *sql.BetweenExpr:
+		inner, err := c.compile(x.X)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := c.compile(x.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := c.compile(x.Hi)
+		if err != nil {
+			return nil, err
+		}
+		not := x.Not
+		return func(ctx *evalCtx, row catalog.Tuple) (catalog.Value, error) {
+			v, err := inner(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			lv, err := lo(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			hv, err := hi(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			if v.IsNull() || lv.IsNull() || hv.IsNull() {
+				return catalog.Null, nil
+			}
+			c1, err := compare(v, lv)
+			if err != nil {
+				return catalog.Null, err
+			}
+			c2, err := compare(v, hv)
+			if err != nil {
+				return catalog.Null, err
+			}
+			in := c1 >= 0 && c2 <= 0
+			return catalog.NewBool(in != not), nil
+		}, nil
+
+	case *sql.FuncCall:
+		return c.compileFunc(x)
+
+	default:
+		return nil, fmt.Errorf("exec: cannot compile %T", e)
+	}
+}
+
+// compileBinary specializes the operator at compile time. AND/OR evaluate
+// both sides (no short-circuit on errors) with three-valued logic, exactly
+// as evalBinary does.
+func (c *compiler) compileBinary(x *sql.BinaryExpr) (compiledExpr, error) {
+	l, err := c.compile(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.compile(x.R)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case sql.OpAnd:
+		return func(ctx *evalCtx, row catalog.Tuple) (catalog.Value, error) {
+			lv, err := l(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			rv, err := r(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			lb, lnull := boolOrNull(lv)
+			rb, rnull := boolOrNull(rv)
+			switch {
+			case !lnull && !lb, !rnull && !rb:
+				return catalog.NewBool(false), nil
+			case lnull || rnull:
+				return catalog.Null, nil
+			default:
+				return catalog.NewBool(true), nil
+			}
+		}, nil
+	case sql.OpOr:
+		return func(ctx *evalCtx, row catalog.Tuple) (catalog.Value, error) {
+			lv, err := l(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			rv, err := r(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			lb, lnull := boolOrNull(lv)
+			rb, rnull := boolOrNull(rv)
+			switch {
+			case !lnull && lb, !rnull && rb:
+				return catalog.NewBool(true), nil
+			case lnull || rnull:
+				return catalog.Null, nil
+			default:
+				return catalog.NewBool(false), nil
+			}
+		}, nil
+
+	case sql.OpEq, sql.OpNe, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
+		op := x.Op
+		return func(ctx *evalCtx, row catalog.Tuple) (catalog.Value, error) {
+			lv, err := l(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			rv, err := r(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return catalog.Null, nil
+			}
+			cmp, err := compare(lv, rv)
+			if err != nil {
+				return catalog.Null, err
+			}
+			var res bool
+			switch op {
+			case sql.OpEq:
+				res = cmp == 0
+			case sql.OpNe:
+				res = cmp != 0
+			case sql.OpLt:
+				res = cmp < 0
+			case sql.OpLe:
+				res = cmp <= 0
+			case sql.OpGt:
+				res = cmp > 0
+			default:
+				res = cmp >= 0
+			}
+			return catalog.NewBool(res), nil
+		}, nil
+
+	case sql.OpAdd, sql.OpSub, sql.OpMul, sql.OpDiv:
+		op := x.Op
+		return func(ctx *evalCtx, row catalog.Tuple) (catalog.Value, error) {
+			lv, err := l(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			rv, err := r(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return catalog.Null, nil
+			}
+			if !lv.IsNumeric() || !rv.IsNumeric() {
+				return catalog.Null, fmt.Errorf("exec: arithmetic on %v and %v", lv.Kind(), rv.Kind())
+			}
+			if lv.Kind() == catalog.TypeInt && rv.Kind() == catalog.TypeInt {
+				a, b := lv.Int(), rv.Int()
+				switch op {
+				case sql.OpAdd:
+					return catalog.NewInt(a + b), nil
+				case sql.OpSub:
+					return catalog.NewInt(a - b), nil
+				case sql.OpMul:
+					return catalog.NewInt(a * b), nil
+				default:
+					if b == 0 {
+						return catalog.Null, errors.New("exec: division by zero")
+					}
+					return catalog.NewInt(a / b), nil
+				}
+			}
+			a, b := lv.Float(), rv.Float()
+			switch op {
+			case sql.OpAdd:
+				return catalog.NewFloat(a + b), nil
+			case sql.OpSub:
+				return catalog.NewFloat(a - b), nil
+			case sql.OpMul:
+				return catalog.NewFloat(a * b), nil
+			default:
+				if b == 0 {
+					return catalog.Null, errors.New("exec: division by zero")
+				}
+				return catalog.NewFloat(a / b), nil
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("exec: unknown binary operator %v", x.Op)
+}
+
+// compileFunc compiles scalar function calls. Aggregates never reach a
+// compiled plan (plans with aggregates fall back to the tree-walking
+// executor), so they are a compile error here.
+func (c *compiler) compileFunc(x *sql.FuncCall) (compiledExpr, error) {
+	if IsAggregate(x.Name) {
+		return nil, fmt.Errorf("exec: cannot compile aggregate %s", x.Name)
+	}
+	args := make([]compiledExpr, len(x.Args))
+	for i, a := range x.Args {
+		ca, err := c.compile(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = ca
+	}
+	evalArgs := func(ctx *evalCtx, row catalog.Tuple) ([]catalog.Value, error) {
+		out := make([]catalog.Value, len(args))
+		for i, a := range args {
+			v, err := a(ctx, row)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch x.Name {
+	case "ABS":
+		if len(args) != 1 {
+			return nil, errors.New("exec: ABS takes one argument")
+		}
+		arg := args[0]
+		return func(ctx *evalCtx, row catalog.Tuple) (catalog.Value, error) {
+			v, err := arg(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			if v.IsNull() {
+				return catalog.Null, nil
+			}
+			switch v.Kind() {
+			case catalog.TypeInt:
+				if v.Int() < 0 {
+					return catalog.NewInt(-v.Int()), nil
+				}
+				return v, nil
+			case catalog.TypeFloat:
+				return catalog.NewFloat(math.Abs(v.Float())), nil
+			default:
+				return catalog.Null, fmt.Errorf("exec: ABS of %v", v.Kind())
+			}
+		}, nil
+	case "COALESCE":
+		return func(ctx *evalCtx, row catalog.Tuple) (catalog.Value, error) {
+			vs, err := evalArgs(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			for _, v := range vs {
+				if !v.IsNull() {
+					return v, nil
+				}
+			}
+			return catalog.Null, nil
+		}, nil
+	case "LENGTH":
+		if len(args) != 1 {
+			return nil, errors.New("exec: LENGTH takes one argument")
+		}
+		arg := args[0]
+		return func(ctx *evalCtx, row catalog.Tuple) (catalog.Value, error) {
+			v, err := arg(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			if v.IsNull() {
+				return catalog.Null, nil
+			}
+			return catalog.NewInt(int64(len(v.Str()))), nil
+		}, nil
+	case "UPPER", "LOWER":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("exec: %s takes one argument", x.Name)
+		}
+		arg := args[0]
+		upper := x.Name == "UPPER"
+		return func(ctx *evalCtx, row catalog.Tuple) (catalog.Value, error) {
+			v, err := arg(ctx, row)
+			if err != nil {
+				return catalog.Null, err
+			}
+			if v.IsNull() {
+				return catalog.Null, nil
+			}
+			if upper {
+				return catalog.NewString(strings.ToUpper(v.Str())), nil
+			}
+			return catalog.NewString(strings.ToLower(v.Str())), nil
+		}, nil
+	}
+	return nil, fmt.Errorf("exec: unknown function %s", x.Name)
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/catalog"
@@ -81,7 +82,12 @@ func Update(cat Catalog, stmt *sql.UpdateStmt, params Params) (int, error) {
 	for _, rid := range rids {
 		old, err := tbl.Get(rid)
 		if err != nil {
-			continue // concurrently deleted; cursor skips it
+			if errors.Is(err, storage.ErrNotFound) {
+				continue // concurrently deleted; cursor skips it
+			}
+			// Anything else is an I/O fault or corruption: fail the
+			// statement rather than silently updating fewer rows.
+			return n, fmt.Errorf("exec: UPDATE reading %v: %w", rid, err)
 		}
 		// Re-check the predicate against the current tuple state.
 		if stmt.Where != nil {
@@ -102,6 +108,9 @@ func Update(cat Catalog, stmt *sql.UpdateStmt, params Params) (int, error) {
 			t[setIdx[i]] = v
 		}
 		if err := tbl.Update(rid, t); err != nil {
+			if errors.Is(err, storage.ErrNotFound) {
+				continue // deleted between the re-read and the write
+			}
 			return n, err
 		}
 		n++
@@ -125,7 +134,12 @@ func Delete(cat Catalog, stmt *sql.DeleteStmt, params Params) (int, error) {
 	n := 0
 	for _, rid := range rids {
 		if err := tbl.Delete(rid); err != nil {
-			continue // concurrently deleted
+			if errors.Is(err, storage.ErrNotFound) {
+				continue // concurrently deleted
+			}
+			// A faulted delete must fail the statement: reporting n with a
+			// nil error here would silently under-count under I/O faults.
+			return n, fmt.Errorf("exec: DELETE of %v: %w", rid, err)
 		}
 		n++
 	}
@@ -142,7 +156,10 @@ func matching(tbl Table, where sql.Expr, ev *env) ([]storage.RID, error) {
 			for _, rid := range rids {
 				t, err := tbl.Get(rid)
 				if err != nil {
-					continue
+					if errors.Is(err, storage.ErrNotFound) {
+						continue // slot concurrently freed; legal cursor skip
+					}
+					return nil, fmt.Errorf("exec: indexed read of %v: %w", rid, err)
 				}
 				v, err := ev.eval(where, t)
 				if err != nil {

@@ -1,0 +1,428 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// BatchSize is the number of tuples a vectorized plan processes per batch.
+// Batches amortize the per-row dispatch and let per-batch decisions (the
+// Table 1 / §5 version-reconstruction fast path) hoist work out of the
+// per-tuple loop.
+const BatchSize = 256
+
+// ErrPlanStale is returned by Plan.Execute when the table the plan was
+// compiled against has been replaced (its schema pointer changed). Callers
+// recompile against the current catalog. The 2VNL plan cache never observes
+// this — it invalidates by table-registry pointer before executing — so it
+// guards direct Plan users.
+var ErrPlanStale = errors.New("exec: plan compiled against a replaced table")
+
+// CompileOptions tunes CompileSelect. The Fast/Classify pair implements the
+// per-batch version-reconstruction decision: the 2VNL layer passes the
+// statement it would run if every tuple in a batch were readable in its
+// current version (Table 1 / §5 case 1 — no CASE reconstruction), plus a
+// per-tuple classifier. When every tuple of a batch classifies fast, the
+// batch runs the fast filter/projections; otherwise that batch falls back
+// to the full rewritten form, tuple by tuple. Executions that do not bind
+// ClassifyParam run the full form throughout.
+type CompileOptions struct {
+	// Fast is the case-1 variant of the statement: same output columns,
+	// valid for a tuple t whenever Classify(t, v) is true, where v is the
+	// execution's binding of ClassifyParam.
+	Fast *sql.SelectStmt
+	// Classify reports whether a tuple may be read through Fast. It must be
+	// cheap (the batch executor calls it once per tuple) and must not
+	// retain row.
+	Classify func(row catalog.Tuple, v catalog.Value) bool
+	// ClassifyParam names the parameter whose bound value feeds Classify
+	// (the 2VNL layer passes ":sessionVN"). The lookup is hoisted to one
+	// map access per execution.
+	ClassifyParam string
+}
+
+// Plan is a SELECT compiled for repeated execution: filter and projection
+// expressions are compiled closures (column offsets and parameter slots
+// resolved once), and execution runs a vectorized scan → filter → project
+// pipeline over BatchSize-tuple batches. Statements outside the vectorized
+// subset — joins, aggregates, GROUP BY/HAVING, ORDER BY, DISTINCT, no FROM
+// — compile to a fallback plan that executes through the tree-walking
+// executor, still skipping parse and rewrite when cached.
+//
+// A Plan is immutable after CompileSelect returns and safe for concurrent
+// use by any number of goroutines; each Execute builds its own evaluation
+// context.
+type Plan struct {
+	stmt *sql.SelectStmt // full statement; fallback path and error messages
+
+	vectorized bool
+	table      string
+	binding    string
+	schema     *catalog.Schema // compile-time schema identity, checked at Execute
+
+	comp    *compiler
+	filter  compiledExpr // nil when the statement has no WHERE
+	project []compiledExpr
+	columns []string
+	limit   *int64
+
+	// Equality conjuncts usable by an index access path, extracted at
+	// compile time; values resolve per execution (literal or parameter).
+	eqCols []string
+	eqVals []compiledExpr
+
+	// Per-batch fast path (see CompileOptions).
+	fastFilter    compiledExpr
+	fastProject   []compiledExpr
+	classify      func(row catalog.Tuple, v catalog.Value) bool
+	classifyParam string
+}
+
+// Vectorized reports whether the plan runs the batched pipeline (false
+// means Execute falls back to the tree-walking executor).
+func (p *Plan) Vectorized() bool { return p.vectorized }
+
+// Statement returns the statement the plan was compiled from.
+func (p *Plan) Statement() *sql.SelectStmt { return p.stmt }
+
+// CompileSelect compiles stmt against cat. Statements in the vectorized
+// subset (single-table scan/filter/project, optionally with LIMIT) get
+// compiled closures and the batched pipeline; everything else returns a
+// fallback plan whose Execute runs the tree-walking executor. The returned
+// plan retains stmt; callers must not mutate it afterwards.
+func CompileSelect(cat Catalog, stmt *sql.SelectStmt, opts *CompileOptions) (*Plan, error) {
+	p := &Plan{stmt: stmt}
+	if !vectorizable(stmt) {
+		return p, nil
+	}
+	tr := stmt.From[0]
+	tbl, err := cat.Table(tr.Table)
+	if err != nil {
+		return nil, err
+	}
+	sc := tbl.Schema()
+	comp := newCompiler([]binding{{name: tr.Binding(), schema: sc, offset: 0}})
+
+	items, err := expandStars(stmt, &env{bindings: comp.bindings})
+	if err != nil {
+		return nil, err
+	}
+	filter, project, columns, ok := compileFilterProject(comp, stmt.Where, items)
+	if !ok {
+		// Unresolvable or uncompilable expression: the fallback path
+		// reports the same error at execution time.
+		return p, nil
+	}
+
+	p.vectorized = true
+	p.table = tr.Table
+	p.binding = tr.Binding()
+	p.schema = sc
+	p.comp = comp
+	p.filter = filter
+	p.project = project
+	p.columns = columns
+	p.limit = stmt.Limit
+	p.compileEqConjuncts(comp, stmt.Where)
+
+	if opts != nil && opts.Fast != nil && opts.Classify != nil {
+		// The fast variant compiles with the same compiler, so both
+		// variants share one parameter-slot table and one execution
+		// context.
+		fastItems, err := expandStars(opts.Fast, &env{bindings: comp.bindings})
+		if err == nil {
+			if ff, fp, _, ok := compileFilterProject(comp, opts.Fast.Where, fastItems); ok && len(fp) == len(project) {
+				p.fastFilter = ff
+				p.fastProject = fp
+				p.classify = opts.Classify
+				p.classifyParam = opts.ClassifyParam
+			}
+		}
+	}
+	return p, nil
+}
+
+// vectorizable reports whether the statement is in the batched subset.
+func vectorizable(stmt *sql.SelectStmt) bool {
+	if len(stmt.From) != 1 || stmt.Distinct {
+		return false
+	}
+	if len(stmt.GroupBy) > 0 || stmt.Having != nil || len(stmt.OrderBy) > 0 {
+		return false
+	}
+	for _, it := range stmt.Items {
+		if it.Star {
+			continue
+		}
+		agg := false
+		sql.WalkExpr(it.Expr, func(e sql.Expr) bool {
+			if fc, ok := e.(*sql.FuncCall); ok && IsAggregate(fc.Name) {
+				agg = true
+				return false
+			}
+			return true
+		})
+		if agg {
+			return false
+		}
+	}
+	return true
+}
+
+// compileFilterProject compiles the WHERE and the select list. ok=false
+// means some expression does not compile (unknown column, unsupported
+// form); the caller then uses the fallback path, which reports the same
+// error when the statement actually runs.
+func compileFilterProject(comp *compiler, where sql.Expr, items []sql.SelectItem) (filter compiledExpr, project []compiledExpr, columns []string, ok bool) {
+	if where != nil {
+		f, err := comp.compile(where)
+		if err != nil {
+			return nil, nil, nil, false
+		}
+		filter = f
+	}
+	project = make([]compiledExpr, len(items))
+	columns = make([]string, len(items))
+	for i, it := range items {
+		fn, err := comp.compile(it.Expr)
+		if err != nil {
+			return nil, nil, nil, false
+		}
+		project[i] = fn
+		columns[i] = itemName(it, i)
+	}
+	return filter, project, columns, true
+}
+
+// compileEqConjuncts records the WHERE's top-level AND-ed `col = const`
+// conjuncts with their value expressions compiled, so the index access
+// path works on cached plans with per-execution parameter values.
+func (p *Plan) compileEqConjuncts(comp *compiler, where sql.Expr) {
+	var collect func(e sql.Expr)
+	collect = func(e sql.Expr) {
+		be, ok := e.(*sql.BinaryExpr)
+		if !ok {
+			return
+		}
+		switch be.Op {
+		case sql.OpAnd:
+			collect(be.L)
+			collect(be.R)
+		case sql.OpEq:
+			if col, val, ok := p.eqSideCompiled(comp, be.L, be.R); ok {
+				p.eqCols = append(p.eqCols, col)
+				p.eqVals = append(p.eqVals, val)
+			} else if col, val, ok := p.eqSideCompiled(comp, be.R, be.L); ok {
+				p.eqCols = append(p.eqCols, col)
+				p.eqVals = append(p.eqVals, val)
+			}
+		default:
+			// Every other operator (arithmetic, comparisons, OR) is not an
+			// AND-ed equality conjunct; the index access path ignores it and
+			// the compiled filter re-applies the full WHERE.
+			return
+		}
+	}
+	collect(where)
+}
+
+// eqSideCompiled matches `col = literal/param` with col a bare reference to
+// the plan's binding, compiling the value side.
+func (p *Plan) eqSideCompiled(comp *compiler, l, r sql.Expr) (string, compiledExpr, bool) {
+	cr, ok := l.(*sql.ColumnRef)
+	if !ok {
+		return "", nil, false
+	}
+	if cr.Table != "" && !equalFold(cr.Table, p.binding) {
+		return "", nil, false
+	}
+	switch r.(type) {
+	case *sql.Literal, *sql.Param:
+		fn, err := comp.compile(r)
+		if err != nil {
+			return "", nil, false
+		}
+		return cr.Name, fn, true
+	}
+	return "", nil, false
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Execute runs the plan. Vectorized plans stream the table in BatchSize
+// batches through the compiled filter and projections; fallback plans run
+// the tree-walking executor on the stored statement.
+func (p *Plan) Execute(cat Catalog, params Params) (*Rows, error) {
+	if !p.vectorized {
+		return Select(cat, p.stmt, params)
+	}
+	tbl, err := cat.Table(p.table)
+	if err != nil {
+		return nil, err
+	}
+	if tbl.Schema() != p.schema {
+		return nil, fmt.Errorf("%w: %s", ErrPlanStale, p.table)
+	}
+	ctx := p.comp.newCtx(params)
+	out := &Rows{Columns: p.columns}
+
+	// Hoist the classifier's parameter lookup to one map access per
+	// execution; per batch the only residual version logic is the
+	// classifier's integer comparison per tuple.
+	var clsVal catalog.Value
+	split := false
+	if p.classify != nil {
+		if v, ok := params[p.classifyParam]; ok {
+			clsVal = v
+			split = true
+		}
+	}
+
+	run := func(batch []catalog.Tuple) (bool, error) {
+		return p.runBatch(ctx, batch, clsVal, split, out)
+	}
+
+	if rids, ok := p.lookupRIDs(ctx, tbl); ok {
+		batch := make([]catalog.Tuple, 0, BatchSize)
+		for _, rid := range rids {
+			t, err := tbl.Get(rid)
+			if err != nil {
+				if errors.Is(err, storage.ErrNotFound) {
+					continue // slot concurrently freed; legal skip
+				}
+				return nil, fmt.Errorf("exec: indexed read of %v: %w", rid, err)
+			}
+			batch = append(batch, t)
+			if len(batch) == BatchSize {
+				if done, err := run(batch); err != nil || done {
+					return out, err
+				}
+				batch = batch[:0]
+			}
+		}
+		if len(batch) > 0 {
+			if _, err := run(batch); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	batch := make([]catalog.Tuple, 0, BatchSize)
+	var scanErr error
+	tbl.Scan(func(_ storage.RID, t catalog.Tuple) bool {
+		batch = append(batch, t)
+		if len(batch) == BatchSize {
+			done, err := run(batch)
+			batch = batch[:0]
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			return !done
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if len(batch) > 0 {
+		if _, err := run(batch); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// lookupRIDs attempts the index access path with the compiled conjuncts,
+// dropping conjuncts whose parameter is unbound this execution (the same
+// per-conjunct rule the tree-walking extractor applies).
+func (p *Plan) lookupRIDs(ctx *evalCtx, tbl Table) ([]storage.RID, bool) {
+	if len(p.eqCols) == 0 {
+		return nil, false
+	}
+	it, ok := tbl.(IndexedTable)
+	if !ok {
+		return nil, false
+	}
+	cols := make([]string, 0, len(p.eqCols))
+	vals := make([]catalog.Value, 0, len(p.eqCols))
+	for i, col := range p.eqCols {
+		v, err := p.eqVals[i](ctx, nil)
+		if err != nil {
+			continue // unbound parameter: this conjunct is unusable
+		}
+		cols = append(cols, col)
+		vals = append(vals, v)
+	}
+	if len(cols) == 0 {
+		return nil, false
+	}
+	return it.LookupEqual(cols, vals)
+}
+
+// runBatch filters and projects one batch. When the plan carries a fast
+// variant and every tuple in the batch classifies fast, the whole batch
+// runs the fast closures — the Table 1 / §5 reconstruction decision made
+// once per batch instead of once per tuple per attribute. Returns done=true
+// when the LIMIT is reached.
+func (p *Plan) runBatch(ctx *evalCtx, batch []catalog.Tuple, clsVal catalog.Value, split bool, out *Rows) (bool, error) {
+	filter, project := p.filter, p.project
+	if split {
+		fast := true
+		for _, t := range batch {
+			if !p.classify(t, clsVal) {
+				fast = false
+				break
+			}
+		}
+		if fast {
+			filter, project = p.fastFilter, p.fastProject
+		}
+	}
+	for _, t := range batch {
+		if filter != nil {
+			v, err := filter(ctx, t)
+			if err != nil {
+				return false, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		row := make(catalog.Tuple, len(project))
+		for i, fn := range project {
+			v, err := fn(ctx, t)
+			if err != nil {
+				return false, err
+			}
+			row[i] = v
+		}
+		out.Tuples = append(out.Tuples, row)
+		if p.limit != nil && int64(len(out.Tuples)) >= *p.limit {
+			return true, nil
+		}
+	}
+	return false, nil
+}

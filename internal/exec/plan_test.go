@@ -1,0 +1,470 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// planTable builds a memTable with deterministic pseudo-random contents,
+// large enough that the vectorized pipeline crosses several batch
+// boundaries. Column c carries NULLs so three-valued logic is exercised.
+func planTable(rows int, seed int64) *memTable {
+	schema := catalog.MustSchema("t", []catalog.Column{
+		{Name: "a", Type: catalog.TypeInt, Length: 8},
+		{Name: "b", Type: catalog.TypeInt, Length: 8},
+		{Name: "c", Type: catalog.TypeInt, Length: 8},
+		{Name: "s", Type: catalog.TypeString, Length: 16},
+	})
+	rng := rand.New(rand.NewSource(seed))
+	mt := &memTable{schema: schema}
+	for i := 0; i < rows; i++ {
+		c := catalog.Null
+		if rng.Intn(4) != 0 {
+			c = catalog.NewInt(rng.Int63n(50))
+		}
+		mt.rows = append(mt.rows, catalog.Tuple{
+			catalog.NewInt(int64(i)),
+			catalog.NewInt(rng.Int63n(100)),
+			c,
+			catalog.NewString(fmt.Sprintf("s%d", rng.Intn(10))),
+		})
+	}
+	return mt
+}
+
+// runBoth executes one SELECT through the tree-walking executor and through
+// CompileSelect/Execute and requires identical outcomes: both error, or both
+// succeed with identical columns and tuples.
+func runBoth(t *testing.T, cat Catalog, text string, params Params) {
+	t.Helper()
+	sel, err := sql.ParseSelect(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	want, werr := Select(cat, sel, params)
+	pl, perr := CompileSelect(cat, sel, nil)
+	if perr != nil {
+		if werr == nil {
+			t.Fatalf("%q: compile failed (%v) but legacy executor succeeded", text, perr)
+		}
+		return
+	}
+	got, gerr := pl.Execute(cat, params)
+	if (werr == nil) != (gerr == nil) {
+		t.Fatalf("%q: legacy err=%v, plan err=%v", text, werr, gerr)
+	}
+	if werr != nil {
+		return
+	}
+	if fmt.Sprint(want.Columns) != fmt.Sprint(got.Columns) {
+		t.Fatalf("%q: columns %v vs %v", text, want.Columns, got.Columns)
+	}
+	if fmt.Sprint(want.Tuples) != fmt.Sprint(got.Tuples) {
+		t.Fatalf("%q: %d legacy rows vs %d plan rows\nlegacy: %.200v\nplan:   %.200v",
+			text, want.Len(), got.Len(), want.Tuples, got.Tuples)
+	}
+	// Executing the same plan again must not accumulate state.
+	again, aerr := pl.Execute(cat, params)
+	if aerr != nil || fmt.Sprint(again.Tuples) != fmt.Sprint(got.Tuples) {
+		t.Fatalf("%q: second execution diverged (%v)", text, aerr)
+	}
+}
+
+// The vectorized pipeline is pinned row-for-row against the tree-walking
+// executor across filters, projections, parameters, NULL logic, and LIMIT,
+// on tables crossing multiple 256-tuple batch boundaries.
+func TestPlanDifferentialScan(t *testing.T) {
+	mt := planTable(1000, 1)
+	cat := memCatalog{"t": mt}
+	queries := []string{
+		`SELECT a, b FROM t`,
+		`SELECT * FROM t`,
+		`SELECT a FROM t WHERE b < 50`,
+		`SELECT a, b + c FROM t WHERE c IS NOT NULL`,
+		`SELECT a FROM t WHERE c IS NULL`,
+		`SELECT a, b FROM t WHERE b >= 10 AND b < 90 AND a <> 500`,
+		`SELECT a FROM t WHERE b < 20 OR c > 40`,
+		`SELECT a, CASE WHEN b < 50 THEN 'lo' ELSE 'hi' END FROM t`,
+		`SELECT a FROM t WHERE s IN ('s1', 's2', 's3')`,
+		`SELECT a FROM t WHERE b BETWEEN 25 AND 75`,
+		`SELECT a FROM t WHERE NOT (b < 50)`,
+		`SELECT a, b * 2 - 1, UPPER(s) FROM t WHERE LENGTH(s) = 2`,
+		`SELECT a FROM t WHERE b = :p`,
+		`SELECT a FROM t WHERE b < :p AND c >= :q`,
+		`SELECT a FROM t LIMIT 10`,
+		`SELECT a FROM t WHERE b < 50 LIMIT 300`,
+		`SELECT a FROM t WHERE b < 0`,
+		`SELECT a, COALESCE(c, -1) FROM t`,
+		`SELECT t.a, t.b FROM t WHERE t.b < 30`,
+		`SELECT a AS x, b AS y FROM t WHERE a < 5`,
+	}
+	params := Params{"p": catalog.NewInt(42), "q": catalog.NewInt(10)}
+	for _, q := range queries {
+		runBoth(t, cat, q, params)
+	}
+}
+
+// Error behavior matches too: a division by zero reachable only on some rows
+// fails both pipelines, and an unbound parameter in a taken branch fails both.
+func TestPlanDifferentialErrors(t *testing.T) {
+	mt := planTable(600, 2)
+	cat := memCatalog{"t": mt}
+	for _, q := range []string{
+		`SELECT 1 / (b - 50) FROM t`,          // some row has b = 50
+		`SELECT a FROM t WHERE b / 0 > 1`,     // every row errors
+		`SELECT a FROM t WHERE b < :unbound`,  // unbound param, taken
+		`SELECT a + s FROM t`,                 // type error at runtime
+	} {
+		sel, err := sql.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		_, werr := Select(cat, sel, nil)
+		pl, perr := CompileSelect(cat, sel, nil)
+		if perr != nil {
+			t.Fatalf("%q: compile error %v (should defer to execution)", q, perr)
+		}
+		_, gerr := pl.Execute(cat, nil)
+		if werr == nil || gerr == nil {
+			t.Fatalf("%q: expected both to fail, legacy=%v plan=%v", q, werr, gerr)
+		}
+	}
+	// An unbound parameter inside an untaken CASE arm must NOT fail — on
+	// either pipeline (laziness parity).
+	runBoth(t, cat, `SELECT CASE WHEN b >= 0 THEN a ELSE :unbound END FROM t`, nil)
+}
+
+// Statements outside the vectorized subset compile to fallback plans that
+// still answer exactly like the ad-hoc path.
+func TestPlanFallbackShapes(t *testing.T) {
+	mt := planTable(300, 3)
+	cat := memCatalog{"t": mt, "u": planTable(20, 4)}
+	for _, q := range []string{
+		`SELECT COUNT(*) FROM t`,
+		`SELECT s, SUM(b) FROM t GROUP BY s`,
+		`SELECT s FROM t GROUP BY s HAVING COUNT(*) > 5`,
+		`SELECT a FROM t ORDER BY b, a LIMIT 7`,
+		`SELECT DISTINCT s FROM t`,
+		`SELECT t.a, u.a FROM t, u WHERE t.a = u.a`,
+	} {
+		sel, err := sql.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		pl, err := CompileSelect(cat, sel, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if pl.Vectorized() {
+			t.Fatalf("%q: unexpectedly vectorized", q)
+		}
+		runBoth(t, cat, q, nil)
+	}
+	sel, _ := sql.ParseSelect(`SELECT a FROM t WHERE b < 10`)
+	if pl, err := CompileSelect(cat, sel, nil); err != nil || !pl.Vectorized() {
+		t.Fatalf("scan/filter/project should vectorize (err=%v)", err)
+	}
+}
+
+// The plan's index access path serves equality conjuncts with per-execution
+// parameter values and answers exactly like the scan.
+func TestPlanIndexAccessPath(t *testing.T) {
+	base := planTable(500, 5)
+	idx := &indexedMem{memTable: base, serve: true}
+	cat := memCatalog2{"t": idx}
+	sel, err := sql.ParseSelect(`SELECT a, b FROM t WHERE a = :k AND b >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := CompileSelect(cat, sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{0, 7, 499, 1000} {
+		params := Params{"k": catalog.NewInt(k)}
+		got, err := pl.Execute(cat, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Select(cat, sel, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got.Tuples) != fmt.Sprint(want.Tuples) {
+			t.Fatalf("k=%d: plan %v, legacy %v", k, got.Tuples, want.Tuples)
+		}
+	}
+	if idx.lookups == 0 {
+		t.Fatal("compiled plan never used the index access path")
+	}
+	// Unbound parameter: the conjunct is unusable, the plan scans, and the
+	// unbound error still surfaces from the residual filter.
+	if _, err := pl.Execute(cat, nil); err == nil {
+		t.Fatal("unbound parameter in WHERE should fail")
+	}
+}
+
+// The per-batch fast path (CompileOptions.Fast/Classify) must be outcome-
+// invisible: batches where every tuple classifies fast run the fast variant,
+// mixed batches run the full form, and the two agree by construction of the
+// variant. Here the "full" form is a CASE-selected value and the fast variant
+// its first arm, valid whenever classify says version <= cutoff.
+func TestPlanFastPathSplit(t *testing.T) {
+	schema := catalog.MustSchema("t", []catalog.Column{
+		{Name: "vn", Type: catalog.TypeInt, Length: 8},
+		{Name: "cur", Type: catalog.TypeInt, Length: 8},
+		{Name: "pre", Type: catalog.TypeInt, Length: 8},
+	})
+	mt := &memTable{schema: schema}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 900; i++ {
+		// Long runs of low vn (fast-classifiable) with occasional high-vn
+		// tuples, so some batches are all-fast and others mixed.
+		vn := int64(1)
+		if i > 600 && rng.Intn(8) == 0 {
+			vn = 100
+		}
+		mt.rows = append(mt.rows, catalog.Tuple{
+			catalog.NewInt(vn), catalog.NewInt(rng.Int63n(50)), catalog.NewInt(rng.Int63n(50)),
+		})
+	}
+	cat := memCatalog{"t": mt}
+	full, err := sql.ParseSelect(
+		`SELECT CASE WHEN :cut >= vn THEN cur ELSE pre END FROM t WHERE CASE WHEN :cut >= vn THEN cur ELSE pre END < 40`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := sql.ParseSelect(`SELECT cur FROM t WHERE cur < 40`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vnIdx := schema.ColIndex("vn")
+	opts := &CompileOptions{
+		Fast: fast,
+		Classify: func(row catalog.Tuple, v catalog.Value) bool {
+			return !row[vnIdx].IsNull() && !v.IsNull() && v.Int() >= row[vnIdx].Int()
+		},
+		ClassifyParam: "cut",
+	}
+	pl, err := CompileSelect(cat, full, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Vectorized() || pl.fastFilter == nil {
+		t.Fatal("fast variant not compiled")
+	}
+	for _, cut := range []int64{0, 1, 99, 100} {
+		params := Params{"cut": catalog.NewInt(cut)}
+		got, err := pl.Execute(cat, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Select(cat, full, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got.Tuples) != fmt.Sprint(want.Tuples) {
+			t.Fatalf("cut=%d: split pipeline diverged (%d vs %d rows)", cut, got.Len(), want.Len())
+		}
+	}
+	// Without the classifier's parameter bound, the full form runs throughout.
+	sel2, _ := sql.ParseSelect(`SELECT cur FROM t WHERE vn >= 0`)
+	if _, err := CompileSelect(cat, sel2, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A plan compiled against a replaced table reports ErrPlanStale instead of
+// reading through the wrong schema.
+func TestPlanStaleTable(t *testing.T) {
+	mt := planTable(10, 7)
+	cat := memCatalog{"t": mt}
+	sel, _ := sql.ParseSelect(`SELECT a FROM t WHERE b < 50`)
+	pl, err := CompileSelect(cat, sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Execute(cat, nil); err != nil {
+		t.Fatal(err)
+	}
+	cat["t"] = planTable(10, 8) // same columns, different schema identity
+	if _, err := pl.Execute(cat, nil); !errors.Is(err, ErrPlanStale) {
+		t.Fatalf("err = %v, want ErrPlanStale", err)
+	}
+}
+
+// faultyMem injects errors from Get/Update/Delete to pin the executor's
+// fault discipline: a not-found error is a legal cursor skip, anything else
+// must fail the statement rather than shrink its effect.
+type faultyMem struct {
+	*indexedMem
+	getErr    error
+	getAfter  int // inject on the getAfter-th Get (0-based); -1 = never
+	gets      int
+	delErr    error
+	delAfter  int
+	dels      int
+	updErr    error
+	updAfter  int
+	upds      int
+}
+
+func (f *faultyMem) Get(rid storageRID) (catalog.Tuple, error) {
+	n := f.gets
+	f.gets++
+	if f.getErr != nil && n == f.getAfter {
+		return nil, f.getErr
+	}
+	return f.indexedMem.Get(rid)
+}
+
+func (f *faultyMem) Delete(rid storageRID) error {
+	n := f.dels
+	f.dels++
+	if f.delErr != nil && n == f.delAfter {
+		return f.delErr
+	}
+	return f.indexedMem.Delete(rid)
+}
+
+func (f *faultyMem) Update(rid storageRID, tup catalog.Tuple) error {
+	n := f.upds
+	f.upds++
+	if f.updErr != nil && n == f.updAfter {
+		return f.updErr
+	}
+	return f.indexedMem.Update(rid, tup)
+}
+
+// newFaultyMem builds a table where a = i % 10 (so an equality probe on a
+// yields several candidate RIDs) and b = i.
+func newFaultyMem(rows int) *faultyMem {
+	schema := catalog.MustSchema("t", []catalog.Column{
+		{Name: "a", Type: catalog.TypeInt, Length: 8},
+		{Name: "b", Type: catalog.TypeInt, Length: 8},
+	})
+	mt := &memTable{schema: schema}
+	for i := 0; i < rows; i++ {
+		mt.rows = append(mt.rows, catalog.Tuple{catalog.NewInt(int64(i % 10)), catalog.NewInt(int64(i))})
+	}
+	return &faultyMem{
+		indexedMem: &indexedMem{memTable: mt, serve: true},
+		getAfter:   -1, delAfter: -1, updAfter: -1,
+	}
+}
+
+// An I/O fault surfacing from an indexed Get fails the SELECT instead of
+// silently dropping the row (the pre-fix accessPath swallowed it with a bare
+// continue).
+func TestSelectIndexedGetFaultFails(t *testing.T) {
+	ioErr := errors.New("disk on fire")
+	fm := newFaultyMem(50)
+	fm.getErr, fm.getAfter = ioErr, 2
+	cat := memCatalog2{"t": fm}
+	sel, _ := sql.ParseSelect(`SELECT b FROM t WHERE a = 3`)
+	if _, err := Select(cat, sel, nil); !errors.Is(err, ioErr) {
+		t.Fatalf("indexed SELECT err = %v, want the injected fault", err)
+	}
+	// The same fault wrapped as not-found is the legal concurrent-free skip.
+	fm2 := newFaultyMem(50)
+	fm2.getErr = fmt.Errorf("%w: slot reused", storage.ErrNotFound)
+	fm2.getAfter = 0
+	rows, err := Select(memCatalog2{"t": fm2}, sel, nil)
+	if err != nil {
+		t.Fatalf("not-found skip: %v", err)
+	}
+	if rows.Len() == 0 {
+		t.Fatal("every candidate skipped; expected the remaining rows")
+	}
+}
+
+// A faulted Delete fails the DELETE with the rows-so-far count, never
+// reporting success over a partial effect.
+func TestDeleteFaultFailsStatement(t *testing.T) {
+	ioErr := errors.New("write-back failed")
+	fm := newFaultyMem(50)
+	fm.delErr, fm.delAfter = ioErr, 3
+	cat := memCatalog2{"t": fm}
+	del, _ := sql.Parse(`DELETE FROM t WHERE b >= 0`)
+	n, err := Delete(cat, del.(*sql.DeleteStmt), nil)
+	if !errors.Is(err, ioErr) {
+		t.Fatalf("DELETE err = %v, want the injected fault", err)
+	}
+	if n != 3 {
+		t.Fatalf("DELETE reported %d rows before the fault, want 3", n)
+	}
+}
+
+// A faulted re-read or write-back inside UPDATE fails the statement; a
+// not-found on the re-read is the legal skip.
+func TestUpdateFaultFailsStatement(t *testing.T) {
+	ioErr := errors.New("torn page")
+	fm := newFaultyMem(50)
+	fm.getErr, fm.getAfter = ioErr, 60 // past matching()'s Gets, into the update loop
+	fm.serve = false                   // scan path: matching does no Gets
+	cat := memCatalog2{"t": fm}
+	upd, _ := sql.Parse(`UPDATE t SET b = 1 WHERE b >= 0`)
+	fm.getAfter = 10
+	if _, err := Update(cat, upd.(*sql.UpdateStmt), nil); !errors.Is(err, ioErr) {
+		t.Fatalf("UPDATE re-read err = %v, want the injected fault", err)
+	}
+
+	fm2 := newFaultyMem(50)
+	fm2.serve = false
+	fm2.updErr, fm2.updAfter = ioErr, 5
+	n, err := Update(memCatalog2{"t": fm2}, upd.(*sql.UpdateStmt), nil)
+	if !errors.Is(err, ioErr) {
+		t.Fatalf("UPDATE write err = %v, want the injected fault", err)
+	}
+	if n != 5 {
+		t.Fatalf("UPDATE reported %d rows before the fault, want 5", n)
+	}
+
+	// Not-found on the re-read: cursor skips, statement succeeds.
+	fm3 := newFaultyMem(50)
+	fm3.serve = false
+	fm3.getErr = fmt.Errorf("%w: reclaimed", storage.ErrNotFound)
+	fm3.getAfter = 0
+	n, err = Update(memCatalog2{"t": fm3}, upd.(*sql.UpdateStmt), nil)
+	if err != nil {
+		t.Fatalf("not-found skip failed the UPDATE: %v", err)
+	}
+	if n != 49 {
+		t.Fatalf("UPDATE n = %d, want 49 (one legal skip)", n)
+	}
+}
+
+// The vectorized pipeline's indexed path has the same discipline.
+func TestPlanIndexedGetFaultFails(t *testing.T) {
+	ioErr := errors.New("checksum mismatch")
+	fm := newFaultyMem(50)
+	fm.getErr, fm.getAfter = ioErr, 1
+	cat := memCatalog2{"t": fm}
+	sel, _ := sql.ParseSelect(`SELECT b FROM t WHERE a = 3`)
+	pl, err := CompileSelect(cat, sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Vectorized() {
+		t.Fatal("expected vectorized plan")
+	}
+	if _, err := pl.Execute(cat, nil); !errors.Is(err, ioErr) {
+		t.Fatalf("plan indexed Get err = %v, want the injected fault", err)
+	}
+}
+
+// memCatalog with strings.ToLower is case-insensitive; make sure the plan's
+// table binding matches qualified references case-insensitively too.
+func TestPlanQualifiedBinding(t *testing.T) {
+	mt := planTable(20, 10)
+	cat := memCatalog{"t": mt}
+	runBoth(t, cat, `SELECT T.a FROM t WHERE T.b < 50`, nil)
+	_ = strings.ToLower("") // keep strings imported if cases above change
+}

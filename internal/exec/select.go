@@ -162,7 +162,9 @@ func joinFrom(cat Catalog, from []sql.TableRef, ev *env, where sql.Expr, params 
 		ev.bindings = append(ev.bindings, binding{name: tr.Binding(), schema: sc, offset: offset})
 		var scanned []catalog.Tuple
 		if len(from) == 1 {
-			if indexed, ok := accessPath(tbl, tr.Binding(), where, params); ok {
+			if indexed, ok, err := accessPath(tbl, tr.Binding(), where, params); err != nil {
+				return nil, err
+			} else if ok {
 				scanned = indexed
 			} else {
 				tbl.Scan(func(_ storage.RID, t catalog.Tuple) bool {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -23,14 +24,18 @@ import (
 // store with the kv table, and registers cleanup.
 func startServer(t testing.TB, opts ...func(*server.Config)) (*server.Server, *core.Store) {
 	t.Helper()
-	store, err := core.Open(db.Open(db.Options{}), core.Options{N: 2, Metrics: obs.NewRegistry()})
+	// One registry for both store and server, mirroring cmd/vnlserver (both
+	// default to obs.Default() there): /metrics then exports the store's
+	// counters — plan cache included — next to the wire counters.
+	reg := obs.NewRegistry()
+	store, err := core.Open(db.Open(db.Options{}), core.Options{N: 2, Metrics: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := store.CreateTableSQL(`CREATE TABLE kv (k INT(8), v INT(8) UPDATABLE, UNIQUE KEY(k))`); err != nil {
 		t.Fatal(err)
 	}
-	cfg := server.Config{Addr: "127.0.0.1:0", Store: store, Metrics: obs.NewRegistry(), Logf: t.Logf}
+	cfg := server.Config{Addr: "127.0.0.1:0", Store: store, Metrics: reg, Logf: t.Logf}
 	for _, f := range opts {
 		f(&cfg)
 	}
@@ -435,3 +440,69 @@ func TestHTTPSidecar(t *testing.T) {
 }
 
 func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+// The plan cache serves the server's ad-hoc MsgQuery path, and its hit/miss
+// counters are scrapeable from /metrics: the first wire query misses (parse +
+// rewrite + compile), repeats of the same text hit without touching the
+// parser.
+func TestPlanCacheCountersOnWire(t *testing.T) {
+	srv, store := startServer(t)
+	c := dialServer(t, srv, vnlclient.Options{})
+	if _, err := c.ApplyBatch([]vnlclient.Delta{kvInsert(1, 10), kvInsert(2, 20)}); err != nil {
+		t.Fatal(err)
+	}
+
+	const q = `SELECT k, v FROM kv WHERE k >= 1`
+	for i := 0; i < 3; i++ {
+		rows, err := c.Query(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows.Tuples) != 2 {
+			t.Fatalf("query %d returned %d rows, want 2", i, len(rows.Tuples))
+		}
+	}
+
+	hs := httptest.NewServer(srv.HTTPHandler())
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := counterValue(t, string(body), "core_plan_cache_hits_total")
+	misses := counterValue(t, string(body), "core_plan_cache_misses_total")
+	if misses < 1 {
+		t.Fatalf("plan cache misses = %d after a fresh query, want >= 1", misses)
+	}
+	if hits < 2 {
+		t.Fatalf("plan cache hits = %d after two repeats, want >= 2", hits)
+	}
+	// The wire counters agree with the store registry they are mirrored from.
+	snap := store.Metrics().Snapshot()
+	if snap.Counters["core_plan_cache_hits_total"] != hits {
+		t.Fatalf("/metrics hits %d != store registry %d", hits, snap.Counters["core_plan_cache_hits_total"])
+	}
+}
+
+// counterValue extracts one counter from the /metrics text export
+// ("name value" per line).
+func counterValue(t *testing.T, body, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("counter %s: unparseable value %q", name, fields[1])
+			}
+			return v
+		}
+	}
+	t.Fatalf("counter %s missing from /metrics output:\n%s", name, body)
+	return 0
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/obs"
 )
 
 func newShell(t *testing.T) (*Shell, *strings.Builder) {
@@ -190,5 +191,30 @@ func TestShellCloseAbortsOpenMaintenance(t *testing.T) {
 	}
 	if _, err := store.BeginMaintenance(); err != nil {
 		t.Errorf("store unusable after shell close: %v", err)
+	}
+}
+
+// \metrics surfaces the store's plan-cache counters: repeating an ad-hoc
+// SELECT inside a session hits the cache, and the hit shows up in the dump.
+func TestShellMetricsShowsPlanCache(t *testing.T) {
+	store, err := core.Open(db.Open(db.Options{}), core.Options{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	sh := New(store, &out)
+	t.Cleanup(sh.Close)
+	run(t, sh, &out,
+		`CREATE TABLE kv (k INT(8), v INT(8) UPDATABLE, UNIQUE KEY(k))`,
+		`\maint`, `INSERT INTO kv VALUES (1, 10), (2, 20)`, `\commit`,
+		`\session`, `SELECT v FROM kv WHERE k = 1`, `SELECT v FROM kv WHERE k = 1`,
+	)
+	got := run(t, sh, &out, `\metrics`)
+	if !strings.Contains(got, "core_plan_cache_misses_total") || !strings.Contains(got, "core_plan_cache_hits_total") {
+		t.Fatalf("\\metrics missing plan cache counters:\n%s", got)
+	}
+	snap := store.Metrics().Snapshot()
+	if snap.Counters["core_plan_cache_hits_total"] < 1 {
+		t.Fatalf("repeated shell query did not hit the plan cache: %v", snap.Counters)
 	}
 }

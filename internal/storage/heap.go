@@ -19,8 +19,17 @@ type RID struct {
 
 func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
 
-// ErrNoSuchTuple is returned when an RID does not name a live tuple.
-var ErrNoSuchTuple = errors.New("storage: no such tuple")
+// ErrNotFound is the category error for "the requested tuple does not
+// exist": a dangling RID, a slot concurrently freed, a key with no entry.
+// Callers running cursor-style over previously collected RIDs (the executor's
+// DML paths, the indexed access path) may legally skip errors.Is(err,
+// ErrNotFound); every other error from Get/Update/Delete is an I/O fault or
+// corruption and must fail the statement, never shrink its result.
+var ErrNotFound = errors.New("storage: not found")
+
+// ErrNoSuchTuple is returned when an RID does not name a live tuple. It
+// wraps ErrNotFound, so errors.Is(err, ErrNotFound) matches it.
+var ErrNoSuchTuple = fmt.Errorf("%w: no such tuple", ErrNotFound)
 
 // slot holds one tuple. Dead slots are left in place and reused by later
 // inserts; they still occupy their page's slot array but not its byte
@@ -173,9 +182,11 @@ func (h *Heap) SyncBacking() error {
 }
 
 // touchRead records a read access, deliberately blanking any eviction
-// write-back error: the mirror is not authoritative (the WAL is), and a
-// reader must keep working when the mirror's disk is failing. The error
-// stays observable via the pool's Err.
+// write-back error. Scan is its only caller: a full-table reader keeps
+// working when the mirror's disk is failing, because the mirror is not
+// authoritative (the WAL is) and the in-memory pages it is reading are. The
+// error stays observable via the pool's Err. Point reads (Get) propagate the
+// same error instead — see Get.
 func (h *Heap) touchRead(pi int) {
 	_ = h.pool.Touch(PageKey{h.fileID, pi}, false)
 }
@@ -297,6 +308,12 @@ func (h *Heap) noteFree(pi int) {
 // the tuple is copied out, so callers never see a partly-modified tuple and
 // never block behind a transaction (only behind an in-flight single-tuple
 // mutation).
+//
+// Unlike Scan, Get propagates the buffer-pool access error: a point read is
+// the access path of indexed queries and of the DML cursor's re-read, and a
+// dirty-eviction write-back failure there must fail the statement rather
+// than silently shrink its result (callers that legitimately race with
+// concurrent frees skip only errors.Is(err, ErrNotFound)).
 func (h *Heap) Get(rid RID) (catalog.Tuple, error) {
 	pg := h.getPage(rid.Page)
 	if pg == nil {
@@ -311,7 +328,9 @@ func (h *Heap) Get(rid RID) (catalog.Tuple, error) {
 	pg.mu.RUnlock()
 	// Touch outside the page latch: the pool may write back an evicted
 	// victim, which takes that victim's page latch — never nest the two.
-	h.touchRead(rid.Page)
+	if err := h.pool.Touch(PageKey{h.fileID, rid.Page}, false); err != nil {
+		return nil, fmt.Errorf("storage: heap %q read %v: %w", h.name, rid, err)
+	}
 	return t, nil
 }
 

@@ -7,6 +7,8 @@
 #   reader_scaling  BenchmarkReaderScaling   (root package)
 #   maintain_batch  BenchmarkMaintainBatch   (root package)
 #   wire_latency    BenchmarkWirePing        (internal/server, single run)
+#   query_latency   BenchmarkQueryLatency    (root package; cached vs
+#                                             uncached ad-hoc, prepared)
 #
 # Each JSON file carries the commit, timestamp, and platform alongside the
 # parsed ns/op, B/op, and allocs/op per benchmark, so CI artifacts are
@@ -17,6 +19,7 @@
 #   READER_BENCHTIME     -benchtime for reader_scaling  (default 1000x)
 #   BATCH_BENCHTIME      -benchtime for maintain_batch  (default 3x)
 #   WIRE_BENCHTIME       -benchtime for wire_latency    (default 1000x)
+#   QUERY_BENCHTIME      -benchtime for query_latency   (default 1000x)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -91,3 +94,4 @@ run_group() {
 run_group reader_scaling 'BenchmarkReaderScaling' '.' "${READER_BENCHTIME:-1000x}"
 run_group maintain_batch 'BenchmarkMaintainBatch' '.' "${BATCH_BENCHTIME:-3x}"
 run_group wire_latency '^BenchmarkWirePing$' './internal/server/' "${WIRE_BENCHTIME:-1000x}"
+run_group query_latency '^BenchmarkQueryLatency$' '.' "${QUERY_BENCHTIME:-1000x}"
