@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race stress lint crash fuzz fuzz-proto server-smoke bench-smoke bench-snapshot all
+.PHONY: build test race stress lint crash crash-replica fuzz fuzz-proto server-smoke replica-smoke bench-smoke bench-snapshot all
 
 all: build lint test
 
@@ -40,6 +40,14 @@ crash:
 	$(GO) run ./cmd/vnlcrash -faults 3 -artifact crash-fail-script.txt
 	$(GO) run ./cmd/vnlcrash -parallel -faults 1 -artifact crash-fail-script.txt
 
+# crash-replica sweeps the WAL-shipping follower instead: a fresh replica
+# is crashed at every persisting I/O boundary of its catch-up replay,
+# power-cut, re-opened, and driven to full differential parity with the
+# primary's history (see internal/crashtest ReplicaSweep).
+crash-replica:
+	$(GO) run ./cmd/vnlcrash -replica
+	$(GO) run ./cmd/vnlcrash -replica -parallel -seed 2
+
 # fuzz runs the WAL decode fuzzer (FuzzWALDecode: raw record payloads and
 # whole log-file images) for a bounded session. CI runs the same target as a
 # smoke test; override FUZZTIME for longer local sessions.
@@ -56,6 +64,13 @@ fuzz-proto:
 # wire, snapshots /metrics, and requires a clean SIGTERM drain (exit 0).
 server-smoke:
 	bash scripts/server_smoke.sh
+
+# replica-smoke runs a live primary/replica pair: the replica joins during
+# a paced write burst, is kill -9'd mid-replay, resumes by LSN from its
+# local WAL copy, converges to exact COUNT/SUM parity, refuses writes, and
+# both servers must drain cleanly on SIGTERM.
+replica-smoke:
+	bash scripts/replica_smoke.sh
 
 # bench-smoke runs every benchmark once, just to prove they still execute;
 # real measurement runs use cmd/vnlbench.

@@ -13,6 +13,12 @@
 //	vnlcrash -faults 5           # add 5 random-fault sweeps on top
 //	vnlcrash -script plan.txt    # replay a recorded fault script
 //	vnlcrash -artifact fail.txt  # write the failing script here on error
+//	vnlcrash -replica            # sweep the replica's replay path instead
+//
+// With -replica the sweep targets a WAL-shipping follower: the primary
+// workload runs to completion on clean hardware, then a fresh replica is
+// crashed at every persisting I/O boundary of its catch-up, power-cut,
+// re-opened, and driven to full differential parity with the primary.
 //
 // Exit status 0 means every crash point recovered cleanly; 1 means an
 // invariant was violated (the exact fault script is printed and, with
@@ -40,10 +46,25 @@ func main() {
 		artifact = flag.String("artifact", "", "write the failing fault script to this file")
 		parallel = flag.Bool("parallel", false, "batched tail transaction on a worker pool with WAL group commit")
 		workers  = flag.Int("workers", 0, "parallel batch fan-out (0 = 4); only with -parallel")
+		replica  = flag.Bool("replica", false, "sweep a WAL-shipping replica's replay path instead of the primary")
 	)
 	flag.Parse()
 
 	cfg := crashtest.Config{Seed: *seed, N: *n, PoolPages: *pool, Parallel: *parallel, Workers: *workers}
+	if *replica {
+		if *script != "" || *faults > 0 {
+			fmt.Fprintln(os.Stderr, "vnlcrash: -replica injects its own crash points; -script and -faults apply only to the primary sweep")
+			os.Exit(2)
+		}
+		rrep, err := crashtest.ReplicaSweep(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vnlcrash: replica sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("vnlcrash: replica seed %d: %d crash points over %d persisting ops, %d primary commits, final VN %d\n",
+			*seed, rrep.Points, rrep.PersistOps, rrep.Commits, rrep.FinalVN)
+		return
+	}
 	if *script != "" {
 		text, err := os.ReadFile(*script)
 		if err != nil {

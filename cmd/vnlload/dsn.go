@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/workload"
 	"repro/pkg/vnlclient"
@@ -18,7 +19,7 @@ import (
 // delta into a client-side oracle map, and finishes by checking the server's
 // COUNT/SUM against the oracle. The -days/-facts flags keep their meaning:
 // one batch per day, sized by facts.
-func runDSN(dsn string, days, facts int, seed int64, report time.Duration) error {
+func runDSN(dsn string, days, facts int, seed int64, report, pace time.Duration) error {
 	c, err := vnlclient.Dial(dsn, vnlclient.Options{ClientName: "vnlload"})
 	if err != nil {
 		return err
@@ -164,6 +165,9 @@ func runDSN(dsn string, days, facts int, seed int64, report time.Duration) error
 		logicalOps.Add(int64(len(deltas)))
 		totalMissing += wantMissing
 		lastVN = res.VN
+		if pace > 0 {
+			time.Sleep(pace)
+		}
 	}
 	elapsed := time.Since(loadStart)
 	close(done)
@@ -202,4 +206,96 @@ func runDSN(dsn string, days, facts int, seed int64, report time.Duration) error
 	fmt.Printf("audit: server matches oracle exactly (%d keys, sum %d, VN %d)\n",
 		len(oracle), wantSum, lastVN)
 	return nil
+}
+
+// runReadOnly drives a write-free burst of session reads against dsn
+// (typically a replica endpoint): the count a session sees must stay put
+// for the session's whole lifetime, expiries reopen at the new version, and
+// a replica endpoint must refuse writes with the read_only code. With
+// verifyDSN the final COUNT/SUM is compared against that server too,
+// retrying briefly so a replica still draining its tail can converge.
+func runReadOnly(dsn, verifyDSN string, reads int) error {
+	c, err := vnlclient.Dial(dsn, vnlclient.Options{ClientName: "vnlload-ro"})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	sess, err := c.Begin()
+	if err != nil {
+		return err
+	}
+	defer func() { _ = sess.Close() }()
+	fmt.Printf("dsn %s: replica=%v session VN %d, primary VN %d, lag %d\n",
+		dsn, c.IsReplica(), sess.VN(), sess.PrimaryVN(), sess.Lag())
+
+	baseline, expiries := int64(-1), 0
+	for i := 0; i < reads; i++ {
+		rows, err := sess.Query(`SELECT COUNT(*) FROM kv`, nil)
+		if code, ok := vnlclient.ErrorCode(err); ok && code == vnlclient.CodeSessionExpired {
+			expiries++
+			_ = sess.Close()
+			if sess, err = c.Begin(); err != nil {
+				return err
+			}
+			baseline = -1
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		got := rows.Tuples[0][0].Int()
+		if baseline < 0 {
+			baseline = got
+		} else if got != baseline {
+			return fmt.Errorf("session at VN %d saw count move %d -> %d mid-session", sess.VN(), baseline, got)
+		}
+	}
+	fmt.Printf("read burst: %d stable reads, %d session expiries\n", reads, expiries)
+
+	if c.IsReplica() {
+		probe := vnlclient.Delta{Table: "kv", Op: vnlclient.DeltaInsert,
+			Row: catalog.Tuple{catalog.NewInt(1 << 40), catalog.NewInt(0)}}
+		_, err := c.ApplyBatch([]vnlclient.Delta{probe})
+		if code, ok := vnlclient.ErrorCode(err); !ok || code != vnlclient.CodeReadOnly {
+			return fmt.Errorf("replica accepted a write (err %v); expected read_only", err)
+		}
+		fmt.Println("write probe: refused with read_only, as a replica must")
+	}
+
+	if verifyDSN == "" {
+		return nil
+	}
+	p, err := vnlclient.Dial(verifyDSN, vnlclient.Options{ClientName: "vnlload-ro"})
+	if err != nil {
+		return fmt.Errorf("dialing verify server %s: %w", verifyDSN, err)
+	}
+	defer p.Close()
+	state := func(c *vnlclient.Client) (count, sum int64, err error) {
+		rows, err := c.Query(`SELECT COUNT(*), SUM(v) FROM kv`, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		return rows.Tuples[0][0].Int(), rows.Tuples[0][1].Int(), nil
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		wantCount, wantSum, err := state(p)
+		if err != nil {
+			return err
+		}
+		gotCount, gotSum, err := state(c)
+		if err != nil {
+			return err
+		}
+		if gotCount == wantCount && gotSum == wantSum {
+			fmt.Printf("verify: %s matches %s exactly (%d keys, sum %d)\n", dsn, verifyDSN, gotCount, gotSum)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("verify: %s has count=%d sum=%d, %s has count=%d sum=%d after 15s",
+				dsn, gotCount, gotSum, verifyDSN, wantCount, wantSum)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
 }

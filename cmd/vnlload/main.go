@@ -13,6 +13,14 @@
 // concurrent reader session checks version stability, and a client-side
 // oracle audits the final state. -report prints interval throughput while
 // the load runs (both modes), instead of only the exit summary.
+//
+// With -dsn and -readonly the run issues no writes: it drives a burst of
+// session reads (version stability checked across the burst), prints the
+// endpoint's freshness bound, and — against a replica — requires writes to
+// be refused. -verify-dsn compares the final COUNT/SUM against a second
+// server, retrying briefly so a tailing replica can converge:
+//
+//	vnlload -dsn 127.0.0.1:7542 -readonly -verify-dsn 127.0.0.1:7432
 package main
 
 import (
@@ -43,14 +51,29 @@ func main() {
 		metrics = flag.Bool("metrics", false, "print the full metrics snapshot at the end")
 		dsn     = flag.String("dsn", "", "drive a remote vnlserver at this address instead of an embedded store")
 		report  = flag.Duration("report", 0, "print interval throughput this often while loading (0 = only the exit summary)")
+		pace    = flag.Duration("pace", 0, "with -dsn: sleep this long between day batches (throttles the burst)")
+		rdonly  = flag.Bool("readonly", false, "with -dsn: session-read burst only, no writes (for replica endpoints)")
+		reads   = flag.Int("reads", 200, "with -readonly: number of session reads in the burst")
+		verify  = flag.String("verify-dsn", "", "with -readonly: compare the final COUNT/SUM against this server")
 	)
 	flag.Parse()
 	if *group && *walPath == "" {
 		fmt.Fprintln(os.Stderr, "vnlload: -group-commit needs -wal")
 		os.Exit(2)
 	}
+	if *rdonly {
+		if *dsn == "" {
+			fmt.Fprintln(os.Stderr, "vnlload: -readonly needs -dsn")
+			os.Exit(2)
+		}
+		if err := runReadOnly(*dsn, *verify, *reads); err != nil {
+			fmt.Fprintln(os.Stderr, "vnlload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *dsn != "" {
-		if err := runDSN(*dsn, *days, *facts, *seed, *report); err != nil {
+		if err := runDSN(*dsn, *days, *facts, *seed, *report, *pace); err != nil {
 			fmt.Fprintln(os.Stderr, "vnlload:", err)
 			os.Exit(1)
 		}

@@ -9,6 +9,17 @@
 //	vnlserver -n 3 -wal server.wal -group-commit
 //	vnlserver -init schema.sql -drain-timeout 30s
 //
+// With -wal the server is also a replication primary: followers poll the
+// journal over the same wire protocol. A follower runs with -primary:
+//
+//	vnlserver -addr :7432 -wal primary.wal -kv            # primary
+//	vnlserver -addr :7542 -primary 127.0.0.1:7432 \
+//	          -replica-wal replica.wal                    # read-only replica
+//
+// The replica persists the shipped WAL bytes to -replica-wal, replays
+// committed transactions, and serves read-only sessions; /readyz reports
+// ready only while it is caught up (within -max-lag-vns of the primary).
+//
 // On SIGTERM or SIGINT the server drains gracefully: the listener closes,
 // /readyz flips to 503, in-flight queries complete, and open sessions get
 // until -drain-timeout to finish; a clean drain exits 0.
@@ -28,119 +39,223 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/repl"
 	"repro/internal/server"
+	"repro/internal/vfs"
 	"repro/internal/wal"
 	"repro/internal/warehouse"
 	"repro/internal/workload"
+	"repro/pkg/vnlclient"
 )
 
+// flags carries every command-line option; one struct instead of a
+// fifteen-argument run signature.
+type flags struct {
+	addr, httpAddr                  string
+	n, workers                      int
+	walPath                         string
+	group                           bool
+	groupDelay                      time.Duration
+	maxConns                        int
+	idleTO, reqTO, writeTO, drainTO time.Duration
+	kv, demo                        bool
+	initSQL                         string
+	primary, replicaWAL             string
+	maxLag                          uint64
+}
+
 func main() {
-	var (
-		addr    = flag.String("addr", "127.0.0.1:7432", "TCP listen address for the binary protocol")
-		httpA   = flag.String("http", "", "HTTP sidecar listen address for /metrics, /healthz, /readyz (empty = off)")
-		n       = flag.Int("n", 2, "versions (2 = 2VNL)")
-		workers = flag.Int("apply-workers", 0, "worker count for batch apply (0 = GOMAXPROCS)")
-		walPath = flag.String("wal", "", "journal maintenance to this write-ahead log")
-		group   = flag.Bool("group-commit", false, "batch WAL commits: one fsync per group (needs -wal)")
-		delay   = flag.Duration("group-delay", 0, "bounded linger the group-commit leader waits for joiners")
-		maxConn = flag.Int("max-conns", 256, "connection limit; excess dials are answered too_busy")
-		idleTO  = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle this long (0 = never)")
-		reqTO   = flag.Duration("request-timeout", 30*time.Second, "sever connections whose in-flight request exceeds this (0 = never)")
-		writeTO = flag.Duration("write-timeout", 30*time.Second, "deadline on each response frame write (0 = never)")
-		drainTO = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM")
-		kv      = flag.Bool("kv", false, "create the kv benchmark table (what vnlload -dsn drives)")
-		demo    = flag.Bool("demo", false, "preload the sporting-goods warehouse demo (3 summary views, 2 days of feed)")
-		initSQL = flag.String("init", "", "file of semicolon-separated CREATE TABLE statements run at startup")
-	)
+	var f flags
+	flag.StringVar(&f.addr, "addr", "127.0.0.1:7432", "TCP listen address for the binary protocol")
+	flag.StringVar(&f.httpAddr, "http", "", "HTTP sidecar listen address for /metrics, /healthz, /readyz (empty = off)")
+	flag.IntVar(&f.n, "n", 2, "versions (2 = 2VNL); a replica must match its primary")
+	flag.IntVar(&f.workers, "apply-workers", 0, "worker count for batch apply (0 = GOMAXPROCS)")
+	flag.StringVar(&f.walPath, "wal", "", "journal maintenance to this write-ahead log (also enables the replication feed)")
+	flag.BoolVar(&f.group, "group-commit", false, "batch WAL commits: one fsync per group (needs -wal)")
+	flag.DurationVar(&f.groupDelay, "group-delay", 0, "bounded linger the group-commit leader waits for joiners")
+	flag.IntVar(&f.maxConns, "max-conns", 256, "connection limit; excess dials are answered too_busy")
+	flag.DurationVar(&f.idleTO, "idle-timeout", 5*time.Minute, "close connections idle this long (0 = never)")
+	flag.DurationVar(&f.reqTO, "request-timeout", 30*time.Second, "sever connections whose in-flight request exceeds this (0 = never)")
+	flag.DurationVar(&f.writeTO, "write-timeout", 30*time.Second, "deadline on each response frame write (0 = never)")
+	flag.DurationVar(&f.drainTO, "drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM")
+	flag.BoolVar(&f.kv, "kv", false, "create the kv benchmark table (what vnlload -dsn drives)")
+	flag.BoolVar(&f.demo, "demo", false, "preload the sporting-goods warehouse demo (3 summary views, 2 days of feed)")
+	flag.StringVar(&f.initSQL, "init", "", "file of semicolon-separated CREATE TABLE statements run at startup")
+	flag.StringVar(&f.primary, "primary", "", "run as a read-only replica tailing the primary vnlserver at this address")
+	flag.StringVar(&f.replicaWAL, "replica-wal", "", "replica mode: path for the local WAL copy (required with -primary)")
+	flag.Uint64Var(&f.maxLag, "max-lag-vns", 0, "replica mode: /readyz reports ready while VN lag is within this bound (0 = full parity)")
 	flag.Parse()
-	if *group && *walPath == "" {
+
+	if f.group && f.walPath == "" {
 		fmt.Fprintln(os.Stderr, "vnlserver: -group-commit needs -wal")
 		os.Exit(2)
 	}
-	if err := run(*addr, *httpA, *n, *workers, *walPath, *group, *delay,
-		*maxConn, *idleTO, *reqTO, *writeTO, *drainTO, *kv, *demo, *initSQL); err != nil {
+	if f.primary == "" && f.replicaWAL != "" {
+		fmt.Fprintln(os.Stderr, "vnlserver: -replica-wal needs -primary")
+		os.Exit(2)
+	}
+	if f.primary != "" {
+		if f.replicaWAL == "" {
+			fmt.Fprintln(os.Stderr, "vnlserver: -primary needs -replica-wal")
+			os.Exit(2)
+		}
+		// A replica's state is the primary's history; locally seeded tables
+		// or a local journal would fork it before the first segment lands.
+		if f.kv || f.demo || f.initSQL != "" || f.walPath != "" {
+			fmt.Fprintln(os.Stderr, "vnlserver: -primary excludes -kv, -demo, -init, and -wal (replica state ships from the primary)")
+			os.Exit(2)
+		}
+		if err := runReplica(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vnlserver:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(f); err != nil {
 		fmt.Fprintln(os.Stderr, "vnlserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, httpAddr string, n, workers int, walPath string, group bool, groupDelay time.Duration,
-	maxConns int, idleTO, reqTO, writeTO, drainTO time.Duration, kv, demo bool, initSQL string) error {
+func run(f flags) error {
 	d := db.Open(db.Options{})
-	store, err := core.Open(d, core.Options{N: n, ApplyWorkers: workers})
+	store, err := core.Open(d, core.Options{N: f.n, ApplyWorkers: f.workers})
 	if err != nil {
 		return err
 	}
 	var journal *wal.Log
-	if walPath != "" {
-		journal, err = wal.Create(walPath, wal.PolicyRedoOnly)
+	var feed *repl.Feed
+	if f.walPath != "" {
+		journal, err = wal.Create(f.walPath, wal.PolicyRedoOnly)
 		if err != nil {
 			return err
 		}
-		if group {
-			journal.SetGroupCommit(wal.GroupCommit{Enabled: true, MaxDelay: groupDelay})
+		if f.group {
+			journal.SetGroupCommit(wal.GroupCommit{Enabled: true, MaxDelay: f.groupDelay})
 		}
 		store.SetJournal(journal)
+		// The journal doubles as the replication feed. The epoch is the
+		// start time: wal.Create truncates, so every server start is a new
+		// incarnation of the log and followers of the old one must rebuild.
+		feed = repl.NewFeed(vfs.Disk(), f.walPath, journal, uint64(time.Now().UnixNano()))
+		log.Printf("vnlserver: replication feed on %s (epoch %d)", f.walPath, feed.Epoch())
 	}
-	if kv {
+	if f.kv {
 		if _, err := store.CreateTableSQL(`CREATE TABLE kv (k INT(8), v INT(8) UPDATABLE, UNIQUE KEY(k))`); err != nil {
 			return err
 		}
 		log.Printf("vnlserver: created kv table")
 	}
-	if demo {
+	if f.demo {
 		if err := loadDemo(store); err != nil {
 			return err
 		}
 	}
-	if initSQL != "" {
-		if err := runInitSQL(store, initSQL); err != nil {
+	if f.initSQL != "" {
+		if err := runInitSQL(store, f.initSQL); err != nil {
 			return err
 		}
 	}
 
-	srv := server.New(server.Config{
-		Addr:           addr,
-		Store:          store,
-		MaxConns:       maxConns,
-		IdleTimeout:    idleTO,
-		RequestTimeout: reqTO,
-		WriteTimeout:   writeTO,
-		DrainTimeout:   drainTO,
-		Logf:           log.Printf,
+	cfg := serverConfig(f)
+	cfg.Store = store
+	if feed != nil {
+		cfg.ReplFeed = feed
+	}
+	drainErr := serveUntilSignal(server.New(cfg), f)
+	if feed != nil {
+		_ = feed.Close()
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			return fmt.Errorf("closing wal: %w", err)
+		}
+	}
+	return drainErr
+}
+
+// runReplica opens (or resumes) the local WAL copy, tails the primary over
+// the wire, and serves the replayed store read-only. The tail loop keeps
+// reconnecting across primary restarts and link drops; only divergence
+// (a new primary epoch) is fatal, and then the copy must be rebuilt.
+func runReplica(f flags) error {
+	rep, err := repl.Open(repl.Options{
+		Path:      f.replicaWAL,
+		DB:        db.Options{},
+		Store:     core.Options{N: f.n},
+		MaxLagVNs: f.maxLag,
+		Logf:      log.Printf,
 	})
+	if err != nil {
+		return err
+	}
+	c, err := vnlclient.Dial(f.primary, vnlclient.Options{})
+	if err != nil {
+		_ = rep.Close()
+		return fmt.Errorf("dialing primary %s: %w", f.primary, err)
+	}
+	src := repl.NewWireSource(c)
+	log.Printf("vnlserver: replica of %s, resuming at LSN %d (replayed VN %d)",
+		f.primary, rep.NextLSN(), rep.ReplayedVN())
+	rep.Start(src)
+
+	cfg := serverConfig(f)
+	cfg.Store = rep.Store()
+	cfg.Replica = rep
+	drainErr := serveUntilSignal(server.New(cfg), f)
+	rep.Stop(src)
+	if err := rep.Close(); err != nil {
+		return fmt.Errorf("closing local WAL copy: %w", err)
+	}
+	if err := rep.Err(); err != nil {
+		return fmt.Errorf("replication stream: %w", err)
+	}
+	return drainErr
+}
+
+// serverConfig builds the wire-server config shared by both modes; the
+// caller fills in Store and the replication role.
+func serverConfig(f flags) server.Config {
+	return server.Config{
+		Addr:           f.addr,
+		MaxConns:       f.maxConns,
+		IdleTimeout:    f.idleTO,
+		RequestTimeout: f.reqTO,
+		WriteTimeout:   f.writeTO,
+		DrainTimeout:   f.drainTO,
+		Logf:           log.Printf,
+	}
+}
+
+// serveUntilSignal starts the wire server and the optional HTTP sidecar,
+// blocks until SIGTERM or SIGINT, and drains gracefully.
+func serveUntilSignal(srv *server.Server, f flags) error {
 	if err := srv.Start(); err != nil {
 		return err
 	}
-
 	var hs *http.Server
-	if httpAddr != "" {
-		hs = &http.Server{Addr: httpAddr, Handler: srv.HTTPHandler()}
+	if f.httpAddr != "" {
+		hs = &http.Server{Addr: f.httpAddr, Handler: srv.HTTPHandler()}
 		go func() {
 			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("vnlserver: http sidecar: %v", err)
 			}
 		}()
-		log.Printf("vnlserver: http sidecar on %s (/metrics /healthz /readyz)", httpAddr)
+		log.Printf("vnlserver: http sidecar on %s (/metrics /healthz /readyz)", f.httpAddr)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	got := <-sig
-	log.Printf("vnlserver: %v received; draining (deadline %v)", got, drainTO)
+	log.Printf("vnlserver: %v received; draining (deadline %v)", got, f.drainTO)
 
-	ctx, cancel := context.WithTimeout(context.Background(), drainTO)
+	ctx, cancel := context.WithTimeout(context.Background(), f.drainTO)
 	defer cancel()
 	drainErr := srv.Shutdown(ctx)
 	if hs != nil {
 		hctx, hcancel := context.WithTimeout(context.Background(), time.Second)
 		defer hcancel()
 		_ = hs.Shutdown(hctx)
-	}
-	if journal != nil {
-		if err := journal.Close(); err != nil {
-			return fmt.Errorf("closing wal: %w", err)
-		}
 	}
 	if drainErr != nil {
 		return drainErr

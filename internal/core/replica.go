@@ -1,0 +1,53 @@
+package core
+
+import "repro/internal/catalog"
+
+// This file is the store's surface for WAL-shipping replication followers
+// (internal/repl): the replica's applier performs the same physical
+// operations the primary's maintenance path performed, then publishes each
+// replayed VN through the identical atomic snapshot swap, so replica reader
+// sessions run the unmodified lock-free path at their replayed version.
+
+// InstallReplayedVN publishes vn as the committed database version — the
+// replication follower's equivalent of a maintenance commit. Unlike
+// SetCurrentVN (crash recovery) it does not rescan the per-table oldest-slot
+// watermarks: the replica applier maintains them per physical operation via
+// NoteReplayedWrite/NoteReplayedRemove, exactly as the primary's write path
+// does, so publish stays O(1) per replayed transaction. The snapshot swap
+// inside setGlobalsLocked is the release barrier: every physical write the
+// transaction made happens-before a reader session observing the new VN.
+func (s *Store) InstallReplayedVN(vn VN) error {
+	s.mu.Lock()
+	err := s.setGlobalsLocked(vn, false)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	m := s.metrics
+	m.vnAdvances.Inc()
+	m.currentVN.Set(int64(vn))
+	m.trace(TraceVNAdvance, vn, 0)
+	return nil
+}
+
+// NoteReplayedWrite raises the oldest-slot high-water mark for a tuple the
+// replica applier just inserted or updated (mirrors the maintenance path's
+// noteTupleWrite).
+func (v *VTable) NoteReplayedWrite(ext catalog.Tuple) { v.noteTupleWrite(ext) }
+
+// NoteReplayedRemove recomputes the high-water mark if a physically removed
+// tuple may have carried it (mirrors noteTupleRemoved). The replica applier
+// is the store's only writer, so the recompute scan is safe.
+func (v *VTable) NoteReplayedRemove(ext catalog.Tuple) { v.noteTupleRemoved(ext) }
+
+// NoteReplayedUpdate maintains the high-water mark across a replayed
+// in-place update. An update record can both raise the mark (a new version
+// pushed into the slots) and lower it (a net-effect fold that popped the
+// oldest slot — Table 4 row 2 — looks like any other update on the wire),
+// so this mirrors the primary's physUpdate + noteTupleLowered pairing:
+// raise to cover the after-image, then recompute if the before-image may
+// have carried the mark.
+func (v *VTable) NoteReplayedUpdate(before, after catalog.Tuple) {
+	v.noteTupleWrite(after)
+	v.noteTupleRemoved(before)
+}

@@ -60,6 +60,19 @@ type Config struct {
 	// Workers is the parallel batch fan-out. 0 selects 4. Only meaningful
 	// with Parallel.
 	Workers int
+	// SkipCheckpoint elides the mid-workload checkpoint. Replication
+	// followers identify log bytes by file offset, and a checkpoint
+	// rewrites the file — in production that is an epoch bump forcing a
+	// replica rebuild — so the replication suites run the workload with
+	// only appends.
+	SkipCheckpoint bool
+
+	// onJournal and onCommit are the replication suites' observation
+	// hooks, set by RunPrimary: the former hands out the live *wal.Log so
+	// a feed can serve it, the latter fires after each acknowledged
+	// commit so a tailing replica can be checked at that exact VN.
+	onJournal func(*wal.Log)
+	onCommit  func(vn core.VN) error
 }
 
 func (c Config) normalize() Config {
@@ -175,12 +188,13 @@ type runState struct {
 
 // worker drives one workload run.
 type worker struct {
-	fs    *vfs.FaultFS
-	store *core.Store
-	log   *wal.Log
-	cur   model
-	st    *runState
-	rng   *rand.Rand
+	fs       *vfs.FaultFS
+	store    *core.Store
+	log      *wal.Log
+	cur      model
+	st       *runState
+	rng      *rand.Rand
+	onCommit func(core.VN) error
 }
 
 // errStopped distinguishes "the workload ended early on a surfaced
@@ -221,6 +235,11 @@ func (w *worker) txn(build func(m *core.Maintenance, pend model) error) error {
 	w.cur = pend
 	w.st.acked = vn
 	w.st.commits++
+	if w.onCommit != nil {
+		if err := w.onCommit(vn); err != nil {
+			return fmt.Errorf("crashtest: onCommit hook at VN %d: %w", vn, err)
+		}
+	}
 	return nil
 }
 
@@ -228,7 +247,7 @@ func (w *worker) txn(build func(m *core.Maintenance, pend model) error) error {
 // errStopped is an expected early stop under fault scripts; other errors
 // are harness bugs. A *vfs.CrashPoint panic escapes to the caller.
 func run(cfg Config, fs *vfs.FaultFS, st *runState) error {
-	w := &worker{fs: fs, st: st, cur: newModel(), rng: rand.New(rand.NewSource(cfg.Seed))}
+	w := &worker{fs: fs, st: st, cur: newModel(), rng: rand.New(rand.NewSource(cfg.Seed)), onCommit: cfg.onCommit}
 	st.snapshots = map[core.VN]model{1: w.cur.clone()}
 	st.acked = 1
 
@@ -248,6 +267,9 @@ func run(cfg Config, fs *vfs.FaultFS, st *runState) error {
 	}
 	w.log = log
 	store.SetJournal(log)
+	if cfg.onJournal != nil {
+		cfg.onJournal(log)
+	}
 	if _, err := store.CreateTable(dimSchema()); err != nil {
 		return w.stop(err)
 	}
@@ -378,24 +400,31 @@ func run(cfg Config, fs *vfs.FaultFS, st *runState) error {
 	// Checkpoint: close the live journal, rewrite the log compactly,
 	// reopen it for appending, reinstall. A crash anywhere in the middle
 	// must land on either the full history or the checkpoint, never a
-	// mixture (the FS-level rename is atomic).
-	w.store.SetJournal(nil)
-	if err := w.log.Close(); err != nil {
-		return w.stop(err)
+	// mixture (the FS-level rename is atomic). Elided under
+	// SkipCheckpoint: a replication stream identifies bytes by offset, so
+	// the rewrite would be an epoch bump, not a transparent event.
+	if !cfg.SkipCheckpoint {
+		w.store.SetJournal(nil)
+		if err := w.log.Close(); err != nil {
+			return w.stop(err)
+		}
+		if _, err := wal.CheckpointFS(fs, w.store, walPath); err != nil {
+			return w.stop(err)
+		}
+		log2, err := wal.AppendFS(fs, walPath, wal.PolicyRedoOnly)
+		if err != nil {
+			return w.stop(err)
+		}
+		log2.SetRetry(vfs.RetryPolicy{Sleep: func(time.Duration) {}}.Normalize())
+		if cfg.Parallel {
+			log2.SetGroupCommit(wal.GroupCommit{Enabled: true})
+		}
+		w.log = log2
+		w.store.SetJournal(log2)
+		if cfg.onJournal != nil {
+			cfg.onJournal(log2)
+		}
 	}
-	if _, err := wal.CheckpointFS(fs, w.store, walPath); err != nil {
-		return w.stop(err)
-	}
-	log2, err := wal.AppendFS(fs, walPath, wal.PolicyRedoOnly)
-	if err != nil {
-		return w.stop(err)
-	}
-	log2.SetRetry(vfs.RetryPolicy{Sleep: func(time.Duration) {}}.Normalize())
-	if cfg.Parallel {
-		log2.SetGroupCommit(wal.GroupCommit{Enabled: true})
-	}
-	w.log = log2
-	w.store.SetJournal(log2)
 
 	// An aborted transaction: its records reach the log but no commit
 	// ever will; recovery must skip it wholesale (§7: no undo needed).

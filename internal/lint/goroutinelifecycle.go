@@ -7,7 +7,8 @@ import (
 
 // GoroutineLifecycle enforces the serving stack's goroutine ownership rule:
 // every `go` statement in internal/server, internal/core (the parallel
-// maintenance pool), internal/wal (group commit), and pkg/vnlclient must
+// maintenance pool), internal/wal (group commit), internal/repl (the
+// replication tail loop), and pkg/vnlclient must
 // have a reachable join recorded where it is spawned, so Shutdown/Close
 // can prove the process quiesced. A connection handler or worker that
 // nobody joins is a leak: it outlives the drain, keeps sockets and
@@ -40,6 +41,7 @@ func runGoroutineLifecycle(pass *Pass) error {
 		"repro/internal/server",
 		"repro/internal/core",
 		"repro/internal/wal",
+		"repro/internal/repl",
 		"repro/pkg/vnlclient",
 	) {
 		return nil

@@ -30,7 +30,7 @@ var ObsRegistry = &Analyzer{
 	Run:  runObsRegistry,
 }
 
-var metricNameRE = regexp.MustCompile(`^(core|wal|txn|storage|mvcc|bench|db|sim|server)_[a-z0-9]+(_[a-z0-9]+)*$`)
+var metricNameRE = regexp.MustCompile(`^(core|wal|txn|storage|mvcc|bench|db|sim|server|repl)_[a-z0-9]+(_[a-z0-9]+)*$`)
 
 func runObsRegistry(pass *Pass) error {
 	type site struct {

@@ -1,0 +1,105 @@
+package repl_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/repl"
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+// buildBacklog journals txns committed maintenance transactions (a bounded
+// key space of inserts and updates) onto fs and returns the durable end
+// and final VN — the backlog a cold replica must ship and replay.
+func buildBacklog(b *testing.B, fs vfs.FS, txns int) (int64, core.VN) {
+	b.Helper()
+	log, err := wal.CreateFS(fs, "wal.log", wal.PolicyRedoOnly)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := db.Open(db.Options{})
+	store, err := core.Open(engine, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store.SetJournal(log)
+	schema := catalog.MustSchema("kv", []catalog.Column{
+		{Name: "k", Type: catalog.TypeInt, Length: 8},
+		{Name: "v", Type: catalog.TypeInt, Length: 8, Updatable: true},
+	}, "k")
+	if _, err := store.CreateTable(schema); err != nil {
+		b.Fatal(err)
+	}
+	const keys = 64
+	for txn := 0; txn < txns; txn++ {
+		m, err := store.BeginMaintenance()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 16; i++ {
+			k := int64((txn*16 + i) % keys)
+			if txn < keys/16 {
+				if err := m.Insert("kv", catalog.Tuple{catalog.NewInt(k), catalog.NewInt(int64(txn))}); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				v := int64(txn)
+				if _, err := m.UpdateKey("kv", catalog.Tuple{catalog.NewInt(k)},
+					func(c catalog.Tuple) catalog.Tuple { c[1] = catalog.NewInt(v); return c }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := m.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	durable := log.DurableLSN()
+	vn := store.CurrentVN()
+	if err := log.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return durable, vn
+}
+
+// BenchmarkReplicaCatchup measures cold-start catch-up: each iteration
+// opens a fresh replica against a pre-built primary backlog and drives it
+// to VN parity. ns/op is the time-to-parity for that backlog; with
+// SetBytes, MB/s is the end-to-end replication throughput (ship + local
+// append + fsync + replay + publish).
+func BenchmarkReplicaCatchup(b *testing.B) {
+	for _, txns := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("txns=%d", txns), func(b *testing.B) {
+			pfs := vfs.NewFaultFS(nil)
+			durable, wantVN := buildBacklog(b, pfs, txns)
+			feed := repl.NewStaticFeed(pfs, "wal.log", durable, 1)
+			defer feed.Close()
+			b.SetBytes(durable)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := repl.Open(repl.Options{
+					FS:    vfs.NewFaultFS(nil),
+					Path:  "replica/wal.log",
+					DB:    db.Options{},
+					Store: core.Options{},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rep.Catchup(&repl.DirectSource{Feed: feed}); err != nil {
+					b.Fatal(err)
+				}
+				if got := core.VN(rep.ReplayedVN()); got != wantVN {
+					b.Fatalf("caught up to VN %d, want %d", got, wantVN)
+				}
+				if err := rep.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -43,6 +43,9 @@ func frameCorpusEntries() map[string][]byte {
 		"batch-bad-op":       frame(MsgApplyBatch, frameBatchBadOp()),
 		"query-trailing":     frame(MsgQuery, append(Query{SQL: "SELECT 1"}.Encode(), 0xEE)),
 		"rows-bad-kind":      frame(MsgRows, frameRowsBadKind()),
+		"replseg-forged-len": frame(MsgReplSegment, frameSegmentForgedLen()),
+		"replseg-truncated":  frame(MsgReplSegment, frameSegmentTruncated()),
+		"replpoll-trailing":  frame(MsgReplPoll, append(ReplPoll{Epoch: 1, FromLSN: 2}.Encode(), 0xEE)),
 		"unknown-type":       frame(MsgType(0x70), nil),
 	}
 }

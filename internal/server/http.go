@@ -38,7 +38,11 @@ func (s *Server) HTTPHandler() http.Handler {
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
 		if !s.Ready() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
+			reason := "draining"
+			if ri := s.cfg.Replica; ri != nil && !ri.CaughtUp() && !s.draining.Load() && !s.closed.Load() {
+				reason = fmt.Sprintf("replica catching up: replayed VN %d, primary VN %d", ri.ReplayedVN(), ri.PrimaryVN())
+			}
+			http.Error(w, reason, http.StatusServiceUnavailable)
 			return
 		}
 		fmt.Fprintln(w, "ready")

@@ -51,15 +51,17 @@ const (
 	MsgPrepare      MsgType = 0x06 // parse + cache a SELECT → MsgPrepared
 	MsgExecStmt     MsgType = 0x07 // execute a prepared SELECT → MsgRows
 	MsgApplyBatch   MsgType = 0x08 // one maintenance delta batch → MsgBatchDone
+	MsgReplPoll     MsgType = 0x09 // replication long-poll for WAL bytes → MsgReplSegment
 
 	// Responses.
-	MsgWelcome   MsgType = 0x81 // answer to MsgHello
-	MsgOK        MsgType = 0x82 // empty success
-	MsgRows      MsgType = 0x83 // query result
-	MsgSession   MsgType = 0x84 // answer to MsgBeginSession
-	MsgPrepared  MsgType = 0x85 // answer to MsgPrepare
-	MsgBatchDone MsgType = 0x86 // answer to MsgApplyBatch
-	MsgErr       MsgType = 0xff // any request can fail with this
+	MsgWelcome     MsgType = 0x81 // answer to MsgHello
+	MsgOK          MsgType = 0x82 // empty success
+	MsgRows        MsgType = 0x83 // query result
+	MsgSession     MsgType = 0x84 // answer to MsgBeginSession
+	MsgPrepared    MsgType = 0x85 // answer to MsgPrepare
+	MsgBatchDone   MsgType = 0x86 // answer to MsgApplyBatch
+	MsgReplSegment MsgType = 0x87 // answer to MsgReplPoll
+	MsgErr         MsgType = 0xff // any request can fail with this
 )
 
 // String names the message type for errors and logs.
@@ -81,6 +83,8 @@ func (t MsgType) String() string {
 		return "ExecStmt"
 	case MsgApplyBatch:
 		return "ApplyBatch"
+	case MsgReplPoll:
+		return "ReplPoll"
 	case MsgWelcome:
 		return "Welcome"
 	case MsgOK:
@@ -93,6 +97,8 @@ func (t MsgType) String() string {
 		return "Prepared"
 	case MsgBatchDone:
 		return "BatchDone"
+	case MsgReplSegment:
+		return "ReplSegment"
 	case MsgErr:
 		return "Err"
 	default:
@@ -120,6 +126,9 @@ const (
 	CodeDraining       ErrCode = 10 // server is draining; retry elsewhere
 	CodeTooBusy        ErrCode = 11 // connection limit reached
 	CodeInternal       ErrCode = 12 // unexpected server-side failure
+	CodeNotPrimary     ErrCode = 13 // no replication feed on this server
+	CodeReadOnly       ErrCode = 14 // replica refuses writes; apply to the primary
+	CodeReplRange      ErrCode = 15 // replication epoch or LSN out of range (follower diverged)
 )
 
 // String names the error code.
@@ -149,6 +158,12 @@ func (c ErrCode) String() string {
 		return "too_busy"
 	case CodeInternal:
 		return "internal"
+	case CodeNotPrimary:
+		return "not_primary"
+	case CodeReadOnly:
+		return "read_only"
+	case CodeReplRange:
+		return "repl_range"
 	default:
 		return fmt.Sprintf("ErrCode(%d)", uint16(c))
 	}
@@ -321,6 +336,23 @@ func (r *wireReader) str() (string, error) {
 	return s, nil
 }
 
+// bytes reads a uvarint-length-prefixed byte slice, bounds-checked against
+// the remaining body (same discipline as str: a forged length cannot drive
+// an allocation beyond the frame).
+func (r *wireReader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)) {
+		return nil, fmt.Errorf("server: byte-slice length %d exceeds remaining %d bytes", n, len(r.b))
+	}
+	p := make([]byte, n)
+	copy(p, r.b[:n])
+	r.b = r.b[n:]
+	return p, nil
+}
+
 func (r *wireReader) value() (catalog.Value, error) {
 	kind, err := r.byte()
 	if err != nil {
@@ -424,18 +456,29 @@ func DecodeHello(b []byte) (Hello, error) {
 }
 
 // Welcome answers Hello: the server's software version string, the store's
-// version count n (2 = 2VNL), and currentVN at connect time.
+// version count n (2 = 2VNL), currentVN at connect time, whether the server
+// is a read-only replication follower, and the freshness reference — the
+// primary VN the follower last heard (equal to VN on a primary, so
+// PrimaryVN−VN is the staleness bound either way).
 type Welcome struct {
-	Server string
-	N      uint32
-	VN     uint64
+	Server    string
+	N         uint32
+	VN        uint64
+	Replica   bool
+	PrimaryVN uint64
 }
 
 // Encode renders the message body.
 func (m Welcome) Encode() []byte {
 	buf := appendString(nil, m.Server)
 	buf = binary.AppendUvarint(buf, uint64(m.N))
-	return binary.AppendUvarint(buf, m.VN)
+	buf = binary.AppendUvarint(buf, m.VN)
+	rep := byte(0)
+	if m.Replica {
+		rep = 1
+	}
+	buf = append(buf, rep)
+	return binary.AppendUvarint(buf, m.PrimaryVN)
 }
 
 // DecodeWelcome parses a MsgWelcome body.
@@ -452,6 +495,14 @@ func DecodeWelcome(b []byte) (Welcome, error) {
 	}
 	m.N = uint32(n)
 	if m.VN, err = r.uvarint(); err != nil {
+		return m, err
+	}
+	rep, err := r.byte()
+	if err != nil {
+		return m, err
+	}
+	m.Replica = rep != 0
+	if m.PrimaryVN, err = r.uvarint(); err != nil {
 		return m, err
 	}
 	return m, r.done()
@@ -574,17 +625,21 @@ func DecodeRows(b []byte) (Rows, error) {
 	return m, r.done()
 }
 
-// Session answers MsgBeginSession: the connection-scoped session id and the
-// database version the session reads.
+// Session answers MsgBeginSession: the connection-scoped session id, the
+// database version the session reads, and the freshness reference — on a
+// replica, the primary VN last heard at session begin (PrimaryVN−VN bounds
+// the session's staleness); on a primary, PrimaryVN equals VN.
 type Session struct {
-	SID uint32
-	VN  uint64
+	SID       uint32
+	VN        uint64
+	PrimaryVN uint64
 }
 
 // Encode renders the message body.
 func (m Session) Encode() []byte {
 	buf := binary.AppendUvarint(nil, uint64(m.SID))
-	return binary.AppendUvarint(buf, m.VN)
+	buf = binary.AppendUvarint(buf, m.VN)
+	return binary.AppendUvarint(buf, m.PrimaryVN)
 }
 
 // DecodeSession parses a MsgSession body.
@@ -597,6 +652,9 @@ func DecodeSession(b []byte) (Session, error) {
 	}
 	m.SID = uint32(sid)
 	if m.VN, err = r.uvarint(); err != nil {
+		return m, err
+	}
+	if m.PrimaryVN, err = r.uvarint(); err != nil {
 		return m, err
 	}
 	return m, r.done()
@@ -800,6 +858,104 @@ func DecodeBatchDone(b []byte) (BatchDone, error) {
 	return m, r.done()
 }
 
+// ReplPoll is a replication follower's long-poll for WAL bytes. FromLSN is
+// the byte offset into the primary's WAL the follower wants next (its local
+// durable copy ends there). Epoch identifies the WAL incarnation the
+// follower is tailing — 0 on the very first poll (learn the primary's
+// epoch from the response), the learned value after; a mismatch means the
+// primary's log was recreated and the follower must rebuild, reported as
+// CodeReplRange. MaxBytes caps the segment (0 = server default); WaitMs is
+// how long the server may hold the poll open waiting for new durable bytes
+// (clamped server-side below the request watchdog).
+type ReplPoll struct {
+	Epoch    uint64
+	FromLSN  uint64
+	MaxBytes uint32
+	WaitMs   uint32
+}
+
+// Encode renders the message body.
+func (m ReplPoll) Encode() []byte {
+	buf := binary.AppendUvarint(nil, m.Epoch)
+	buf = binary.AppendUvarint(buf, m.FromLSN)
+	buf = binary.AppendUvarint(buf, uint64(m.MaxBytes))
+	return binary.AppendUvarint(buf, uint64(m.WaitMs))
+}
+
+// DecodeReplPoll parses a MsgReplPoll body.
+func DecodeReplPoll(b []byte) (ReplPoll, error) {
+	r := wireReader{b}
+	var m ReplPoll
+	var err error
+	if m.Epoch, err = r.uvarint(); err != nil {
+		return m, err
+	}
+	if m.FromLSN, err = r.uvarint(); err != nil {
+		return m, err
+	}
+	mb, err := r.uvarint()
+	if err != nil {
+		return m, err
+	}
+	m.MaxBytes = uint32(mb)
+	w, err := r.uvarint()
+	if err != nil {
+		return m, err
+	}
+	m.WaitMs = uint32(w)
+	return m, r.done()
+}
+
+// ReplSegment answers MsgReplPoll: Payload holds the primary's WAL bytes
+// [FromLSN, FromLSN+len(Payload)) — always fsync-covered bytes, never the
+// page-cache tail. An empty payload is a heartbeat: it still carries
+// DurableLSN and PrimaryVN, so an idle follower's freshness bound keeps
+// updating. Segments are arbitrary byte ranges; a WAL record may span
+// segments, and the follower's stream decoder reassembles it.
+type ReplSegment struct {
+	Epoch      uint64
+	FromLSN    uint64
+	DurableLSN uint64
+	PrimaryVN  uint64
+	Payload    []byte
+}
+
+// Encode renders the message body.
+func (m ReplSegment) Encode() []byte {
+	buf := binary.AppendUvarint(nil, m.Epoch)
+	buf = binary.AppendUvarint(buf, m.FromLSN)
+	buf = binary.AppendUvarint(buf, m.DurableLSN)
+	buf = binary.AppendUvarint(buf, m.PrimaryVN)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Payload)))
+	return append(buf, m.Payload...)
+}
+
+// DecodeReplSegment parses a MsgReplSegment body.
+func DecodeReplSegment(b []byte) (ReplSegment, error) {
+	r := wireReader{b}
+	var m ReplSegment
+	var err error
+	if m.Epoch, err = r.uvarint(); err != nil {
+		return m, err
+	}
+	if m.FromLSN, err = r.uvarint(); err != nil {
+		return m, err
+	}
+	if m.DurableLSN, err = r.uvarint(); err != nil {
+		return m, err
+	}
+	if m.PrimaryVN, err = r.uvarint(); err != nil {
+		return m, err
+	}
+	if m.Payload, err = r.bytes(); err != nil {
+		return m, err
+	}
+	if len(m.Payload) == 0 {
+		m.Payload = nil
+	}
+	return m, r.done()
+}
+
 // ErrMsg is the body of MsgErr.
 type ErrMsg struct {
 	Code ErrCode
@@ -848,6 +1004,8 @@ func DecodeAny(t MsgType, body []byte) (any, error) {
 		return DecodeExecStmt(body)
 	case MsgApplyBatch:
 		return DecodeApplyBatch(body)
+	case MsgReplPoll:
+		return DecodeReplPoll(body)
 	case MsgWelcome:
 		return DecodeWelcome(body)
 	case MsgRows:
@@ -858,6 +1016,8 @@ func DecodeAny(t MsgType, body []byte) (any, error) {
 		return DecodePrepared(body)
 	case MsgBatchDone:
 		return DecodeBatchDone(body)
+	case MsgReplSegment:
+		return DecodeReplSegment(body)
 	case MsgErr:
 		return DecodeErrMsg(body)
 	default:

@@ -25,10 +25,13 @@ func TestMessageRoundTrips(t *testing.T) {
 	}{
 		{MsgHello, Hello{ClientName: "vnlload"}, Hello{ClientName: "vnlload"}},
 		{MsgWelcome, Welcome{Server: ServerVersion, N: 3, VN: 17}, Welcome{Server: ServerVersion, N: 3, VN: 17}},
+		{MsgWelcome, Welcome{Server: ServerVersion, N: 2, VN: 9, Replica: true, PrimaryVN: 12},
+			Welcome{Server: ServerVersion, N: 2, VN: 9, Replica: true, PrimaryVN: 12}},
 		{MsgQuery, Query{SID: 7, SQL: "SELECT 1", Params: params}, Query{SID: 7, SQL: "SELECT 1", Params: params}},
 		{MsgRows, Rows{Columns: []string{"k", "v"}, Tuples: []catalog.Tuple{tuple, nil}},
 			Rows{Columns: []string{"k", "v"}, Tuples: []catalog.Tuple{tuple, nil}}},
 		{MsgSession, Session{SID: 3, VN: 99}, Session{SID: 3, VN: 99}},
+		{MsgSession, Session{SID: 4, VN: 7, PrimaryVN: 11}, Session{SID: 4, VN: 7, PrimaryVN: 11}},
 		{MsgEndSession, EndSession{SID: 3}, EndSession{SID: 3}},
 		{MsgPrepare, Prepare{SQL: "SELECT COUNT(*) FROM kv"}, Prepare{SQL: "SELECT COUNT(*) FROM kv"}},
 		{MsgPrepared, Prepared{StmtID: 12}, Prepared{StmtID: 12}},
@@ -43,6 +46,13 @@ func TestMessageRoundTrips(t *testing.T) {
 		{MsgBatchDone, BatchDone{VN: 5, Applied: 100, Missing: 3}, BatchDone{VN: 5, Applied: 100, Missing: 3}},
 		{MsgErr, ErrMsg{Code: CodeTooBusy, Msg: "connection limit 256 reached"},
 			ErrMsg{Code: CodeTooBusy, Msg: "connection limit 256 reached"}},
+		{MsgReplPoll, ReplPoll{Epoch: 77, FromLSN: 1 << 33, MaxBytes: 4096, WaitMs: 2500},
+			ReplPoll{Epoch: 77, FromLSN: 1 << 33, MaxBytes: 4096, WaitMs: 2500}},
+		{MsgReplSegment, ReplSegment{Epoch: 77, FromLSN: 64, DurableLSN: 128, PrimaryVN: 6, Payload: []byte{1, 2, 3}},
+			ReplSegment{Epoch: 77, FromLSN: 64, DurableLSN: 128, PrimaryVN: 6, Payload: []byte{1, 2, 3}}},
+		// A heartbeat: empty payload decodes to nil, the canonical empty form.
+		{MsgReplSegment, ReplSegment{Epoch: 1, FromLSN: 64, DurableLSN: 64, PrimaryVN: 6},
+			ReplSegment{Epoch: 1, FromLSN: 64, DurableLSN: 64, PrimaryVN: 6}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.t.String(), func(t *testing.T) {
@@ -133,6 +143,9 @@ func TestDecodeErrors(t *testing.T) {
 		{"batch bad op", MsgApplyBatch, frameBatchBadOp()},
 		{"query trailing bytes", MsgQuery, append(Query{SQL: "SELECT 1"}.Encode(), 0xEE)},
 		{"unknown kind in tuple", MsgRows, frameRowsBadKind()},
+		{"segment forged payload length", MsgReplSegment, frameSegmentForgedLen()},
+		{"segment truncated payload", MsgReplSegment, frameSegmentTruncated()},
+		{"poll trailing bytes", MsgReplPoll, append(ReplPoll{Epoch: 1, FromLSN: 2}.Encode(), 0xEE)},
 		{"unknown type", MsgType(0x70), nil},
 	}
 	for _, tc := range cases {
@@ -148,6 +161,27 @@ func frameBatchBadOp() []byte {
 	buf := binary.AppendUvarint(nil, 1)
 	buf = appendString(buf, "kv")
 	return append(buf, 0x7f) // op byte out of range
+}
+
+// frameSegmentForgedLen is a ReplSegment body whose declared payload length
+// vastly exceeds the remaining bytes — the pre-allocation guard must refuse
+// it rather than allocate.
+func frameSegmentForgedLen() []byte {
+	buf := binary.AppendUvarint(nil, 1)     // epoch
+	buf = binary.AppendUvarint(buf, 0)      // from
+	buf = binary.AppendUvarint(buf, 100)    // durable
+	buf = binary.AppendUvarint(buf, 5)      // primary VN
+	return binary.AppendUvarint(buf, 1<<40) // forged payload length, no bytes
+}
+
+// frameSegmentTruncated declares a modest payload but ships fewer bytes.
+func frameSegmentTruncated() []byte {
+	buf := binary.AppendUvarint(nil, 1)
+	buf = binary.AppendUvarint(buf, 0)
+	buf = binary.AppendUvarint(buf, 100)
+	buf = binary.AppendUvarint(buf, 5)
+	buf = binary.AppendUvarint(buf, 16)
+	return append(buf, 0xAB, 0xCD) // 2 of the declared 16 bytes
 }
 
 func frameRowsBadKind() []byte {

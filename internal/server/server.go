@@ -50,6 +50,15 @@ type Config struct {
 	Metrics *obs.Registry
 	// Logf, when non-nil, receives connection-lifecycle log lines.
 	Logf func(format string, args ...any)
+	// ReplFeed, when non-nil, makes this server a replication primary:
+	// MsgReplPoll requests are served WAL segments from it. Nil servers
+	// answer polls with CodeNotPrimary.
+	ReplFeed ReplFeed
+	// Replica, when non-nil, marks this server a read-only replication
+	// follower: ApplyBatch is refused with CodeReadOnly, Welcome/Session
+	// responses carry the follower's freshness bound, and /readyz also
+	// requires Replica.CaughtUp().
+	Replica ReplicaInfo
 }
 
 // serverMetrics is the server's observability surface.
@@ -65,6 +74,8 @@ type serverMetrics struct {
 	wireSessions  *obs.Gauge
 	drains        *obs.Counter
 	reqTimeouts   *obs.Counter
+	replPolls     *obs.Counter
+	replBytes     *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -81,6 +92,8 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		wireSessions:  reg.Gauge("server_sessions_open", "reader sessions currently open over the wire"),
 		drains:        c("server_drains_total", "graceful drains initiated"),
 		reqTimeouts:   c("server_request_timeouts_total", "connections severed by the in-flight request watchdog"),
+		replPolls:     c("server_repl_polls_total", "replication polls served (segments and heartbeats)"),
+		replBytes:     c("server_repl_bytes_total", "WAL bytes shipped to replication followers"),
 	}
 }
 
@@ -172,9 +185,17 @@ func (s *Server) Start() error {
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
 // Ready reports whether the server is accepting new connections — the
-// /readyz condition.
+// /readyz condition. A replica is additionally not ready until it has
+// caught up to its primary within the configured lag bound, so a load
+// balancer never routes reads to a follower still backfilling.
 func (s *Server) Ready() bool {
-	return s.started.Load() && !s.draining.Load() && !s.closed.Load()
+	if !s.started.Load() || s.draining.Load() || s.closed.Load() {
+		return false
+	}
+	if ri := s.cfg.Replica; ri != nil && !ri.CaughtUp() {
+		return false
+	}
+	return true
 }
 
 // Metrics returns the registry the server's instrumentation writes to.
@@ -662,10 +683,13 @@ func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
 			return c.errResp(CodeBadFrame, err)
 		}
 		s.logf("hello from %s (%q)", c.nc.RemoteAddr(), h.ClientName)
+		vn := uint64(s.cfg.Store.CurrentVN())
 		return MsgWelcome, Welcome{
-			Server: ServerVersion,
-			N:      uint32(s.cfg.Store.N()),
-			VN:     uint64(s.cfg.Store.CurrentVN()),
+			Server:    ServerVersion,
+			N:         uint32(s.cfg.Store.N()),
+			VN:        vn,
+			Replica:   s.cfg.Replica != nil,
+			PrimaryVN: s.replVN(vn),
 		}.Encode()
 
 	case MsgPing:
@@ -681,7 +705,8 @@ func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
 		c.sessions[sid] = sess
 		c.nSessions.Add(1)
 		s.metrics.wireSessions.Add(1)
-		return MsgSession, Session{SID: sid, VN: uint64(sess.VN())}.Encode()
+		vn := uint64(sess.VN())
+		return MsgSession, Session{SID: sid, VN: vn, PrimaryVN: s.replVN(vn)}.Encode()
 
 	case MsgEndSession:
 		m, err := DecodeEndSession(body)
@@ -732,6 +757,9 @@ func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
 		})
 
 	case MsgApplyBatch:
+		if s.cfg.Replica != nil {
+			return c.errRespf(CodeReadOnly, "replica is read-only; apply maintenance batches to the primary")
+		}
 		b, err := DecodeApplyBatch(body)
 		if err != nil {
 			return c.errResp(CodeBadFrame, err)
@@ -742,7 +770,31 @@ func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
 		}
 		return MsgBatchDone, done.Encode()
 
-	case MsgWelcome, MsgOK, MsgRows, MsgSession, MsgPrepared, MsgBatchDone, MsgErr:
+	case MsgReplPoll:
+		m, err := DecodeReplPoll(body)
+		if err != nil {
+			return c.errResp(CodeBadFrame, err)
+		}
+		feed := s.cfg.ReplFeed
+		if feed == nil {
+			return c.errRespf(CodeNotPrimary, "this server serves no replication feed")
+		}
+		// A held poll is an in-flight request: clamp the hold below the
+		// watchdog's cutoff (PollFeed clamps to replMaxWait regardless).
+		if rt := s.cfg.RequestTimeout; rt > 0 {
+			if lim := uint64(rt.Milliseconds() / 2); uint64(m.WaitMs) > lim {
+				m.WaitMs = uint32(lim)
+			}
+		}
+		seg, code, err := PollFeed(feed, func() uint64 { return uint64(s.cfg.Store.CurrentVN()) }, m)
+		if err != nil {
+			return c.errResp(code, err)
+		}
+		s.metrics.replPolls.Inc()
+		s.metrics.replBytes.Add(int64(len(seg.Payload)))
+		return MsgReplSegment, seg.Encode()
+
+	case MsgWelcome, MsgOK, MsgRows, MsgSession, MsgPrepared, MsgBatchDone, MsgReplSegment, MsgErr:
 		// Response types arriving at a server are a peer speaking the wrong
 		// direction; answer them like any other malformed request.
 		return c.errRespf(CodeBadFrame, "unexpected message type %v", t)

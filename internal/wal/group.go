@@ -83,6 +83,11 @@ func (l *Log) groupSyncLocked() error {
 		return err
 	}
 	covered := l.seq
+	// Bytes this fsync will cover: captured under mu before it is released
+	// for the disk wait, because appends arriving during the fsync can
+	// flush opportunistically and advance flushedB past what this fsync
+	// makes durable.
+	coveredB := l.flushedB
 	size := int64(1 + l.waiters)
 	retry := l.retry
 	start := time.Now()
@@ -113,6 +118,7 @@ func (l *Log) groupSyncLocked() error {
 	if covered > l.synced {
 		l.synced = covered
 	}
+	l.advanceDurableLocked(coveredB)
 	l.stats.Syncs++
 	mSyncs.Inc()
 	mSyncNS.ObserveSince(start)

@@ -114,6 +114,13 @@ type Log struct {
 	stats Stats
 	err   error // first unrecovered write error; subsequent appends are dropped
 
+	// Byte-offset durability tracking. Offsets are positions in the log
+	// file itself, so they double as the replication stream's LSNs: the
+	// feed serves only bytes below durableB, never the page-cache tail.
+	flushedB  int64         // bytes handed to (and accepted by) the file
+	durableB  int64         // bytes covered by a successful fsync
+	durableCh chan struct{} // closed and replaced when durableB advances
+
 	// Group commit state (see group.go), protected by mu like the fields
 	// above; gcond waits on mu itself.
 	group   GroupCommit
@@ -173,6 +180,12 @@ func (l *Log) Close() error {
 	defer l.mu.Unlock()
 	syncErr := l.syncLocked()
 	closeErr := l.f.Close()
+	// Wake any WaitDurable caller so it rechecks rather than sleeping out
+	// its full timeout against a closed log.
+	if l.durableCh != nil {
+		close(l.durableCh)
+		l.durableCh = nil
+	}
 	return errors.Join(syncErr, closeErr)
 }
 
@@ -231,6 +244,7 @@ func (l *Log) flushLocked() error {
 	for len(l.buf) > 0 {
 		n, err := l.f.Write(l.buf)
 		l.buf = l.buf[n:]
+		l.flushedB += int64(n)
 		if err == nil {
 			continue
 		}
@@ -264,6 +278,7 @@ func (l *Log) syncLocked() error {
 	if err := l.flushLocked(); err != nil {
 		return err
 	}
+	covered := l.flushedB
 	start := time.Now()
 	for failures := 0; ; {
 		err := l.f.Sync()
@@ -279,10 +294,63 @@ func (l *Log) syncLocked() error {
 		mRetries.Inc()
 		l.retry.Wait(failures - 1)
 	}
+	l.advanceDurableLocked(covered)
 	l.stats.Syncs++
 	mSyncs.Inc()
 	mSyncNS.ObserveSince(start)
 	return nil
+}
+
+// advanceDurableLocked raises the durable byte offset and wakes WaitDurable
+// callers. Called with mu held after a successful fsync covering bytes
+// [0, covered).
+func (l *Log) advanceDurableLocked(covered int64) {
+	if covered <= l.durableB {
+		return
+	}
+	l.durableB = covered
+	if l.durableCh != nil {
+		close(l.durableCh)
+		l.durableCh = nil
+	}
+}
+
+// DurableLSN returns the byte offset through which the log file is known
+// durable: every byte below it was covered by a successful fsync. Byte
+// offsets in the log file are the replication stream's LSNs.
+func (l *Log) DurableLSN() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durableB
+}
+
+// WaitDurable blocks until the durable LSN exceeds from, the timeout
+// elapses, or the log hits a sticky error, and returns the durable LSN at
+// that point. The replication feed long-polls on it so an idle primary
+// costs followers no busy-spin.
+func (l *Log) WaitDurable(from int64, timeout time.Duration) int64 {
+	deadline := time.Now().Add(timeout)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.durableB <= from && l.err == nil {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			break
+		}
+		if l.durableCh == nil {
+			l.durableCh = make(chan struct{})
+		}
+		ch := l.durableCh
+		l.mu.Unlock()
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+		case <-t.C:
+		}
+		t.Stop()
+		l.mu.Lock()
+	}
+	return l.durableB
 }
 
 // --- core.Journal implementation ---------------------------------------
@@ -373,38 +441,51 @@ func Iterate(path string, fn func(*Record) error) error {
 
 // IterateFS is Iterate over an explicit filesystem.
 func IterateFS(fsys vfs.FS, path string, fn func(*Record) error) error {
+	_, err := IterateLSNFS(fsys, path, func(_ int64, r *Record) error { return fn(r) })
+	return err
+}
+
+// IterateLSNFS is IterateFS with byte-offset (LSN) reporting: fn receives
+// each record along with the offset of the first byte past its frame, and
+// the returned offset is the clean end of the log — the boundary after the
+// last whole, checksummed record, where the torn tail (if any) begins. A
+// replication follower truncates its local copy to the clean end and
+// resumes fetching from it.
+func IterateLSNFS(fsys vfs.FS, path string, fn func(end int64, r *Record) error) (int64, error) {
 	f, err := fsys.Open(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(io.NewSectionReader(f, 0, int64(1)<<62), 1<<16)
+	off := int64(0)
 	for {
 		var hdr [8]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil // clean end or torn header at tail
+				return off, nil // clean end or torn header at tail
 			}
-			return err
+			return off, err
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:])
 		sum := binary.LittleEndian.Uint32(hdr[4:])
 		if length > 1<<28 {
-			return nil // implausible length: treat as torn tail
+			return off, nil // implausible length: treat as torn tail
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return nil // torn tail
+			return off, nil // torn tail
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
-			return nil // corrupt tail
+			return off, nil // corrupt tail
 		}
 		rec, err := decode(payload)
 		if err != nil {
-			return fmt.Errorf("%w: %v", ErrTornRecord, err)
+			return off, fmt.Errorf("%w: %v", ErrTornRecord, err)
 		}
-		if err := fn(rec); err != nil {
-			return err
+		off += int64(len(hdr)) + int64(length)
+		if err := fn(off, rec); err != nil {
+			return off, err
 		}
 	}
 }

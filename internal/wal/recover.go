@@ -21,6 +21,34 @@ type RecoverStats struct {
 	HighestVN      core.VN
 }
 
+// TableRID identifies a tuple by its logged address. Recovery remaps
+// logged addresses to the physical addresses replayed tuples actually
+// landed at (uncommitted inserts are skipped, so addresses shift).
+type TableRID struct {
+	Table string
+	RID   storage.RID
+}
+
+// ResumeState is the live replay bookkeeping a replication follower needs
+// to keep applying records past the recovered prefix. The remap table and
+// the open transaction's buffered records reference bytes before the clean
+// end — bytes a follower never fetches again — so recovery must hand them
+// over rather than have the follower rebuild them from the stream.
+type ResumeState struct {
+	// CleanLSN is the byte offset after the last whole, checksummed record:
+	// the truncation point for the torn tail and the offset to resume
+	// fetching from.
+	CleanLSN int64
+	// Remap maps logged (table, RID) addresses to physical addresses in
+	// the recovered store, for tuples still live at the clean end.
+	Remap map[TableRID]storage.RID
+	// Tail holds the records of the transaction left open (no commit or
+	// abort yet) at the clean end, Begin first, in log order. Its tuples
+	// were not replayed; if the stream later delivers the commit, the
+	// follower applies them then.
+	Tail []*Record
+}
+
 // Recover rebuilds a version store from the log at path: it scans once to
 // find the committed transactions, then replays their physical changes in
 // log order into a fresh store. Records of transactions without a commit
@@ -42,7 +70,15 @@ func Recover(path string, dbOpts db.Options, storeOpts core.Options) (*core.Stor
 // DataFS, the rebuilt heaps mirror their pages onto it as they are
 // replayed, so post-recovery state is itself crash-recoverable.
 func RecoverFS(fsys vfs.FS, path string, dbOpts db.Options, storeOpts core.Options) (*core.Store, *db.Database, RecoverStats, error) {
+	store, engine, stats, _, err := RecoverStreamFS(fsys, path, dbOpts, storeOpts)
+	return store, engine, stats, err
+}
+
+// RecoverStreamFS is RecoverFS plus the ResumeState a replication follower
+// needs to continue incremental replay where the recovered prefix ended.
+func RecoverStreamFS(fsys vfs.FS, path string, dbOpts db.Options, storeOpts core.Options) (*core.Store, *db.Database, RecoverStats, *ResumeState, error) {
 	var stats RecoverStats
+	resume := &ResumeState{Remap: map[TableRID]storage.RID{}}
 	// Pass 1: which transaction *instances* committed? Version numbers are
 	// not unique across the log — an aborted transaction's VN is reused by
 	// the next one — so transactions are identified by their ordinal
@@ -54,13 +90,13 @@ func RecoverFS(fsys vfs.FS, path string, dbOpts db.Options, storeOpts core.Optio
 		// the first durable write recovers to a fresh, empty store.
 		engine := db.Open(dbOpts)
 		store, serr := core.Open(engine, storeOpts)
-		return store, engine, stats, serr
+		return store, engine, stats, resume, serr
 	} else if err != nil {
-		return nil, nil, stats, err
+		return nil, nil, stats, nil, err
 	} else if cerr := f.Close(); cerr != nil {
-		return nil, nil, stats, cerr
+		return nil, nil, stats, nil, cerr
 	}
-	if err := IterateFS(fsys, path, func(r *Record) error {
+	clean, err := IterateLSNFS(fsys, path, func(_ int64, r *Record) error {
 		stats.RecordsScanned++
 		switch r.Kind {
 		case KindBegin:
@@ -75,9 +111,11 @@ func RecoverFS(fsys vfs.FS, path string, dbOpts db.Options, storeOpts core.Optio
 			// and aborts are replayed (or skipped) in pass 2.
 		}
 		return nil
-	}); err != nil {
-		return nil, nil, stats, err
+	})
+	if err != nil {
+		return nil, nil, stats, nil, err
 	}
+	resume.CleanLSN = clean
 	stats.CommittedTxns = len(committed)
 	stats.SkippedTxns = (instance + 1) - len(committed)
 
@@ -85,14 +123,11 @@ func RecoverFS(fsys vfs.FS, path string, dbOpts db.Options, storeOpts core.Optio
 	engine := db.Open(dbOpts)
 	store, err := core.Open(engine, storeOpts)
 	if err != nil {
-		return nil, nil, stats, err
+		return nil, nil, stats, nil, err
 	}
-	type addr struct {
-		table string
-		rid   storage.RID
-	}
-	remap := map[addr]storage.RID{}
+	remap := resume.Remap
 	inCommitted := false
+	var open []*Record // records of the not-yet-terminated transaction
 	instance = -1
 	replayErr := IterateFS(fsys, path, func(r *Record) error {
 		switch r.Kind {
@@ -104,9 +139,14 @@ func RecoverFS(fsys vfs.FS, path string, dbOpts db.Options, storeOpts core.Optio
 		case KindBegin:
 			instance++
 			inCommitted = committed[instance]
+			open = []*Record{r}
 		case KindCommit, KindAbort:
 			inCommitted = false
+			open = nil
 		case KindInsert, KindUpdate, KindDelete:
+			if open != nil {
+				open = append(open, r)
+			}
 			if !inCommitted {
 				return nil
 			}
@@ -114,7 +154,7 @@ func RecoverFS(fsys vfs.FS, path string, dbOpts db.Options, storeOpts core.Optio
 			if err != nil {
 				return fmt.Errorf("wal: replay into unknown table %q", r.Table)
 			}
-			key := addr{r.Table, r.RID}
+			key := TableRID{r.Table, r.RID}
 			switch r.Kind {
 			case KindCreate, KindBegin, KindCommit, KindAbort:
 				// Unreachable: the enclosing case restricts r.Kind to the
@@ -148,15 +188,19 @@ func RecoverFS(fsys vfs.FS, path string, dbOpts db.Options, storeOpts core.Optio
 		return nil
 	})
 	if replayErr != nil {
-		return nil, nil, stats, replayErr
+		return nil, nil, stats, nil, replayErr
 	}
+	// A transaction still open at the clean end was necessarily skipped
+	// (it has no commit record); its buffered records are the follower's
+	// resume tail.
+	resume.Tail = open
 	if stats.HighestVN > 1 {
 		if err := store.SetCurrentVN(stats.HighestVN); err != nil {
-			return nil, nil, stats, fmt.Errorf("wal: installing recovered version %d: %w", stats.HighestVN, err)
+			return nil, nil, stats, nil, fmt.Errorf("wal: installing recovered version %d: %w", stats.HighestVN, err)
 		}
 	}
 	mRecoverRecords.Add(int64(stats.RecordsScanned))
 	mRecoverReplayed.Add(int64(stats.TuplesReplayed))
 	mRecoverTxns.Add(int64(stats.CommittedTxns))
-	return store, engine, stats, nil
+	return store, engine, stats, resume, nil
 }

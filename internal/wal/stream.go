@@ -1,0 +1,76 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// StreamDecoder incrementally decodes the WAL's framed byte stream as a
+// replication follower receives it, independent of segment boundaries: a
+// record split across two shipped segments is held buffered until its
+// remaining bytes arrive.
+//
+// Unlike file iteration (IterateFS), which treats a bad tail as the normal
+// torn-write crash artifact, a decode failure here is fatal: the primary
+// ships only bytes its fsync already covered, so a bad checksum means the
+// stream itself was damaged in transit or on the local copy.
+type StreamDecoder struct {
+	buf []byte
+	lsn int64 // consumed through the end of the last returned record
+}
+
+// Feed appends received stream bytes to the decode buffer.
+func (d *StreamDecoder) Feed(p []byte) {
+	d.buf = append(d.buf, p...)
+}
+
+// LSN returns the stream offset consumed through the end of the last
+// record Next returned. Bytes past it are buffered, awaiting a complete
+// frame.
+func (d *StreamDecoder) LSN() int64 { return d.lsn }
+
+// Buffered returns the number of bytes held awaiting a complete frame.
+func (d *StreamDecoder) Buffered() int { return len(d.buf) }
+
+// SetLSN seeds the stream offset, for a decoder resuming mid-stream (the
+// buffer must be empty).
+func (d *StreamDecoder) SetLSN(lsn int64) {
+	d.lsn = lsn
+}
+
+// Next returns the next complete record, or (nil, nil) when the buffer
+// holds only a partial frame and more bytes are needed.
+func (d *StreamDecoder) Next() (*Record, error) {
+	if len(d.buf) < 8 {
+		d.compact()
+		return nil, nil
+	}
+	length := binary.LittleEndian.Uint32(d.buf[0:])
+	sum := binary.LittleEndian.Uint32(d.buf[4:])
+	if length > 1<<28 {
+		return nil, fmt.Errorf("%w: implausible record length %d at lsn %d", ErrTornRecord, length, d.lsn)
+	}
+	if len(d.buf) < 8+int(length) {
+		return nil, nil
+	}
+	payload := d.buf[8 : 8+length]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch at lsn %d", ErrTornRecord, d.lsn)
+	}
+	rec, err := decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTornRecord, err)
+	}
+	d.buf = d.buf[8+length:]
+	d.lsn += 8 + int64(length)
+	return rec, nil
+}
+
+// compact releases a large exhausted buffer so a long-lived tailing
+// decoder does not pin its high-water allocation forever.
+func (d *StreamDecoder) compact() {
+	if len(d.buf) == 0 && cap(d.buf) > 1<<20 {
+		d.buf = nil
+	}
+}

@@ -54,10 +54,17 @@ const (
 	CodeTooBusy        = server.CodeTooBusy
 	CodeParse          = server.CodeParse
 	CodeExec           = server.CodeExec
+	CodeNotPrimary     = server.CodeNotPrimary
+	CodeReadOnly       = server.CodeReadOnly
+	CodeReplRange      = server.CodeReplRange
 )
 
 // ErrClosed is returned by operations on a closed Client or Session.
 var ErrClosed = errors.New("vnlclient: closed")
+
+// ErrTooStale is returned by Begin when the server is a replica lagging
+// beyond Options.MaxStalenessVNs.
+var ErrTooStale = errors.New("vnlclient: replica session exceeds the staleness bound")
 
 // ErrorCode extracts the wire code from a server-reported error.
 func ErrorCode(err error) (Code, bool) {
@@ -88,6 +95,13 @@ type Options struct {
 	OpTimeout time.Duration
 	// ClientName is sent in the handshake and appears in server logs.
 	ClientName string
+	// MaxStalenessVNs bounds how far behind its primary a replica may be
+	// when Begin pins a session: if the server reports
+	// PrimaryVN − VN > MaxStalenessVNs, the session is ended server-side
+	// and Begin returns ErrTooStale. 0 disables the guard (any lag is
+	// accepted); the guard never fires against a non-replica server, whose
+	// PrimaryVN equals its VN.
+	MaxStalenessVNs uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -120,6 +134,10 @@ type Client struct {
 	addr string
 	opts Options
 
+	// welcome is the handshake of the first established connection; the
+	// server's identity (name, N, replica-ness) is stable across the pool.
+	welcome server.Welcome
+
 	mu     sync.Mutex
 	idle   []*wireConn
 	closed bool
@@ -132,9 +150,14 @@ func Dial(addr string, opts Options) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.welcome = wc.welcome
 	c.put(wc)
 	return c, nil
 }
+
+// IsReplica reports whether the server identified itself as a read-only
+// replication follower in the handshake.
+func (c *Client) IsReplica() bool { return c.welcome.Replica }
 
 // Close closes the client and its pooled connections. Sessions begun from
 // this client hold their own connections and must be closed separately.
@@ -312,6 +335,32 @@ func (c *Client) ApplyBatch(deltas []Delta) (BatchResult, error) {
 	return server.DecodeBatchDone(rbody)
 }
 
+// PollRepl runs one replication poll: it asks the primary for log bytes
+// from fromLSN, waiting up to wait for new durable bytes when already at
+// the durable end (the server clamps the hold to its own bound). epoch 0
+// learns the primary's epoch from the reply; maxBytes 0 accepts the
+// server's default segment size. Retrying on a reused pooled connection is
+// safe — a poll is a pure read.
+func (c *Client) PollRepl(epoch, fromLSN uint64, maxBytes uint32, wait time.Duration) (server.ReplSegment, error) {
+	m := server.ReplPoll{Epoch: epoch, FromLSN: fromLSN, MaxBytes: maxBytes}
+	if wait > 0 {
+		if ot := c.opts.OpTimeout; ot > 0 && wait > ot/2 {
+			// The hold must end well inside the op deadline or every quiet
+			// poll reads as a dead server.
+			wait = ot / 2
+		}
+		m.WaitMs = uint32(wait.Milliseconds())
+	}
+	rt, rbody, err := c.do(server.MsgReplPoll, m.Encode(), true)
+	if err != nil {
+		return server.ReplSegment{}, err
+	}
+	if rt != server.MsgReplSegment {
+		return server.ReplSegment{}, fmt.Errorf("vnlclient: repl poll answered with %v", rt)
+	}
+	return server.DecodeReplSegment(rbody)
+}
+
 // Stmt is a server-side prepared SELECT.
 type Stmt struct {
 	c   *Client
@@ -340,10 +389,13 @@ type Session struct {
 	c  *Client
 	mu sync.Mutex
 	wc *wireConn
-	// sid is the connection-scoped session id; vn the pinned version.
-	sid    uint32
-	vn     uint64
-	closed bool
+	// sid is the connection-scoped session id; vn the pinned version;
+	// primaryVN the primary's version the server reported at Begin (equal
+	// to vn on a non-replica server).
+	sid       uint32
+	vn        uint64
+	primaryVN uint64
+	closed    bool
 }
 
 // Begin opens a reader session at the server's current version.
@@ -384,11 +436,36 @@ func (c *Client) Begin() (*Session, error) {
 		wc.close()
 		return nil, err
 	}
-	return &Session{c: c, wc: wc, sid: sm.SID, vn: sm.VN}, nil
+	if lim := c.opts.MaxStalenessVNs; lim > 0 && sm.PrimaryVN > sm.VN && sm.PrimaryVN-sm.VN > lim {
+		// End the just-opened server-side session before refusing it, so
+		// the replica's GC floor does not stay pinned by a session nobody
+		// will read from.
+		if _, _, err := wc.roundTrip(server.MsgEndSession, server.EndSession{SID: sm.SID}.Encode()); err != nil {
+			wc.close()
+		} else {
+			c.put(wc)
+		}
+		return nil, fmt.Errorf("%w: session VN %d, primary VN %d, bound %d",
+			ErrTooStale, sm.VN, sm.PrimaryVN, lim)
+	}
+	return &Session{c: c, wc: wc, sid: sm.SID, vn: sm.VN, primaryVN: sm.PrimaryVN}, nil
 }
 
 // VN returns the database version the session reads.
 func (s *Session) VN() uint64 { return s.vn }
+
+// PrimaryVN returns the primary's version the server reported at Begin;
+// on a non-replica server it equals VN.
+func (s *Session) PrimaryVN() uint64 { return s.primaryVN }
+
+// Lag returns how many versions behind its primary this session began
+// (always 0 against a non-replica server).
+func (s *Session) Lag() uint64 {
+	if s.primaryVN > s.vn {
+		return s.primaryVN - s.vn
+	}
+	return 0
+}
 
 // do runs one exchange on the session's pinned connection.
 func (s *Session) do(t server.MsgType, body []byte) (server.MsgType, []byte, error) {

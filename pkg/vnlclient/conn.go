@@ -76,7 +76,8 @@ func (w *wireConn) handshake(clientName string) (server.Welcome, error) {
 		return server.Welcome{}, &Error{Code: e.Code, Msg: e.Msg}
 	case server.MsgHello, server.MsgPing, server.MsgQuery, server.MsgBeginSession,
 		server.MsgEndSession, server.MsgPrepare, server.MsgExecStmt, server.MsgApplyBatch,
-		server.MsgOK, server.MsgRows, server.MsgSession, server.MsgPrepared, server.MsgBatchDone:
+		server.MsgReplPoll, server.MsgOK, server.MsgRows, server.MsgSession,
+		server.MsgPrepared, server.MsgBatchDone, server.MsgReplSegment:
 		// Known types that are never a legal handshake answer: same failure
 		// as an unknown future type, listed so msgexhaustive proves every
 		// kind was considered.

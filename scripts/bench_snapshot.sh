@@ -9,6 +9,8 @@
 #   wire_latency    BenchmarkWirePing        (internal/server, single run)
 #   query_latency   BenchmarkQueryLatency    (root package; cached vs
 #                                             uncached ad-hoc, prepared)
+#   replica_catchup BenchmarkReplicaCatchup  (internal/repl; cold-start
+#                                             time-to-VN-parity per backlog)
 #
 # Each JSON file carries the commit, timestamp, and platform alongside the
 # parsed ns/op, B/op, and allocs/op per benchmark, so CI artifacts are
@@ -20,6 +22,7 @@
 #   BATCH_BENCHTIME      -benchtime for maintain_batch  (default 3x)
 #   WIRE_BENCHTIME       -benchtime for wire_latency    (default 1000x)
 #   QUERY_BENCHTIME      -benchtime for query_latency   (default 1000x)
+#   REPLICA_BENCHTIME    -benchtime for replica_catchup (default 20x)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -95,3 +98,4 @@ run_group reader_scaling 'BenchmarkReaderScaling' '.' "${READER_BENCHTIME:-1000x
 run_group maintain_batch 'BenchmarkMaintainBatch' '.' "${BATCH_BENCHTIME:-3x}"
 run_group wire_latency '^BenchmarkWirePing$' './internal/server/' "${WIRE_BENCHTIME:-1000x}"
 run_group query_latency '^BenchmarkQueryLatency$' '.' "${QUERY_BENCHTIME:-1000x}"
+run_group replica_catchup '^BenchmarkReplicaCatchup$' './internal/repl/' "${REPLICA_BENCHTIME:-20x}"
