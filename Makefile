@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race stress lint crash crash-replica fuzz fuzz-proto server-smoke replica-smoke bench-smoke bench-snapshot all
+.PHONY: build test race stress lint crash crash-replica crash-shards fuzz fuzz-proto server-smoke replica-smoke shard-smoke bench-smoke bench-snapshot all
 
 all: build lint test
 
@@ -48,6 +48,15 @@ crash-replica:
 	$(GO) run ./cmd/vnlcrash -replica
 	$(GO) run ./cmd/vnlcrash -replica -parallel -seed 2
 
+# crash-shards sweeps the hash-sharded router: the cross-shard workload is
+# crashed before every persisting I/O boundary of the two-phase publish
+# (prepare record, per-shard WAL commits, flip record), every shard
+# recovered, and the reopened epoch must be all-or-nothing (see
+# internal/crashtest ShardSweep).
+crash-shards:
+	$(GO) run ./cmd/vnlcrash -shards 4
+	$(GO) run ./cmd/vnlcrash -shards 3 -seed 2
+
 # fuzz runs the WAL decode fuzzer (FuzzWALDecode: raw record payloads and
 # whole log-file images) for a bounded session. CI runs the same target as a
 # smoke test; override FUZZTIME for longer local sessions.
@@ -71,6 +80,13 @@ server-smoke:
 # both servers must drain cleanly on SIGTERM.
 replica-smoke:
 	bash scripts/replica_smoke.sh
+
+# shard-smoke runs a live durable 4-shard server: vnlload burst with the
+# client-side oracle audit, kill -9 mid-flip, restart over the same
+# directory with an all-or-nothing epoch check, read-only session burst,
+# and a clean SIGTERM drain.
+shard-smoke:
+	bash scripts/shard_smoke.sh
 
 # bench-smoke runs every benchmark once, just to prove they still execute;
 # real measurement runs use cmd/vnlbench.

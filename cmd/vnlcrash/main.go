@@ -14,11 +14,17 @@
 //	vnlcrash -script plan.txt    # replay a recorded fault script
 //	vnlcrash -artifact fail.txt  # write the failing script here on error
 //	vnlcrash -replica            # sweep the replica's replay path instead
+//	vnlcrash -shards 4           # sweep the shard router's two-phase publish
 //
 // With -replica the sweep targets a WAL-shipping follower: the primary
 // workload runs to completion on clean hardware, then a fresh replica is
 // crashed at every persisting I/O boundary of its catch-up, power-cut,
 // re-opened, and driven to full differential parity with the primary.
+//
+// With -shards the sweep targets the hash-sharded store: the workload
+// publishes every epoch through the router's two-phase prepare/flip, and
+// each crash point must recover all shards to one all-or-nothing epoch
+// matching the oracle.
 //
 // Exit status 0 means every crash point recovered cleanly; 1 means an
 // invariant was violated (the exact fault script is printed and, with
@@ -47,10 +53,22 @@ func main() {
 		parallel = flag.Bool("parallel", false, "batched tail transaction on a worker pool with WAL group commit")
 		workers  = flag.Int("workers", 0, "parallel batch fan-out (0 = 4); only with -parallel")
 		replica  = flag.Bool("replica", false, "sweep a WAL-shipping replica's replay path instead of the primary")
+		shards   = flag.Int("shards", 0, "sweep a hash-sharded router of this width instead of a single store")
 	)
 	flag.Parse()
 
-	cfg := crashtest.Config{Seed: *seed, N: *n, PoolPages: *pool, Parallel: *parallel, Workers: *workers}
+	cfg := crashtest.Config{Seed: *seed, N: *n, PoolPages: *pool, Parallel: *parallel, Workers: *workers, Shards: *shards}
+	if *shards > 0 {
+		if *script != "" || *faults > 0 || *replica {
+			fmt.Fprintln(os.Stderr, "vnlcrash: -shards injects its own crash points; -script, -faults, and -replica do not combine with it")
+			os.Exit(2)
+		}
+		srep, err := crashtest.ShardSweep(cfg)
+		report("shard sweep", srep, err, *artifact)
+		fmt.Printf("vnlcrash: shards %d seed %d: %d crash points over %d persisting ops, %d publishes\n",
+			*shards, *seed, srep.Points, srep.PersistOps, srep.Commits)
+		return
+	}
 	if *replica {
 		if *script != "" || *faults > 0 {
 			fmt.Fprintln(os.Stderr, "vnlcrash: -replica injects its own crash points; -script and -faults apply only to the primary sweep")

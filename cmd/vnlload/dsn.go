@@ -12,6 +12,33 @@ import (
 	"repro/pkg/vnlclient"
 )
 
+// kvQuery abstracts the two query surfaces the audits read through: a
+// client's one-shot Query and a session's pinned Query.
+type kvQuery func(sqlText string, params vnlclient.Params) (*vnlclient.Rows, error)
+
+// kvCountSum reads the kv table's COUNT and SUM(v). Aggregates do not
+// distribute over a sharded server (each shard's SUM is not the global
+// SUM), so against one the rows are fanned in and aggregated client-side;
+// a single store answers the aggregate query directly, keeping that path
+// exercised too.
+func kvCountSum(sharded bool, q kvQuery) (count, sum int64, err error) {
+	if !sharded {
+		rows, err := q(`SELECT COUNT(*), SUM(v) FROM kv`, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		return rows.Tuples[0][0].Int(), rows.Tuples[0][1].Int(), nil
+	}
+	rows, err := q(`SELECT k, v FROM kv`, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, t := range rows.Tuples {
+		sum += t[1].Int()
+	}
+	return int64(len(rows.Tuples)), sum, nil
+}
+
 // runDSN drives a remote vnlserver over the binary protocol instead of an
 // embedded store: it seeds the kv benchmark table (the server must be
 // started with -kv), streams maintenance delta batches through ApplyBatch
@@ -58,6 +85,11 @@ func runDSN(dsn string, days, facts int, seed int64, report, pace time.Duration)
 		return wire, missing
 	}
 
+	sharded := c.Shards() > 1
+	if sharded {
+		fmt.Printf("dsn %s: %d shards; aggregating client-side\n", dsn, c.Shards())
+	}
+
 	gen := workload.New(seed)
 	live := facts
 
@@ -97,7 +129,7 @@ func runDSN(dsn string, days, facts int, seed int64, report, pace time.Duration)
 				return
 			default:
 			}
-			rows, err := sess.Query(`SELECT COUNT(*) FROM kv`, nil)
+			got, _, err := kvCountSum(sharded, sess.Query)
 			if code, ok := vnlclient.ErrorCode(err); ok && code == vnlclient.CodeSessionExpired {
 				// Overlapped n-1 maintenance transactions; the paper says
 				// the session must move on. Reopen at the current version.
@@ -114,7 +146,6 @@ func runDSN(dsn string, days, facts int, seed int64, report, pace time.Duration)
 				readerErr <- err
 				return
 			}
-			got := rows.Tuples[0][0].Int()
 			if baseline < 0 {
 				baseline = got
 			} else if got != baseline {
@@ -194,11 +225,10 @@ func runDSN(dsn string, days, facts int, seed int64, report, pace time.Duration)
 	for _, v := range oracle {
 		wantSum += v
 	}
-	rows, err := c.Query(`SELECT COUNT(*), SUM(v) FROM kv`, nil)
+	gotCount, gotSum, err := kvCountSum(sharded, c.Query)
 	if err != nil {
 		return err
 	}
-	gotCount, gotSum := rows.Tuples[0][0].Int(), rows.Tuples[0][1].Int()
 	if gotCount != int64(len(oracle)) || gotSum != wantSum {
 		return fmt.Errorf("audit failed at VN %d: server count=%d sum=%d, oracle count=%d sum=%d",
 			lastVN, gotCount, gotSum, len(oracle), wantSum)
@@ -229,9 +259,10 @@ func runReadOnly(dsn, verifyDSN string, reads int) error {
 	fmt.Printf("dsn %s: replica=%v session VN %d, primary VN %d, lag %d\n",
 		dsn, c.IsReplica(), sess.VN(), sess.PrimaryVN(), sess.Lag())
 
+	sharded := c.Shards() > 1
 	baseline, expiries := int64(-1), 0
 	for i := 0; i < reads; i++ {
-		rows, err := sess.Query(`SELECT COUNT(*) FROM kv`, nil)
+		got, _, err := kvCountSum(sharded, sess.Query)
 		if code, ok := vnlclient.ErrorCode(err); ok && code == vnlclient.CodeSessionExpired {
 			expiries++
 			_ = sess.Close()
@@ -244,7 +275,6 @@ func runReadOnly(dsn, verifyDSN string, reads int) error {
 		if err != nil {
 			return err
 		}
-		got := rows.Tuples[0][0].Int()
 		if baseline < 0 {
 			baseline = got
 		} else if got != baseline {
@@ -272,11 +302,7 @@ func runReadOnly(dsn, verifyDSN string, reads int) error {
 	}
 	defer p.Close()
 	state := func(c *vnlclient.Client) (count, sum int64, err error) {
-		rows, err := c.Query(`SELECT COUNT(*), SUM(v) FROM kv`, nil)
-		if err != nil {
-			return 0, 0, err
-		}
-		return rows.Tuples[0][0].Int(), rows.Tuples[0][1].Int(), nil
+		return kvCountSum(c.Shards() > 1, c.Query)
 	}
 	deadline := time.Now().Add(15 * time.Second)
 	for {

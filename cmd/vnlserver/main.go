@@ -20,6 +20,14 @@
 // committed transactions, and serves read-only sessions; /readyz reports
 // ready only while it is caught up (within -max-lag-vns of the primary).
 //
+// With -shards N (N > 1) the server fronts N independent stores behind one
+// atomic cross-shard epoch: batches partition by (table, primary key) hash
+// and publish with a two-phase epoch flip, and every wire session pins one
+// coherent cross-shard version. -wal then names a directory holding the
+// per-shard WALs and the epoch log:
+//
+//	vnlserver -addr :7432 -shards 4 -wal data/ -kv
+//
 // On SIGTERM or SIGINT the server drains gracefully: the listener closes,
 // /readyz flips to 503, in-flight queries complete, and open sessions get
 // until -drain-timeout to finish; a clean drain exits 0.
@@ -34,6 +42,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -41,6 +50,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/repl"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/vfs"
 	"repro/internal/wal"
 	"repro/internal/warehouse"
@@ -52,10 +62,10 @@ import (
 // fifteen-argument run signature.
 type flags struct {
 	addr, httpAddr                  string
-	n, workers                      int
+	n, workers, shards              int
 	walPath                         string
 	group                           bool
-	groupDelay                      time.Duration
+	groupDelay, gcEvery             time.Duration
 	maxConns                        int
 	idleTO, reqTO, writeTO, drainTO time.Duration
 	kv, demo                        bool
@@ -70,7 +80,9 @@ func main() {
 	flag.StringVar(&f.httpAddr, "http", "", "HTTP sidecar listen address for /metrics, /healthz, /readyz (empty = off)")
 	flag.IntVar(&f.n, "n", 2, "versions (2 = 2VNL); a replica must match its primary")
 	flag.IntVar(&f.workers, "apply-workers", 0, "worker count for batch apply (0 = GOMAXPROCS)")
-	flag.StringVar(&f.walPath, "wal", "", "journal maintenance to this write-ahead log (also enables the replication feed)")
+	flag.IntVar(&f.shards, "shards", 1, "hash-shard across N independent stores behind one atomic cross-shard epoch (1 = single store)")
+	flag.StringVar(&f.walPath, "wal", "", "journal maintenance to this write-ahead log (also enables the replication feed); with -shards > 1, a directory for the per-shard WALs and the epoch log")
+	flag.DurationVar(&f.gcEvery, "gc-interval", 0, "run a garbage-collection pass this often (0 = never)")
 	flag.BoolVar(&f.group, "group-commit", false, "batch WAL commits: one fsync per group (needs -wal)")
 	flag.DurationVar(&f.groupDelay, "group-delay", 0, "bounded linger the group-commit leader waits for joiners")
 	flag.IntVar(&f.maxConns, "max-conns", 256, "connection limit; excess dials are answered too_busy")
@@ -89,6 +101,20 @@ func main() {
 	if f.group && f.walPath == "" {
 		fmt.Fprintln(os.Stderr, "vnlserver: -group-commit needs -wal")
 		os.Exit(2)
+	}
+	if f.shards > 1 {
+		// The demo loads through the warehouse layer (single store only),
+		// group commit configures a single journal, and the replication
+		// feed serves one WAL file — none of which exist in sharded mode.
+		if f.demo || f.group || f.primary != "" {
+			fmt.Fprintln(os.Stderr, "vnlserver: -shards excludes -demo, -group-commit, and -primary")
+			os.Exit(2)
+		}
+		if err := runShards(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vnlserver:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if f.primary == "" && f.replicaWAL != "" {
 		fmt.Fprintln(os.Stderr, "vnlserver: -replica-wal needs -primary")
@@ -139,6 +165,13 @@ func run(f flags) error {
 		// incarnation of the log and followers of the old one must rebuild.
 		feed = repl.NewFeed(vfs.Disk(), f.walPath, journal, uint64(time.Now().UnixNano()))
 		log.Printf("vnlserver: replication feed on %s (epoch %d)", f.walPath, feed.Epoch())
+		// Followers advertise their slowest pinned VN in every poll; the
+		// clamp keeps GC from reclaiming a pre-image a lagging replica
+		// session still reads.
+		store.SetGCFloorClamp(func() (core.VN, bool) {
+			vn, ok := feed.SlowestPinned()
+			return core.VN(vn), ok
+		})
 	}
 	if f.kv {
 		if _, err := store.CreateTableSQL(`CREATE TABLE kv (k INT(8), v INT(8) UPDATABLE, UNIQUE KEY(k))`); err != nil {
@@ -152,7 +185,10 @@ func run(f flags) error {
 		}
 	}
 	if f.initSQL != "" {
-		if err := runInitSQL(store, f.initSQL); err != nil {
+		if err := runInitSQL(func(stmt string) error {
+			_, err := store.CreateTableSQL(stmt)
+			return err
+		}, f.initSQL); err != nil {
 			return err
 		}
 	}
@@ -162,7 +198,13 @@ func run(f flags) error {
 	if feed != nil {
 		cfg.ReplFeed = feed
 	}
+	stopGC := startGC(f.gcEvery, func() {
+		if stats := store.GC(); stats.Err != nil {
+			log.Printf("vnlserver: gc journal error: %v", stats.Err)
+		}
+	})
 	drainErr := serveUntilSignal(server.New(cfg), f)
+	stopGC()
 	if feed != nil {
 		_ = feed.Close()
 	}
@@ -172,6 +214,85 @@ func run(f flags) error {
 		}
 	}
 	return drainErr
+}
+
+// runShards opens the hash-sharded router and fronts it with the same wire
+// server: sessions pin the atomic cross-shard epoch, batches publish with
+// the two-phase flip, and the shard_* metrics land on the default registry
+// the HTTP sidecar serves. With -wal the shards are durable — per-shard
+// WALs plus the epoch log under the directory — and reopen at one
+// all-or-nothing epoch after a crash.
+func runShards(f flags) error {
+	opts := shard.Options{Shards: f.shards, N: f.n, Workers: f.workers}
+	if f.walPath != "" {
+		if err := os.MkdirAll(f.walPath, 0o755); err != nil {
+			return err
+		}
+		opts.FS = vfs.Disk()
+		opts.Dir = f.walPath
+	}
+	router, err := shard.Open(opts)
+	if err != nil {
+		return err
+	}
+	log.Printf("vnlserver: %d shards open at epoch %d", router.Shards(), router.EpochVN())
+	// A durable shard set resumes with its tables recovered; only create
+	// what recovery did not bring back.
+	if f.kv && !router.HasTable("kv") {
+		if err := router.CreateTableSQL(`CREATE TABLE kv (k INT(8), v INT(8) UPDATABLE, UNIQUE KEY(k))`); err != nil {
+			return err
+		}
+		log.Printf("vnlserver: created kv table")
+	}
+	if f.initSQL != "" {
+		if err := runInitSQL(router.CreateTableSQL, f.initSQL); err != nil {
+			return err
+		}
+	}
+
+	cfg := serverConfig(f)
+	cfg.Backend = server.NewShardBackend(router)
+	stopGC := startGC(f.gcEvery, func() {
+		for _, stats := range router.GC() {
+			if stats.Err != nil {
+				log.Printf("vnlserver: gc journal error: %v", stats.Err)
+			}
+		}
+	})
+	drainErr := serveUntilSignal(server.New(cfg), f)
+	stopGC()
+	if err := router.Close(); err != nil {
+		return fmt.Errorf("closing shards: %w", err)
+	}
+	return drainErr
+}
+
+// startGC runs fn every interval on a background ticker; the returned stop
+// joins the loop. A zero interval disables it.
+func startGC(interval time.Duration, fn func()) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fn()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
 }
 
 // runReplica opens (or resumes) the local WAL copy, tails the primary over
@@ -296,8 +417,8 @@ func loadDemo(store *core.Store) error {
 }
 
 // runInitSQL executes semicolon-separated CREATE TABLE statements from a
-// file.
-func runInitSQL(store *core.Store, path string) error {
+// file through create (the store's or the shard router's CreateTableSQL).
+func runInitSQL(create func(string) error, path string) error {
 	text, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -307,7 +428,7 @@ func runInitSQL(store *core.Store, path string) error {
 		if stmt == "" {
 			continue
 		}
-		if _, err := store.CreateTableSQL(stmt); err != nil {
+		if err := create(stmt); err != nil {
 			return fmt.Errorf("init %s: %w", path, err)
 		}
 	}

@@ -273,7 +273,17 @@ func (m *Maintenance) route(deltas []Delta, parts int) ([][]routedDelta, error) 
 // to the same partition — the invariant that lets partitions run
 // concurrently without reordering any tuple's Tables 2–4 sequence.
 func partitionOf(vt *VTable, d Delta, i, parts int) (int, error) {
-	base := vt.ext.Base
+	return PartitionDelta(vt.ext.Base, d, i, parts)
+}
+
+// PartitionDelta is the batch partitioning rule, exported for the shard
+// router: it routes one delta to a partition in [0, parts) by the
+// (table, unique key) hash, with i (the delta's batch index) breaking the
+// tie for keyless inserts. The shard router and the in-store worker
+// fan-out share this single function, so a delta lands on the same shard
+// the parallel applier would have picked — the property the sharded ≡
+// single-store differential suite leans on.
+func PartitionDelta(base *catalog.Schema, d Delta, i, parts int) (int, error) {
 	var key catalog.Tuple
 	switch d.Op {
 	case DeltaInsert:

@@ -50,7 +50,28 @@ func (s *Store) GC() GCStats {
 	if minVN, any := s.activeSessionFloor(); any && minVN < floor {
 		floor = minVN
 	}
+	if fn := s.gcClamp.Load(); fn != nil {
+		if vn, ok := (*fn)(); ok && vn < floor {
+			floor = vn
+		}
+	}
 	return s.GCWithFloor(floor)
+}
+
+// SetGCFloorClamp installs (or, with nil, removes) an external bound on the
+// GC floor: each pass calls fn and, when it reports ok, reclaims nothing
+// newer than the returned VN. Two callers use it. The shard router clamps
+// every shard to the published cross-shard epoch, closing the race where a
+// reader has loaded the epoch but not yet registered its per-shard sessions
+// when GC runs with floor = currentVN. A replication primary clamps to the
+// slowest replica's advertised pinned VN, so a replayed GC delete can never
+// reclaim a pre-image a lagging replica session still reads.
+func (s *Store) SetGCFloorClamp(fn func() (VN, bool)) {
+	if fn == nil {
+		s.gcClamp.Store(nil)
+		return
+	}
+	s.gcClamp.Store(&fn)
 }
 
 // GCWithFloor reclaims logically-deleted tuples with tupleVN <= floor.

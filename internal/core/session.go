@@ -100,6 +100,46 @@ func (s *Store) beginSession(perTuple bool) *Session {
 	return sess
 }
 
+// BeginSessionAt starts a reader session pinned at vn rather than at the
+// store's currentVN. The shard router uses it to pin one published
+// cross-shard epoch on every shard: between a two-phase publish's per-shard
+// commits and the global epoch flip a shard's currentVN runs one ahead of
+// the epoch, and the session must land on the epoch — the shard's nVNL
+// back-versions reconstruct it.
+//
+// The pinned version must be servable: no newer than currentVN, no older
+// than the expiry floor, and inside the n-version reconstruction window. If
+// a concurrent publish moved the window past vn between the caller loading
+// its epoch and registering here, BeginSessionAt registers nothing and
+// returns ErrSessionExpired; callers reload their epoch and retry. The
+// session registers before the window is validated — the same ordering
+// discipline as beginSession's optimistic loop — so the GC and
+// commit-when-quiet floors can never miss a session that passed the check.
+func (s *Store) BeginSessionAt(vn VN) (*Session, error) {
+	sess := &Session{store: s, vn: vn}
+	sess.shard = int(s.sessions.next.Add(1) % sessionShards)
+	s.sessions.add(sess)
+	cur, active, floor := s.readGlobals()
+	bad := vn > cur || vn < floor || vn < 1
+	if !bad {
+		n := VN(s.n)
+		if active {
+			bad = vn < cur+2-n
+		} else {
+			bad = vn < cur+1-n
+		}
+	}
+	if bad {
+		s.sessions.remove(sess)
+		return nil, ErrSessionExpired
+	}
+	m := s.metrics
+	m.sessionsBegun.Inc()
+	m.activeSessions.Add(1)
+	m.trace(TraceSessionBegin, sess.vn, 0)
+	return sess, nil
+}
+
 // VN returns the session's database version.
 func (sess *Session) VN() VN { return sess.vn }
 
@@ -471,6 +511,14 @@ func withSessionVN(params exec.Params, vn VN) exec.Params {
 	}
 	out[sessionParam] = catalog.NewInt(int64(vn))
 	return out
+}
+
+// ParseCreateTable parses a CREATE TABLE statement (with UPDATABLE column
+// markers and UNIQUE KEY clause) into its base schema without creating
+// anything. The shard router uses it to resolve the schema once before
+// fanning the create out to every shard.
+func ParseCreateTable(text string) (*catalog.Schema, error) {
+	return parseCreate(text)
 }
 
 func parseCreate(text string) (*catalog.Schema, error) {

@@ -101,6 +101,14 @@ type Store struct {
 	// its own fine-grained locks and is never touched under mu.
 	sessions sessionRegistry
 
+	// gcClamp, when set, caps the GC floor from outside the store: the
+	// shard router pins it to the published cross-shard epoch, and a
+	// replication primary pins it to the slowest replica's advertised
+	// session floor, so physical reclamation never outruns a reader the
+	// store itself cannot see. Swapped atomically; GC loads it once per
+	// pass.
+	gcClamp atomic.Pointer[func() (VN, bool)]
+
 	// plans is the ad-hoc rewrite/plan cache (nil when disabled). Entries
 	// invalidate by table-registry pointer, the same rule Prepared uses.
 	plans *planCache
@@ -488,6 +496,15 @@ func (v *VTable) recomputeOldestHW() {
 // commit-when-quiet policy use it.
 func (s *Store) activeSessionFloor() (VN, bool) {
 	return s.sessions.floor()
+}
+
+// SessionFloor is the exported form of the active-session floor: the
+// smallest sessionVN among live reader sessions, and whether any session is
+// live at all. A replication follower advertises it to its primary so the
+// primary's GC never reclaims a pre-image a lagging replica session still
+// reads.
+func (s *Store) SessionFloor() (VN, bool) {
+	return s.activeSessionFloor()
 }
 
 // ActiveSessions returns the number of live reader sessions.

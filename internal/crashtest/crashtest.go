@@ -60,6 +60,9 @@ type Config struct {
 	// Workers is the parallel batch fan-out. 0 selects 4. Only meaningful
 	// with Parallel.
 	Workers int
+	// Shards, when the config drives ShardSweep, is the shard-router fan-out
+	// width. 0 selects 4. The single-store sweeps ignore it.
+	Shards int
 	// SkipCheckpoint elides the mid-workload checkpoint. Replication
 	// followers identify log bytes by file offset, and a checkpoint
 	// rewrites the file — in production that is an epoch bump forcing a

@@ -1,0 +1,66 @@
+package crashtest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// runShardSweep executes one shard crash sweep and enforces its coverage
+// floors: every counted persisting op was crashed (the router workload
+// never shortens under a pure crash script), and the op count is dense —
+// four shard WALs plus the epoch log make even the short scripted history
+// cross dozens of sync boundaries.
+func runShardSweep(t *testing.T, cfg Config) {
+	t.Helper()
+	rep, err := ShardSweep(cfg)
+	if err != nil {
+		if rep.FailScript != "" {
+			t.Logf("reproducing fault script:\n%s", rep.FailScript)
+		}
+		t.Fatal(err)
+	}
+	t.Logf("swept %d shard crash points over %d persist ops (%d publishes)",
+		rep.Points, rep.PersistOps, rep.Commits)
+	if rep.Points == 0 || rep.Points != rep.PersistOps {
+		t.Fatalf("sweep exercised %d of %d crash points", rep.Points, rep.PersistOps)
+	}
+	if rep.PersistOps < 20 {
+		t.Fatalf("shard workload only performed %d persisting ops; sweep coverage is too thin", rep.PersistOps)
+	}
+	if rep.Commits < 4 {
+		t.Fatalf("workload acknowledged only %d publishes", rep.Commits)
+	}
+}
+
+// TestShardSweep crashes the sharded store before every persisting I/O of
+// the two-phase publish — the epoch log's prepare and flip forces and every
+// shard's WAL appends, commit fsyncs, and GC records — and proves each
+// restart converges all shards to one all-or-nothing epoch that matches
+// the oracle.
+func TestShardSweep(t *testing.T) {
+	runShardSweep(t, Config{Seed: 1})
+}
+
+// TestShardSweepConfigs sweeps other shard counts (including the degenerate
+// single shard and a prime width that splits every batch unevenly) and an
+// nVNL store, so recovery's roll-forward is proven against different
+// prepare partitionings.
+func TestShardSweepConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seeded shard sweeps skipped in -short mode")
+	}
+	cfgs := []Config{
+		{Seed: 2, Shards: 1},
+		{Seed: 3, Shards: 2},
+		{Seed: 4, Shards: 3},
+		{Seed: 1, Shards: 4, N: 4},
+	}
+	for _, cfg := range cfgs {
+		cfg := cfg
+		name := fmt.Sprintf("seed=%d/shards=%d/n=%d", cfg.Seed, cfg.Shards, cfg.N)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runShardSweep(t, cfg)
+		})
+	}
+}

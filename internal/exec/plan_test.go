@@ -117,10 +117,10 @@ func TestPlanDifferentialErrors(t *testing.T) {
 	mt := planTable(600, 2)
 	cat := memCatalog{"t": mt}
 	for _, q := range []string{
-		`SELECT 1 / (b - 50) FROM t`,          // some row has b = 50
-		`SELECT a FROM t WHERE b / 0 > 1`,     // every row errors
-		`SELECT a FROM t WHERE b < :unbound`,  // unbound param, taken
-		`SELECT a + s FROM t`,                 // type error at runtime
+		`SELECT 1 / (b - 50) FROM t`,         // some row has b = 50
+		`SELECT a FROM t WHERE b / 0 > 1`,    // every row errors
+		`SELECT a FROM t WHERE b < :unbound`, // unbound param, taken
+		`SELECT a + s FROM t`,                // type error at runtime
 	} {
 		sel, err := sql.ParseSelect(q)
 		if err != nil {
@@ -305,15 +305,15 @@ func TestPlanStaleTable(t *testing.T) {
 // must fail the statement rather than shrink its effect.
 type faultyMem struct {
 	*indexedMem
-	getErr    error
-	getAfter  int // inject on the getAfter-th Get (0-based); -1 = never
-	gets      int
-	delErr    error
-	delAfter  int
-	dels      int
-	updErr    error
-	updAfter  int
-	upds      int
+	getErr   error
+	getAfter int // inject on the getAfter-th Get (0-based); -1 = never
+	gets     int
+	delErr   error
+	delAfter int
+	dels     int
+	updErr   error
+	updAfter int
+	upds     int
 }
 
 func (f *faultyMem) Get(rid storageRID) (catalog.Tuple, error) {

@@ -16,7 +16,8 @@ import (
 // the instrumented packages use — the analyzer requires:
 //
 //   - a constant name to be snake_case under a known subsystem prefix
-//     (core_, wal_, txn_, storage_, mvcc_, bench_, db_, sim_);
+//     (core_, wal_, txn_, storage_, mvcc_, bench_, db_, sim_, server_,
+//     repl_, shard_);
 //   - the help string to be a non-empty constant;
 //   - no second registration of the same constant name with different help
 //     in the same package (two sites claiming one series with conflicting
@@ -30,7 +31,7 @@ var ObsRegistry = &Analyzer{
 	Run:  runObsRegistry,
 }
 
-var metricNameRE = regexp.MustCompile(`^(core|wal|txn|storage|mvcc|bench|db|sim|server|repl)_[a-z0-9]+(_[a-z0-9]+)*$`)
+var metricNameRE = regexp.MustCompile(`^(core|wal|txn|storage|mvcc|bench|db|sim|server|repl|shard)_[a-z0-9]+(_[a-z0-9]+)*$`)
 
 func runObsRegistry(pass *Pass) error {
 	type site struct {

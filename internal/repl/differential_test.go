@@ -3,6 +3,7 @@ package repl_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -118,6 +119,145 @@ func runDifferential(t *testing.T, cfg crashtest.Config) {
 	}
 	if err := rep.Store().CheckInvariants(); err != nil {
 		t.Fatalf("replica invariants: %v", err)
+	}
+}
+
+// TestReplicaPinClampsPrimaryGC is the regression test for replica-aware
+// GC: a lagging replica holding a reader session advertises its pin in
+// every poll, the primary's feed tracks the slowest pin, and a GC pass on
+// the primary — whose own sessions would otherwise let the floor reach
+// currentVN — must not reclaim the deleted pre-image the replica session
+// still reads. Once the session closes and the pin ages out of the window,
+// the same pass reclaims it.
+func TestReplicaPinClampsPrimaryGC(t *testing.T) {
+	fs := vfs.NewFaultFS(nil)
+	log, err := wal.CreateFS(fs, "wal.log", wal.PolicyRedoOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, err := core.Open(db.Open(db.Options{}), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary.SetJournal(log)
+	schema := catalog.MustSchema("kv", []catalog.Column{
+		{Name: "k", Type: catalog.TypeInt, Length: 8},
+		{Name: "v", Type: catalog.TypeInt, Length: 8, Updatable: true},
+	}, "k")
+	if _, err := primary.CreateTable(schema); err != nil {
+		t.Fatal(err)
+	}
+	apply := func(deltas ...core.Delta) {
+		t.Helper()
+		m, err := primary.BeginMaintenance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.ApplyBatch(deltas); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins := func(k, v int64) core.Delta {
+		return core.Delta{Table: "kv", Op: core.DeltaInsert,
+			Row: catalog.Tuple{catalog.NewInt(k), catalog.NewInt(v)}}
+	}
+	del := func(k int64) core.Delta {
+		return core.Delta{Table: "kv", Op: core.DeltaDelete,
+			Key: catalog.Tuple{catalog.NewInt(k)}}
+	}
+	apply(ins(1, 10), ins(2, 20)) // VN 2
+
+	feed := repl.NewFeed(fs, "wal.log", log, 7)
+	feed.SetPinWindow(40 * time.Millisecond)
+	primary.SetGCFloorClamp(func() (core.VN, bool) {
+		vn, ok := feed.SlowestPinned()
+		return core.VN(vn), ok
+	})
+	src := &repl.DirectSource{Feed: feed, PrimaryVN: func() uint64 { return uint64(primary.CurrentVN()) }}
+
+	rep, err := repl.Open(repl.Options{
+		FS:    vfs.NewFaultFS(nil),
+		Path:  "replica/wal.log",
+		DB:    db.Options{PoolPages: 4, PageSize: 256},
+		Store: core.Options{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	if err := rep.Catchup(src); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.ReplayedVN(); got != 2 {
+		t.Fatalf("replica replayed VN %d, want 2", got)
+	}
+
+	// The replica pins VN 2, where key 2 is still alive.
+	sess := rep.Store().BeginSession()
+	defer sess.Close()
+
+	// The primary deletes key 2 and moves on. Polls (which advertise the
+	// replica's pin) ship too few bytes to complete a record, so the
+	// replica stays lagging with its session anchored before the delete.
+	apply(del(2))     // VN 3
+	apply(ins(3, 30)) // VN 4
+	poll := func() {
+		t.Helper()
+		seg, err := src.Poll(rep.Epoch(), uint64(rep.NextLSN()), rep.PinnedVN(), 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Ingest(seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the catch-up polls' intermediate advertisements (VN 1 while the
+	// replica was mid-replay) age out of the pin window, then advertise
+	// the session's true pin.
+	time.Sleep(100 * time.Millisecond)
+	poll()
+	if pin := rep.PinnedVN(); pin != 2 {
+		t.Fatalf("replica advertises pin %d, want 2", pin)
+	}
+	if vn, ok := feed.SlowestPinned(); !ok || vn != 2 {
+		t.Fatalf("feed tracked pin (%d, %v), want (2, true)", vn, ok)
+	}
+
+	// No primary session is open, so without the clamp the floor would be
+	// currentVN = 4 and the deleted pre-image of key 2 would be reclaimed.
+	if stats := primary.GC(); stats.Removed != 0 {
+		t.Fatalf("GC reclaimed %d tuples past a replica pin at VN 2", stats.Removed)
+	}
+	if dead := primary.DeadTuples()["kv"]; dead != 1 {
+		t.Fatalf("primary holds %d dead tuples, want the clamped delete of key 2", dead)
+	}
+
+	// Replica catches up and releases its session: the pin rises to the
+	// replayed VN, and once the old advertisement ages out of the window
+	// the same GC pass reclaims the delete.
+	sess.Close()
+	if err := rep.Catchup(src); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		poll() // heartbeat: re-advertises the now-unpinned VN
+		if stats := primary.GC(); stats.Removed == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("GC never reclaimed the delete after the replica pin was released")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := rep.Store().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -41,6 +41,11 @@ type Feed struct {
 
 	mu sync.Mutex
 	h  vfs.File // lazily opened read handle; nil until first ReadAt
+
+	// pins tracks follower GC pins advertised through ReplPoll.PinnedVN
+	// (server.PollFeed forwards them via NotePinned). SlowestPinned over
+	// this tracker is what a primary clamps its GC floor with.
+	pins pinTracker
 }
 
 // NewFeed serves the live log at path, which log must be appending to.
@@ -98,6 +103,27 @@ func (f *Feed) ReadAt(p []byte, off int64) (int, error) {
 	}
 	return n, err
 }
+
+// NotePinned records one follower's advertised GC pin — the slowest
+// version that follower's reader sessions still read. server.PollFeed
+// calls it for every poll carrying a nonzero PinnedVN (Feed implements
+// server.PinSink).
+func (f *Feed) NotePinned(vn uint64) { f.pins.note(vn) }
+
+// SlowestPinned returns the smallest follower pin advertised within the
+// pin window, and whether any follower advertised one recently. A primary
+// installs it as the store's GC floor clamp (core.Store.SetGCFloorClamp):
+// GC then never reclaims a pre-image a lagging replica session still
+// reads. A follower that stops polling ages out of the window, so a dead
+// replica cannot hold the floor down forever.
+func (f *Feed) SlowestPinned() (uint64, bool) { return f.pins.slowest() }
+
+// SetPinWindow overrides how long a follower's advertised pin keeps
+// clamping GC after its last poll (default 15s — several tail-poll
+// rounds). An advertisement is guaranteed effective for at least half the
+// window and at most the whole window. Zero or negative restores the
+// default. Tests use tiny windows to exercise expiry.
+func (f *Feed) SetPinWindow(d time.Duration) { f.pins.setWindow(d) }
 
 // Close releases the read handle. The served *wal.Log is owned by the
 // caller and is not touched.

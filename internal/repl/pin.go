@@ -1,0 +1,88 @@
+package repl
+
+import (
+	"sync"
+	"time"
+)
+
+// defaultPinWindow is how long one follower advertisement keeps clamping
+// the primary's GC floor. Followers tail-poll every PollWait (2s default),
+// so 15s survives several missed rounds and a reconnect backoff, while a
+// follower that is truly gone releases the floor quickly. It matches the
+// replica's own StaleAfter default: a replica that would already report
+// itself stale no longer holds the primary's garbage.
+const defaultPinWindow = 15 * time.Second
+
+// pinTracker keeps a time-windowed minimum over follower pin
+// advertisements without tracking follower identity: observations land in
+// the current half-window bucket, and the slowest pin is the minimum over
+// the current and previous buckets. One advertisement is therefore
+// effective for at least window/2 and at most window — bounded memory (two
+// words) no matter how fast a catching-up follower polls.
+type pinTracker struct {
+	mu     sync.Mutex
+	window time.Duration
+	// cur and prev are the minimum advertisement seen in the current and
+	// previous half-window buckets; 0 means the bucket saw none.
+	cur, prev uint64
+	// bucketStart is when the current bucket opened; zero until the first
+	// note.
+	bucketStart time.Time
+}
+
+func (p *pinTracker) setWindow(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.window = d
+}
+
+func (p *pinTracker) windowLocked() time.Duration {
+	if p.window > 0 {
+		return p.window
+	}
+	return defaultPinWindow
+}
+
+// rotateLocked advances the half-window buckets to cover now.
+func (p *pinTracker) rotateLocked(now time.Time) {
+	if p.bucketStart.IsZero() {
+		p.bucketStart = now
+		return
+	}
+	half := p.windowLocked() / 2
+	elapsed := now.Sub(p.bucketStart)
+	switch {
+	case elapsed < half:
+		// Still inside the current bucket.
+	case elapsed < 2*half:
+		p.prev, p.cur = p.cur, 0
+		p.bucketStart = p.bucketStart.Add(half)
+	default:
+		// More than a full window of silence: everything aged out.
+		p.prev, p.cur = 0, 0
+		p.bucketStart = now
+	}
+}
+
+func (p *pinTracker) note(vn uint64) {
+	if vn == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rotateLocked(time.Now())
+	if p.cur == 0 || vn < p.cur {
+		p.cur = vn
+	}
+}
+
+func (p *pinTracker) slowest() (uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rotateLocked(time.Now())
+	min := p.cur
+	if p.prev != 0 && (min == 0 || p.prev < min) {
+		min = p.prev
+	}
+	return min, min != 0
+}

@@ -338,12 +338,26 @@ func (r *Replica) noteLag() {
 	}
 }
 
+// PinnedVN is the GC pin this replica advertises in every poll: the floor
+// of its active reader sessions, or its replayed VN when no session is
+// open. Advertising the replayed VN while idle closes the begin-session
+// race — a session about to pin replayedVN is protected before it exists,
+// because the primary's GC floor is already clamped there. Zero (nothing
+// replayed yet) advertises nothing.
+func (r *Replica) PinnedVN() uint64 {
+	pinned := r.replayedVN.Load()
+	if floor, any := r.store.SessionFloor(); any && uint64(floor) < pinned {
+		pinned = uint64(floor)
+	}
+	return pinned
+}
+
 // Catchup polls src synchronously until the replica reaches the feed's
 // durable end — cold-start backfill, and the whole story for static feeds
 // (the crash sweep and the catch-up benchmark drive it directly).
 func (r *Replica) Catchup(src SegmentSource) error {
 	for {
-		seg, err := src.Poll(r.Epoch(), uint64(r.NextLSN()), r.opts.MaxBytes, 0)
+		seg, err := src.Poll(r.Epoch(), uint64(r.NextLSN()), r.PinnedVN(), r.opts.MaxBytes, 0)
 		if err != nil {
 			return err
 		}
@@ -382,7 +396,7 @@ func (r *Replica) tail(src SegmentSource) {
 			case <-t.C:
 			}
 		}
-		seg, err := src.Poll(r.Epoch(), uint64(r.NextLSN()), r.opts.MaxBytes, r.opts.PollWait)
+		seg, err := src.Poll(r.Epoch(), uint64(r.NextLSN()), r.PinnedVN(), r.opts.MaxBytes, r.opts.PollWait)
 		if err != nil {
 			var we *server.WireError
 			if errors.As(err, &we) && (we.Code == server.CodeReplRange || we.Code == server.CodeNotPrimary) {

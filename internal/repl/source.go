@@ -11,9 +11,11 @@ import (
 // vnlserver polled through the client pool) or a Feed in the same process
 // (tests, sweeps, benchmarks). Poll semantics follow server.PollFeed:
 // epoch 0 learns the feed's epoch, wait 0 never blocks, an empty payload
-// is a heartbeat carrying fresh DurableLSN/PrimaryVN.
+// is a heartbeat carrying fresh DurableLSN/PrimaryVN. pinned is the
+// follower's advertised GC pin (ReplPoll.PinnedVN) — the slowest version
+// it still reads, or 0 to advertise nothing.
 type SegmentSource interface {
-	Poll(epoch, fromLSN uint64, maxBytes uint32, wait time.Duration) (server.ReplSegment, error)
+	Poll(epoch, fromLSN, pinned uint64, maxBytes uint32, wait time.Duration) (server.ReplSegment, error)
 	Close() error
 }
 
@@ -30,8 +32,8 @@ type DirectSource struct {
 
 // Poll serves one poll via server.PollFeed, wrapping failures in
 // *server.WireError so callers classify them exactly like wire failures.
-func (s *DirectSource) Poll(epoch, fromLSN uint64, maxBytes uint32, wait time.Duration) (server.ReplSegment, error) {
-	m := server.ReplPoll{Epoch: epoch, FromLSN: fromLSN, MaxBytes: maxBytes}
+func (s *DirectSource) Poll(epoch, fromLSN, pinned uint64, maxBytes uint32, wait time.Duration) (server.ReplSegment, error) {
+	m := server.ReplPoll{Epoch: epoch, FromLSN: fromLSN, MaxBytes: maxBytes, PinnedVN: pinned}
 	if wait > 0 {
 		m.WaitMs = uint32(wait.Milliseconds())
 	}
@@ -60,8 +62,8 @@ type WireSource struct {
 func NewWireSource(c *vnlclient.Client) *WireSource { return &WireSource{c: c} }
 
 // Poll runs one MsgReplPoll round trip.
-func (s *WireSource) Poll(epoch, fromLSN uint64, maxBytes uint32, wait time.Duration) (server.ReplSegment, error) {
-	return s.c.PollRepl(epoch, fromLSN, maxBytes, wait)
+func (s *WireSource) Poll(epoch, fromLSN, pinned uint64, maxBytes uint32, wait time.Duration) (server.ReplSegment, error) {
+	return s.c.PollRepl(epoch, fromLSN, pinned, maxBytes, wait)
 }
 
 // Close closes the underlying client pool.

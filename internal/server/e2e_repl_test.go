@@ -232,7 +232,7 @@ func TestReplicaStalenessGuard(t *testing.T) {
 	// A 1-byte poll teaches the replica the primary's new durable end and
 	// VN, but ships too few bytes to complete a record — so nothing new
 	// publishes and the replica is genuinely stale with a fresh view of it.
-	seg, err := src.Poll(rep.Epoch(), uint64(rep.NextLSN()), 1, 0)
+	seg, err := src.Poll(rep.Epoch(), uint64(rep.NextLSN()), rep.PinnedVN(), 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -466,6 +466,12 @@ type Welcome struct {
 	VN        uint64
 	Replica   bool
 	PrimaryVN uint64
+	// Shards is the serving topology's partition width: 1 when the server
+	// fronts a single store, the shard count when it fronts the hash-sharded
+	// router (VN is then the cross-shard epoch). Appended after PrimaryVN;
+	// a decoder reading an older server's Welcome (no trailing bytes)
+	// defaults it to 1.
+	Shards uint32
 }
 
 // Encode renders the message body.
@@ -478,7 +484,12 @@ func (m Welcome) Encode() []byte {
 		rep = 1
 	}
 	buf = append(buf, rep)
-	return binary.AppendUvarint(buf, m.PrimaryVN)
+	buf = binary.AppendUvarint(buf, m.PrimaryVN)
+	shards := m.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	return binary.AppendUvarint(buf, uint64(shards))
 }
 
 // DecodeWelcome parses a MsgWelcome body.
@@ -504,6 +515,15 @@ func DecodeWelcome(b []byte) (Welcome, error) {
 	m.Replica = rep != 0
 	if m.PrimaryVN, err = r.uvarint(); err != nil {
 		return m, err
+	}
+	// Trailing field: absent when the peer predates sharding.
+	m.Shards = 1
+	if r.remaining() > 0 {
+		sh, err := r.uvarint()
+		if err != nil {
+			return m, err
+		}
+		m.Shards = uint32(sh)
 	}
 	return m, r.done()
 }
@@ -867,11 +887,20 @@ func DecodeBatchDone(b []byte) (BatchDone, error) {
 // CodeReplRange. MaxBytes caps the segment (0 = server default); WaitMs is
 // how long the server may hold the poll open waiting for new durable bytes
 // (clamped server-side below the request watchdog).
+//
+// PinnedVN is the slowest version the follower still reads: the floor of
+// its active reader sessions (its replayed VN when idle), or 0 to advertise
+// nothing. A primary whose feed tracks pins clamps its GC floor to the
+// slowest recent advertisement, so a replayed GC delete can never reclaim a
+// pre-image a lagging replica session still needs. The field is appended
+// after WaitMs; a decoder reading an older follower's poll (no trailing
+// bytes) defaults it to 0.
 type ReplPoll struct {
 	Epoch    uint64
 	FromLSN  uint64
 	MaxBytes uint32
 	WaitMs   uint32
+	PinnedVN uint64
 }
 
 // Encode renders the message body.
@@ -879,7 +908,8 @@ func (m ReplPoll) Encode() []byte {
 	buf := binary.AppendUvarint(nil, m.Epoch)
 	buf = binary.AppendUvarint(buf, m.FromLSN)
 	buf = binary.AppendUvarint(buf, uint64(m.MaxBytes))
-	return binary.AppendUvarint(buf, uint64(m.WaitMs))
+	buf = binary.AppendUvarint(buf, uint64(m.WaitMs))
+	return binary.AppendUvarint(buf, m.PinnedVN)
 }
 
 // DecodeReplPoll parses a MsgReplPoll body.
@@ -903,6 +933,11 @@ func DecodeReplPoll(b []byte) (ReplPoll, error) {
 		return m, err
 	}
 	m.WaitMs = uint32(w)
+	if r.remaining() > 0 {
+		if m.PinnedVN, err = r.uvarint(); err != nil {
+			return m, err
+		}
+	}
 	return m, r.done()
 }
 

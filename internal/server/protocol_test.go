@@ -24,9 +24,12 @@ func TestMessageRoundTrips(t *testing.T) {
 		want any
 	}{
 		{MsgHello, Hello{ClientName: "vnlload"}, Hello{ClientName: "vnlload"}},
-		{MsgWelcome, Welcome{Server: ServerVersion, N: 3, VN: 17}, Welcome{Server: ServerVersion, N: 3, VN: 17}},
+		// Shards 0 canonicalizes to 1 on encode (a single store).
+		{MsgWelcome, Welcome{Server: ServerVersion, N: 3, VN: 17}, Welcome{Server: ServerVersion, N: 3, VN: 17, Shards: 1}},
 		{MsgWelcome, Welcome{Server: ServerVersion, N: 2, VN: 9, Replica: true, PrimaryVN: 12},
-			Welcome{Server: ServerVersion, N: 2, VN: 9, Replica: true, PrimaryVN: 12}},
+			Welcome{Server: ServerVersion, N: 2, VN: 9, Replica: true, PrimaryVN: 12, Shards: 1}},
+		{MsgWelcome, Welcome{Server: ServerVersion, N: 2, VN: 9, PrimaryVN: 9, Shards: 4},
+			Welcome{Server: ServerVersion, N: 2, VN: 9, PrimaryVN: 9, Shards: 4}},
 		{MsgQuery, Query{SID: 7, SQL: "SELECT 1", Params: params}, Query{SID: 7, SQL: "SELECT 1", Params: params}},
 		{MsgRows, Rows{Columns: []string{"k", "v"}, Tuples: []catalog.Tuple{tuple, nil}},
 			Rows{Columns: []string{"k", "v"}, Tuples: []catalog.Tuple{tuple, nil}}},
@@ -48,6 +51,8 @@ func TestMessageRoundTrips(t *testing.T) {
 			ErrMsg{Code: CodeTooBusy, Msg: "connection limit 256 reached"}},
 		{MsgReplPoll, ReplPoll{Epoch: 77, FromLSN: 1 << 33, MaxBytes: 4096, WaitMs: 2500},
 			ReplPoll{Epoch: 77, FromLSN: 1 << 33, MaxBytes: 4096, WaitMs: 2500}},
+		{MsgReplPoll, ReplPoll{Epoch: 77, FromLSN: 1 << 33, MaxBytes: 4096, WaitMs: 2500, PinnedVN: 42},
+			ReplPoll{Epoch: 77, FromLSN: 1 << 33, MaxBytes: 4096, WaitMs: 2500, PinnedVN: 42}},
 		{MsgReplSegment, ReplSegment{Epoch: 77, FromLSN: 64, DurableLSN: 128, PrimaryVN: 6, Payload: []byte{1, 2, 3}},
 			ReplSegment{Epoch: 77, FromLSN: 64, DurableLSN: 128, PrimaryVN: 6, Payload: []byte{1, 2, 3}}},
 		// A heartbeat: empty payload decodes to nil, the canonical empty form.
@@ -75,6 +80,44 @@ func TestMessageRoundTrips(t *testing.T) {
 				t.Fatalf("decoded %#v, want %#v", got, tc.want)
 			}
 		})
+	}
+}
+
+// A Welcome from a server that predates sharding — no trailing shard-count
+// field — decodes with Shards defaulted to 1, and any further trailing
+// bytes are still rejected.
+func TestWelcomeLegacyDecode(t *testing.T) {
+	full := Welcome{Server: ServerVersion, N: 2, VN: 9, PrimaryVN: 9, Shards: 1}
+	buf := full.Encode()
+	legacy := buf[:len(buf)-1] // strip the trailing uvarint(1)
+	got, err := DecodeWelcome(legacy)
+	if err != nil {
+		t.Fatalf("decoding legacy Welcome: %v", err)
+	}
+	if !reflect.DeepEqual(got, full) {
+		t.Fatalf("decoded %#v, want %#v", got, full)
+	}
+	if _, err := DecodeWelcome(append(buf, 0x7)); err == nil {
+		t.Fatal("trailing garbage after the shard count decoded without error")
+	}
+}
+
+// A ReplPoll from a follower that predates GC pinning — no trailing
+// PinnedVN field — decodes with PinnedVN defaulted to 0, and any further
+// trailing bytes are still rejected.
+func TestReplPollLegacyDecode(t *testing.T) {
+	full := ReplPoll{Epoch: 3, FromLSN: 1024, MaxBytes: 4096, WaitMs: 500}
+	buf := full.Encode()
+	legacy := buf[:len(buf)-1] // strip the trailing uvarint(0)
+	got, err := DecodeReplPoll(legacy)
+	if err != nil {
+		t.Fatalf("decoding legacy ReplPoll: %v", err)
+	}
+	if !reflect.DeepEqual(got, full) {
+		t.Fatalf("decoded %#v, want %#v", got, full)
+	}
+	if _, err := DecodeReplPoll(append(buf, 0x7)); err == nil {
+		t.Fatal("trailing garbage after the pinned VN decoded without error")
 	}
 }
 

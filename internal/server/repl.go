@@ -30,6 +30,15 @@ type ReplFeed interface {
 	ReadAt(p []byte, off int64) (int, error)
 }
 
+// PinSink is optionally implemented by a ReplFeed that tracks follower
+// pins: PollFeed forwards each poll's nonzero PinnedVN to it, and the
+// primary clamps its GC floor to the feed's slowest recent advertisement
+// (core.Store.SetGCFloorClamp). A feed without the method just ignores
+// follower pins — GC then answers to local sessions only, as before.
+type PinSink interface {
+	NotePinned(vn uint64)
+}
+
 // ReplicaInfo marks a server as a read-only replication follower and
 // surfaces its freshness bound. A Config with a non-nil Replica refuses
 // ApplyBatch (CodeReadOnly), reports PrimaryVN in Welcome and Session
@@ -66,6 +75,13 @@ func PollFeed(feed ReplFeed, primaryVN func() uint64, m ReplPoll) (ReplSegment, 
 	if m.Epoch != 0 && m.Epoch != epoch {
 		return ReplSegment{}, CodeReplRange, fmt.Errorf(
 			"replication epoch %d, want %d: the primary's log was recreated; rebuild the replica from scratch", m.Epoch, epoch)
+	}
+	if m.PinnedVN > 0 {
+		// Only a follower on the right epoch gets to hold the GC floor
+		// down: a pin from a log that no longer exists is meaningless.
+		if sink, ok := feed.(PinSink); ok {
+			sink.NotePinned(m.PinnedVN)
+		}
 	}
 	from := int64(m.FromLSN)
 	durable := feed.DurableLSN()

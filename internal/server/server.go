@@ -25,8 +25,13 @@ type Config struct {
 	// Addr is the TCP listen address; ":0" selects an ephemeral port
 	// (tests read the bound address back from Server.Addr).
 	Addr string
-	// Store is the 2VNL/nVNL store the server fronts.
+	// Store is the 2VNL/nVNL store the server fronts. It is shorthand for
+	// Backend: when Backend is nil and Store is set, the server fronts the
+	// store through NewCoreBackend.
 	Store *core.Store
+	// Backend is the engine the server fronts — a single store or the
+	// hash-sharded router (NewShardBackend). Takes precedence over Store.
+	Backend Backend
 	// MaxConns bounds concurrently open connections; further dials are
 	// answered with MsgErr{CodeTooBusy} and closed (deterministic
 	// backpressure, rather than an opaque SYN-queue stall). 0 means 256.
@@ -103,6 +108,7 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 // mutex in front of core's single-writer rule.
 type Server struct {
 	cfg     Config
+	backend Backend
 	metrics *serverMetrics
 	reg     *obs.Registry
 
@@ -134,7 +140,7 @@ type Server struct {
 	stmts struct {
 		sync.RWMutex
 		ids  map[string]uint32
-		list []*core.Prepared
+		list []BackendStmt
 	}
 }
 
@@ -150,8 +156,13 @@ func New(cfg Config) *Server {
 	if reg == nil {
 		reg = obs.Default()
 	}
+	backend := cfg.Backend
+	if backend == nil && cfg.Store != nil {
+		backend = NewCoreBackend(cfg.Store)
+	}
 	s := &Server{
 		cfg:       cfg,
+		backend:   backend,
 		reg:       reg,
 		metrics:   newServerMetrics(reg),
 		conns:     make(map[*conn]struct{}),
@@ -264,7 +275,7 @@ func (s *Server) startConn(nc net.Conn) {
 		srv:      s,
 		nc:       nc,
 		out:      make(chan outFrame, 16),
-		sessions: make(map[uint32]*core.Session),
+		sessions: make(map[uint32]BackendSession),
 	}
 	s.mu.Lock()
 	s.conns[c] = struct{}{}
@@ -409,7 +420,7 @@ func (s *Server) Close() error {
 // preparing and caching it on first sight. The cache key is the canonical
 // printed form, so formatting variants of one query share an entry.
 func (s *Server) prepare(text string) (uint32, error) {
-	p, err := s.cfg.Store.Prepare(text)
+	p, err := s.backend.Prepare(text)
 	if err != nil {
 		return 0, err
 	}
@@ -432,7 +443,7 @@ func (s *Server) prepare(text string) (uint32, error) {
 }
 
 // stmt resolves a prepared-statement id.
-func (s *Server) stmt(id uint32) *core.Prepared {
+func (s *Server) stmt(id uint32) BackendStmt {
 	s.stmts.RLock()
 	defer s.stmts.RUnlock()
 	if id == 0 || int(id) > len(s.stmts.list) {
@@ -461,26 +472,13 @@ func (s *Server) applyBatch(deltas []Delta) (BatchDone, error) {
 	}
 	s.maintMu.Lock()
 	defer s.maintMu.Unlock()
-	m, err := s.cfg.Store.BeginMaintenance()
+	vn, stats, err := s.backend.ApplyBatch(cd)
 	if err != nil {
 		return BatchDone{}, err
 	}
-	stats, err := m.ApplyBatch(cd)
-	if err != nil {
-		if rbErr := m.Rollback(); rbErr != nil {
-			return BatchDone{}, fmt.Errorf("batch failed (%v) and rollback failed: %w", err, rbErr)
-		}
-		return BatchDone{}, fmt.Errorf("batch rolled back: %w", err)
-	}
-	if err := m.Commit(); err != nil {
-		if rbErr := m.Rollback(); rbErr != nil {
-			return BatchDone{}, fmt.Errorf("commit failed (%v) and rollback failed: %w", err, rbErr)
-		}
-		return BatchDone{}, fmt.Errorf("commit failed, batch rolled back: %w", err)
-	}
 	s.metrics.batches.Inc()
 	return BatchDone{
-		VN:      uint64(s.cfg.Store.CurrentVN()),
+		VN:      uint64(vn),
 		Applied: uint32(stats.Applied),
 		Missing: uint32(stats.Missing),
 	}, nil
@@ -503,7 +501,7 @@ type conn struct {
 
 	// sessions maps wire session ids to live reader sessions. Owned by
 	// the reader goroutine; no lock needed.
-	sessions map[uint32]*core.Session
+	sessions map[uint32]BackendSession
 	nextSID  uint32
 
 	// nSessions mirrors len(sessions) for Shutdown and the drain check.
@@ -683,13 +681,14 @@ func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
 			return c.errResp(CodeBadFrame, err)
 		}
 		s.logf("hello from %s (%q)", c.nc.RemoteAddr(), h.ClientName)
-		vn := uint64(s.cfg.Store.CurrentVN())
+		vn := uint64(s.backend.CurrentVN())
 		return MsgWelcome, Welcome{
 			Server:    ServerVersion,
-			N:         uint32(s.cfg.Store.N()),
+			N:         uint32(s.backend.N()),
 			VN:        vn,
 			Replica:   s.cfg.Replica != nil,
 			PrimaryVN: s.replVN(vn),
+			Shards:    uint32(s.backend.Shards()),
 		}.Encode()
 
 	case MsgPing:
@@ -699,7 +698,10 @@ func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
 		if c.draining() {
 			return c.errRespf(CodeDraining, "server is draining; no new sessions")
 		}
-		sess := s.cfg.Store.BeginSession()
+		sess, err := s.backend.BeginSession()
+		if err != nil {
+			return c.errResp(CodeInternal, err)
+		}
 		c.nextSID++
 		sid := c.nextSID
 		c.sessions[sid] = sess
@@ -728,7 +730,7 @@ func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
 		if err != nil {
 			return c.errResp(CodeBadFrame, err)
 		}
-		return c.runQuery(q.SID, func(sess *core.Session) (*exec.Rows, error) {
+		return c.runQuery(q.SID, func(sess BackendSession) (*exec.Rows, error) {
 			return sess.Query(q.SQL, q.Params)
 		})
 
@@ -752,7 +754,7 @@ func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
 		if p == nil {
 			return c.errRespf(CodeNoStatement, "no prepared statement %d", e.StmtID)
 		}
-		return c.runQuery(e.SID, func(sess *core.Session) (*exec.Rows, error) {
+		return c.runQuery(e.SID, func(sess BackendSession) (*exec.Rows, error) {
 			return sess.QueryPrepared(p, e.Params)
 		})
 
@@ -786,7 +788,7 @@ func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
 				m.WaitMs = uint32(lim)
 			}
 		}
-		seg, code, err := PollFeed(feed, func() uint64 { return uint64(s.cfg.Store.CurrentVN()) }, m)
+		seg, code, err := PollFeed(feed, func() uint64 { return uint64(s.backend.CurrentVN()) }, m)
 		if err != nil {
 			return c.errResp(code, err)
 		}
@@ -807,10 +809,13 @@ func (c *conn) handle(t MsgType, body []byte) (MsgType, []byte) {
 // runQuery resolves the session (0 = one-shot) and executes fn in it. The
 // paper's reader guarantee carries through unchanged: the session's version
 // pins the snapshot, and neither path takes the §3 latch.
-func (c *conn) runQuery(sid uint32, fn func(*core.Session) (*exec.Rows, error)) (MsgType, []byte) {
-	var sess *core.Session
+func (c *conn) runQuery(sid uint32, fn func(BackendSession) (*exec.Rows, error)) (MsgType, []byte) {
+	var sess BackendSession
 	if sid == 0 {
-		sess = c.srv.cfg.Store.BeginSession()
+		var err error
+		if sess, err = c.srv.backend.BeginSession(); err != nil {
+			return c.errResp(CodeInternal, err)
+		}
 		defer sess.Close()
 	} else {
 		var ok bool

@@ -1,0 +1,81 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// BenchmarkShardScaling measures one two-phase publish — partition,
+// parallel per-shard apply and commit, epoch flip — across shard widths,
+// with a fan-out scan benchmarked beside it. The batch size is fixed, so
+// the per-op time across widths shows how much of the publish
+// parallelizes and what the flip choreography costs; bench_snapshot.sh
+// snapshots it as BENCH_shard_scaling.json.
+func BenchmarkShardScaling(b *testing.B) {
+	const keys = 2048
+	schema := catalog.MustSchema("kv", []catalog.Column{
+		{Name: "k", Type: catalog.TypeInt, Length: 8},
+		{Name: "v", Type: catalog.TypeInt, Length: 8, Updatable: true},
+	}, "k")
+	for _, shards := range []int{1, 2, 4, 8} {
+		open := func(b *testing.B) *shard.Router {
+			b.Helper()
+			r, err := shard.Open(shard.Options{Shards: shards, Metrics: obs.NewRegistry()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r.CreateTable(schema); err != nil {
+				b.Fatal(err)
+			}
+			seed := make([]core.Delta, keys)
+			for k := 0; k < keys; k++ {
+				seed[k] = core.Delta{Table: "kv", Op: core.DeltaInsert,
+					Row: catalog.Tuple{catalog.NewInt(int64(k)), catalog.NewInt(int64(k))}}
+			}
+			if _, _, err := r.ApplyBatch(seed); err != nil {
+				b.Fatal(err)
+			}
+			return r
+		}
+		b.Run(fmt.Sprintf("publish/shards=%d", shards), func(b *testing.B) {
+			r := open(b)
+			defer r.Close()
+			batch := make([]core.Delta, keys)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < keys; k++ {
+					batch[k] = core.Delta{Table: "kv", Op: core.DeltaUpdate,
+						Key: catalog.Tuple{catalog.NewInt(int64(k))},
+						Row: catalog.Tuple{catalog.NewInt(int64(k)), catalog.NewInt(int64(i))}}
+				}
+				if _, _, err := r.ApplyBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("scan/shards=%d", shards), func(b *testing.B) {
+			r := open(b)
+			defer r.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sess, err := r.BeginSession()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows := 0
+				if err := sess.Scan("kv", func(catalog.Tuple) bool { rows++; return true }); err != nil {
+					b.Fatal(err)
+				}
+				if rows != keys {
+					b.Fatalf("scan saw %d rows, want %d", rows, keys)
+				}
+				sess.Close()
+			}
+		})
+	}
+}

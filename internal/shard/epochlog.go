@@ -1,0 +1,228 @@
+// The epoch log is the router's own tiny write-ahead log: the durable
+// record of the two-phase cross-shard version publish. Each maintenance
+// batch writes a prepare record (the target epoch plus the full partitioned
+// delta set) before any shard touches its store, and a flip record after
+// every shard has committed; table creates get their own records so a shard
+// whose WAL lost an unsynced create can be repaired. Recovery reads the log
+// once and rolls lagging shards forward to the last prepared epoch — or,
+// when the prepare was explicitly aborted, past it — so the cluster always
+// reopens at one all-or-nothing VN.
+//
+// Framing matches the WAL's: a 4-byte little-endian payload length, a
+// 4-byte CRC32 of the payload, then the payload. A torn or corrupt tail
+// ends the log silently, which is exactly the crash semantics the sweep in
+// internal/crashtest exercises.
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+// Epoch-log record kinds.
+const (
+	recCreate  byte = 1 // a table create fanned out to every shard
+	recPrepare byte = 2 // target epoch + partitioned deltas, pre-shard-work
+	recFlip    byte = 3 // every shard committed; the epoch pointer may flip
+	recAbort   byte = 4 // the prepared batch rolled back on every shard
+)
+
+// epochRecord is one decoded epoch-log record.
+type epochRecord struct {
+	kind   byte
+	vn     core.VN         // prepare/flip/abort
+	schema *catalog.Schema // create
+	parts  [][]core.Delta  // prepare: deltas per shard, index = shard
+}
+
+// epochLog is the append handle plus the state recovered from the existing
+// records. The router serializes access under its publish mutex.
+type epochLog struct {
+	fsys vfs.FS
+	path string
+	f    vfs.File
+}
+
+// openEpochLog reads every whole record at path (creating the file if
+// absent) and returns the append handle together with the decoded history.
+func openEpochLog(fsys vfs.FS, path string) (*epochLog, []epochRecord, error) {
+	recs, err := readEpochLog(fsys, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &epochLog{fsys: fsys, path: path, f: f}, recs, nil
+}
+
+func readEpochLog(fsys vfs.FS, path string) ([]epochRecord, error) {
+	f, err := fsys.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(io.NewSectionReader(f, 0, int64(1)<<62), 1<<16)
+	var out []epochRecord
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return out, nil // clean end or torn header at tail
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if length > 1<<28 {
+			return out, nil // implausible length: torn tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return out, nil // torn tail
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return out, nil // corrupt tail
+		}
+		rec, err := decodeEpochRecord(payload)
+		if err != nil {
+			return nil, fmt.Errorf("shard: epoch log %s: %w", path, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// append frames, writes, and syncs one record. The sync is the point of the
+// log: a prepare or flip only counts once it would survive a power cut.
+func (l *epochLog) append(payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("shard: epoch log append: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return fmt.Errorf("shard: epoch log append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("shard: epoch log sync: %w", err)
+	}
+	return nil
+}
+
+func (l *epochLog) appendCreate(schema *catalog.Schema) error {
+	return l.append(wal.EncodeSchema([]byte{recCreate}, schema))
+}
+
+func (l *epochLog) appendPrepare(vn core.VN, parts [][]core.Delta) error {
+	buf := []byte{recPrepare}
+	buf = binary.AppendUvarint(buf, uint64(vn))
+	buf = binary.AppendUvarint(buf, uint64(len(parts)))
+	for _, part := range parts {
+		buf = binary.AppendUvarint(buf, uint64(len(part)))
+		for _, d := range part {
+			buf = wal.EncodeString(buf, d.Table)
+			buf = append(buf, byte(d.Op))
+			buf = wal.EncodeTuple(buf, d.Row)
+			buf = wal.EncodeTuple(buf, d.Key)
+		}
+	}
+	return l.append(buf)
+}
+
+func (l *epochLog) appendFlip(vn core.VN) error {
+	return l.append(binary.AppendUvarint([]byte{recFlip}, uint64(vn)))
+}
+
+func (l *epochLog) appendAbort(vn core.VN) error {
+	return l.append(binary.AppendUvarint([]byte{recAbort}, uint64(vn)))
+}
+
+func (l *epochLog) Close() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	return l.f.Close()
+}
+
+func decodeEpochRecord(payload []byte) (epochRecord, error) {
+	if len(payload) == 0 {
+		return epochRecord{}, fmt.Errorf("empty record")
+	}
+	rec := epochRecord{kind: payload[0]}
+	buf := payload[1:]
+	switch rec.kind {
+	case recCreate:
+		schema, rest, err := wal.DecodeSchema(buf)
+		if err != nil {
+			return rec, err
+		}
+		rec.schema, buf = schema, rest
+	case recPrepare:
+		vn, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return rec, fmt.Errorf("bad prepare vn")
+		}
+		buf = buf[sz:]
+		rec.vn = core.VN(vn)
+		nparts, sz := binary.Uvarint(buf)
+		if sz <= 0 || nparts > 1<<16 {
+			return rec, fmt.Errorf("bad prepare part count")
+		}
+		buf = buf[sz:]
+		rec.parts = make([][]core.Delta, nparts)
+		for p := range rec.parts {
+			nd, sz := binary.Uvarint(buf)
+			if sz <= 0 || nd > 1<<24 {
+				return rec, fmt.Errorf("bad prepare delta count")
+			}
+			buf = buf[sz:]
+			part := make([]core.Delta, nd)
+			for i := range part {
+				var err error
+				part[i].Table, buf, err = wal.DecodeString(buf)
+				if err != nil {
+					return rec, err
+				}
+				if len(buf) < 1 {
+					return rec, fmt.Errorf("truncated delta op")
+				}
+				part[i].Op = core.DeltaOp(buf[0])
+				buf = buf[1:]
+				part[i].Row, buf, err = wal.DecodeTuple(buf)
+				if err != nil {
+					return rec, err
+				}
+				part[i].Key, buf, err = wal.DecodeTuple(buf)
+				if err != nil {
+					return rec, err
+				}
+			}
+			rec.parts[p] = part
+		}
+	case recFlip, recAbort:
+		vn, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return rec, fmt.Errorf("bad epoch vn")
+		}
+		buf = buf[sz:]
+		rec.vn = core.VN(vn)
+	default:
+		return rec, fmt.Errorf("unknown epoch record kind %d", rec.kind)
+	}
+	if len(buf) != 0 {
+		return rec, fmt.Errorf("trailing bytes in epoch record")
+	}
+	return rec, nil
+}

@@ -162,6 +162,29 @@ func appendSchema(buf []byte, s *catalog.Schema) []byte {
 	return buf
 }
 
+// EncodeSchema appends the WAL encoding of a base schema to buf. Exported
+// for the shard router's epoch log, which reuses the WAL value encoding for
+// its own records instead of inventing a second wire format.
+func EncodeSchema(buf []byte, s *catalog.Schema) []byte { return appendSchema(buf, s) }
+
+// DecodeSchema decodes a schema written by EncodeSchema, returning the
+// remaining buffer.
+func DecodeSchema(buf []byte) (*catalog.Schema, []byte, error) { return readSchema(buf) }
+
+// EncodeTuple appends the WAL encoding of a tuple to buf (see EncodeSchema).
+func EncodeTuple(buf []byte, t catalog.Tuple) []byte { return appendTuple(buf, t) }
+
+// DecodeTuple decodes a tuple written by EncodeTuple, returning the
+// remaining buffer.
+func DecodeTuple(buf []byte) (catalog.Tuple, []byte, error) { return readTuple(buf) }
+
+// EncodeString appends a length-prefixed string to buf (see EncodeSchema).
+func EncodeString(buf []byte, s string) []byte { return appendString(buf, s) }
+
+// DecodeString decodes a string written by EncodeString, returning the
+// remaining buffer.
+func DecodeString(buf []byte) (string, []byte, error) { return readString(buf) }
+
 func readSchema(buf []byte) (*catalog.Schema, []byte, error) {
 	name, buf, err := readString(buf)
 	if err != nil {

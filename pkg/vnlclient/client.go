@@ -159,6 +159,17 @@ func Dial(addr string, opts Options) (*Client, error) {
 // replication follower in the handshake.
 func (c *Client) IsReplica() bool { return c.welcome.Replica }
 
+// Shards is the server's partition width from the handshake: 1 for a
+// single store (or a server predating sharding), N for a hash-sharded
+// server. Purely informational — routing, fan-out, and the cross-shard
+// epoch are all server-side, so a client speaks to any width identically.
+func (c *Client) Shards() int {
+	if c.welcome.Shards == 0 {
+		return 1
+	}
+	return int(c.welcome.Shards)
+}
+
 // Close closes the client and its pooled connections. Sessions begun from
 // this client hold their own connections and must be closed separately.
 func (c *Client) Close() error {
@@ -339,10 +350,12 @@ func (c *Client) ApplyBatch(deltas []Delta) (BatchResult, error) {
 // from fromLSN, waiting up to wait for new durable bytes when already at
 // the durable end (the server clamps the hold to its own bound). epoch 0
 // learns the primary's epoch from the reply; maxBytes 0 accepts the
-// server's default segment size. Retrying on a reused pooled connection is
-// safe — a poll is a pure read.
-func (c *Client) PollRepl(epoch, fromLSN uint64, maxBytes uint32, wait time.Duration) (server.ReplSegment, error) {
-	m := server.ReplPoll{Epoch: epoch, FromLSN: fromLSN, MaxBytes: maxBytes}
+// server's default segment size. pinned advertises the follower's GC pin —
+// the slowest version its reader sessions still need, 0 for none — which a
+// pin-tracking primary uses to clamp its GC floor. Retrying on a reused
+// pooled connection is safe — a poll is a pure read.
+func (c *Client) PollRepl(epoch, fromLSN, pinned uint64, maxBytes uint32, wait time.Duration) (server.ReplSegment, error) {
+	m := server.ReplPoll{Epoch: epoch, FromLSN: fromLSN, MaxBytes: maxBytes, PinnedVN: pinned}
 	if wait > 0 {
 		if ot := c.opts.OpTimeout; ot > 0 && wait > ot/2 {
 			// The hold must end well inside the op deadline or every quiet

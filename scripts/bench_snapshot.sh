@@ -11,6 +11,9 @@
 #                                             uncached ad-hoc, prepared)
 #   replica_catchup BenchmarkReplicaCatchup  (internal/repl; cold-start
 #                                             time-to-VN-parity per backlog)
+#   shard_scaling   BenchmarkShardScaling    (internal/shard; two-phase
+#                                             publish and fan-out scan per
+#                                             shard width)
 #
 # Each JSON file carries the commit, timestamp, and platform alongside the
 # parsed ns/op, B/op, and allocs/op per benchmark, so CI artifacts are
@@ -23,6 +26,7 @@
 #   WIRE_BENCHTIME       -benchtime for wire_latency    (default 1000x)
 #   QUERY_BENCHTIME      -benchtime for query_latency   (default 1000x)
 #   REPLICA_BENCHTIME    -benchtime for replica_catchup (default 20x)
+#   SHARD_BENCHTIME      -benchtime for shard_scaling   (default 20x)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -99,3 +103,4 @@ run_group maintain_batch 'BenchmarkMaintainBatch' '.' "${BATCH_BENCHTIME:-3x}"
 run_group wire_latency '^BenchmarkWirePing$' './internal/server/' "${WIRE_BENCHTIME:-1000x}"
 run_group query_latency '^BenchmarkQueryLatency$' '.' "${QUERY_BENCHTIME:-1000x}"
 run_group replica_catchup '^BenchmarkReplicaCatchup$' './internal/repl/' "${REPLICA_BENCHTIME:-20x}"
+run_group shard_scaling '^BenchmarkShardScaling$' './internal/shard/' "${SHARD_BENCHTIME:-20x}"
